@@ -1,0 +1,102 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the per-figure benchmark harnesses: compile
+/// configurations, take mean-of-N timings of the (time ...) region, and
+/// print aligned tables. Methodology follows paper Section 4.1: internal
+/// timing (setup excluded) and the mean of repeated measurements.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_BENCH_BENCHUTIL_H
+#define GRIFT_BENCH_BENCHUTIL_H
+
+#include "bench_programs/Benchmarks.h"
+#include "grift/Grift.h"
+#include "lattice/Lattice.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace grift::bench {
+
+/// One timed run.
+struct Measurement {
+  bool OK = false;
+  double Millis = 0;       ///< timed region (falls back to wall time)
+  uint64_t Casts = 0;      ///< runtime casts executed
+  uint64_t Chain = 0;      ///< longest proxy chain traversed
+  uint64_t PeakHeap = 0;   ///< heap high-water mark in bytes
+  std::string Error;
+};
+
+inline Executable compileOrDie(Grift &G, const std::string &Source,
+                               CastMode Mode) {
+  std::string Errors;
+  auto Exe = G.compile(Source, Mode, Errors);
+  if (!Exe) {
+    std::fprintf(stderr, "bench compile error: %s\n", Errors.c_str());
+    std::exit(1);
+  }
+  return std::move(*Exe);
+}
+
+inline Executable compileAstOrDie(Grift &G, const Program &Ast,
+                                  CastMode Mode) {
+  std::string Errors;
+  auto Exe = G.compileAst(Ast, Mode, Errors);
+  if (!Exe) {
+    std::fprintf(stderr, "bench compile error: %s\n", Errors.c_str());
+    std::exit(1);
+  }
+  return std::move(*Exe);
+}
+
+inline Measurement runOnce(const Executable &Exe, const std::string &Input) {
+  RunResult R = Exe.run(Input);
+  Measurement M;
+  M.OK = R.OK;
+  if (!R.OK) {
+    M.Error = R.Error.str();
+    return M;
+  }
+  int64_t Nanos = R.Stats.TimedNanos >= 0 ? R.Stats.TimedNanos : R.WallNanos;
+  M.Millis = Nanos / 1e6;
+  M.Casts = R.Stats.CastsApplied;
+  M.Chain = R.Stats.LongestProxyChain;
+  M.PeakHeap = R.PeakHeapBytes;
+  return M;
+}
+
+/// Mean of \p Repeats timed runs (counters from the last run; they are
+/// deterministic across runs).
+inline Measurement measure(const Executable &Exe, const std::string &Input,
+                           unsigned Repeats = 5) {
+  Measurement Total;
+  for (unsigned I = 0; I != Repeats; ++I) {
+    Measurement M = runOnce(Exe, Input);
+    if (!M.OK)
+      return M;
+    Total.OK = true;
+    Total.Millis += M.Millis;
+    Total.Casts = M.Casts;
+    Total.Chain = M.Chain;
+    Total.PeakHeap = M.PeakHeap;
+  }
+  Total.Millis /= Repeats;
+  return Total;
+}
+
+/// Reads an optional scale factor from GRIFT_BENCH_REPEATS (default 5).
+inline unsigned repeatsFromEnv() {
+  if (const char *Env = std::getenv("GRIFT_BENCH_REPEATS")) {
+    int N = std::atoi(Env);
+    if (N > 0)
+      return static_cast<unsigned>(N);
+  }
+  return 5;
+}
+
+} // namespace grift::bench
+
+#endif // GRIFT_BENCH_BENCHUTIL_H

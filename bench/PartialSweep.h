@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The partially-typed sweep shared by the Figure 7 and Figure 19/20
+/// harnesses: for one benchmark, measure the Static and Dynamic Grift
+/// reference lines and a binned sample of fine-grained configurations
+/// under both cast implementations, printing one row per measurement
+/// (the three y-axes of the figures: runtime, runtime cast count,
+/// longest proxy chain) and the §4.2-style speedup summary.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_BENCH_PARTIALSWEEP_H
+#define GRIFT_BENCH_PARTIALSWEEP_H
+
+#include "BenchUtil.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace grift::bench {
+
+struct SweepOptions {
+  unsigned Bins = 5;
+  unsigned PerBin = 3;
+  unsigned Repeats = 3;
+  uint64_t Seed = 20190622; // PLDI'19
+};
+
+inline void printRow(const char *Bench, const char *Config, double Precision,
+                     const char *Mode, const Measurement &M) {
+  if (!M.OK) {
+    std::printf("%-13s %-9s %7.1f%% %-11s %12s  error: %s\n", Bench, Config,
+                Precision * 100, Mode, "-", M.Error.c_str());
+    return;
+  }
+  std::printf("%-13s %-9s %7.1f%% %-11s %12.3f %14llu %10llu\n", Bench,
+              Config, Precision * 100, Mode, M.Millis,
+              static_cast<unsigned long long>(M.Casts),
+              static_cast<unsigned long long>(M.Chain));
+}
+
+inline void sweepBenchmark(const std::string &Name, const std::string &Input,
+                           const SweepOptions &Opts) {
+  const BenchProgram &B = getBenchmark(Name);
+  Grift G;
+  std::string Errors;
+  auto Ast = G.parse(B.Source, Errors);
+  if (!Ast) {
+    std::fprintf(stderr, "%s", Errors.c_str());
+    std::exit(1);
+  }
+
+  std::printf("%-13s %-9s %8s %-11s %12s %14s %10s\n", "benchmark", "config",
+              "typed", "mode", "time(ms)", "casts", "chain");
+
+  // Reference lines.
+  Measurement Static =
+      measure(compileAstOrDie(G, *Ast, CastMode::Static), Input,
+              Opts.Repeats);
+  printRow(Name.c_str(), "static", 1.0, "static", Static);
+
+  Program Erased = eraseTypes(*Ast, G.types());
+  for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased}) {
+    Measurement M =
+        measure(compileAstOrDie(G, Erased, Mode), Input, Opts.Repeats);
+    printRow(Name.c_str(), "dynamic", 0.0, castModeName(Mode), M);
+  }
+
+  // Sampled partially typed configurations, both cast implementations.
+  auto Configs =
+      sampleFineGrained(*Ast, G.types(), Opts.Bins, Opts.PerBin, Opts.Seed);
+  std::sort(Configs.begin(), Configs.end(),
+            [](const Configuration &A, const Configuration &B) {
+              return A.Precision < B.Precision;
+            });
+  double MinRatio = 1e30;
+  double MaxRatio = 0;
+  for (const Configuration &C : Configs) {
+    Measurement MC = measure(compileAstOrDie(G, C.Prog, CastMode::Coercions),
+                             Input, Opts.Repeats);
+    Measurement MT = measure(compileAstOrDie(G, C.Prog, CastMode::TypeBased),
+                             Input, Opts.Repeats);
+    printRow(Name.c_str(), "sampled", C.Precision, "coercions", MC);
+    printRow(Name.c_str(), "sampled", C.Precision, "type-based", MT);
+    if (MC.OK && MT.OK && MC.Millis > 0) {
+      double Ratio = MT.Millis / MC.Millis;
+      MinRatio = std::min(MinRatio, Ratio);
+      MaxRatio = std::max(MaxRatio, Ratio);
+    }
+  }
+  // The Section 4.2 claim format: "coercions are Ax to Bx faster than
+  // type-based casts on <benchmark>".
+  if (MaxRatio > 0)
+    std::printf("%-13s summary: coercions are %.2fx to %.2fx faster than "
+                "type-based casts\n\n",
+                Name.c_str(), MinRatio, MaxRatio);
+}
+
+} // namespace grift::bench
+
+#endif // GRIFT_BENCH_PARTIALSWEEP_H

@@ -1,0 +1,108 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation for the paper's Section 5 direction: monotonic references.
+/// The paper reports that operations on references "always check whether
+/// the address is proxied even in typed code regions, which causes
+/// slowdowns in array intensive benchmarks" and that monotonic
+/// references eliminate those overheads.
+///
+/// Two experiments:
+///   * typed array-intensive benchmarks under Static / Coercions /
+///     Monotonic — monotonic compiles fully static reference operations
+///     to the same unchecked instructions as Static Grift;
+///   * the Figure 3 quicksort (one Dyn annotation) under Coercions /
+///     TypeBased / Monotonic — monotonic removes the per-operation proxy
+///     conversion entirely (the cell is strengthened once).
+///
+//===----------------------------------------------------------------------===//
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+using namespace grift;
+using namespace grift::bench;
+
+namespace {
+
+double staticBaselineMs(const std::string &Name, const std::string &Source,
+                        const std::string &Input) {
+  static std::map<std::string, double> Cache;
+  auto It = Cache.find(Name);
+  if (It != Cache.end())
+    return It->second;
+  Grift G;
+  Measurement M =
+      measure(compileOrDie(G, Source, CastMode::Static), Input, 3);
+  double Ms = M.OK ? M.Millis : -1;
+  Cache.emplace(Name, Ms);
+  return Ms;
+}
+
+void runTypedArray(benchmark::State &State, const char *Name, CastMode Mode) {
+  const BenchProgram &B = getBenchmark(Name);
+  Grift G;
+  Executable Exe = compileOrDie(G, B.Source, Mode);
+  double Baseline = staticBaselineMs(B.Name, B.Source, B.BenchInput);
+  for (auto _ : State) {
+    Measurement M = runOnce(Exe, B.BenchInput);
+    if (!M.OK) {
+      State.SkipWithError(M.Error.c_str());
+      return;
+    }
+    State.SetIterationTime(M.Millis / 1000.0);
+    if (Baseline > 0)
+      State.counters["vs_static"] = Baseline / M.Millis;
+  }
+}
+
+void runFig3(benchmark::State &State, CastMode Mode) {
+  Grift G;
+  Executable Exe = compileOrDie(G, quicksortFig3Source(), Mode);
+  for (auto _ : State) {
+    Measurement M = runOnce(Exe, "256");
+    if (!M.OK) {
+      State.SkipWithError(M.Error.c_str());
+      return;
+    }
+    State.SetIterationTime(M.Millis / 1000.0);
+    State.counters["casts"] = static_cast<double>(M.Casts);
+    State.counters["chain"] = static_cast<double>(M.Chain);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  for (const char *Name : {"matmult", "quicksort", "fft", "n-body"}) {
+    for (CastMode Mode :
+         {CastMode::Static, CastMode::Coercions, CastMode::Monotonic}) {
+      std::string Label =
+          std::string("typed_arrays/") + Name + "/" + castModeName(Mode);
+      benchmark::RegisterBenchmark(Label.c_str(),
+                                   [Name, Mode](benchmark::State &State) {
+                                     runTypedArray(State, Name, Mode);
+                                   })
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(3);
+    }
+  }
+  for (CastMode Mode :
+       {CastMode::Coercions, CastMode::TypeBased, CastMode::Monotonic}) {
+    std::string Label =
+        std::string("fig3_quicksort_one_dyn/") + castModeName(Mode);
+    benchmark::RegisterBenchmark(
+        Label.c_str(),
+        [Mode](benchmark::State &State) { runFig3(State, Mode); })
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(Mode == CastMode::TypeBased ? 1 : 3);
+  }
+  benchmark::Initialize(&Argc, Argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation for the paper's Section 5 conjecture: "optimizations such as
+/// ... constant propagation, constant folding ... will eliminate many
+/// first-order checks, the main cause of slowdowns in dynamically typed
+/// code." Runs every benchmark fully erased (Dynamic Grift, coercions)
+/// with the core-IR optimizer off and on; the `casts` counter shows the
+/// first-order checks removed and `vs_plain` the resulting speedup.
+///
+//===----------------------------------------------------------------------===//
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+using namespace grift;
+using namespace grift::bench;
+
+namespace {
+
+double plainBaselineMs(const BenchProgram &B) {
+  static std::map<std::string, double> Cache;
+  auto It = Cache.find(B.Name);
+  if (It != Cache.end())
+    return It->second;
+  Grift G;
+  std::string Errors;
+  auto Ast = G.parse(B.Source, Errors);
+  if (!Ast) {
+    std::fprintf(stderr, "%s", Errors.c_str());
+    std::exit(1);
+  }
+  Program Erased = eraseTypes(*Ast, G.types());
+  auto Exe = G.compileAst(Erased, CastMode::Coercions, Errors, false);
+  if (!Exe) {
+    std::fprintf(stderr, "%s", Errors.c_str());
+    std::exit(1);
+  }
+  Measurement M = measure(*Exe, B.BenchInput, 3);
+  Cache.emplace(B.Name, M.OK ? M.Millis : -1);
+  return Cache.at(B.Name);
+}
+
+void runErased(benchmark::State &State, const BenchProgram &B,
+               bool Optimize) {
+  Grift G;
+  std::string Errors;
+  auto Ast = G.parse(B.Source, Errors);
+  if (!Ast) {
+    State.SkipWithError(Errors.c_str());
+    return;
+  }
+  Program Erased = eraseTypes(*Ast, G.types());
+  auto Exe = G.compileAst(Erased, CastMode::Coercions, Errors, Optimize);
+  if (!Exe) {
+    State.SkipWithError(Errors.c_str());
+    return;
+  }
+  double Baseline = plainBaselineMs(B);
+  for (auto _ : State) {
+    Measurement M = runOnce(*Exe, B.BenchInput);
+    if (!M.OK) {
+      State.SkipWithError(M.Error.c_str());
+      return;
+    }
+    State.SetIterationTime(M.Millis / 1000.0);
+    State.counters["casts"] = static_cast<double>(M.Casts);
+    if (Baseline > 0)
+      State.counters["vs_plain"] = Baseline / M.Millis;
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  for (const BenchProgram &B : allBenchmarks()) {
+    for (bool Optimize : {false, true}) {
+      std::string Name = std::string("dynamic/") + B.Name + "/" +
+                         (Optimize ? "optimized" : "plain");
+      benchmark::RegisterBenchmark(
+          Name.c_str(), [&B, Optimize](benchmark::State &State) {
+            runErased(State, B, Optimize);
+          })
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(3);
+    }
+  }
+  benchmark::Initialize(&Argc, Argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

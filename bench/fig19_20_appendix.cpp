@@ -1,0 +1,24 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Figures 19 and 20 (Appendix C): the partially typed sweep for
+/// the remaining benchmarks — tak, ray, quicksort, and matmult.
+///
+/// Expected shapes: quicksort shows catastrophic type-based
+/// configurations (chains in the hundreds); tak, ray, and matmult do not
+/// elicit long chains, so the two cast implementations track each other.
+///
+//===----------------------------------------------------------------------===//
+#include "PartialSweep.h"
+
+using namespace grift::bench;
+
+int main() {
+  std::printf("Figures 19-20 (appendix): partially typed configurations\n\n");
+  SweepOptions Opts;
+  sweepBenchmark("tak", "18 12 6", Opts);
+  sweepBenchmark("ray", "30", Opts);
+  sweepBenchmark("quicksort", "256", Opts);
+  sweepBenchmark("matmult", "28", Opts);
+  return 0;
+}

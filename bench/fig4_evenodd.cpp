@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Figure 4 (left): the CPS even/odd program of Figure 2. Sweeps
+/// the input n and reports, per cast mode, the runtime of the timed
+/// region plus the `casts` and `chain` (longest proxy chain) counters —
+/// the three y-axes of the figure.
+///
+/// Expected shape: `chain` grows linearly with n under type-based casts
+/// and stays at 1 under coercions; coercion runtime stays linear with a
+/// small constant.
+///
+//===----------------------------------------------------------------------===//
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace grift;
+using namespace grift::bench;
+
+namespace {
+
+void runEvenOdd(benchmark::State &State, CastMode Mode) {
+  int64_t N = State.range(0);
+  Grift G;
+  Executable Exe = compileOrDie(G, evenOddSource(), Mode);
+  for (auto _ : State) {
+    Measurement M = runOnce(Exe, std::to_string(N));
+    if (!M.OK) {
+      State.SkipWithError(M.Error.c_str());
+      return;
+    }
+    State.SetIterationTime(M.Millis / 1000.0);
+    State.counters["casts"] = static_cast<double>(M.Casts);
+    State.counters["chain"] = static_cast<double>(M.Chain);
+    State.counters["peak_heap"] = static_cast<double>(M.PeakHeap);
+  }
+}
+
+void evenOddCoercions(benchmark::State &State) {
+  runEvenOdd(State, CastMode::Coercions);
+}
+
+void evenOddTypeBased(benchmark::State &State) {
+  runEvenOdd(State, CastMode::TypeBased);
+}
+
+} // namespace
+
+BENCHMARK(evenOddCoercions)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(20000)
+    ->Arg(50000)
+    ->Arg(100000)
+    ->Arg(200000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+BENCHMARK(evenOddTypeBased)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(20000)
+    ->Arg(50000)
+    ->Arg(100000)
+    ->Arg(200000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Figure 4 (right): quicksort with a single Dyn annotation
+/// (Figure 3) on already-sorted (worst-case) input. Sweeps the array
+/// length and reports runtime, `casts`, and `chain` per cast mode.
+///
+/// Expected shape: type-based casts turn the O(n²) worst case into
+/// O(n³) — proxy chains of length O(n) are traversed by every read and
+/// write — while coercions keep chains at 1 and runtime at O(n²).
+///
+//===----------------------------------------------------------------------===//
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace grift;
+using namespace grift::bench;
+
+namespace {
+
+void runQuicksort(benchmark::State &State, CastMode Mode) {
+  int64_t N = State.range(0);
+  Grift G;
+  Executable Exe = compileOrDie(G, quicksortFig3Source(), Mode);
+  for (auto _ : State) {
+    Measurement M = runOnce(Exe, std::to_string(N));
+    if (!M.OK) {
+      State.SkipWithError(M.Error.c_str());
+      return;
+    }
+    State.SetIterationTime(M.Millis / 1000.0);
+    State.counters["casts"] = static_cast<double>(M.Casts);
+    State.counters["chain"] = static_cast<double>(M.Chain);
+    State.counters["peak_heap"] = static_cast<double>(M.PeakHeap);
+  }
+}
+
+void quicksortCoercions(benchmark::State &State) {
+  runQuicksort(State, CastMode::Coercions);
+}
+
+void quicksortTypeBased(benchmark::State &State) {
+  runQuicksort(State, CastMode::TypeBased);
+}
+
+} // namespace
+
+BENCHMARK(quicksortCoercions)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(192)
+    ->Arg(256)
+    ->Arg(384)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+// Type-based runs are O(n³); keep a single iteration per size.
+BENCHMARK(quicksortTypeBased)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(192)
+    ->Arg(256)
+    ->Arg(384)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

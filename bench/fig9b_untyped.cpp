@@ -1,0 +1,86 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Figure 9b: performance on *untyped* programs. Every benchmark
+/// is type-erased (Dynamic Grift) and run under both cast
+/// implementations. The paper compares against Racket, Gambit, and Chez
+/// Scheme, which require those toolchains; instead the `vs_static`
+/// counter reports the dynamic program's slowdown relative to Static
+/// Grift on the typed version — the cost of full dynamism on an
+/// otherwise identical substrate (DESIGN.md §5).
+///
+/// Expected shape: untyped code pays a constant factor (first-order
+/// checks on every primitive) but no catastrophic blowups, and the two
+/// cast implementations are nearly identical because the Dyn
+/// elimination forms never allocate proxies (the paper's Section 3
+/// optimization).
+///
+//===----------------------------------------------------------------------===//
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+using namespace grift;
+using namespace grift::bench;
+
+namespace {
+
+double staticBaselineMs(const BenchProgram &B) {
+  static std::map<std::string, double> Cache;
+  auto It = Cache.find(B.Name);
+  if (It != Cache.end())
+    return It->second;
+  Grift G;
+  Measurement M = measure(compileOrDie(G, B.Source, CastMode::Static),
+                          B.BenchInput, 3);
+  double Ms = M.OK ? M.Millis : -1;
+  Cache.emplace(B.Name, Ms);
+  return Ms;
+}
+
+void runUntyped(benchmark::State &State, const BenchProgram &B,
+                CastMode Mode) {
+  Grift G;
+  std::string Errors;
+  auto Ast = G.parse(B.Source, Errors);
+  if (!Ast) {
+    State.SkipWithError(Errors.c_str());
+    return;
+  }
+  Program Erased = eraseTypes(*Ast, G.types());
+  Executable Exe = compileAstOrDie(G, Erased, Mode);
+  double Baseline = staticBaselineMs(B);
+  for (auto _ : State) {
+    Measurement M = runOnce(Exe, B.BenchInput);
+    if (!M.OK) {
+      State.SkipWithError(M.Error.c_str());
+      return;
+    }
+    State.SetIterationTime(M.Millis / 1000.0);
+    State.counters["casts"] = static_cast<double>(M.Casts);
+    if (Baseline > 0)
+      State.counters["vs_static"] = Baseline / M.Millis;
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  for (const BenchProgram &B : allBenchmarks()) {
+    for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased}) {
+      std::string Name = "fig9b/" + B.Name + "/" + castModeName(Mode);
+      benchmark::RegisterBenchmark(
+          Name.c_str(),
+          [&B, Mode](benchmark::State &State) { runUntyped(State, B, Mode); })
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(3);
+    }
+  }
+  benchmark::Initialize(&Argc, Argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,195 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation microbenchmarks on the runtime primitives behind the paper's
+/// results (DESIGN.md §3's design-choice index):
+///
+///   * coercion creation, interned-cache hits vs. first-time builds;
+///   * coercion composition — the even/odd compression pair;
+///   * applying coercions to values (identity / inject / project);
+///   * proxied reference reads: one composed coercion proxy vs.
+///     type-based chains of depth 1..64 (the essence of Figure 4);
+///   * proxied function calls per mode;
+///   * heap allocation + GC throughput.
+///
+//===----------------------------------------------------------------------===//
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace grift;
+using namespace grift::bench;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Coercion creation and composition
+//===----------------------------------------------------------------------===//
+
+void makeCoercionCached(benchmark::State &State) {
+  TypeContext Types;
+  CoercionFactory F(Types);
+  const Type *Fn = Types.function({Types.dyn()}, Types.boolean());
+  const Type *Fn2 = Types.function({Types.boolean()}, Types.boolean());
+  F.make(Fn, Fn2, "p"); // warm the cache
+  for (auto _ : State)
+    benchmark::DoNotOptimize(F.make(Fn, Fn2, "p"));
+}
+BENCHMARK(makeCoercionCached);
+
+void makeCoercionFresh(benchmark::State &State) {
+  TypeContext Types;
+  CoercionFactory F(Types);
+  uint64_t I = 0;
+  for (auto _ : State) {
+    // A fresh label defeats the cache, measuring a full build.
+    benchmark::DoNotOptimize(
+        F.make(Types.function({Types.dyn()}, Types.boolean()),
+               Types.function({Types.boolean()}, Types.boolean()),
+               "p" + std::to_string(I++)));
+  }
+}
+BENCHMARK(makeCoercionFresh);
+
+void composeEvenOddPair(benchmark::State &State) {
+  // The composition that keeps even/odd's continuation proxy at size 1.
+  TypeContext Types;
+  CoercionFactory F(Types);
+  const Type *DynBool = Types.function({Types.dyn()}, Types.boolean());
+  const Type *BoolBool = Types.function({Types.boolean()}, Types.boolean());
+  const Coercion *A = F.make(DynBool, BoolBool, "a");
+  const Coercion *B = F.make(BoolBool, DynBool, "b");
+  const Coercion *Acc = A;
+  for (auto _ : State) {
+    Acc = F.compose(Acc, Acc == A ? B : A);
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK(composeEvenOddPair);
+
+void composeRecursiveStream(benchmark::State &State) {
+  // Composition through μ-coercions (sieve's stream type).
+  TypeContext Types;
+  CoercionFactory F(Types);
+  const Type *S = Types.rec(
+      Types.tuple({Types.integer(), Types.function({}, Types.var(0))}));
+  const Type *SD = Types.rec(
+      Types.tuple({Types.dyn(), Types.function({}, Types.var(0))}));
+  const Coercion *Up = F.make(S, SD, "u");
+  const Coercion *Down = F.make(SD, S, "d");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(F.compose(Up, Down));
+}
+BENCHMARK(composeRecursiveStream);
+
+//===----------------------------------------------------------------------===//
+// Applying coercions to values
+//===----------------------------------------------------------------------===//
+
+void applyInjectProject(benchmark::State &State) {
+  TypeContext Types;
+  CoercionFactory F(Types);
+  Runtime RT(Types, F, CastMode::Coercions);
+  const Coercion *Up = F.make(Types.integer(), Types.dyn(), "u");
+  const Coercion *Down = F.make(Types.dyn(), Types.integer(), "d");
+  Value V = Value::fromFixnum(42);
+  for (auto _ : State) {
+    Value D = RT.applyCoercion(V, Up);
+    benchmark::DoNotOptimize(RT.applyCoercion(D, Down));
+  }
+}
+BENCHMARK(applyInjectProject);
+
+void proxiedReadDepth(benchmark::State &State) {
+  // Reading through a type-based proxy chain of the given depth vs. the
+  // single composed proxy coercions maintain (depth taken from the
+  // benchmark argument; depth 1 ≈ the coercion case).
+  int64_t Depth = State.range(0);
+  TypeContext Types;
+  CoercionFactory F(Types);
+  Runtime RT(Types, F, CastMode::TypeBased);
+  const Type *RefInt = Types.box(Types.integer());
+  const Type *RefDyn = Types.box(Types.dyn());
+  Value Box = RT.heap().allocBox(Value::fromFixnum(7));
+  Rooted Root(RT.heap(), Box);
+  Value P = Box;
+  for (int64_t I = 0; I != Depth; ++I)
+    P = RT.applyTypeBased(P, I % 2 == 0 ? RefInt : RefDyn,
+                          I % 2 == 0 ? RefDyn : RefInt, nullptr);
+  Rooted KeepP(RT.heap(), P);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(RT.boxRead(P));
+}
+BENCHMARK(proxiedReadDepth)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void proxiedReadCoercions(benchmark::State &State) {
+  // The coercion-mode counterpart: any number of casts composes to one
+  // proxy, so reads cost the same regardless of cast history.
+  int64_t Casts = State.range(0);
+  TypeContext Types;
+  CoercionFactory F(Types);
+  Runtime RT(Types, F, CastMode::Coercions);
+  const Type *RefInt = Types.box(Types.integer());
+  const Type *RefDyn = Types.box(Types.dyn());
+  Value Box = RT.heap().allocBox(Value::fromFixnum(7));
+  Rooted Root(RT.heap(), Box);
+  Value P = Box;
+  for (int64_t I = 0; I != Casts; ++I)
+    P = RT.applyCoercion(P, F.make(I % 2 == 0 ? RefInt : RefDyn,
+                                   I % 2 == 0 ? RefDyn : RefInt, "p"));
+  Rooted KeepP(RT.heap(), P);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(RT.boxRead(P));
+}
+BENCHMARK(proxiedReadCoercions)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+//===----------------------------------------------------------------------===//
+// Whole-program primitives
+//===----------------------------------------------------------------------===//
+
+void vmCallThroughProxy(benchmark::State &State) {
+  // A hot loop calling a function that has been cast (and so is proxied)
+  // under each cast mode.
+  CastMode Mode = static_cast<CastMode>(State.range(0));
+  Grift G;
+  const char *Source =
+      "(define f : (Dyn -> Dyn) (lambda ([x : Int]) : Int (+ x 1)))"
+      "(define g : (Int -> Int) f)"
+      "(time (repeat (i 0 100000) (acc : Int 0) (g acc)))";
+  Executable Exe = compileOrDie(G, Source, Mode);
+  for (auto _ : State) {
+    Measurement M = runOnce(Exe, "");
+    if (!M.OK) {
+      State.SkipWithError(M.Error.c_str());
+      return;
+    }
+    State.SetIterationTime(M.Millis / 1000.0);
+  }
+}
+BENCHMARK(vmCallThroughProxy)
+    ->Arg(static_cast<int>(CastMode::Coercions))
+    ->Arg(static_cast<int>(CastMode::TypeBased))
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+void gcAllocationThroughput(benchmark::State &State) {
+  Grift G;
+  const char *Source = "(time (repeat (i 0 200000) (acc : Int 0)"
+                       "  (+ acc (tuple-proj (tuple i i i) 0))))";
+  Executable Exe = compileOrDie(G, Source, CastMode::Static);
+  for (auto _ : State) {
+    Measurement M = runOnce(Exe, "");
+    if (!M.OK) {
+      State.SkipWithError(M.Error.c_str());
+      return;
+    }
+    State.SetIterationTime(M.Millis / 1000.0);
+  }
+}
+BENCHMARK(gcAllocationThroughput)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

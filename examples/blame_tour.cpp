@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tour of blame tracking under lazy-D coercions: every failed cast
+/// reports the source location (blame label) of the cast that made the
+/// broken promise — including promises smuggled through higher-order
+/// wrappers and references, where the failure surfaces far from its
+/// origin.
+///
+//===----------------------------------------------------------------------===//
+#include "grift/Grift.h"
+
+#include <cstdio>
+
+using namespace grift;
+
+namespace {
+
+void demo(Grift &G, const char *Title, const char *Source) {
+  std::printf("-- %s\n   %s\n", Title, Source);
+  std::string Errors;
+  auto Exe = G.compile(Source, CastMode::Coercions, Errors);
+  if (!Exe) {
+    std::printf("   static error:\n%s\n", Errors.c_str());
+    return;
+  }
+  RunResult R = Exe->run();
+  if (R.OK)
+    std::printf("   => %s\n\n", R.ResultText.c_str());
+  else
+    std::printf("   => %s\n\n", R.Error.str().c_str());
+}
+
+} // namespace
+
+int main() {
+  Grift G;
+  std::printf("Blame labels are line:column positions of the cast sites "
+              "that fail.\n\n");
+
+  demo(G, "A first-order projection failure",
+       "(let ([d : Dyn #t]) (ann d Int))");
+
+  demo(G, "Higher-order: the lie is only caught at the call",
+       "(define f : (Dyn -> Dyn) (lambda ([x : Int]) x))\n(f #t)");
+
+  demo(G, "References: a write through a Dyn view is checked",
+       "(let ([v : (Vect Int) (make-vector 2 0)])\n"
+       "  (let ([w : (Vect Dyn) v]) (vector-set! w 0 #f)))");
+
+  demo(G, "Deep structure: blame threads through tuples",
+       "(let ([p : (Tuple Int Dyn) (tuple 1 #t)])\n"
+       "  (ann (tuple-proj p 1) Float))");
+
+  demo(G, "A cast that succeeds — no blame, just a value",
+       "(define g : (Dyn -> Dyn) (lambda ([x : Int]) (* x 2)))\n(g 21)");
+
+  std::printf("The paper's lazy-D semantics: values cross boundaries "
+              "eagerly for first-order\ndata and lazily (via proxies) for "
+              "functions and references;\nblame always names the cast "
+              "whose static assumption was violated.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The gradual-typing migration story, quantified: starting from the
+/// untyped n-body benchmark, sample configurations at increasing type
+/// precision (the paper's Section 4.1 methodology) and measure how the
+/// runtime falls as annotations are added — a miniature of Figure 7.
+///
+//===----------------------------------------------------------------------===//
+#include "bench_programs/Benchmarks.h"
+#include "grift/Grift.h"
+#include "lattice/Lattice.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+using namespace grift;
+
+int main() {
+  const BenchProgram &Bench = getBenchmark("n-body");
+  const std::string Input = "400";
+
+  Grift G;
+  std::string Errors;
+  auto Ast = G.parse(Bench.Source, Errors);
+  if (!Ast) {
+    std::fprintf(stderr, "%s", Errors.c_str());
+    return 1;
+  }
+
+  std::printf("Migrating %s from untyped to typed (input %s, coercions):\n\n",
+              Bench.Name.c_str(), Input.c_str());
+  std::printf("%-12s %12s %14s\n", "%% typed", "time(ms)", "runtime casts");
+
+  auto measure = [&](const Program &Prog, double Precision) {
+    auto Exe = G.compileAst(Prog, CastMode::Coercions, Errors);
+    if (!Exe) {
+      std::fprintf(stderr, "%s", Errors.c_str());
+      return;
+    }
+    RunResult R = Exe->run(Input);
+    if (!R.OK) {
+      std::fprintf(stderr, "%s\n", R.Error.str().c_str());
+      return;
+    }
+    std::printf("%11.0f%% %12.2f %14llu\n", Precision * 100,
+                R.Stats.TimedNanos / 1e6,
+                static_cast<unsigned long long>(R.Stats.CastsApplied));
+  };
+
+  // Fully dynamic first, then sampled intermediate precisions, then typed.
+  measure(eraseTypes(*Ast, G.types()), 0.0);
+  std::vector<Configuration> Configs =
+      sampleFineGrained(*Ast, G.types(), /*Bins=*/4, /*PerBin=*/1, 2026);
+  std::sort(Configs.begin(), Configs.end(),
+            [](const Configuration &A, const Configuration &B) {
+              return A.Precision < B.Precision;
+            });
+  for (const Configuration &C : Configs)
+    measure(C.Prog, C.Precision);
+  measure(*Ast, 1.0);
+
+  std::printf("\nAnnotations pay for themselves: casts disappear from the\n"
+              "hot loop as the types around it become precise.\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An interactive GTLC+ read-eval-print loop. Definitions accumulate;
+/// every input is type checked against everything defined so far, so you
+/// can explore gradual typing interactively:
+///
+///   grift> (define (inc [x : Int]) : Int (+ x 1))
+///   grift> (inc (ann 41 Dyn))
+///   42 : Int
+///   grift> (inc #t)
+///   error: 1:1: cannot cast Bool to Int
+///   grift> :mode type-based        ; switch cast implementation
+///   grift> :stats                  ; toggle per-input statistics
+///
+/// Implementation note: each input recompiles the accumulated program —
+/// compilation is milliseconds, and it keeps the example honest about
+/// using only the public API.
+///
+//===----------------------------------------------------------------------===//
+#include "grift/Grift.h"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace grift;
+
+namespace {
+
+/// Counts unbalanced parentheses so multi-line forms work.
+int parenBalance(const std::string &Text) {
+  int Depth = 0;
+  bool InString = false;
+  for (size_t I = 0; I != Text.size(); ++I) {
+    char C = Text[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == ';') {
+      while (I < Text.size() && Text[I] != '\n')
+        ++I;
+    } else if (C == '(' || C == '[')
+      ++Depth;
+    else if (C == ')' || C == ']')
+      --Depth;
+  }
+  return Depth;
+}
+
+} // namespace
+
+int main() {
+  std::vector<std::string> Definitions;
+  CastMode Mode = CastMode::Coercions;
+  bool ShowStats = false;
+
+  std::printf("Grift-CXX REPL — GTLC+ with gradual typing.\n"
+              "Commands: :mode coercions|type-based|monotonic, :stats, "
+              ":defs, :quit\n");
+
+  std::string Pending;
+  for (;;) {
+    std::printf(Pending.empty() ? "grift> " : "  ...> ");
+    std::fflush(stdout);
+    std::string Line;
+    if (!std::getline(std::cin, Line))
+      break;
+    Pending += Line + "\n";
+    if (parenBalance(Pending) > 0)
+      continue; // keep reading a multi-line form
+    std::string Input = Pending;
+    Pending.clear();
+    if (Input.find_first_not_of(" \t\n") == std::string::npos)
+      continue;
+
+    // Meta-commands.
+    if (Input[0] == ':') {
+      if (Input.rfind(":quit", 0) == 0)
+        break;
+      if (Input.rfind(":stats", 0) == 0) {
+        ShowStats = !ShowStats;
+        std::printf("statistics %s\n", ShowStats ? "on" : "off");
+        continue;
+      }
+      if (Input.rfind(":defs", 0) == 0) {
+        for (const std::string &D : Definitions)
+          std::printf("%s", D.c_str());
+        continue;
+      }
+      if (Input.rfind(":mode ", 0) == 0) {
+        std::string Name = Input.substr(6);
+        Name.erase(Name.find_last_not_of(" \n") + 1);
+        if (Name == "coercions")
+          Mode = CastMode::Coercions;
+        else if (Name == "type-based")
+          Mode = CastMode::TypeBased;
+        else if (Name == "monotonic")
+          Mode = CastMode::Monotonic;
+        else {
+          std::printf("unknown mode '%s'\n", Name.c_str());
+          continue;
+        }
+        std::printf("cast mode: %s\n", castModeName(Mode));
+        continue;
+      }
+      std::printf("unknown command\n");
+      continue;
+    }
+
+    // Compile accumulated definitions + this input.
+    Grift G;
+    std::string Program;
+    for (const std::string &D : Definitions)
+      Program += D;
+    Program += Input;
+    std::string Errors;
+    auto Exe = G.compile(Program, Mode, Errors);
+    if (!Exe) {
+      std::printf("%s", Errors.c_str());
+      continue;
+    }
+    RunResult R = Exe->run();
+    if (!R.Output.empty())
+      std::printf("%s\n", R.Output.c_str());
+    if (!R.OK) {
+      std::printf("%s\n", R.Error.str().c_str());
+      continue;
+    }
+    // A definition joins the environment; an expression prints its value.
+    bool IsDefine = Input.rfind("(define", 0) == 0;
+    if (IsDefine)
+      Definitions.push_back(Input);
+    else if (R.ResultText != "()")
+      std::printf("%s\n", R.ResultText.c_str());
+    if (ShowStats)
+      std::printf("; %.3f ms, %llu casts, longest chain %llu\n",
+                  R.WallNanos / 1e6,
+                  static_cast<unsigned long long>(R.Stats.CastsApplied),
+                  static_cast<unsigned long long>(
+                      R.Stats.LongestProxyChain));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,370 @@
+#include "ast/Ast.h"
+
+#include "support/StringUtil.h"
+
+#include <cassert>
+
+using namespace grift;
+
+ExprPtr Expr::clone() const {
+  auto Copy = std::make_unique<Expr>();
+  Copy->Kind = Kind;
+  Copy->Loc = Loc;
+  Copy->IntVal = IntVal;
+  Copy->FloatVal = FloatVal;
+  Copy->BoolVal = BoolVal;
+  Copy->CharVal = CharVal;
+  Copy->Name = Name;
+  Copy->Prim = Prim;
+  Copy->Index = Index;
+  Copy->HasAcc = HasAcc;
+  Copy->AccName = AccName;
+  Copy->AccAnnot = AccAnnot;
+  Copy->ReturnAnnot = ReturnAnnot;
+  Copy->Annot = Annot;
+  Copy->Params = Params;
+  Copy->Bindings.reserve(Bindings.size());
+  for (const Binding &B : Bindings) {
+    Binding NewBinding;
+    NewBinding.Name = B.Name;
+    NewBinding.Annot = B.Annot;
+    NewBinding.Init = B.Init ? B.Init->clone() : nullptr;
+    NewBinding.Loc = B.Loc;
+    Copy->Bindings.push_back(std::move(NewBinding));
+  }
+  Copy->SubExprs.reserve(SubExprs.size());
+  for (const ExprPtr &Sub : SubExprs)
+    Copy->SubExprs.push_back(Sub->clone());
+  return Copy;
+}
+
+Define Define::clone() const {
+  Define Copy;
+  Copy.Name = Name;
+  Copy.Annot = Annot;
+  Copy.Body = Body ? Body->clone() : nullptr;
+  Copy.Loc = Loc;
+  return Copy;
+}
+
+Program Program::clone() const {
+  Program Copy;
+  Copy.Defines.reserve(Defines.size());
+  for (const Define &D : Defines)
+    Copy.Defines.push_back(D.clone());
+  return Copy;
+}
+
+ExprPtr grift::makeLitUnit(SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::LitUnit;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr grift::makeLitBool(bool Value, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::LitBool;
+  E->BoolVal = Value;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr grift::makeLitInt(int64_t Value, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::LitInt;
+  E->IntVal = Value;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr grift::makeLitFloat(double Value, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::LitFloat;
+  E->FloatVal = Value;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr grift::makeLitChar(char Value, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::LitChar;
+  E->CharVal = Value;
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr grift::makeVar(std::string Name, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Var;
+  E->Name = std::move(Name);
+  E->Loc = Loc;
+  return E;
+}
+
+ExprPtr grift::makeNode(ExprKind Kind, std::vector<ExprPtr> SubExprs,
+                        SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = Kind;
+  E->SubExprs = std::move(SubExprs);
+  E->Loc = Loc;
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void printExpr(const Expr &E, std::string &Out);
+
+void printChar(char C, std::string &Out) {
+  if (C == '\n')
+    Out += "#\\newline";
+  else if (C == ' ')
+    Out += "#\\space";
+  else if (C == '\t')
+    Out += "#\\tab";
+  else {
+    Out += "#\\";
+    Out += C;
+  }
+}
+
+void printParam(const Param &P, std::string &Out) {
+  if (P.Annot) {
+    Out += '[';
+    Out += P.Name;
+    Out += " : ";
+    Out += P.Annot->str();
+    Out += ']';
+  } else {
+    Out += P.Name;
+  }
+}
+
+void printBody(const std::vector<ExprPtr> &Body, size_t Start,
+               std::string &Out) {
+  for (size_t I = Start; I != Body.size(); ++I) {
+    Out += ' ';
+    printExpr(*Body[I], Out);
+  }
+}
+
+void printExpr(const Expr &E, std::string &Out) {
+  switch (E.Kind) {
+  case ExprKind::LitUnit:
+    Out += "()";
+    return;
+  case ExprKind::LitBool:
+    Out += E.BoolVal ? "#t" : "#f";
+    return;
+  case ExprKind::LitInt:
+    Out += std::to_string(E.IntVal);
+    return;
+  case ExprKind::LitFloat:
+    Out += formatDouble(E.FloatVal);
+    return;
+  case ExprKind::LitChar:
+    printChar(E.CharVal, Out);
+    return;
+  case ExprKind::Var:
+    Out += E.Name;
+    return;
+  case ExprKind::If:
+    Out += "(if ";
+    printExpr(*E.SubExprs[0], Out);
+    Out += ' ';
+    printExpr(*E.SubExprs[1], Out);
+    Out += ' ';
+    printExpr(*E.SubExprs[2], Out);
+    Out += ')';
+    return;
+  case ExprKind::Lambda: {
+    Out += "(lambda (";
+    for (size_t I = 0; I != E.Params.size(); ++I) {
+      if (I != 0)
+        Out += ' ';
+      printParam(E.Params[I], Out);
+    }
+    Out += ')';
+    if (E.ReturnAnnot) {
+      Out += " : ";
+      Out += E.ReturnAnnot->str();
+    }
+    Out += ' ';
+    printExpr(*E.SubExprs[0], Out);
+    Out += ')';
+    return;
+  }
+  case ExprKind::App: {
+    Out += '(';
+    for (size_t I = 0; I != E.SubExprs.size(); ++I) {
+      if (I != 0)
+        Out += ' ';
+      printExpr(*E.SubExprs[I], Out);
+    }
+    Out += ')';
+    return;
+  }
+  case ExprKind::PrimApp: {
+    Out += '(';
+    Out += primName(E.Prim);
+    printBody(E.SubExprs, 0, Out);
+    Out += ')';
+    return;
+  }
+  case ExprKind::Let:
+  case ExprKind::Letrec: {
+    Out += E.Kind == ExprKind::Let ? "(let (" : "(letrec (";
+    for (size_t I = 0; I != E.Bindings.size(); ++I) {
+      const Binding &B = E.Bindings[I];
+      if (I != 0)
+        Out += ' ';
+      Out += '[';
+      Out += B.Name;
+      if (B.Annot) {
+        Out += " : ";
+        Out += B.Annot->str();
+      }
+      Out += ' ';
+      printExpr(*B.Init, Out);
+      Out += ']';
+    }
+    Out += ')';
+    printBody(E.SubExprs, 0, Out);
+    Out += ')';
+    return;
+  }
+  case ExprKind::Begin:
+    Out += "(begin";
+    printBody(E.SubExprs, 0, Out);
+    Out += ')';
+    return;
+  case ExprKind::Repeat: {
+    Out += "(repeat (";
+    Out += E.Name;
+    Out += ' ';
+    printExpr(*E.SubExprs[0], Out);
+    Out += ' ';
+    printExpr(*E.SubExprs[1], Out);
+    Out += ')';
+    size_t BodyIndex = 2;
+    if (E.HasAcc) {
+      Out += " (";
+      Out += E.AccName;
+      if (E.AccAnnot) {
+        Out += " : ";
+        Out += E.AccAnnot->str();
+      }
+      Out += ' ';
+      printExpr(*E.SubExprs[2], Out);
+      Out += ')';
+      BodyIndex = 3;
+    }
+    Out += ' ';
+    printExpr(*E.SubExprs[BodyIndex], Out);
+    Out += ')';
+    return;
+  }
+  case ExprKind::Time:
+    Out += "(time ";
+    printExpr(*E.SubExprs[0], Out);
+    Out += ')';
+    return;
+  case ExprKind::Tuple:
+    Out += "(tuple";
+    printBody(E.SubExprs, 0, Out);
+    Out += ')';
+    return;
+  case ExprKind::TupleProj:
+    Out += "(tuple-proj ";
+    printExpr(*E.SubExprs[0], Out);
+    Out += ' ';
+    Out += std::to_string(E.Index);
+    Out += ')';
+    return;
+  case ExprKind::BoxE:
+    Out += "(box ";
+    printExpr(*E.SubExprs[0], Out);
+    Out += ')';
+    return;
+  case ExprKind::Unbox:
+    Out += "(unbox ";
+    printExpr(*E.SubExprs[0], Out);
+    Out += ')';
+    return;
+  case ExprKind::BoxSet:
+    Out += "(box-set! ";
+    printExpr(*E.SubExprs[0], Out);
+    Out += ' ';
+    printExpr(*E.SubExprs[1], Out);
+    Out += ')';
+    return;
+  case ExprKind::MakeVect:
+    Out += "(make-vector ";
+    printExpr(*E.SubExprs[0], Out);
+    Out += ' ';
+    printExpr(*E.SubExprs[1], Out);
+    Out += ')';
+    return;
+  case ExprKind::VectRef:
+    Out += "(vector-ref ";
+    printExpr(*E.SubExprs[0], Out);
+    Out += ' ';
+    printExpr(*E.SubExprs[1], Out);
+    Out += ')';
+    return;
+  case ExprKind::VectSet:
+    Out += "(vector-set! ";
+    printExpr(*E.SubExprs[0], Out);
+    Out += ' ';
+    printExpr(*E.SubExprs[1], Out);
+    Out += ' ';
+    printExpr(*E.SubExprs[2], Out);
+    Out += ')';
+    return;
+  case ExprKind::VectLen:
+    Out += "(vector-length ";
+    printExpr(*E.SubExprs[0], Out);
+    Out += ')';
+    return;
+  case ExprKind::Ascribe:
+    Out += "(ann ";
+    printExpr(*E.SubExprs[0], Out);
+    Out += ' ';
+    Out += E.Annot->str();
+    Out += ')';
+    return;
+  }
+}
+
+} // namespace
+
+std::string Expr::str() const {
+  std::string Out;
+  printExpr(*this, Out);
+  return Out;
+}
+
+std::string Program::str() const {
+  std::string Out;
+  for (const Define &D : Defines) {
+    if (D.Name.empty()) {
+      Out += D.Body->str();
+    } else {
+      Out += "(define ";
+      Out += D.Name;
+      if (D.Annot) {
+        Out += " : ";
+        Out += D.Annot->str();
+      }
+      Out += ' ';
+      Out += D.Body->str();
+      Out += ')';
+    }
+    Out += '\n';
+  }
+  return Out;
+}

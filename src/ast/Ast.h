@@ -1,0 +1,136 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GTLC+ surface AST (paper Figure 5). Nodes are intentionally plain
+/// structs with public members: the configuration sampler (src/lattice)
+/// rewrites type annotations in place, and the front end consumes the tree
+/// read-only. Sub-expression layout per kind is documented on ExprKind.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_AST_AST_H
+#define GRIFT_AST_AST_H
+
+#include "ast/Prim.h"
+#include "support/SourceLoc.h"
+#include "types/Type.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace grift {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression constructors. `Sub` below names Expr::SubExprs.
+enum class ExprKind : uint8_t {
+  LitUnit,   ///< ()
+  LitBool,   ///< #t / #f; BoolVal
+  LitInt,    ///< IntVal
+  LitFloat,  ///< FloatVal
+  LitChar,   ///< CharVal
+  Var,       ///< Name
+  If,        ///< Sub = [cond, then, else]
+  Lambda,    ///< Params, ReturnAnnot?; Sub = [body]
+  App,       ///< Sub = [callee, args...]
+  PrimApp,   ///< Prim; Sub = args
+  Let,       ///< Bindings; Sub = body sequence
+  Letrec,    ///< Bindings (lambda RHS only); Sub = body sequence
+  Begin,     ///< Sub = expressions (non-empty)
+  Repeat,    ///< Name = index var; Sub = [lo, hi, (accInit)?, body];
+             ///< AccName/AccAnnot when HasAcc
+  Time,      ///< Sub = [body]
+  Tuple,     ///< Sub = elements
+  TupleProj, ///< Index; Sub = [tuple]
+  BoxE,      ///< Sub = [init]
+  Unbox,     ///< Sub = [box]
+  BoxSet,    ///< Sub = [box, value]
+  MakeVect,  ///< Sub = [size, init]
+  VectRef,   ///< Sub = [vect, index]
+  VectSet,   ///< Sub = [vect, index, value]
+  VectLen,   ///< Sub = [vect]
+  Ascribe,   ///< Annot; Sub = [body]  — (ann E T)
+};
+
+/// A formal parameter; Annot == nullptr means the annotation was omitted
+/// (which the type checker reads as Dyn, fine-grained gradual typing).
+struct Param {
+  std::string Name;
+  const Type *Annot = nullptr;
+  SourceLoc Loc;
+};
+
+/// A let/letrec binding; Annot == nullptr means "synthesize from Init".
+struct Binding {
+  std::string Name;
+  const Type *Annot = nullptr;
+  ExprPtr Init;
+  SourceLoc Loc;
+};
+
+/// One surface expression.
+struct Expr {
+  ExprKind Kind = ExprKind::LitUnit;
+  SourceLoc Loc;
+
+  // Literal payloads.
+  int64_t IntVal = 0;
+  double FloatVal = 0;
+  bool BoolVal = false;
+  char CharVal = 0;
+
+  std::string Name;    // Var, Repeat index variable
+  PrimOp Prim{};       // PrimApp
+  uint32_t Index = 0;  // TupleProj
+  bool HasAcc = false; // Repeat accumulator present?
+  std::string AccName; // Repeat accumulator variable
+  const Type *AccAnnot = nullptr;    // Repeat accumulator annotation
+  const Type *ReturnAnnot = nullptr; // Lambda return annotation
+  const Type *Annot = nullptr;       // Ascribe target type
+
+  std::vector<Param> Params;       // Lambda
+  std::vector<Binding> Bindings;   // Let / Letrec
+  std::vector<ExprPtr> SubExprs;   // layout per ExprKind
+
+  /// Deep copy (the sampler clones programs before mutating annotations).
+  ExprPtr clone() const;
+
+  /// Renders surface syntax (annotations included).
+  std::string str() const;
+};
+
+/// Factory helpers; every node gets a location.
+ExprPtr makeLitUnit(SourceLoc Loc);
+ExprPtr makeLitBool(bool Value, SourceLoc Loc);
+ExprPtr makeLitInt(int64_t Value, SourceLoc Loc);
+ExprPtr makeLitFloat(double Value, SourceLoc Loc);
+ExprPtr makeLitChar(char Value, SourceLoc Loc);
+ExprPtr makeVar(std::string Name, SourceLoc Loc);
+ExprPtr makeNode(ExprKind Kind, std::vector<ExprPtr> SubExprs,
+                 SourceLoc Loc);
+
+/// A top-level definition: (define x : T E) or a bare expression
+/// (Name empty). Function defines are desugared to lambda bindings by the
+/// parser.
+struct Define {
+  std::string Name;           // empty for an expression statement
+  const Type *Annot = nullptr; // nullptr: synthesize
+  ExprPtr Body;
+  SourceLoc Loc;
+
+  Define clone() const;
+};
+
+/// A whole program: an ordered sequence of definitions and expressions.
+struct Program {
+  std::vector<Define> Defines;
+
+  Program clone() const;
+  /// Renders the program as concrete syntax.
+  std::string str() const;
+};
+
+} // namespace grift
+
+#endif // GRIFT_AST_AST_H

@@ -1,0 +1,534 @@
+#include "bench_programs/Benchmarks.h"
+
+#include <cassert>
+
+using namespace grift;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// even/odd (paper Figure 2)
+//===----------------------------------------------------------------------===//
+
+const char *EvenOdd = R"(
+(define even? : (Dyn (Dyn -> Bool) -> Bool)
+  (lambda ([n : Dyn] [k : (Dyn -> Bool)])
+    (if (= n 0)
+        (k #t)
+        (odd? (- n 1) k))))
+
+(define odd? : (Int (Bool -> Bool) -> Bool)
+  (lambda ([n : Int] [k : (Bool -> Bool)])
+    (if (= n 0)
+        (k #f)
+        (even? (- n 1) k))))
+
+(define n : Int (read-int))
+(define r : Bool
+  (time (even? (ann n Dyn) (lambda ([b : Dyn]) (ann b Bool)))))
+(print-bool r)
+)";
+
+//===----------------------------------------------------------------------===//
+// quicksort — fully typed, and the Figure 3 variant with one Dyn
+//===----------------------------------------------------------------------===//
+
+// %VPARAM% is replaced by (Vect Int) or (Vect Dyn).
+const char *QuicksortTemplate = R"(
+(define swap! : ((Vect Int) Int Int -> ())
+  (lambda ([v : (Vect Int)] [i : Int] [j : Int])
+    (let ([tmp : Int (vector-ref v i)])
+      (begin
+        (vector-set! v i (vector-ref v j))
+        (vector-set! v j tmp)))))
+
+(define partition! : ((Vect Int) Int Int -> Int)
+  (lambda ([v : (Vect Int)] [l : Int] [h : Int])
+    (let ([p : Int (vector-ref v h)]
+          [i : (Ref Int) (box (- l 1))])
+      (begin
+        (repeat (j l h)
+          (when (<= (vector-ref v j) p)
+            (box-set! i (+ (unbox i) 1))
+            (swap! v (unbox i) j)))
+        (swap! v (+ (unbox i) 1) h)
+        (+ (unbox i) 1)))))
+
+(define sort! : ((Vect Int) Int Int -> ())
+  (lambda ([v : %VPARAM%] [lo : Int] [hi : Int])
+    (when (< lo hi)
+      (let ([pivot : Int (partition! v lo hi)])
+        (begin
+          (sort! v lo (- pivot 1))
+          (sort! v (+ pivot 1) hi))))))
+
+(define n : Int (read-int))
+(define v : (Vect Int) (make-vector n 0))
+(repeat (i 0 n) (vector-set! v i (+ i 1)))
+(time (sort! v 0 (- n 1)))
+(define ok : Bool
+  (repeat (i 0 n) (acc : Bool #t)
+    (if (= (vector-ref v i) (+ i 1)) acc #f)))
+(print-bool ok)
+)";
+
+std::string quicksortWithParam(const char *Param) {
+  std::string Out = QuicksortTemplate;
+  std::string Needle = "%VPARAM%";
+  size_t At = Out.find(Needle);
+  assert(At != std::string::npos);
+  Out.replace(At, Needle.size(), Param);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// sieve — streams via equirecursive types (GTP)
+//===----------------------------------------------------------------------===//
+
+const char *Sieve = R"(
+;; A stream of integers: a pair of the head and a thunk for the rest.
+(define count-from : (Int -> (Rec s (Tuple Int (-> s))))
+  (lambda ([n : Int])
+    (tuple n (lambda () (count-from (+ n 1))))))
+
+(define stream-head : ((Rec s (Tuple Int (-> s))) -> Int)
+  (lambda ([st : (Rec s (Tuple Int (-> s)))])
+    (tuple-proj st 0)))
+
+(define stream-tail
+  : ((Rec s (Tuple Int (-> s))) -> (Rec s (Tuple Int (-> s))))
+  (lambda ([st : (Rec s (Tuple Int (-> s)))])
+    ((tuple-proj st 1))))
+
+(define sift
+  : (Int (Rec s (Tuple Int (-> s))) -> (Rec s (Tuple Int (-> s))))
+  (lambda ([p : Int] [st : (Rec s (Tuple Int (-> s)))])
+    (if (= 0 (% (stream-head st) p))
+        (sift p (stream-tail st))
+        (tuple (stream-head st)
+               (lambda () (sift p (stream-tail st)))))))
+
+(define sieve
+  : ((Rec s (Tuple Int (-> s))) -> (Rec s (Tuple Int (-> s))))
+  (lambda ([st : (Rec s (Tuple Int (-> s)))])
+    (tuple (stream-head st)
+           (lambda () (sieve (sift (stream-head st) (stream-tail st)))))))
+
+(define nth-prime : (Int -> Int)
+  (lambda ([k : Int])
+    (letrec ([go : ((Rec s (Tuple Int (-> s))) Int -> Int)
+               (lambda ([st : (Rec s (Tuple Int (-> s)))] [i : Int]) : Int
+                 (if (= i 0)
+                     (stream-head st)
+                     (go (stream-tail st) (- i 1))))])
+      (go (sieve (count-from 2)) k))))
+
+(print-int (time (nth-prime (read-int))))
+)";
+
+//===----------------------------------------------------------------------===//
+// n-body (CLBG)
+//===----------------------------------------------------------------------===//
+
+const char *NBody = R"(
+(define nb : Int 5)
+(define px : (Vect Float) (make-vector nb 0.0))
+(define py : (Vect Float) (make-vector nb 0.0))
+(define pz : (Vect Float) (make-vector nb 0.0))
+(define vx : (Vect Float) (make-vector nb 0.0))
+(define vy : (Vect Float) (make-vector nb 0.0))
+(define vz : (Vect Float) (make-vector nb 0.0))
+(define ms : (Vect Float) (make-vector nb 0.0))
+(define solar-mass : Float 39.47841760435743)
+(define dpy : Float 365.24)
+
+(define set-body!
+  : (Int Float Float Float Float Float Float Float -> ())
+  (lambda ([i : Int] [x : Float] [y : Float] [z : Float]
+           [ux : Float] [uy : Float] [uz : Float] [m : Float])
+    (begin
+      (vector-set! px i x) (vector-set! py i y) (vector-set! pz i z)
+      (vector-set! vx i (fl* ux dpy))
+      (vector-set! vy i (fl* uy dpy))
+      (vector-set! vz i (fl* uz dpy))
+      (vector-set! ms i (fl* m solar-mass)))))
+
+;; Sun, Jupiter, Saturn, Uranus, Neptune.
+(set-body! 0 0.0 0.0 0.0 0.0 0.0 0.0 1.0)
+(set-body! 1 4.84143144246472090 -1.16032004402742839 -0.103622044471123109
+           0.00166007664274403694 0.00769901118419740425
+           -0.0000690460016972063023 0.000954791938424326609)
+(set-body! 2 8.34336671824457987 4.12479856412430479 -0.403523417114321381
+           -0.00276742510726862411 0.00499852801234917238
+           0.0000230417297573763929 0.000285885980666130812)
+(set-body! 3 12.8943695621391310 -15.1111514016986312 -0.223307578892655734
+           0.00296460137564761618 0.00237847173959480950
+           -0.0000296589568540237556 0.0000436624404335156298)
+(set-body! 4 15.3796971148509165 -25.9193146099879641 0.179258772950371181
+           0.00268067772490389322 0.00162824170038242295
+           -0.0000951592254519715870 0.0000515138902046611451)
+
+;; Offset the sun's momentum so the system's is zero.
+(define offset-momentum : (-> ())
+  (lambda ()
+    (let ([sx : (Ref Float) (box 0.0)]
+          [sy : (Ref Float) (box 0.0)]
+          [sz : (Ref Float) (box 0.0)])
+      (begin
+        (repeat (i 0 nb)
+          (begin
+            (box-set! sx (fl+ (unbox sx) (fl* (vector-ref vx i) (vector-ref ms i))))
+            (box-set! sy (fl+ (unbox sy) (fl* (vector-ref vy i) (vector-ref ms i))))
+            (box-set! sz (fl+ (unbox sz) (fl* (vector-ref vz i) (vector-ref ms i))))))
+        (vector-set! vx 0 (fl/ (flnegate (unbox sx)) solar-mass))
+        (vector-set! vy 0 (fl/ (flnegate (unbox sy)) solar-mass))
+        (vector-set! vz 0 (fl/ (flnegate (unbox sz)) solar-mass))))))
+(offset-momentum)
+
+(define advance! : (Float -> ())
+  (lambda ([dt : Float])
+    (begin
+      (repeat (i 0 nb)
+        (repeat (j (+ i 1) nb)
+          (let ([dx : Float (fl- (vector-ref px i) (vector-ref px j))]
+                [dy : Float (fl- (vector-ref py i) (vector-ref py j))]
+                [dz : Float (fl- (vector-ref pz i) (vector-ref pz j))])
+            (let ([d2 : Float (fl+ (fl* dx dx) (fl+ (fl* dy dy) (fl* dz dz)))])
+              (let ([mag : Float (fl/ dt (fl* d2 (flsqrt d2)))])
+                (begin
+                  (vector-set! vx i (fl- (vector-ref vx i)
+                                         (fl* dx (fl* (vector-ref ms j) mag))))
+                  (vector-set! vy i (fl- (vector-ref vy i)
+                                         (fl* dy (fl* (vector-ref ms j) mag))))
+                  (vector-set! vz i (fl- (vector-ref vz i)
+                                         (fl* dz (fl* (vector-ref ms j) mag))))
+                  (vector-set! vx j (fl+ (vector-ref vx j)
+                                         (fl* dx (fl* (vector-ref ms i) mag))))
+                  (vector-set! vy j (fl+ (vector-ref vy j)
+                                         (fl* dy (fl* (vector-ref ms i) mag))))
+                  (vector-set! vz j (fl+ (vector-ref vz j)
+                                         (fl* dz (fl* (vector-ref ms i) mag))))))))))
+      (repeat (i 0 nb)
+        (begin
+          (vector-set! px i (fl+ (vector-ref px i) (fl* dt (vector-ref vx i))))
+          (vector-set! py i (fl+ (vector-ref py i) (fl* dt (vector-ref vy i))))
+          (vector-set! pz i (fl+ (vector-ref pz i) (fl* dt (vector-ref vz i)))))))))
+
+(define energy : (-> Float)
+  (lambda ()
+    (let ([e : (Ref Float) (box 0.0)])
+      (begin
+        (repeat (i 0 nb)
+          (begin
+            (box-set! e (fl+ (unbox e)
+              (fl* 0.5 (fl* (vector-ref ms i)
+                (fl+ (fl* (vector-ref vx i) (vector-ref vx i))
+                     (fl+ (fl* (vector-ref vy i) (vector-ref vy i))
+                          (fl* (vector-ref vz i) (vector-ref vz i))))))))
+            (repeat (j (+ i 1) nb)
+              (let ([dx : Float (fl- (vector-ref px i) (vector-ref px j))]
+                    [dy : Float (fl- (vector-ref py i) (vector-ref py j))]
+                    [dz : Float (fl- (vector-ref pz i) (vector-ref pz j))])
+                (box-set! e (fl- (unbox e)
+                  (fl/ (fl* (vector-ref ms i) (vector-ref ms j))
+                       (flsqrt (fl+ (fl* dx dx)
+                                    (fl+ (fl* dy dy) (fl* dz dz)))))))))))
+        (unbox e)))))
+
+(define steps : Int (read-int))
+(print-float (energy))
+(print-char #\space)
+(time (repeat (s 0 steps) (advance! 0.01)))
+(print-float (energy))
+)";
+
+//===----------------------------------------------------------------------===//
+// tak (R6RS / Gabriel)
+//===----------------------------------------------------------------------===//
+
+const char *Tak = R"(
+(define tak : (Int Int Int -> Int)
+  (lambda ([x : Int] [y : Int] [z : Int])
+    (if (not (< y x))
+        z
+        (tak (tak (- x 1) y z)
+             (tak (- y 1) z x)
+             (tak (- z 1) x y)))))
+
+(define x : Int (read-int))
+(define y : Int (read-int))
+(define z : Int (read-int))
+(print-int (time (tak x y z)))
+)";
+
+//===----------------------------------------------------------------------===//
+// ray — sphere ray tracer (adapted from the R6RS `ray` benchmark)
+//===----------------------------------------------------------------------===//
+
+const char *Ray = R"(
+(define nsph : Int 6)
+(define sx : (Vect Float) (make-vector nsph 0.0))
+(define sy : (Vect Float) (make-vector nsph 0.0))
+(define sz : (Vect Float) (make-vector nsph 0.0))
+(define sr : (Vect Float) (make-vector nsph 0.0))
+(repeat (i 0 nsph)
+  (begin
+    (vector-set! sx i (fl- (int->float i) 2.5))
+    (vector-set! sy i (fl* 0.4 (flsin (int->float i))))
+    (vector-set! sz i (fl+ 6.0 (int->float (% i 3))))
+    (vector-set! sr i 0.6)))
+
+;; Distance along the (normalized) ray from the origin to sphere i, or
+;; 1e30 when it misses.
+(define sphere-hit : (Int Float Float Float -> Float)
+  (lambda ([i : Int] [dx : Float] [dy : Float] [dz : Float])
+    (let ([cx : Float (vector-ref sx i)]
+          [cy : Float (vector-ref sy i)]
+          [cz : Float (vector-ref sz i)])
+      (let ([b : Float (fl+ (fl* cx dx) (fl+ (fl* cy dy) (fl* cz dz)))]
+            [cc : Float (fl- (fl+ (fl* cx cx) (fl+ (fl* cy cy) (fl* cz cz)))
+                             (fl* (vector-ref sr i) (vector-ref sr i)))])
+        (let ([disc : Float (fl- (fl* b b) cc)])
+          (if (fl< disc 0.0)
+              1e30
+              (let ([t : Float (fl- b (flsqrt disc))])
+                (if (fl> t 0.0001) t 1e30))))))))
+
+;; Lambert shading against a fixed directional light.
+(define trace : (Float Float Float -> Float)
+  (lambda ([dx : Float] [dy : Float] [dz : Float])
+    (let ([best : (Ref Float) (box 1e30)]
+          [bi : (Ref Int) (box (- 0 1))])
+      (begin
+        (repeat (i 0 nsph)
+          (let ([t : Float (sphere-hit i dx dy dz)])
+            (when (fl< t (unbox best))
+              (box-set! best t)
+              (box-set! bi i))))
+        (if (< (unbox bi) 0)
+            0.0
+            (let ([t : Float (unbox best)] [i : Int (unbox bi)])
+              (let ([nx0 : Float (fl- (fl* t dx) (vector-ref sx i))]
+                    [ny0 : Float (fl- (fl* t dy) (vector-ref sy i))]
+                    [nz0 : Float (fl- (fl* t dz) (vector-ref sz i))])
+                (let ([nl : Float (flsqrt (fl+ (fl* nx0 nx0)
+                                               (fl+ (fl* ny0 ny0)
+                                                    (fl* nz0 nz0))))])
+                  (flmax 0.0
+                    (fl+ (fl* (fl/ nx0 nl) 0.5773502691896258)
+                         (fl+ (fl* (fl/ ny0 nl) 0.5773502691896258)
+                              (fl* (fl/ nz0 nl) -0.5773502691896258))))))))))))
+
+(define size : Int (read-int))
+(define total : Float
+  (time
+    (repeat (py 0 size) (accy : Float 0.0)
+      (fl+ accy
+        (repeat (px 0 size) (accx : Float 0.0)
+          (fl+ accx
+            (let ([x : Float (fl- (fl/ (int->float px) (int->float size)) 0.5)]
+                  [y : Float (fl- (fl/ (int->float py) (int->float size)) 0.5)])
+              (let ([len : Float (flsqrt (fl+ (fl* x x)
+                                              (fl+ (fl* y y) 1.0)))])
+                (trace (fl/ x len) (fl/ y len) (fl/ 1.0 len)))))))))
+  )
+(print-float total)
+)";
+
+//===----------------------------------------------------------------------===//
+// blackscholes (PARSEC; synthetic portfolio, see DESIGN.md §5)
+//===----------------------------------------------------------------------===//
+
+const char *BlackScholes = R"(
+;; Cumulative normal distribution (Abramowitz & Stegun 26.2.17).
+(define cndf : (Float -> Float)
+  (lambda ([x : Float])
+    (let ([ax : Float (flabs x)])
+      (let ([k : Float (fl/ 1.0 (fl+ 1.0 (fl* 0.2316419 ax)))])
+        (let ([poly : Float
+               (fl* (fl/ (flexp (fl* -0.5 (fl* ax ax))) 2.5066282746310002)
+                    (fl* k
+                      (fl+ 0.319381530
+                        (fl* k
+                          (fl+ -0.356563782
+                            (fl* k
+                              (fl+ 1.781477937
+                                (fl* k
+                                  (fl+ -1.821255978
+                                       (fl* k 1.330274429))))))))))])
+          (if (fl< x 0.0) poly (fl- 1.0 poly)))))))
+
+(define black-scholes : (Float Float Float Float Float Bool -> Float)
+  (lambda ([s : Float] [k : Float] [r : Float] [v : Float] [t : Float]
+           [call : Bool])
+    (let ([srt : Float (flsqrt t)])
+      (let ([d1 : Float (fl/ (fl+ (fllog (fl/ s k))
+                                  (fl* (fl+ r (fl* 0.5 (fl* v v))) t))
+                             (fl* v srt))])
+        (let ([d2 : Float (fl- d1 (fl* v srt))]
+              [kert : Float (fl* k (flexp (fl* (flnegate r) t)))])
+          (if call
+              (fl- (fl* s (cndf d1)) (fl* kert (cndf d2)))
+              (fl- (fl* kert (cndf (flnegate d2)))
+                   (fl* s (cndf (flnegate d1))))))))))
+
+(define n : Int (read-int))
+(define spt : (Vect Float) (make-vector n 0.0))
+(define strike : (Vect Float) (make-vector n 0.0))
+(define vol : (Vect Float) (make-vector n 0.0))
+(define tim : (Vect Float) (make-vector n 0.0))
+(repeat (i 0 n)
+  (begin
+    (vector-set! spt i (fl+ 40.0 (int->float (% i 60))))
+    (vector-set! strike i (fl+ 35.0 (int->float (% (* i 7) 70))))
+    (vector-set! vol i (fl+ 0.1 (fl* 0.005 (int->float (% i 80)))))
+    (vector-set! tim i (fl+ 0.25 (fl* 0.05 (int->float (% i 20)))))))
+
+(define total : Float
+  (time
+    (repeat (i 0 n) (acc : Float 0.0)
+      (fl+ acc (black-scholes (vector-ref spt i) (vector-ref strike i)
+                              0.1 (vector-ref vol i) (vector-ref tim i)
+                              (= 0 (% i 2)))))))
+(print-float total)
+)";
+
+//===----------------------------------------------------------------------===//
+// matmult (textbook)
+//===----------------------------------------------------------------------===//
+
+const char *Matmult = R"(
+(define n : Int (read-int))
+(define a : (Vect Int) (make-vector (* n n) 0))
+(define b : (Vect Int) (make-vector (* n n) 0))
+(define c : (Vect Int) (make-vector (* n n) 0))
+(repeat (i 0 n)
+  (repeat (j 0 n)
+    (begin
+      (vector-set! a (+ (* i n) j) (+ i j))
+      (vector-set! b (+ (* i n) j) (- i j)))))
+(time
+  (repeat (i 0 n)
+    (repeat (j 0 n)
+      (vector-set! c (+ (* i n) j)
+        (repeat (k 0 n) (acc : Int 0)
+          (+ acc (* (vector-ref a (+ (* i n) k))
+                    (vector-ref b (+ (* k n) j)))))))))
+(print-int
+  (repeat (j 0 n) (acc : Int 0)
+    (+ acc (vector-ref c j))))
+)";
+
+//===----------------------------------------------------------------------===//
+// fft (R6RS-style, iterative radix-2 Cooley-Tukey)
+//===----------------------------------------------------------------------===//
+
+const char *FFT = R"(
+(define expt2 : (Int -> Int)
+  (lambda ([k : Int]) (if (= k 0) 1 (* 2 (expt2 (- k 1))))))
+
+(define ilog2 : (Int -> Int)
+  (lambda ([n : Int]) (if (= n 1) 0 (+ 1 (ilog2 (/ n 2))))))
+
+;; Advance the bit-reversal counter: while (m >= 1 and j >= m)
+;;   { j -= m; m /= 2 }; j += m.
+(define bit-advance : (Int Int -> Int)
+  (lambda ([j : Int] [m : Int])
+    (if (and (>= m 1) (>= j m))
+        (bit-advance (- j m) (/ m 2))
+        (+ j m))))
+
+(define fft! : ((Vect Float) (Vect Float) Int -> ())
+  (lambda ([re : (Vect Float)] [im : (Vect Float)] [n : Int])
+    (begin
+      ;; Bit-reversal permutation.
+      (let ([j : (Ref Int) (box 0)])
+        (repeat (i 0 n)
+          (begin
+            (when (< i (unbox j))
+              (let ([t : Int (unbox j)])
+                (begin
+                  (let ([tr : Float (vector-ref re i)])
+                    (begin
+                      (vector-set! re i (vector-ref re t))
+                      (vector-set! re t tr)))
+                  (let ([ti : Float (vector-ref im i)])
+                    (begin
+                      (vector-set! im i (vector-ref im t))
+                      (vector-set! im t ti))))))
+            (box-set! j (bit-advance (unbox j) (/ n 2))))))
+      ;; Butterfly stages.
+      (repeat (s 1 (+ (ilog2 n) 1))
+        (let ([m : Int (expt2 s)])
+          (let ([mh : Int (/ m 2)]
+                [theta : Float (fl/ -6.283185307179586 (int->float m))])
+            (repeat (blk 0 (/ n m))
+              (let ([base : Int (* blk m)])
+                (repeat (q 0 mh)
+                  (let ([ang : Float (fl* theta (int->float q))]
+                        [a : Int (+ base q)])
+                    (let ([wr : Float (flcos ang)]
+                          [wi : Float (flsin ang)]
+                          [b : Int (+ a mh)])
+                      (let ([xr : Float (fl- (fl* wr (vector-ref re b))
+                                             (fl* wi (vector-ref im b)))]
+                            [xi : Float (fl+ (fl* wr (vector-ref im b))
+                                             (fl* wi (vector-ref re b)))])
+                        (begin
+                          (vector-set! re b (fl- (vector-ref re a) xr))
+                          (vector-set! im b (fl- (vector-ref im a) xi))
+                          (vector-set! re a (fl+ (vector-ref re a) xr))
+                          (vector-set! im a (fl+ (vector-ref im a) xi))))))))))))
+      ())))
+
+(define n : Int (read-int))
+(define re : (Vect Float) (make-vector n 0.0))
+(define im : (Vect Float) (make-vector n 0.0))
+(repeat (i 0 n)
+  (vector-set! re i (flsin (fl* 0.001 (int->float i)))))
+(time (fft! re im n))
+(print-float (vector-ref re 0))
+(print-char #\space)
+(print-float (vector-ref im 1))
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+const std::vector<BenchProgram> &grift::allBenchmarks() {
+  static const std::vector<BenchProgram> Programs = [] {
+    std::vector<BenchProgram> Out;
+    Out.push_back({"sieve", Sieve, "600", "10", "31"});
+    Out.push_back({"n-body", NBody, "2000", "10",
+                   "-0.16907516382852447 -0.16907302171469984"});
+    Out.push_back({"tak", Tak, "22 16 8", "14 10 4", "5"});
+    Out.push_back({"ray", Ray, "40", "8", "3.2800126162665455"});
+    Out.push_back({"blackscholes", BlackScholes, "20000", "64",
+                   "812.4453088247459"});
+    Out.push_back({"matmult", Matmult, "36", "8", "336"});
+    Out.push_back({"quicksort", quicksortWithParam("(Vect Int)"), "448", "64",
+                   "#t"});
+    Out.push_back({"fft", FFT, "8192", "64",
+                   "2.015322715021492 0.6509979802776309"});
+    return Out;
+  }();
+  return Programs;
+}
+
+const BenchProgram &grift::getBenchmark(const std::string &Name) {
+  for (const BenchProgram &P : allBenchmarks())
+    if (P.Name == Name)
+      return P;
+  assert(false && "unknown benchmark");
+  static BenchProgram Empty;
+  return Empty;
+}
+
+std::string grift::evenOddSource() { return EvenOdd; }
+
+std::string grift::quicksortFig3Source() {
+  return quicksortWithParam("(Vect Dyn)");
+}

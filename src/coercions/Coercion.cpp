@@ -1,0 +1,112 @@
+#include "coercions/Coercion.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace grift;
+
+unsigned Coercion::size() const {
+  std::unordered_set<const Coercion *> Visited;
+  std::vector<const Coercion *> Worklist = {this};
+  unsigned Count = 0;
+  while (!Worklist.empty()) {
+    const Coercion *C = Worklist.back();
+    Worklist.pop_back();
+    if (!Visited.insert(C).second)
+      continue;
+    ++Count;
+    for (const Coercion *Part : C->Parts)
+      Worklist.push_back(Part);
+  }
+  return Count;
+}
+
+namespace {
+
+/// Prints a coercion; μ nodes get fresh names and back references print
+/// the bound name.
+struct Printer {
+  std::unordered_map<const Coercion *, std::string> MuNames;
+  unsigned NextMu = 0;
+
+  void print(const Coercion *C, std::string &Out) {
+    switch (C->kind()) {
+    case CoercionKind::Id:
+      Out += "id";
+      return;
+    case CoercionKind::Project:
+      Out += C->type()->str();
+      Out += "?";
+      Out += C->label();
+      return;
+    case CoercionKind::Inject:
+      Out += C->type()->str();
+      Out += "!";
+      return;
+    case CoercionKind::Sequence:
+      Out += "(";
+      print(C->first(), Out);
+      Out += " ; ";
+      print(C->second(), Out);
+      Out += ")";
+      return;
+    case CoercionKind::Fail:
+      Out += "Fail^";
+      Out += C->label();
+      return;
+    case CoercionKind::Fun: {
+      Out += "(";
+      for (size_t I = 0; I != C->arity(); ++I) {
+        if (I != 0)
+          Out += " ";
+        print(C->arg(I), Out);
+      }
+      Out += " -> ";
+      print(C->result(), Out);
+      Out += ")";
+      return;
+    }
+    case CoercionKind::RefC:
+      Out += "(Ref ";
+      print(C->writeCoercion(), Out);
+      Out += " ";
+      print(C->readCoercion(), Out);
+      Out += ")";
+      return;
+    case CoercionKind::TupleC: {
+      Out += "(Tup";
+      for (size_t I = 0; I != C->tupleSize(); ++I) {
+        Out += " ";
+        print(C->element(I), Out);
+      }
+      Out += ")";
+      return;
+    }
+    case CoercionKind::Rec: {
+      auto It = MuNames.find(C);
+      if (It != MuNames.end()) {
+        Out += It->second; // back reference
+        return;
+      }
+      std::string Name = "X" + std::to_string(NextMu++);
+      MuNames.emplace(C, Name);
+      Out += "(mu ";
+      Out += Name;
+      Out += ". ";
+      print(C->body(), Out);
+      Out += ")";
+      return;
+    }
+    }
+  }
+};
+
+} // namespace
+
+std::string Coercion::str() const {
+  std::string Out;
+  Printer P;
+  P.print(this, Out);
+  return Out;
+}

@@ -1,0 +1,476 @@
+#include "coercions/CoercionFactory.h"
+
+#include "support/StringUtil.h"
+#include "types/TypeOps.h"
+
+#include <cassert>
+
+using namespace grift;
+
+//===----------------------------------------------------------------------===//
+// Hashing
+//===----------------------------------------------------------------------===//
+
+size_t CoercionFactory::KeyHash::operator()(const Key &K) const {
+  uint64_t Hash = hashCombine(static_cast<uint64_t>(K.Kind),
+                              reinterpret_cast<uintptr_t>(K.Ty));
+  Hash = hashCombine(Hash, reinterpret_cast<uintptr_t>(K.Label));
+  for (const Coercion *Part : K.Parts)
+    Hash = hashCombine(Hash, reinterpret_cast<uintptr_t>(Part));
+  return static_cast<size_t>(Hash);
+}
+
+size_t CoercionFactory::TripleHash::operator()(const TripleKey &K) const {
+  uint64_t Hash = hashCombine(reinterpret_cast<uintptr_t>(K.S),
+                              reinterpret_cast<uintptr_t>(K.T));
+  return static_cast<size_t>(
+      hashCombine(Hash, reinterpret_cast<uintptr_t>(K.Label)));
+}
+
+size_t CoercionFactory::PairHash::operator()(const PairKey &K) const {
+  return static_cast<size_t>(hashCombine(
+      reinterpret_cast<uintptr_t>(K.C), reinterpret_cast<uintptr_t>(K.D)));
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation and interning
+//===----------------------------------------------------------------------===//
+
+CoercionFactory::CoercionFactory(TypeContext &Types) : Types(Types) {
+  IdC = intern(CoercionKind::Id, nullptr, nullptr, {});
+}
+
+Coercion *CoercionFactory::allocate() {
+  Arena.push_back(std::unique_ptr<Coercion>(new Coercion()));
+  return Arena.back().get();
+}
+
+const std::string *CoercionFactory::internLabel(std::string_view Label) {
+  std::string Key(Label);
+  auto It = LabelInterner.find(Key);
+  if (It != LabelInterner.end())
+    return It->second;
+  LabelArena.push_back(Key);
+  const std::string *Stable = &LabelArena.back();
+  LabelInterner.emplace(std::move(Key), Stable);
+  return Stable;
+}
+
+const Coercion *CoercionFactory::intern(CoercionKind Kind, const Type *Ty,
+                                        const std::string *Label,
+                                        std::vector<const Coercion *> Parts) {
+  Key K{Kind, Ty, Label, Parts};
+  auto It = Interner.find(K);
+  if (It != Interner.end())
+    return It->second;
+  Coercion *C = allocate();
+  C->Kind = Kind;
+  C->Ty = Ty;
+  C->Label = Label;
+  C->Parts = std::move(Parts);
+  C->HasRec = Kind == CoercionKind::Rec;
+  for (const Coercion *Part : C->Parts)
+    C->HasRec |= Part->hasRec();
+  Interner.emplace(std::move(K), C);
+  return C;
+}
+
+const Coercion *CoercionFactory::fail(std::string_view Label) {
+  return intern(CoercionKind::Fail, nullptr, internLabel(Label), {});
+}
+
+const Coercion *CoercionFactory::inject(const Type *T) {
+  assert(!T->isDyn() && "cannot inject Dyn into Dyn");
+  return intern(CoercionKind::Inject, T, nullptr, {});
+}
+
+const Coercion *CoercionFactory::project(const Type *T,
+                                         std::string_view Label) {
+  assert(!T->isDyn() && "cannot project to Dyn");
+  return intern(CoercionKind::Project, T, internLabel(Label), {});
+}
+
+const Coercion *CoercionFactory::sequence(const Coercion *First,
+                                          const Coercion *Second) {
+  assert((First->kind() == CoercionKind::Project ||
+          Second->kind() == CoercionKind::Inject) &&
+         "sequence must be (I? ; i) or (g ; I!)");
+  return intern(CoercionKind::Sequence, nullptr, nullptr, {First, Second});
+}
+
+const Coercion *
+CoercionFactory::fun(std::vector<const Coercion *> ArgsAndRet) {
+  for (const Coercion *Part : ArgsAndRet)
+    if (!Part->isId())
+      return intern(CoercionKind::Fun, nullptr, nullptr,
+                    std::move(ArgsAndRet));
+  return IdC; // identity on every argument and the result
+}
+
+const Coercion *CoercionFactory::refc(const Coercion *Write,
+                                      const Coercion *Read,
+                                      const Type *Target,
+                                      const std::string *Label) {
+  if (Write->isId() && Read->isId())
+    return IdC;
+  return intern(CoercionKind::RefC, Target, Label, {Write, Read});
+}
+
+const Coercion *CoercionFactory::tup(std::vector<const Coercion *> Elements) {
+  for (const Coercion *Part : Elements)
+    if (!Part->isId())
+      return intern(CoercionKind::TupleC, nullptr, nullptr,
+                    std::move(Elements));
+  return IdC;
+}
+
+Coercion *CoercionFactory::newRec() {
+  Coercion *Mu = allocate();
+  Mu->Kind = CoercionKind::Rec;
+  Mu->HasRec = true;
+  return Mu;
+}
+
+void CoercionFactory::sealRec(Coercion *Mu, const Coercion *Body) {
+  assert(Mu->Kind == CoercionKind::Rec && Mu->Parts.empty() &&
+         "μ coercion sealed twice");
+  Mu->Parts.push_back(Body);
+}
+
+//===----------------------------------------------------------------------===//
+// Coercion creation: (S ⇒ᵖ T) of Figure 17
+//===----------------------------------------------------------------------===//
+
+const Coercion *CoercionFactory::make(const Type *S, const Type *T,
+                                      std::string_view Label) {
+  return makeInterned(S, T, internLabel(Label));
+}
+
+const Coercion *CoercionFactory::makeInterned(const Type *S, const Type *T,
+                                              const std::string *L) {
+  TripleKey K{S, T, L};
+  auto It = MakeCache.find(K);
+  if (It != MakeCache.end())
+    return It->second;
+  std::vector<MakeFrame> Stack;
+  const Coercion *C = makeImpl(S, T, L, Stack);
+  MakeCache.emplace(K, C);
+  return C;
+}
+
+const Coercion *CoercionFactory::makeForProjection(const Coercion *Projection,
+                                                   const Type *Source) {
+  assert(Projection->kind() == CoercionKind::Project);
+  PairKey K{Projection, Source};
+  auto It = ProjectCache.find(K);
+  if (It != ProjectCache.end())
+    return It->second;
+  const Coercion *C =
+      makeInterned(Source, Projection->type(), Projection->labelPointer());
+  ProjectCache.emplace(K, C);
+  return C;
+}
+
+const Coercion *CoercionFactory::makeImpl(const Type *S, const Type *T,
+                                          const std::string *Label,
+                                          std::vector<MakeFrame> &Stack) {
+  if (S == T)
+    return IdC; // covers (B ⇒ B), (Dyn ⇒ Dyn), identical structures
+  if (S->isDyn())
+    return sequence(project(T, *Label), IdC); // (T?ᵖ ; ι)
+  if (T->isDyn())
+    return sequence(IdC, inject(S)); // (ι ; S!) — lazy-D: any S injects
+  if (!consistent(Types, S, T))
+    return fail(*Label);
+
+  if (S->isRec() || T->isRec()) {
+    // Tie recursive knots: a revisited (S, T) pair becomes a back edge to
+    // a μ node allocated on demand.
+    for (size_t I = Stack.size(); I-- > 0;) {
+      if (Stack[I].S == S && Stack[I].T == T) {
+        if (!Stack[I].Mu)
+          Stack[I].Mu = newRec();
+        return Stack[I].Mu;
+      }
+    }
+    Stack.push_back({S, T, nullptr});
+    const Type *SU = S->isRec() ? Types.unfold(S) : S;
+    const Type *TU = T->isRec() ? Types.unfold(T) : T;
+    const Coercion *Body = makeImpl(SU, TU, Label, Stack);
+    MakeFrame Frame = Stack.back();
+    Stack.pop_back();
+    if (!Frame.Mu)
+      return Body; // no back edge was needed
+    sealRec(Frame.Mu, Body);
+    return Frame.Mu;
+  }
+
+  assert(S->kind() == T->kind() && "consistency guarantees matching kinds");
+  switch (S->kind()) {
+  case TypeKind::Function: {
+    assert(S->arity() == T->arity() && "consistency guarantees equal arity");
+    std::vector<const Coercion *> Parts;
+    Parts.reserve(S->arity() + 1);
+    for (size_t I = 0; I != S->arity(); ++I)
+      Parts.push_back(makeImpl(T->param(I), S->param(I), Label, Stack));
+    Parts.push_back(makeImpl(S->result(), T->result(), Label, Stack));
+    return fun(std::move(Parts));
+  }
+  case TypeKind::Tuple: {
+    std::vector<const Coercion *> Parts;
+    Parts.reserve(S->tupleSize());
+    for (size_t I = 0; I != S->tupleSize(); ++I)
+      Parts.push_back(makeImpl(S->element(I), T->element(I), Label, Stack));
+    return tup(std::move(Parts));
+  }
+  case TypeKind::Box:
+  case TypeKind::Vect: {
+    const Coercion *Write = makeImpl(T->inner(), S->inner(), Label, Stack);
+    const Coercion *Read = makeImpl(S->inner(), T->inner(), Label, Stack);
+    return refc(Write, Read, T, Label);
+  }
+  default:
+    // Equal atomic kinds were caught by pointer equality above.
+    assert(false && "makeImpl: unexpected type kind");
+    return fail(*Label);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Space-efficient composition: c ⨟ d of Figures 15 and 17
+//===----------------------------------------------------------------------===//
+
+namespace grift {
+
+/// One composition run. Holds the association stack used to tie recursive
+/// knots and the free-variable count used to collapse identity-equivalent
+/// recursive compositions back to ι (paper Figure 15).
+class Composer {
+public:
+  explicit Composer(CoercionFactory &F) : F(F) {}
+
+  const Coercion *run(const Coercion *C, const Coercion *D) {
+    bool IdEqv = true;
+    return compose(C, D, IdEqv);
+  }
+
+private:
+  CoercionFactory &F;
+  struct Entry {
+    const Coercion *C;
+    const Coercion *D;
+    Coercion *Mu; // allocated lazily when a back edge appears
+  };
+  std::vector<Entry> Stack;
+  int FreeVars = 0;
+
+  /// \p IdEqv is an accumulator: it stays true only while the result is
+  /// identity-equivalent under the assumption that μ back-references
+  /// created by this run denote identity.
+  const Coercion *compose(const Coercion *C, const Coercion *D, bool &IdEqv) {
+    // Identity short-circuits.
+    if (C->isId() && D->isId())
+      return F.id();
+    if (C->isId()) {
+      IdEqv = false;
+      return D;
+    }
+    if (D->isId()) {
+      IdEqv = false;
+      return C;
+    }
+
+    // Memoized μ-free pairs (pure, stack-independent).
+    bool Cacheable = !C->hasRec() && !D->hasRec();
+    if (Cacheable) {
+      auto It = F.ComposeCache.find({C, D});
+      if (It != F.ComposeCache.end()) {
+        if (!It->second->isId())
+          IdEqv = false;
+        return It->second;
+      }
+    }
+
+    const Coercion *Result = composeUncached(C, D, IdEqv);
+    if (Cacheable)
+      F.ComposeCache.emplace(CoercionFactory::PairKey{C, D}, Result);
+    return Result;
+  }
+
+  const Coercion *composeUncached(const Coercion *C, const Coercion *D,
+                                  bool &IdEqv) {
+    // ⊥ᵖ ⨟ d = ⊥ᵖ
+    if (C->isFail()) {
+      IdEqv = false;
+      return C;
+    }
+    // (I?ᵖ ; i) ⨟ d = (I?ᵖ ; (i ⨟ d))
+    if (C->isProjectSeq()) {
+      IdEqv = false;
+      bool Unused = true;
+      return F.sequence(C->first(), compose(C->second(), D, Unused));
+    }
+    // (g ; I!) ⨟ ...
+    if (C->isInjectSeq()) {
+      if (D->isFail()) {
+        IdEqv = false;
+        return D;
+      }
+      assert(D->isProjectSeq() &&
+             "coercion from Dyn must be ι, ⊥, or start with a projection");
+      // (g ; I!) ⨟ (J?ᵠ ; i) = g ⨟ (I ⇒ᵠ J) ⨟ i — this is where long
+      // chains collapse: the injection meets the projection and both
+      // disappear into a direct coercion.
+      const Type *I = C->second()->type();
+      const Type *J = D->first()->type();
+      const Coercion *Mid =
+          F.makeInterned(I, J, D->first()->labelPointer());
+      const Coercion *Left = compose(C->first(), Mid, IdEqv);
+      return compose(Left, D->second(), IdEqv);
+    }
+
+    assert(C->isMiddle() && "normal form exhausted");
+    if (D->isFail()) {
+      IdEqv = false;
+      return D;
+    }
+    // g ⨟ (h ; J!) = ((g ⨟ h) ; J!)
+    if (D->isInjectSeq()) {
+      IdEqv = false;
+      bool Unused = true;
+      const Coercion *Left = compose(C, D->first(), Unused);
+      if (Left->isFail())
+        return Left;
+      return F.sequence(Left, D->second());
+    }
+    assert(D->isMiddle() &&
+           "projection sequence cannot follow a non-Dyn-targeted coercion");
+
+    // Recursive coercions: tie the knot with the association stack.
+    if (C->kind() == CoercionKind::Rec || D->kind() == CoercionKind::Rec)
+      return composeRec(C, D, IdEqv);
+
+    switch (C->kind()) {
+    case CoercionKind::Fun: {
+      assert(D->kind() == CoercionKind::Fun && C->arity() == D->arity() &&
+             "function coercions compose with function coercions");
+      std::vector<const Coercion *> Parts;
+      Parts.reserve(C->arity() + 1);
+      for (size_t I = 0; I != C->arity(); ++I)
+        Parts.push_back(compose(D->arg(I), C->arg(I), IdEqv));
+      Parts.push_back(compose(C->result(), D->result(), IdEqv));
+      return F.fun(std::move(Parts));
+    }
+    case CoercionKind::RefC: {
+      assert(D->kind() == CoercionKind::RefC);
+      const Coercion *Read = compose(C->readCoercion(), D->readCoercion(),
+                                     IdEqv);
+      const Coercion *Write = compose(D->writeCoercion(), C->writeCoercion(),
+                                      IdEqv);
+      // The composite converts to D's target view; blame the newer cast.
+      return F.refc(Write, Read, D->type(), D->labelPointer());
+    }
+    case CoercionKind::TupleC: {
+      assert(D->kind() == CoercionKind::TupleC &&
+             C->tupleSize() == D->tupleSize());
+      std::vector<const Coercion *> Parts;
+      Parts.reserve(C->tupleSize());
+      for (size_t I = 0; I != C->tupleSize(); ++I)
+        Parts.push_back(compose(C->element(I), D->element(I), IdEqv));
+      return F.tup(std::move(Parts));
+    }
+    default:
+      assert(false && "composeUncached: impossible middle kind");
+      return F.id();
+    }
+  }
+
+  const Coercion *composeRec(const Coercion *C, const Coercion *D,
+                             bool &IdEqv) {
+    for (size_t I = Stack.size(); I-- > 0;) {
+      if (Stack[I].C == C && Stack[I].D == D) {
+        if (!Stack[I].Mu) {
+          Stack[I].Mu = F.newRec();
+          ++FreeVars;
+        }
+        return Stack[I].Mu; // a maybe-identity back edge: IdEqv unchanged
+      }
+    }
+    Stack.push_back({C, D, nullptr});
+    bool NewIdEqv = true;
+    const Coercion *CU = C->kind() == CoercionKind::Rec ? C->body() : C;
+    const Coercion *DU = D->kind() == CoercionKind::Rec ? D->body() : D;
+    const Coercion *Body = compose(CU, DU, NewIdEqv);
+    Entry Popped = Stack.back();
+    Stack.pop_back();
+    if (!NewIdEqv)
+      IdEqv = false;
+    if (!Popped.Mu)
+      return Body;
+    --FreeVars;
+    if (FreeVars == 0 && NewIdEqv)
+      return F.id(); // μX.c where c ≡ ι modulo X: the whole thing is ι
+    F.sealRec(Popped.Mu, Body);
+    return Popped.Mu;
+  }
+};
+
+} // namespace grift
+
+const Coercion *CoercionFactory::compose(const Coercion *C,
+                                         const Coercion *D) {
+  return Composer(*this).run(C, D);
+}
+
+//===----------------------------------------------------------------------===//
+// Normal-form validation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool validTop(const Coercion *C);
+
+bool validMiddle(const Coercion *C) {
+  switch (C->kind()) {
+  case CoercionKind::Id:
+    return true;
+  case CoercionKind::Fun: {
+    for (size_t I = 0; I != C->arity(); ++I)
+      if (!validTop(C->arg(I)))
+        return false;
+    return validTop(C->result());
+  }
+  case CoercionKind::RefC:
+    return validTop(C->writeCoercion()) && validTop(C->readCoercion());
+  case CoercionKind::TupleC: {
+    for (size_t I = 0; I != C->tupleSize(); ++I)
+      if (!validTop(C->element(I)))
+        return false;
+    return true;
+  }
+  case CoercionKind::Rec:
+    // The body participates in a cycle; checking it here would not
+    // terminate. Its shape is enforced at construction.
+    return !C->body()->isFail();
+  default:
+    return false;
+  }
+}
+
+bool validFinal(const Coercion *C) {
+  if (C->isFail())
+    return true;
+  if (C->isInjectSeq())
+    return !C->second()->type()->isDyn() && validMiddle(C->first());
+  return validMiddle(C);
+}
+
+bool validTop(const Coercion *C) {
+  if (C->isProjectSeq())
+    return !C->first()->type()->isDyn() && validFinal(C->second());
+  return validFinal(C);
+}
+
+} // namespace
+
+bool CoercionFactory::isNormalForm(const Coercion *C) { return validTop(C); }

@@ -1,0 +1,160 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CoercionFactory owns all coercions and implements the two operations
+/// the runtime needs:
+///
+///   * `make(S, T, p)` — coercion creation (T₁ ⇒ᵖ T₂) of paper Figure 17,
+///     extended to equirecursive types with μ back-edges.
+///
+///   * `compose(c, d)` — the space-efficiency workhorse (c ⨟ d) of
+///     Figures 15/17: composes two normal-form coercions into a
+///     normal-form coercion, using an association stack to tie recursive
+///     knots and collapsing identity-equivalent recursive results to ι.
+///
+/// `make` results are interned per (S, T, label) triple and `compose`
+/// results are memoized for μ-free pairs, so the memory used by coercions
+/// is bounded by the number of distinct casts, mirroring the paper's
+/// statically-allocated coercions plus a bounded runtime cache.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_COERCIONS_COERCIONFACTORY_H
+#define GRIFT_COERCIONS_COERCIONFACTORY_H
+
+#include "coercions/Coercion.h"
+#include "types/TypeContext.h"
+
+#include <deque>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+
+namespace grift {
+
+class CoercionFactory {
+public:
+  explicit CoercionFactory(TypeContext &Types);
+  CoercionFactory(const CoercionFactory &) = delete;
+  CoercionFactory &operator=(const CoercionFactory &) = delete;
+
+  TypeContext &typeContext() { return Types; }
+
+  /// ι.
+  const Coercion *id() const { return IdC; }
+  /// ⊥ᵖ.
+  const Coercion *fail(std::string_view Label);
+  /// T! — \p T must not be Dyn.
+  const Coercion *inject(const Type *T);
+  /// T?ᵖ — \p T must not be Dyn. (Only appears inside sequences.)
+  const Coercion *project(const Type *T, std::string_view Label);
+
+  /// Coercion creation (S ⇒ᵖ T). Requires nothing of S and T; returns
+  /// ⊥ᵖ when they are inconsistent.
+  const Coercion *make(const Type *S, const Type *T, std::string_view Label);
+
+  /// Hot-path variant taking an already-interned label (from a coercion
+  /// or a compiled cast site); avoids re-interning on every runtime
+  /// projection.
+  const Coercion *makeInterned(const Type *S, const Type *T,
+                               const std::string *Label);
+
+  /// Interns \p Label in this factory's label arena.
+  const std::string *internLabel(std::string_view Label);
+
+  /// The runtime-projection fast path of Figure 6: the coercion from the
+  /// runtime type \p Source to \p Projection's target, memoized per
+  /// (projection, source-type) pair.
+  const Coercion *makeForProjection(const Coercion *Projection,
+                                    const Type *Source);
+
+  /// Space-efficient composition c ⨟ d. Both inputs and the result are in
+  /// normal form.
+  const Coercion *compose(const Coercion *C, const Coercion *D);
+
+  /// True if \p C satisfies the normal-form grammar (tests).
+  static bool isNormalForm(const Coercion *C);
+
+  /// Number of coercion nodes allocated so far (space-bound tests).
+  size_t allocatedNodes() const { return Arena.size(); }
+
+private:
+  friend class Composer;
+
+  TypeContext &Types;
+  std::deque<std::unique_ptr<Coercion>> Arena;
+  std::deque<std::string> LabelArena;
+  std::unordered_map<std::string, const std::string *> LabelInterner;
+
+  const Coercion *IdC = nullptr;
+
+  // Interners (pointer-keyed; cheap and exact).
+  struct Key {
+    CoercionKind Kind;
+    const Type *Ty;
+    const std::string *Label;
+    std::vector<const Coercion *> Parts;
+    bool operator==(const Key &Other) const {
+      return Kind == Other.Kind && Ty == Other.Ty && Label == Other.Label &&
+             Parts == Other.Parts;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const;
+  };
+  std::unordered_map<Key, const Coercion *, KeyHash> Interner;
+
+  struct TripleKey {
+    const Type *S;
+    const Type *T;
+    const std::string *Label;
+    bool operator==(const TripleKey &Other) const {
+      return S == Other.S && T == Other.T && Label == Other.Label;
+    }
+  };
+  struct TripleHash {
+    size_t operator()(const TripleKey &K) const;
+  };
+  std::unordered_map<TripleKey, const Coercion *, TripleHash> MakeCache;
+
+  struct PairKey {
+    const void *C;
+    const void *D;
+    bool operator==(const PairKey &Other) const {
+      return C == Other.C && D == Other.D;
+    }
+  };
+  struct PairHash {
+    size_t operator()(const PairKey &K) const;
+  };
+  std::unordered_map<PairKey, const Coercion *, PairHash> ComposeCache;
+  std::unordered_map<PairKey, const Coercion *, PairHash> ProjectCache;
+  const Coercion *intern(CoercionKind Kind, const Type *Ty,
+                         const std::string *Label,
+                         std::vector<const Coercion *> Parts);
+  Coercion *allocate();
+
+  // Normal-form smart constructors (shared by make and compose).
+  // Reference coercions record their target reference type and blame
+  // label so the monotonic-reference runtime can interpret them as
+  // in-place cell strengthening (Mode::Monotonic).
+  const Coercion *sequence(const Coercion *First, const Coercion *Second);
+  const Coercion *fun(std::vector<const Coercion *> ArgsAndRet);
+  const Coercion *refc(const Coercion *Write, const Coercion *Read,
+                       const Type *Target, const std::string *Label);
+  const Coercion *tup(std::vector<const Coercion *> Elements);
+  Coercion *newRec();
+  void sealRec(Coercion *Mu, const Coercion *Body);
+
+  struct MakeFrame {
+    const Type *S;
+    const Type *T;
+    Coercion *Mu; // lazily allocated on back-reference
+  };
+  const Coercion *makeImpl(const Type *S, const Type *T,
+                           const std::string *Label,
+                           std::vector<MakeFrame> &Stack);
+};
+
+} // namespace grift
+
+#endif // GRIFT_COERCIONS_COERCIONFACTORY_H

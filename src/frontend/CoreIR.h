@@ -1,0 +1,115 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The explicit-cast intermediate language that cast insertion produces
+/// (paper Section 3, Appendix B). Every node carries its static type.
+/// Casts appear as explicit `Cast` nodes with source type, target type and
+/// a blame label; how a cast is executed (coercions vs. type-based) is
+/// decided later by the VM compiler.
+///
+/// The *Dyn node kinds implement the paper's Section 3 optimization: an
+/// elimination form applied to a Dyn value is specialized so that "code
+/// that does what a proxy would do" runs without allocating a proxy.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_FRONTEND_COREIR_H
+#define GRIFT_FRONTEND_COREIR_H
+
+#include "ast/Prim.h"
+#include "support/SourceLoc.h"
+#include "types/Type.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace grift::core {
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// Core node constructors. `Sub` names Node::Subs.
+enum class NodeKind : uint8_t {
+  LitUnit,
+  LitBool,
+  LitInt,
+  LitFloat,
+  LitChar,
+  LocalRef,     ///< Name resolves lexically
+  GlobalRef,    ///< Name resolves in the program's global table
+  If,           ///< Sub = [cond, then, else]
+  Lambda,       ///< ParamNames/Ty (function type); Sub = [body]
+  App,          ///< callee statically a function; Sub = [callee, args...]
+  AppDyn,       ///< callee statically Dyn; Sub = [callee, args...]
+  PrimApp,      ///< Prim; Sub = args
+  Let,          ///< BindingNames; Sub = [inits..., body]
+  Letrec,       ///< BindingNames; Sub = [lambda inits..., body]
+  Begin,        ///< Sub = exprs
+  Repeat,       ///< Name, AccName/HasAcc; Sub = [lo, hi, (accInit)?, body]
+  Time,         ///< Sub = [body]
+  Tuple,        ///< Sub = elements
+  TupleProj,    ///< Index; Sub = [tuple]
+  TupleProjDyn, ///< Index; Sub = [dyn]
+  BoxAlloc,     ///< Sub = [init]
+  Unbox,        ///< Sub = [box]
+  UnboxDyn,     ///< Sub = [dyn]
+  BoxSet,       ///< Sub = [box, value]
+  BoxSetDyn,    ///< Sub = [dyn, value]
+  MakeVect,     ///< Sub = [size, init]
+  VectRef,      ///< Sub = [vect, index]
+  VectRefDyn,   ///< Sub = [dyn, index]
+  VectSet,      ///< Sub = [vect, index, value]
+  VectSetDyn,   ///< Sub = [dyn, index, value]
+  VectLen,      ///< Sub = [vect]
+  VectLenDyn,   ///< Sub = [dyn]
+  Cast,         ///< SrcTy => Ty with BlameLabel; Sub = [body]
+};
+
+/// One core IR node. Plain data; built only by the type checker.
+struct Node {
+  NodeKind Kind = NodeKind::LitUnit;
+  SourceLoc Loc;
+  /// Static type of this expression.
+  const Type *Ty = nullptr;
+
+  int64_t IntVal = 0;
+  double FloatVal = 0;
+  bool BoolVal = false;
+  char CharVal = 0;
+
+  std::string Name;                      // LocalRef/GlobalRef/Repeat index
+  grift::PrimOp Prim{};                  // PrimApp
+  uint32_t Index = 0;                    // TupleProj*
+  bool HasAcc = false;                   // Repeat
+  std::string AccName;                   // Repeat
+  std::vector<std::string> ParamNames;   // Lambda
+  std::vector<std::string> BindingNames; // Let/Letrec
+
+  const Type *SrcTy = nullptr; // Cast source
+  std::string BlameLabel;      // Cast blame label
+
+  std::vector<NodePtr> Subs;
+
+  /// Renders a debug S-expression of the core IR (with explicit casts).
+  std::string str() const;
+};
+
+/// A checked top-level definition.
+struct Def {
+  std::string Name; // empty for expression statements
+  const Type *Ty = nullptr;
+  NodePtr Body;
+};
+
+/// A checked program.
+struct CoreProgram {
+  std::vector<Def> Defs;
+  std::string str() const;
+};
+
+/// Counts Cast nodes in a program (tests, experiment reporting).
+unsigned countCasts(const CoreProgram &Prog);
+
+} // namespace grift::core
+
+#endif // GRIFT_FRONTEND_COREIR_H

@@ -1,0 +1,232 @@
+#include "frontend/Optimizer.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace grift;
+using namespace grift::core;
+
+namespace {
+
+bool isLiteral(const Node &N) {
+  switch (N.Kind) {
+  case NodeKind::LitUnit:
+  case NodeKind::LitBool:
+  case NodeKind::LitInt:
+  case NodeKind::LitFloat:
+  case NodeKind::LitChar:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Effect-free expressions can be dropped from statement position.
+bool isEffectFree(const Node &N) {
+  switch (N.Kind) {
+  case NodeKind::LocalRef:
+  case NodeKind::GlobalRef:
+  case NodeKind::Lambda:
+    return true;
+  default:
+    return isLiteral(N);
+  }
+}
+
+NodePtr makeLitInt(TypeContext &Types, int64_t Value, SourceLoc Loc) {
+  auto N = std::make_unique<Node>();
+  N->Kind = NodeKind::LitInt;
+  N->Ty = Types.integer();
+  N->IntVal = Value;
+  N->Loc = Loc;
+  return N;
+}
+
+NodePtr makeLitBool(TypeContext &Types, bool Value, SourceLoc Loc) {
+  auto N = std::make_unique<Node>();
+  N->Kind = NodeKind::LitBool;
+  N->Ty = Types.boolean();
+  N->BoolVal = Value;
+  N->Loc = Loc;
+  return N;
+}
+
+NodePtr makeLitFloat(TypeContext &Types, double Value, SourceLoc Loc) {
+  auto N = std::make_unique<Node>();
+  N->Kind = NodeKind::LitFloat;
+  N->Ty = Types.floating();
+  N->FloatVal = Value;
+  N->Loc = Loc;
+  return N;
+}
+
+class Optimizer {
+public:
+  explicit Optimizer(TypeContext &Types) : Types(Types) {}
+
+  unsigned run(CoreProgram &Prog) {
+    for (Def &D : Prog.Defs)
+      rewrite(D.Body);
+    return Rewrites;
+  }
+
+private:
+  TypeContext &Types;
+  unsigned Rewrites = 0;
+
+  void rewrite(NodePtr &Slot) {
+    // Children first (innermost folds enable outer folds).
+    for (NodePtr &Sub : Slot->Subs)
+      rewrite(Sub);
+
+    switch (Slot->Kind) {
+    case NodeKind::PrimApp:
+      foldPrim(Slot);
+      return;
+    case NodeKind::If:
+      // (if #t a b) => a; (if #f a b) => b.
+      if (Slot->Subs[0]->Kind == NodeKind::LitBool) {
+        NodePtr Taken = std::move(
+            Slot->Subs[0]->BoolVal ? Slot->Subs[1] : Slot->Subs[2]);
+        Slot = std::move(Taken);
+        ++Rewrites;
+      }
+      return;
+    case NodeKind::Begin: {
+      // Flatten nested begins and drop effect-free statements.
+      std::vector<NodePtr> Flat;
+      for (size_t I = 0; I != Slot->Subs.size(); ++I) {
+        bool Last = I + 1 == Slot->Subs.size();
+        NodePtr &Sub = Slot->Subs[I];
+        if (Sub->Kind == NodeKind::Begin) {
+          for (NodePtr &Inner : Sub->Subs)
+            Flat.push_back(std::move(Inner));
+          ++Rewrites;
+          continue;
+        }
+        if (!Last && isEffectFree(*Sub)) {
+          ++Rewrites;
+          continue;
+        }
+        Flat.push_back(std::move(Sub));
+      }
+      Slot->Subs = std::move(Flat);
+      if (Slot->Subs.size() == 1) {
+        NodePtr Only = std::move(Slot->Subs[0]);
+        Slot = std::move(Only);
+        ++Rewrites;
+      }
+      return;
+    }
+    case NodeKind::Cast: {
+      // Injecting an atomic literal into Dyn is a representation
+      // identity in every engine (atomic values are self-describing),
+      // so the runtime check disappears entirely — the paper's
+      // "eliminate many first-order checks" in miniature.
+      Node &Body = *Slot->Subs[0];
+      if (isLiteral(Body) && Slot->Ty->isDyn() && Body.Ty->isAtomic()) {
+        NodePtr Inner = std::move(Slot->Subs[0]);
+        Inner->Ty = Slot->Ty;
+        Slot = std::move(Inner);
+        ++Rewrites;
+      }
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  void foldPrim(NodePtr &Slot) {
+    const Node &N = *Slot;
+    auto AllInts = [&] {
+      for (const NodePtr &Sub : N.Subs)
+        if (Sub->Kind != NodeKind::LitInt)
+          return false;
+      return true;
+    };
+    auto AllFloats = [&] {
+      for (const NodePtr &Sub : N.Subs)
+        if (Sub->Kind != NodeKind::LitFloat)
+          return false;
+      return true;
+    };
+    auto I = [&](size_t Index) { return N.Subs[Index]->IntVal; };
+    auto Fl = [&](size_t Index) { return N.Subs[Index]->FloatVal; };
+
+    switch (N.Prim) {
+    case PrimOp::AddI:
+    case PrimOp::SubI:
+    case PrimOp::MulI: {
+      if (!AllInts())
+        return;
+      int64_t Value = N.Prim == PrimOp::AddI   ? I(0) + I(1)
+                      : N.Prim == PrimOp::SubI ? I(0) - I(1)
+                                               : I(0) * I(1);
+      Slot = makeLitInt(Types, Value, N.Loc);
+      ++Rewrites;
+      return;
+    }
+    case PrimOp::DivI:
+    case PrimOp::ModI:
+      // Folding would hide the runtime division-by-zero trap; only fold
+      // provably safe divisors.
+      if (AllInts() && I(1) != 0) {
+        Slot = makeLitInt(
+            Types, N.Prim == PrimOp::DivI ? I(0) / I(1) : I(0) % I(1),
+            N.Loc);
+        ++Rewrites;
+      }
+      return;
+    case PrimOp::LtI:
+    case PrimOp::LeI:
+    case PrimOp::EqI:
+    case PrimOp::GeI:
+    case PrimOp::GtI: {
+      if (!AllInts())
+        return;
+      bool Value = N.Prim == PrimOp::LtI   ? I(0) < I(1)
+                   : N.Prim == PrimOp::LeI ? I(0) <= I(1)
+                   : N.Prim == PrimOp::EqI ? I(0) == I(1)
+                   : N.Prim == PrimOp::GeI ? I(0) >= I(1)
+                                           : I(0) > I(1);
+      Slot = makeLitBool(Types, Value, N.Loc);
+      ++Rewrites;
+      return;
+    }
+    case PrimOp::AddF:
+    case PrimOp::SubF:
+    case PrimOp::MulF: {
+      if (!AllFloats())
+        return;
+      double Value = N.Prim == PrimOp::AddF   ? Fl(0) + Fl(1)
+                     : N.Prim == PrimOp::SubF ? Fl(0) - Fl(1)
+                                              : Fl(0) * Fl(1);
+      Slot = makeLitFloat(Types, Value, N.Loc);
+      ++Rewrites;
+      return;
+    }
+    case PrimOp::Not:
+      if (N.Subs[0]->Kind == NodeKind::LitBool) {
+        Slot = makeLitBool(Types, !N.Subs[0]->BoolVal, N.Loc);
+        ++Rewrites;
+      }
+      return;
+    case PrimOp::IntToFloat:
+      if (N.Subs[0]->Kind == NodeKind::LitInt) {
+        Slot = makeLitFloat(Types, static_cast<double>(N.Subs[0]->IntVal),
+                            N.Loc);
+        ++Rewrites;
+      }
+      return;
+    default:
+      return;
+    }
+  }
+};
+
+} // namespace
+
+unsigned grift::optimizeCore(TypeContext &Types, CoreProgram &Prog) {
+  return Optimizer(Types).run(Prog);
+}

@@ -1,0 +1,569 @@
+#include "frontend/Parser.h"
+
+#include "sexp/Reader.h"
+#include "types/TypeParser.h"
+
+#include <cassert>
+
+using namespace grift;
+
+namespace {
+
+/// Names that cannot be used as variables because they head special forms.
+bool isKeyword(std::string_view Name) {
+  static const char *Keywords[] = {
+      "define", "lambda",        "let",        "letrec",      "if",
+      "begin",  "repeat",        "time",       "tuple",       "tuple-proj",
+      "box",    "unbox",         "box-set!",   "make-vector", "vector-ref",
+      "vector-set!", "vector-length", "ann",   "and",         "or",
+      "when",   "unless",        "cond",       "else",        ":"};
+  for (const char *Keyword : Keywords)
+    if (Name == Keyword)
+      return true;
+  return false;
+}
+
+class Parser {
+public:
+  Parser(TypeContext &Ctx, DiagnosticEngine &Diags) : Ctx(Ctx), Diags(Diags) {}
+
+  std::optional<Program> parseProgram(const std::vector<Sexp> &Data) {
+    Program Prog;
+    for (const Sexp &Datum : Data) {
+      if (Datum.isList() && Datum.size() >= 1 && Datum[0].isSymbol("define")) {
+        std::optional<Define> D = parseDefine(Datum);
+        if (!D)
+          return std::nullopt;
+        Prog.Defines.push_back(std::move(*D));
+        continue;
+      }
+      ExprPtr E = parse(Datum);
+      if (!E)
+        return std::nullopt;
+      Define Stmt;
+      Stmt.Body = std::move(E);
+      Stmt.Loc = Datum.loc();
+      Prog.Defines.push_back(std::move(Stmt));
+    }
+    return Prog;
+  }
+
+  ExprPtr parse(const Sexp &Datum) {
+    switch (Datum.kind()) {
+    case Sexp::Kind::Int:
+      return makeLitInt(Datum.intValue(), Datum.loc());
+    case Sexp::Kind::Float:
+      return makeLitFloat(Datum.floatValue(), Datum.loc());
+    case Sexp::Kind::Bool:
+      return makeLitBool(Datum.boolValue(), Datum.loc());
+    case Sexp::Kind::Char:
+      return makeLitChar(Datum.charValue(), Datum.loc());
+    case Sexp::Kind::String:
+      return error(Datum.loc(), "string literals are not GTLC+ expressions");
+    case Sexp::Kind::Symbol: {
+      const std::string &Name = Datum.symbol();
+      if (isKeyword(Name) || lookupPrim(Name))
+        return error(Datum.loc(), "'" + Name + "' used as a variable");
+      return makeVar(Name, Datum.loc());
+    }
+    case Sexp::Kind::List:
+      if (Datum.isEmptyList())
+        return makeLitUnit(Datum.loc());
+      return parseForm(Datum);
+    }
+    return nullptr;
+  }
+
+private:
+  TypeContext &Ctx;
+  DiagnosticEngine &Diags;
+
+  ExprPtr error(SourceLoc Loc, std::string Message) {
+    Diags.error(Loc, std::move(Message));
+    return nullptr;
+  }
+
+  const Type *parseTypeAt(const Sexp &Datum) {
+    return parseType(Ctx, Datum, Diags);
+  }
+
+  /// Parses `elems[I] == ':'` followed by a type; on success advances \p I
+  /// past both and returns the type. Returns nullptr without error if no
+  /// colon is present; sets \p Bad on malformed annotation.
+  const Type *parseOptionalAnnot(const Sexp &List, size_t &I, bool &Bad) {
+    const auto &Elements = List.elements();
+    if (I >= Elements.size() || !Elements[I].isSymbol(":"))
+      return nullptr;
+    if (I + 1 >= Elements.size()) {
+      Diags.error(List.loc(), "':' must be followed by a type");
+      Bad = true;
+      return nullptr;
+    }
+    const Type *T = parseTypeAt(Elements[I + 1]);
+    if (!T) {
+      Bad = true;
+      return nullptr;
+    }
+    I += 2;
+    return T;
+  }
+
+  std::optional<Param> parseParam(const Sexp &Datum) {
+    if (Datum.isSymbol()) {
+      if (isKeyword(Datum.symbol()))
+        Diags.error(Datum.loc(), "keyword used as parameter name");
+      return Param{Datum.symbol(), nullptr, Datum.loc()};
+    }
+    // [x : T]
+    if (Datum.isList() && Datum.size() == 3 && Datum[0].isSymbol() &&
+        Datum[1].isSymbol(":")) {
+      const Type *T = parseTypeAt(Datum[2]);
+      if (!T)
+        return std::nullopt;
+      return Param{Datum[0].symbol(), T, Datum.loc()};
+    }
+    Diags.error(Datum.loc(), "malformed parameter, expected x or [x : T]");
+    return std::nullopt;
+  }
+
+  /// Parses a body sequence starting at \p Start; wraps multiple
+  /// expressions in an implicit begin.
+  ExprPtr parseBody(const Sexp &List, size_t Start) {
+    const auto &Elements = List.elements();
+    if (Start >= Elements.size())
+      return error(List.loc(), "empty body");
+    if (Start + 1 == Elements.size())
+      return parse(Elements[Start]);
+    std::vector<ExprPtr> Seq;
+    for (size_t I = Start; I != Elements.size(); ++I) {
+      ExprPtr E = parse(Elements[I]);
+      if (!E)
+        return nullptr;
+      Seq.push_back(std::move(E));
+    }
+    return makeNode(ExprKind::Begin, std::move(Seq), List.loc());
+  }
+
+  std::optional<Define> parseDefine(const Sexp &Datum) {
+    // (define x : T E) | (define x E) | (define (f P...) (: T)? E...)
+    if (Datum.size() < 3) {
+      Diags.error(Datum.loc(), "malformed define");
+      return std::nullopt;
+    }
+    Define D;
+    D.Loc = Datum.loc();
+    if (Datum[1].isSymbol()) {
+      D.Name = Datum[1].symbol();
+      size_t I = 2;
+      bool Bad = false;
+      D.Annot = parseOptionalAnnot(Datum, I, Bad);
+      if (Bad)
+        return std::nullopt;
+      if (I + 1 != Datum.size()) {
+        Diags.error(Datum.loc(), "define takes exactly one body expression");
+        return std::nullopt;
+      }
+      D.Body = parse(Datum[I]);
+      if (!D.Body)
+        return std::nullopt;
+      return D;
+    }
+    if (!Datum[1].isList() || Datum[1].size() < 1 || !Datum[1][0].isSymbol()) {
+      Diags.error(Datum.loc(), "malformed define header");
+      return std::nullopt;
+    }
+    // Function form: desugar to a lambda.
+    const Sexp &Header = Datum[1];
+    D.Name = Header[0].symbol();
+    auto Lambda = std::make_unique<Expr>();
+    Lambda->Kind = ExprKind::Lambda;
+    Lambda->Loc = Datum.loc();
+    for (size_t I = 1; I != Header.size(); ++I) {
+      std::optional<Param> P = parseParam(Header[I]);
+      if (!P)
+        return std::nullopt;
+      Lambda->Params.push_back(std::move(*P));
+    }
+    size_t I = 2;
+    bool Bad = false;
+    Lambda->ReturnAnnot = parseOptionalAnnot(Datum, I, Bad);
+    if (Bad)
+      return std::nullopt;
+    ExprPtr Body = parseBody(Datum, I);
+    if (!Body)
+      return std::nullopt;
+    Lambda->SubExprs.push_back(std::move(Body));
+    D.Body = std::move(Lambda);
+    return D;
+  }
+
+  ExprPtr parseForm(const Sexp &Datum) {
+    const Sexp &Head = Datum[0];
+    if (!Head.isSymbol())
+      return parseApp(Datum);
+    const std::string &Name = Head.symbol();
+
+    if (std::optional<PrimOp> Op = lookupPrim(Name))
+      return parsePrim(Datum, *Op);
+    if (Name == "if")
+      return parseIf(Datum);
+    if (Name == "lambda")
+      return parseLambda(Datum);
+    if (Name == "let" || Name == "letrec")
+      return parseLet(Datum, Name == "letrec");
+    if (Name == "begin")
+      return parseBegin(Datum);
+    if (Name == "repeat")
+      return parseRepeat(Datum);
+    if (Name == "time")
+      return parseUnary(Datum, ExprKind::Time);
+    if (Name == "tuple")
+      return parseTuple(Datum);
+    if (Name == "tuple-proj")
+      return parseTupleProj(Datum);
+    if (Name == "box")
+      return parseUnary(Datum, ExprKind::BoxE);
+    if (Name == "unbox")
+      return parseUnary(Datum, ExprKind::Unbox);
+    if (Name == "box-set!")
+      return parseNary(Datum, ExprKind::BoxSet, 2);
+    if (Name == "make-vector")
+      return parseNary(Datum, ExprKind::MakeVect, 2);
+    if (Name == "vector-ref")
+      return parseNary(Datum, ExprKind::VectRef, 2);
+    if (Name == "vector-set!")
+      return parseNary(Datum, ExprKind::VectSet, 3);
+    if (Name == "vector-length")
+      return parseUnary(Datum, ExprKind::VectLen);
+    if (Name == "ann")
+      return parseAnn(Datum);
+    if (Name == "and" || Name == "or")
+      return parseAndOr(Datum, Name == "and");
+    if (Name == "when" || Name == "unless")
+      return parseWhen(Datum, Name == "unless");
+    if (Name == "cond")
+      return parseCond(Datum);
+    if (Name == "define")
+      return error(Datum.loc(), "define is only allowed at the top level");
+    return parseApp(Datum);
+  }
+
+  ExprPtr parseApp(const Sexp &Datum) {
+    std::vector<ExprPtr> Parts;
+    Parts.reserve(Datum.size());
+    for (const Sexp &Element : Datum.elements()) {
+      ExprPtr E = parse(Element);
+      if (!E)
+        return nullptr;
+      Parts.push_back(std::move(E));
+    }
+    return makeNode(ExprKind::App, std::move(Parts), Datum.loc());
+  }
+
+  ExprPtr parsePrim(const Sexp &Datum, PrimOp Op) {
+    unsigned Arity = primArity(Op);
+    if (Datum.size() != Arity + 1)
+      return error(Datum.loc(), std::string(primName(Op)) + " expects " +
+                                    std::to_string(Arity) + " arguments, got " +
+                                    std::to_string(Datum.size() - 1));
+    std::vector<ExprPtr> Args;
+    for (size_t I = 1; I != Datum.size(); ++I) {
+      ExprPtr E = parse(Datum[I]);
+      if (!E)
+        return nullptr;
+      Args.push_back(std::move(E));
+    }
+    ExprPtr Node = makeNode(ExprKind::PrimApp, std::move(Args), Datum.loc());
+    Node->Prim = Op;
+    return Node;
+  }
+
+  ExprPtr parseIf(const Sexp &Datum) {
+    if (Datum.size() != 4)
+      return error(Datum.loc(), "if takes exactly three sub-expressions");
+    return parseNary(Datum, ExprKind::If, 3);
+  }
+
+  ExprPtr parseNary(const Sexp &Datum, ExprKind Kind, size_t Arity) {
+    if (Datum.size() != Arity + 1)
+      return error(Datum.loc(), "form expects " + std::to_string(Arity) +
+                                    " sub-expressions");
+    std::vector<ExprPtr> Subs;
+    for (size_t I = 1; I != Datum.size(); ++I) {
+      ExprPtr E = parse(Datum[I]);
+      if (!E)
+        return nullptr;
+      Subs.push_back(std::move(E));
+    }
+    return makeNode(Kind, std::move(Subs), Datum.loc());
+  }
+
+  ExprPtr parseUnary(const Sexp &Datum, ExprKind Kind) {
+    return parseNary(Datum, Kind, 1);
+  }
+
+  ExprPtr parseLambda(const Sexp &Datum) {
+    if (Datum.size() < 3 || !Datum[1].isList())
+      return error(Datum.loc(), "malformed lambda");
+    auto Lambda = std::make_unique<Expr>();
+    Lambda->Kind = ExprKind::Lambda;
+    Lambda->Loc = Datum.loc();
+    for (const Sexp &P : Datum[1].elements()) {
+      std::optional<Param> Parsed = parseParam(P);
+      if (!Parsed)
+        return nullptr;
+      Lambda->Params.push_back(std::move(*Parsed));
+    }
+    size_t I = 2;
+    bool Bad = false;
+    Lambda->ReturnAnnot = parseOptionalAnnot(Datum, I, Bad);
+    if (Bad)
+      return nullptr;
+    ExprPtr Body = parseBody(Datum, I);
+    if (!Body)
+      return nullptr;
+    Lambda->SubExprs.push_back(std::move(Body));
+    return Lambda;
+  }
+
+  ExprPtr parseLet(const Sexp &Datum, bool IsRec) {
+    if (Datum.size() < 3 || !Datum[1].isList())
+      return error(Datum.loc(), "malformed let");
+    auto Node = std::make_unique<Expr>();
+    Node->Kind = IsRec ? ExprKind::Letrec : ExprKind::Let;
+    Node->Loc = Datum.loc();
+    for (const Sexp &BindDatum : Datum[1].elements()) {
+      if (!BindDatum.isList() || BindDatum.size() < 2 ||
+          !BindDatum[0].isSymbol())
+        return error(BindDatum.loc(), "malformed binding, expected [x (: T)? E]");
+      Binding B;
+      B.Name = BindDatum[0].symbol();
+      B.Loc = BindDatum.loc();
+      size_t I = 1;
+      bool Bad = false;
+      B.Annot = parseOptionalAnnot(BindDatum, I, Bad);
+      if (Bad)
+        return nullptr;
+      if (I + 1 != BindDatum.size())
+        return error(BindDatum.loc(), "binding takes exactly one initializer");
+      B.Init = parse(BindDatum[I]);
+      if (!B.Init)
+        return nullptr;
+      Node->Bindings.push_back(std::move(B));
+    }
+    ExprPtr Body = parseBody(Datum, 2);
+    if (!Body)
+      return nullptr;
+    Node->SubExprs.push_back(std::move(Body));
+    return Node;
+  }
+
+  ExprPtr parseBegin(const Sexp &Datum) {
+    if (Datum.size() < 2)
+      return error(Datum.loc(), "begin needs at least one expression");
+    std::vector<ExprPtr> Seq;
+    for (size_t I = 1; I != Datum.size(); ++I) {
+      ExprPtr E = parse(Datum[I]);
+      if (!E)
+        return nullptr;
+      Seq.push_back(std::move(E));
+    }
+    return makeNode(ExprKind::Begin, std::move(Seq), Datum.loc());
+  }
+
+  ExprPtr parseRepeat(const Sexp &Datum) {
+    // (repeat (x lo hi) [(acc (: T)? init)] body)
+    if (Datum.size() < 3 || Datum.size() > 4 || !Datum[1].isList() ||
+        Datum[1].size() != 3 || !Datum[1][0].isSymbol())
+      return error(Datum.loc(), "malformed repeat, expected "
+                                "(repeat (x lo hi) [(acc init)] body)");
+    auto Node = std::make_unique<Expr>();
+    Node->Kind = ExprKind::Repeat;
+    Node->Loc = Datum.loc();
+    Node->Name = Datum[1][0].symbol();
+    ExprPtr Lo = parse(Datum[1][1]);
+    ExprPtr Hi = parse(Datum[1][2]);
+    if (!Lo || !Hi)
+      return nullptr;
+    Node->SubExprs.push_back(std::move(Lo));
+    Node->SubExprs.push_back(std::move(Hi));
+    size_t BodyIndex = 2;
+    if (Datum.size() == 4) {
+      const Sexp &AccDatum = Datum[2];
+      if (!AccDatum.isList() || AccDatum.size() < 2 || !AccDatum[0].isSymbol())
+        return error(AccDatum.loc(), "malformed repeat accumulator");
+      Node->HasAcc = true;
+      Node->AccName = AccDatum[0].symbol();
+      size_t I = 1;
+      bool Bad = false;
+      Node->AccAnnot = parseOptionalAnnot(AccDatum, I, Bad);
+      if (Bad)
+        return nullptr;
+      if (I + 1 != AccDatum.size())
+        return error(AccDatum.loc(), "repeat accumulator takes one initializer");
+      ExprPtr Init = parse(AccDatum[I]);
+      if (!Init)
+        return nullptr;
+      Node->SubExprs.push_back(std::move(Init));
+      BodyIndex = 3;
+    }
+    ExprPtr Body = parse(Datum[BodyIndex]);
+    if (!Body)
+      return nullptr;
+    Node->SubExprs.push_back(std::move(Body));
+    return Node;
+  }
+
+  ExprPtr parseTuple(const Sexp &Datum) {
+    if (Datum.size() < 2)
+      return error(Datum.loc(), "tuple needs at least one element");
+    std::vector<ExprPtr> Elements;
+    for (size_t I = 1; I != Datum.size(); ++I) {
+      ExprPtr E = parse(Datum[I]);
+      if (!E)
+        return nullptr;
+      Elements.push_back(std::move(E));
+    }
+    return makeNode(ExprKind::Tuple, std::move(Elements), Datum.loc());
+  }
+
+  ExprPtr parseTupleProj(const Sexp &Datum) {
+    if (Datum.size() != 3 || Datum[2].kind() != Sexp::Kind::Int)
+      return error(Datum.loc(), "expected (tuple-proj E i) with literal index");
+    ExprPtr Target = parse(Datum[1]);
+    if (!Target)
+      return nullptr;
+    int64_t Index = Datum[2].intValue();
+    if (Index < 0)
+      return error(Datum.loc(), "tuple index must be non-negative");
+    std::vector<ExprPtr> Subs;
+    Subs.push_back(std::move(Target));
+    ExprPtr Node = makeNode(ExprKind::TupleProj, std::move(Subs), Datum.loc());
+    Node->Index = static_cast<uint32_t>(Index);
+    return Node;
+  }
+
+  ExprPtr parseAnn(const Sexp &Datum) {
+    if (Datum.size() != 3)
+      return error(Datum.loc(), "expected (ann E T)");
+    ExprPtr Body = parse(Datum[1]);
+    if (!Body)
+      return nullptr;
+    const Type *T = parseTypeAt(Datum[2]);
+    if (!T)
+      return nullptr;
+    std::vector<ExprPtr> Subs;
+    Subs.push_back(std::move(Body));
+    ExprPtr Node = makeNode(ExprKind::Ascribe, std::move(Subs), Datum.loc());
+    Node->Annot = T;
+    return Node;
+  }
+
+  /// (and a b ...) => (if a (and b ...) #f); (or a b ...) dually.
+  ExprPtr parseAndOr(const Sexp &Datum, bool IsAnd) {
+    if (Datum.size() < 3)
+      return error(Datum.loc(), "and/or need at least two operands");
+    return buildAndOr(Datum, 1, IsAnd);
+  }
+
+  ExprPtr buildAndOr(const Sexp &Datum, size_t Index, bool IsAnd) {
+    ExprPtr First = parse(Datum[Index]);
+    if (!First)
+      return nullptr;
+    if (Index + 1 == Datum.size())
+      return First;
+    ExprPtr Rest = buildAndOr(Datum, Index + 1, IsAnd);
+    if (!Rest)
+      return nullptr;
+    std::vector<ExprPtr> Subs;
+    Subs.push_back(std::move(First));
+    if (IsAnd) {
+      Subs.push_back(std::move(Rest));
+      Subs.push_back(makeLitBool(false, Datum.loc()));
+    } else {
+      Subs.push_back(makeLitBool(true, Datum.loc()));
+      Subs.push_back(std::move(Rest));
+    }
+    return makeNode(ExprKind::If, std::move(Subs), Datum.loc());
+  }
+
+  /// (when c e...) => (if c (begin e...) ()); unless negates.
+  ExprPtr parseWhen(const Sexp &Datum, bool Negate) {
+    if (Datum.size() < 3)
+      return error(Datum.loc(), "when/unless need a condition and a body");
+    ExprPtr Cond = parse(Datum[1]);
+    if (!Cond)
+      return nullptr;
+    ExprPtr Body = parseBody(Datum, 2);
+    if (!Body)
+      return nullptr;
+    std::vector<ExprPtr> Subs;
+    Subs.push_back(std::move(Cond));
+    if (Negate) {
+      Subs.push_back(makeLitUnit(Datum.loc()));
+      Subs.push_back(std::move(Body));
+    } else {
+      Subs.push_back(std::move(Body));
+      Subs.push_back(makeLitUnit(Datum.loc()));
+    }
+    return makeNode(ExprKind::If, std::move(Subs), Datum.loc());
+  }
+
+  /// (cond [c e...] ... [else e...]) => nested ifs; a missing else arm
+  /// defaults to ().
+  ExprPtr parseCond(const Sexp &Datum) {
+    if (Datum.size() < 2)
+      return error(Datum.loc(), "cond needs at least one clause");
+    return buildCond(Datum, 1);
+  }
+
+  ExprPtr buildCond(const Sexp &Datum, size_t Index) {
+    if (Index == Datum.size())
+      return makeLitUnit(Datum.loc());
+    const Sexp &Clause = Datum[Index];
+    if (!Clause.isList() || Clause.size() < 2)
+      return error(Clause.loc(), "malformed cond clause");
+    if (Clause[0].isSymbol("else")) {
+      if (Index + 1 != Datum.size())
+        return error(Clause.loc(), "else must be the last cond clause");
+      return parseBody(Clause, 1);
+    }
+    ExprPtr Cond = parse(Clause[0]);
+    if (!Cond)
+      return nullptr;
+    ExprPtr Then = parseBody(Clause, 1);
+    if (!Then)
+      return nullptr;
+    ExprPtr Else = buildCond(Datum, Index + 1);
+    if (!Else)
+      return nullptr;
+    std::vector<ExprPtr> Subs;
+    Subs.push_back(std::move(Cond));
+    Subs.push_back(std::move(Then));
+    Subs.push_back(std::move(Else));
+    return makeNode(ExprKind::If, std::move(Subs), Clause.loc());
+  }
+};
+
+} // namespace
+
+std::optional<Program> grift::parseProgram(TypeContext &Ctx,
+                                           std::string_view Source,
+                                           DiagnosticEngine &Diags) {
+  std::vector<Sexp> Data = readSexps(Source, Diags);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return Parser(Ctx, Diags).parseProgram(Data);
+}
+
+ExprPtr grift::parseExpr(TypeContext &Ctx, std::string_view Source,
+                         DiagnosticEngine &Diags) {
+  std::vector<Sexp> Data = readSexps(Source, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  if (Data.size() != 1) {
+    Diags.error(SourceLoc(), "expected exactly one expression");
+    return nullptr;
+  }
+  return Parser(Ctx, Diags).parse(Data[0]);
+}

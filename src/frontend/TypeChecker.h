@@ -1,0 +1,33 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The gradual type checker and cast-insertion pass (paper Section 3 and
+/// Appendix B). Checking follows the standard GTLC rules: implicit casts
+/// are inserted wherever two *consistent* types meet; inconsistent types
+/// are static errors. The output is the explicit-cast core IR.
+///
+/// Blame labels are derived from source locations, so a runtime cast
+/// failure points at the responsible cast site.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_FRONTEND_TYPECHECKER_H
+#define GRIFT_FRONTEND_TYPECHECKER_H
+
+#include "ast/Ast.h"
+#include "frontend/CoreIR.h"
+#include "support/Diagnostics.h"
+#include "types/TypeContext.h"
+
+#include <optional>
+
+namespace grift {
+
+/// Type checks \p Prog and inserts explicit casts. Returns nullopt (with
+/// diagnostics in \p Diags) when the program has a static type error.
+std::optional<core::CoreProgram> typeCheck(TypeContext &Ctx,
+                                           const Program &Prog,
+                                           DiagnosticEngine &Diags);
+
+} // namespace grift
+
+#endif // GRIFT_FRONTEND_TYPECHECKER_H

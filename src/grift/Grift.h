@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public Grift API. Typical use:
+///
+/// \code
+///   grift::Grift G;
+///   std::string Errors;
+///   auto Exe = G.compile("(+ 1 41)", grift::CastMode::Coercions, Errors);
+///   if (!Exe) { /* report Errors */ }
+///   grift::RunResult R = Exe->run();
+///   // R.ResultText == "42"
+/// \endcode
+///
+/// A Grift instance owns the type and coercion contexts shared by every
+/// program it compiles; Executables remain valid as long as their Grift
+/// lives. Instances are not thread-safe; use one per thread.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_GRIFT_GRIFT_H
+#define GRIFT_GRIFT_GRIFT_H
+
+#include "ast/Ast.h"
+#include "coercions/CoercionFactory.h"
+#include "frontend/CoreIR.h"
+#include "runtime/Mode.h"
+#include "types/TypeContext.h"
+#include "vm/Bytecode.h"
+#include "vm/VM.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace grift {
+
+class Grift;
+
+/// A compiled GTLC+ program, bound to the Grift that created it.
+class Executable {
+public:
+  /// Runs the program on a fresh heap. \p Input feeds read-int/read-char.
+  RunResult run(std::string Input = "") const;
+
+  /// The compiled bytecode (inspection, tests).
+  const VMProgram &program() const { return Prog; }
+
+  CastMode mode() const { return Prog.Mode; }
+
+private:
+  friend class Grift;
+  Executable(Grift &Owner, VMProgram Prog)
+      : Owner(&Owner), Prog(std::move(Prog)) {}
+
+  Grift *Owner;
+  VMProgram Prog;
+};
+
+/// The compiler entry point.
+class Grift {
+public:
+  Grift() : Coercions(Types) {}
+  Grift(const Grift &) = delete;
+  Grift &operator=(const Grift &) = delete;
+
+  /// Parses GTLC+ source into a surface AST (used by the configuration
+  /// sampler). On failure returns nullopt and appends to \p Errors.
+  std::optional<Program> parse(std::string_view Source, std::string &Errors);
+
+  /// Type checks and cast-inserts a surface program.
+  std::optional<core::CoreProgram> check(const Program &Ast,
+                                         std::string &Errors);
+
+  /// Compiles source text end to end for \p Mode. \p Optimize enables
+  /// the optional core-IR optimizer (OFF by default, matching the
+  /// paper's "no general-purpose optimizations" baseline).
+  std::optional<Executable> compile(std::string_view Source, CastMode Mode,
+                                    std::string &Errors,
+                                    bool Optimize = false);
+
+  /// Compiles an already-parsed AST for \p Mode.
+  std::optional<Executable> compileAst(const Program &Ast, CastMode Mode,
+                                       std::string &Errors,
+                                       bool Optimize = false);
+
+  TypeContext &types() { return Types; }
+  CoercionFactory &coercions() { return Coercions; }
+
+private:
+  friend class Executable;
+  TypeContext Types;
+  CoercionFactory Coercions;
+};
+
+} // namespace grift
+
+#endif // GRIFT_GRIFT_GRIFT_H

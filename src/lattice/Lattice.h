@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The configuration machinery for the paper's performance-lattice
+/// experiments (Section 4.1):
+///
+///  * `eraseTypes` — the "Dynamic Grift" configuration: every type
+///    annotation becomes Dyn and every constructed value is explicitly
+///    ascribed to Dyn.
+///
+///  * `sampleFineGrained` — the binned random sampler: starting from a
+///    fully typed program, draws configurations whose overall type
+///    precision falls uniformly across bins, by replacing random type
+///    sub-trees with Dyn (the paper samples a linear number of
+///    configurations, following Greenman and Migeed).
+///
+///  * `coarseConfigs` — the module-level lattice used by Figure 8's left
+///    column: each top-level define is either fully typed or fully
+///    dynamic (2^m configurations, enumerated or sampled).
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_LATTICE_LATTICE_H
+#define GRIFT_LATTICE_LATTICE_H
+
+#include "ast/Ast.h"
+#include "types/TypeContext.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace grift {
+
+/// A sampled configuration: the program plus its type precision in
+/// [0, 1] relative to the fully typed original.
+struct Configuration {
+  Program Prog;
+  double Precision = 0;
+};
+
+/// Fraction of type-annotation constructors that are not Dyn, across all
+/// annotations in the program (0 = untyped, 1 = fully typed).
+double programPrecision(const Program &Prog);
+
+/// The fully dynamic configuration of \p Prog.
+Program eraseTypes(const Program &Prog, TypeContext &Ctx);
+
+/// Draws ≈ \p PerBin configurations in each of \p Bins precision bins
+/// from the fully typed \p Prog. Deterministic in \p Seed.
+std::vector<Configuration> sampleFineGrained(const Program &Prog,
+                                             TypeContext &Ctx, unsigned Bins,
+                                             unsigned PerBin, uint64_t Seed);
+
+/// Module-level (per-define) configurations: every subset of defines
+/// erased, enumerated exhaustively up to \p MaxConfigs and sampled
+/// beyond that. The all-typed and all-dynamic configurations are always
+/// included.
+std::vector<Configuration> coarseConfigs(const Program &Prog,
+                                         TypeContext &Ctx,
+                                         unsigned MaxConfigs, uint64_t Seed);
+
+} // namespace grift
+
+#endif // GRIFT_LATTICE_LATTICE_H

@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A definitional interpreter for the paper's Appendix B operational
+/// semantics (Figure 18): a direct, slow, obviously-correct evaluator
+/// over the explicit-cast core IR with the lazy-D space-efficient
+/// coercion semantics.
+///
+///   * values follow the Figure 18 grammar: raw values u, tuples,
+///     injected values u⟨g ; I!⟩ (represented as an explicit Dyn
+///     wrapper), proxied functions u⟨c → d⟩, addresses, and proxied
+///     references u⟨Ref c d⟩;
+///   * cast application implements the cast reduction rules, with
+///     u⟨i⟩⟨c⟩ → u⟨i ⨟ c⟩ (space efficiency via composition);
+///   * the store maps addresses to cells; proxied reads/writes apply the
+///     proxy's read/write coercions.
+///
+/// The VM (src/vm) is differential-tested against this interpreter: same
+/// programs, same outputs, same blame.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_REFINTERP_REFINTERP_H
+#define GRIFT_REFINTERP_REFINTERP_H
+
+#include "coercions/CoercionFactory.h"
+#include "frontend/CoreIR.h"
+
+#include <string>
+
+namespace grift::refinterp {
+
+/// Outcome of a reference-interpreter run.
+struct RefResult {
+  bool OK = false;
+  std::string ResultText; ///< rendering of the final value (when OK)
+  std::string Output;     ///< everything printed
+  bool IsBlame = false;   ///< when !OK: blame vs trap
+  std::string Label;      ///< blame label
+  std::string Message;    ///< error message
+};
+
+/// Interprets \p Prog under the Figure 18 semantics. \p Input feeds
+/// read-int / read-char. Deterministic; no timing side effects ((time E)
+/// evaluates E and reports no measurement).
+RefResult interpret(TypeContext &Types, CoercionFactory &Coercions,
+                    const core::CoreProgram &Prog, std::string Input = "");
+
+} // namespace grift::refinterp
+
+#endif // GRIFT_REFINTERP_REFINTERP_H

@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime error signalling. A failed cast raises blame carrying the label
+/// of the responsible cast site (lazy-D blame tracking); other runtime
+/// traps (index out of bounds, arity mismatch on a Dyn call, ...) use the
+/// same channel without a blame label.
+///
+/// This is the one place the library uses C++ exceptions: blame must
+/// unwind the recursive coerce/cast/interpreter machinery. Exceptions are
+/// caught at the VM boundary and surfaced as a RunResult; none escape the
+/// public API (see DESIGN.md §4).
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_RUNTIME_BLAME_H
+#define GRIFT_RUNTIME_BLAME_H
+
+#include <string>
+
+namespace grift {
+
+/// Raised when a cast fails (IsBlame) or the runtime traps (!IsBlame).
+struct RuntimeError {
+  bool IsBlame = false;
+  std::string Label;   ///< cast-site blame label ("line:col"), if IsBlame
+  std::string Message; ///< human-readable description
+
+  /// Renders "blame 3:14: message" or "trap: message".
+  std::string str() const {
+    if (IsBlame)
+      return "blame " + Label + ": " + Message;
+    return "trap: " + Message;
+  }
+};
+
+} // namespace grift
+
+#endif // GRIFT_RUNTIME_BLAME_H

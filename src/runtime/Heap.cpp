@@ -1,0 +1,177 @@
+#include "runtime/Heap.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+using namespace grift;
+
+Heap::Heap() = default;
+
+Heap::~Heap() {
+  HeapObject *Object = AllObjects;
+  while (Object) {
+    HeapObject *Next = Object->Next;
+    std::free(Object);
+    Object = Next;
+  }
+}
+
+HeapObject *Heap::allocateObject(ObjectKind Kind, uint32_t NumSlots) {
+  size_t Bytes = sizeof(HeapObject) + NumSlots * sizeof(Value);
+  maybeCollect(Bytes);
+  void *Memory = std::malloc(Bytes);
+  assert(Memory && "out of memory");
+  assert((reinterpret_cast<uintptr_t>(Memory) & Value::TagMask) == 0 &&
+         "heap objects must be 8-byte aligned");
+  HeapObject *Object = new (Memory) HeapObject();
+  Object->Kind = Kind;
+  Object->NumSlots = NumSlots;
+  Object->SlotArray = reinterpret_cast<Value *>(
+      static_cast<char *>(Memory) + sizeof(HeapObject));
+  for (uint32_t I = 0; I != NumSlots; ++I)
+    Object->SlotArray[I] = Value::unit();
+  Object->Next = AllObjects;
+  AllObjects = Object;
+  ++LiveObjects;
+  BytesAllocated += Bytes;
+  BytesSinceGC += Bytes;
+  PeakHeapBytes = std::max(PeakHeapBytes, LiveBytesAtGC + BytesSinceGC);
+  return Object;
+}
+
+Value Heap::allocFloat(double D) {
+  HeapObject *Object = allocateObject(ObjectKind::Float, 0);
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  Object->Raw = Bits;
+  return Value::fromHeap(Object);
+}
+
+Value Heap::allocTuple(uint32_t Size) {
+  return Value::fromHeap(allocateObject(ObjectKind::Tuple, Size));
+}
+
+Value Heap::allocBox(Value Content) {
+  Rooted Root(*this, Content);
+  HeapObject *Object = allocateObject(ObjectKind::Box, 1);
+  Object->slot(0) = Root.get();
+  return Value::fromHeap(Object);
+}
+
+Value Heap::allocVector(uint32_t Size, Value Fill) {
+  Rooted Root(*this, Fill);
+  HeapObject *Object = allocateObject(ObjectKind::Vector, Size);
+  for (uint32_t I = 0; I != Size; ++I)
+    Object->slot(I) = Root.get();
+  return Value::fromHeap(Object);
+}
+
+Value Heap::allocClosure(uint32_t FunctionIndex, uint32_t NumFree) {
+  HeapObject *Object = allocateObject(ObjectKind::Closure, NumFree);
+  Object->Raw = FunctionIndex;
+  return Value::fromHeap(Object);
+}
+
+Value Heap::allocDynBox(Value Wrapped, const Type *SourceType) {
+  Rooted Root(*this, Wrapped);
+  HeapObject *Object = allocateObject(ObjectKind::DynBox, 1);
+  Object->slot(0) = Root.get();
+  Object->setMeta(0, SourceType);
+  return Value::fromHeap(Object);
+}
+
+Value Heap::allocProxyClosure(Value Wrapped, const void *M0, const void *M1,
+                              const void *M2) {
+  Rooted Root(*this, Wrapped);
+  HeapObject *Object = allocateObject(ObjectKind::ProxyClosure, 1);
+  Object->slot(0) = Root.get();
+  Object->setMeta(0, M0);
+  Object->setMeta(1, M1);
+  Object->setMeta(2, M2);
+  return Value::fromProxy(Object);
+}
+
+Value Heap::allocRefProxy(Value Wrapped, const void *M0, const void *M1,
+                          const void *M2) {
+  Rooted Root(*this, Wrapped);
+  HeapObject *Object = allocateObject(ObjectKind::RefProxy, 1);
+  Object->slot(0) = Root.get();
+  Object->setMeta(0, M0);
+  Object->setMeta(1, M1);
+  Object->setMeta(2, M2);
+  return Value::fromProxy(Object);
+}
+
+void Heap::addRootProvider(RootProvider *Provider) {
+  RootProviders.push_back(Provider);
+}
+
+void Heap::removeRootProvider(RootProvider *Provider) {
+  RootProviders.erase(
+      std::remove(RootProviders.begin(), RootProviders.end(), Provider),
+      RootProviders.end());
+}
+
+void Heap::mark(Value V) {
+  if (!V.isPointer())
+    return;
+  HeapObject *Object = V.object();
+  if (Object->Marked)
+    return;
+  Object->Marked = true;
+  MarkStack.push_back(Object);
+  while (!MarkStack.empty()) {
+    HeapObject *Current = MarkStack.back();
+    MarkStack.pop_back();
+    for (uint32_t I = 0; I != Current->NumSlots; ++I) {
+      Value Slot = Current->SlotArray[I];
+      if (!Slot.isPointer())
+        continue;
+      HeapObject *Child = Slot.object();
+      if (!Child->Marked) {
+        Child->Marked = true;
+        MarkStack.push_back(Child);
+      }
+    }
+  }
+}
+
+void Heap::maybeCollect(size_t UpcomingBytes) {
+  if (BytesSinceGC + UpcomingBytes >= GCThreshold)
+    collect();
+}
+
+void Heap::collect() {
+  // Mark.
+  for (RootProvider *Provider : RootProviders)
+    Provider->visitRoots(
+        [](Value &Slot, void *Ctx) { static_cast<Heap *>(Ctx)->mark(Slot); },
+        this);
+  for (Value *Slot : TempRoots)
+    mark(*Slot);
+
+  // Sweep.
+  HeapObject **Link = &AllObjects;
+  size_t Live = 0;
+  size_t LiveBytes = 0;
+  while (*Link) {
+    HeapObject *Object = *Link;
+    if (Object->Marked) {
+      Object->Marked = false;
+      ++Live;
+      LiveBytes += sizeof(HeapObject) + Object->NumSlots * sizeof(Value);
+      Link = &Object->Next;
+    } else {
+      *Link = Object->Next;
+      std::free(Object);
+    }
+  }
+  LiveObjects = Live;
+  BytesSinceGC = 0;
+  LiveBytesAtGC = LiveBytes;
+  PeakHeapBytes = std::max(PeakHeapBytes, LiveBytes);
+  ++Collections;
+  // Grow the threshold with the live set so GC stays amortized-linear.
+  GCThreshold = std::max<size_t>(LiveBytes * 2, 8u << 20);
+}

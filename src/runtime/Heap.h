@@ -1,0 +1,187 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heap objects and the garbage collector.
+///
+/// Objects carry an 8-byte header (kind, mark bit, slot count) followed by
+/// Value slots and up to four metadata pointer slots (types, coercions,
+/// blame labels — all immortal, never traced).
+///
+/// Collection is precise stop-the-world mark-sweep. The paper's Grift uses
+/// the Boehm-Demers-Weiser conservative collector; we substitute a precise
+/// collector (DESIGN.md §5) — both are non-moving stop-the-world
+/// collectors, which is what the experiments depend on. Roots come from
+/// registered RootProviders (the VM stack, globals) and from Rooted<>
+/// RAII handles used inside runtime helpers that allocate.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_RUNTIME_HEAP_H
+#define GRIFT_RUNTIME_HEAP_H
+
+#include "runtime/Value.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace grift {
+
+class Type;
+class Coercion;
+
+/// What a heap object is. Proxy objects are referenced through
+/// Proxy-tagged Values; everything else through Heap-tagged Values.
+enum class ObjectKind : uint8_t {
+  Float,        ///< boxed double; Raw = bits of the double
+  Tuple,        ///< Slots = elements
+  Box,          ///< Slots = [content]
+  Vector,       ///< Slots = elements
+  Closure,      ///< Raw = function index; Slots = free variables
+  ProxyClosure, ///< Slots = [wrapped]; Meta = coercion / (src,tgt,label)
+  DynBox,       ///< Slots = [value]; Meta[0] = source type
+  RefProxy,     ///< Slots = [wrapped ref]; Meta = coercion / (src,tgt,label)
+};
+
+/// Header + payload of every heap allocation.
+class HeapObject {
+public:
+  ObjectKind kind() const { return Kind; }
+  uint32_t slotCount() const { return NumSlots; }
+
+  Value *slots() { return SlotArray; }
+  const Value *slots() const { return SlotArray; }
+  Value &slot(uint32_t Index) {
+    assert(Index < NumSlots && "slot out of range");
+    return SlotArray[Index];
+  }
+
+  /// Raw payload: function index for closures, double bits for floats.
+  uint64_t raw() const { return Raw; }
+  void setRaw(uint64_t Value) { Raw = Value; }
+
+  double floatValue() const {
+    assert(Kind == ObjectKind::Float && "not a float");
+    double D;
+    __builtin_memcpy(&D, &Raw, sizeof(D));
+    return D;
+  }
+
+  /// Immortal metadata (types, coercions, labels) — never traced.
+  const void *meta(unsigned Index) const {
+    assert(Index < 4 && "meta index out of range");
+    return Meta[Index];
+  }
+  void setMeta(unsigned Index, const void *Pointer) {
+    assert(Index < 4 && "meta index out of range");
+    Meta[Index] = Pointer;
+  }
+
+private:
+  friend class Heap;
+  HeapObject() = default;
+
+  ObjectKind Kind = ObjectKind::Float;
+  bool Marked = false;
+  uint32_t NumSlots = 0;
+  uint64_t Raw = 0;
+  const void *Meta[4] = {nullptr, nullptr, nullptr, nullptr};
+  HeapObject *Next = nullptr; // intrusive all-objects list for sweeping
+  Value *SlotArray = nullptr; // points just past this header
+};
+
+/// Enumerates GC roots; the VM implements this over its stack and globals.
+class RootProvider {
+public:
+  virtual ~RootProvider() = default;
+  /// Calls \p Visit on every root slot. Visited slots may be updated
+  /// (they are not, under mark-sweep, but the interface allows it).
+  virtual void visitRoots(void (*Visit)(Value &, void *), void *Ctx) = 0;
+};
+
+/// The garbage-collected heap.
+class Heap {
+public:
+  Heap();
+  ~Heap();
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  //===--------------------------------------------------------------------===//
+  // Allocation
+  //===--------------------------------------------------------------------===//
+
+  Value allocFloat(double D);
+  Value allocTuple(uint32_t Size);
+  Value allocBox(Value Content);
+  Value allocVector(uint32_t Size, Value Fill);
+  Value allocClosure(uint32_t FunctionIndex, uint32_t NumFree);
+  Value allocDynBox(Value Wrapped, const Type *SourceType);
+  /// Proxy closure over \p Wrapped; metadata is mode-specific.
+  Value allocProxyClosure(Value Wrapped, const void *M0, const void *M1,
+                          const void *M2);
+  Value allocRefProxy(Value Wrapped, const void *M0, const void *M1,
+                      const void *M2);
+
+  //===--------------------------------------------------------------------===//
+  // Roots and collection
+  //===--------------------------------------------------------------------===//
+
+  void addRootProvider(RootProvider *Provider);
+  void removeRootProvider(RootProvider *Provider);
+
+  void pushTempRoot(Value *Slot) { TempRoots.push_back(Slot); }
+  void popTempRoot() { TempRoots.pop_back(); }
+
+  /// Forces a full collection (tests).
+  void collect();
+
+  size_t liveObjects() const { return LiveObjects; }
+  size_t bytesAllocated() const { return BytesAllocated; }
+  uint64_t collections() const { return Collections; }
+  /// High-water mark of (estimated) live bytes: live-at-last-GC plus
+  /// bytes allocated since. This is the space-efficiency observable —
+  /// proxy chains show up here.
+  size_t peakHeapBytes() const { return PeakHeapBytes; }
+
+  /// Sets the allocation threshold that triggers collection (tests use a
+  /// tiny threshold to stress the collector).
+  void setGCThreshold(size_t Bytes) { GCThreshold = Bytes; }
+
+private:
+  HeapObject *allocateObject(ObjectKind Kind, uint32_t NumSlots);
+  void mark(Value V);
+  void maybeCollect(size_t UpcomingBytes);
+
+  HeapObject *AllObjects = nullptr;
+  size_t LiveObjects = 0;
+  size_t BytesAllocated = 0;
+  size_t BytesSinceGC = 0;
+  size_t LiveBytesAtGC = 0;
+  size_t PeakHeapBytes = 0;
+  size_t GCThreshold = 8u << 20;
+  uint64_t Collections = 0;
+  std::vector<RootProvider *> RootProviders;
+  std::vector<Value *> TempRoots;
+  std::vector<HeapObject *> MarkStack;
+};
+
+/// RAII temp root: keeps a Value alive across allocations inside runtime
+/// helpers. Exception-safe (blame unwinds pop roots correctly).
+class Rooted {
+public:
+  Rooted(Heap &H, Value V) : H(H), Slot(V) { H.pushTempRoot(&Slot); }
+  ~Rooted() { H.popTempRoot(); }
+  Rooted(const Rooted &) = delete;
+  Rooted &operator=(const Rooted &) = delete;
+
+  Value get() const { return Slot; }
+  void set(Value V) { Slot = V; }
+
+private:
+  Heap &H;
+  Value Slot;
+};
+
+} // namespace grift
+
+#endif // GRIFT_RUNTIME_HEAP_H

@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cast implementation strategies compared in the paper's evaluation.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_RUNTIME_MODE_H
+#define GRIFT_RUNTIME_MODE_H
+
+namespace grift {
+
+enum class CastMode {
+  /// Space-efficient coercions in normal form (the paper's contribution):
+  /// proxies carry a composed coercion; at most one proxy per value.
+  Coercions,
+  /// Traditional type-based casts: every higher-order cast adds a proxy;
+  /// chains grow without bound (the paper's baseline).
+  TypeBased,
+  /// No gradual typing support at all; requires a fully static program
+  /// ("Static Grift"). Vector/box operations skip proxy checks.
+  Static,
+  /// Monotonic references (paper Section 5 / Siek et al. ESOP'15):
+  /// functions use coercions, but references are never proxied — casting
+  /// a reference strengthens the heap cell's runtime type to the meet
+  /// and converts the stored values in place. Reads and writes at fully
+  /// static types compile to unchecked operations, eliminating the
+  /// proxy-check overhead in typed code.
+  Monotonic,
+};
+
+inline const char *castModeName(CastMode Mode) {
+  switch (Mode) {
+  case CastMode::Coercions:
+    return "coercions";
+  case CastMode::TypeBased:
+    return "type-based";
+  case CastMode::Static:
+    return "static";
+  case CastMode::Monotonic:
+    return "monotonic";
+  }
+  return "?";
+}
+
+} // namespace grift
+
+#endif // GRIFT_RUNTIME_MODE_H

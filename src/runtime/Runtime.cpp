@@ -1,0 +1,648 @@
+#include "runtime/Runtime.h"
+
+#include "support/StringUtil.h"
+#include "types/TypeOps.h"
+
+#include <cassert>
+
+using namespace grift;
+
+//===----------------------------------------------------------------------===//
+// Errors
+//===----------------------------------------------------------------------===//
+
+void Runtime::blame(const std::string *Label, std::string Message) {
+  throw RuntimeError{true, Label ? *Label : "?", std::move(Message)};
+}
+
+void Runtime::trap(std::string Message) {
+  throw RuntimeError{false, "", std::move(Message)};
+}
+
+//===----------------------------------------------------------------------===//
+// Dyn introspection
+//===----------------------------------------------------------------------===//
+
+const Type *Runtime::runtimeTypeOf(Value V) const {
+  switch (V.tag()) {
+  case ValueTag::Fixnum:
+    return Types.integer();
+  case ValueTag::Imm:
+    switch (V.immKind()) {
+    case ImmKind::Unit:
+      return Types.unit();
+    case ImmKind::False:
+    case ImmKind::True:
+      return Types.boolean();
+    case ImmKind::Char:
+      return Types.character();
+    }
+    return Types.unit();
+  case ValueTag::Heap: {
+    const HeapObject *Object = V.object();
+    if (Object->kind() == ObjectKind::Float)
+      return Types.floating();
+    if (Object->kind() == ObjectKind::DynBox)
+      return static_cast<const Type *>(Object->meta(0));
+    // A bare tuple/closure/reference can only reach a Dyn context through
+    // a DynBox; seeing one here is a compiler bug.
+    assert(false && "untagged heap value in Dyn context");
+    return Types.dyn();
+  }
+  case ValueTag::Proxy:
+    assert(false && "proxy value in Dyn context");
+    return Types.dyn();
+  }
+  return Types.dyn();
+}
+
+Value Runtime::dynUnwrap(Value V) const {
+  if (V.isHeap() && V.object()->kind() == ObjectKind::DynBox)
+    return V.object()->slot(0);
+  return V;
+}
+
+Value Runtime::inject(Value V, const Type *S) {
+  assert(!S->isDyn() && "cannot inject Dyn");
+  // Self-describing representations stay inline (paper: values fitting in
+  // 61 bits are stored inline; our boxed floats are also self-describing).
+  if (S->isAtomic())
+    return V;
+  return TheHeap.allocDynBox(V, S);
+}
+
+//===----------------------------------------------------------------------===//
+// Cast application entry points
+//===----------------------------------------------------------------------===//
+
+Value Runtime::applyCast(Value V, const CastDescriptor &Desc) {
+  switch (Mode) {
+  case CastMode::Coercions:
+    return applyCoercion(V, Desc.C);
+  case CastMode::TypeBased:
+    return applyTypeBased(V, Desc.Src, Desc.Tgt, Desc.Label);
+  case CastMode::Monotonic:
+    return applyMonotonic(V, Desc.Src, Desc.Tgt, Desc.Label);
+  case CastMode::Static:
+    assert(false && "cast instruction in a static program");
+    return V;
+  }
+  return V;
+}
+
+Value Runtime::applyMonotonic(Value V, const Type *S, const Type *T,
+                              const std::string *Label) {
+  ++Stats.CastsApplied;
+  return castMono(V, S, T, Label);
+}
+
+Value Runtime::applyCoercion(Value V, const Coercion *C) {
+  ++Stats.CastsApplied;
+  return coerce(V, C);
+}
+
+Value Runtime::applyTypeBased(Value V, const Type *S, const Type *T,
+                              const std::string *Label) {
+  ++Stats.CastsApplied;
+  return castTB(V, S, T, Label);
+}
+
+Value Runtime::castRuntime(Value V, const Type *S, const Type *T,
+                           const std::string *Label) {
+  if (Mode == CastMode::Coercions)
+    return applyCoercion(V, Coercions.makeInterned(S, T, Label));
+  if (Mode == CastMode::Monotonic)
+    return applyMonotonic(V, S, T, Label);
+  return applyTypeBased(V, S, T, Label);
+}
+
+//===----------------------------------------------------------------------===//
+// coerce — paper Figure 6
+//===----------------------------------------------------------------------===//
+
+// GC note: coerce does not root V up front. Every allocating branch roots
+// the values it still needs across its own allocations (alloc* helpers
+// root their value arguments; the tuple branch keeps explicit roots), so
+// a blanket root would only add overhead to the hot Id/Project paths.
+Value Runtime::coerce(Value V, const Coercion *C) {
+  switch (C->kind()) {
+  case CoercionKind::Id:
+    return V;
+
+  case CoercionKind::Sequence:
+    return coerce(coerce(V, C->first()), C->second());
+
+  case CoercionKind::Project: {
+    // Build the coercion from the value's runtime type to the target and
+    // apply it to the untagged value (lazy-D). The exact-match fast path
+    // (types are interned, so equality is pointer equality) covers the
+    // overwhelmingly common case of a projection that succeeds outright.
+    const Type *S = runtimeTypeOf(V);
+    if (S == C->type())
+      return dynUnwrap(V);
+    const Coercion *C2 = Coercions.makeForProjection(C, S);
+    return coerce(dynUnwrap(V), C2);
+  }
+
+  case CoercionKind::Inject:
+    return inject(V, C->type());
+
+  case CoercionKind::Fail:
+    blame(&C->label(),
+          "the value " + valueToString(V, 3) + " does not have the type "
+          "promised at this cast");
+
+  case CoercionKind::Fun: {
+    if (V.isProxy()) {
+      // Already-proxied function: compose so that there is only ever one
+      // proxy — this is what maintains space efficiency.
+      HeapObject *P = V.object();
+      assert(P->kind() == ObjectKind::ProxyClosure && "expected fun proxy");
+      const Coercion *Old = static_cast<const Coercion *>(P->meta(0));
+      const Coercion *New = Coercions.compose(Old, C);
+      ++Stats.Compositions;
+      Value Wrapped = P->slot(0);
+      if (New->isId())
+        return Wrapped; // the conversions cancelled; drop the proxy
+      ++Stats.ProxiesAllocated;
+      return TheHeap.allocProxyClosure(Wrapped, New, nullptr, nullptr);
+    }
+    assert(V.isHeap() && V.object()->kind() == ObjectKind::Closure &&
+           "function coercion applied to non-function");
+    ++Stats.ProxiesAllocated;
+    return TheHeap.allocProxyClosure(V, C, nullptr, nullptr);
+  }
+
+  case CoercionKind::RefC: {
+    if (Mode == CastMode::Monotonic) {
+      // Monotonic references: no proxy — strengthen the cell in place to
+      // the coercion's target element type and return the same address.
+      strengthenCell(V.object(), C->type()->inner(), C->labelPointer());
+      return V;
+    }
+    if (V.isProxy()) {
+      HeapObject *P = V.object();
+      assert(P->kind() == ObjectKind::RefProxy && "expected ref proxy");
+      const Coercion *Old = static_cast<const Coercion *>(P->meta(0));
+      const Coercion *New = Coercions.compose(Old, C);
+      ++Stats.Compositions;
+      Value Wrapped = P->slot(0);
+      if (New->isId())
+        return Wrapped;
+      ++Stats.ProxiesAllocated;
+      return TheHeap.allocRefProxy(Wrapped, New, nullptr, nullptr);
+    }
+    assert(V.isHeap() && (V.object()->kind() == ObjectKind::Box ||
+                          V.object()->kind() == ObjectKind::Vector) &&
+           "reference coercion applied to non-reference");
+    ++Stats.ProxiesAllocated;
+    return TheHeap.allocRefProxy(V, C, nullptr, nullptr);
+  }
+
+  case CoercionKind::TupleC: {
+    assert(V.isHeap() && V.object()->kind() == ObjectKind::Tuple &&
+           "tuple coercion applied to non-tuple");
+    uint32_t Size = V.object()->slotCount();
+    assert(Size == C->tupleSize() && "tuple coercion arity mismatch");
+    Rooted Src(TheHeap, V);
+    Value Fresh = TheHeap.allocTuple(Size);
+    Rooted Dst(TheHeap, Fresh);
+    for (uint32_t I = 0; I != Size; ++I) {
+      Value Element = coerce(Src.get().object()->slot(I), C->element(I));
+      Dst.get().object()->slot(I) = Element;
+    }
+    return Dst.get();
+  }
+
+  case CoercionKind::Rec:
+    return coerce(V, C->body());
+  }
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Type-based casts — the traditional baseline
+//===----------------------------------------------------------------------===//
+
+Value Runtime::castTB(Value V, const Type *S, const Type *T,
+                      const std::string *Label) {
+  if (S == T)
+    return V;
+  if (T->isDyn())
+    return inject(V, S);
+  if (S->isDyn()) {
+    const Type *S2 = runtimeTypeOf(V);
+    if (!consistent(Types, S2, T))
+      blame(Label, "cannot cast " + S2->str() + " to " + T->str());
+    return castTB(dynUnwrap(V), S2, T, Label);
+  }
+  if (S->isRec())
+    return castTB(V, Types.unfold(S), T, Label);
+  if (T->isRec())
+    return castTB(V, S, Types.unfold(T), Label);
+  if (!consistent(Types, S, T))
+    blame(Label, "cannot cast " + S->str() + " to " + T->str());
+
+  switch (S->kind()) {
+  case TypeKind::Function:
+    // Proxies stack: this is the unbounded-space behaviour the paper's
+    // coercions eliminate.
+    ++Stats.ProxiesAllocated;
+    return TheHeap.allocProxyClosure(V, S, T, Label);
+  case TypeKind::Box:
+  case TypeKind::Vect:
+    ++Stats.ProxiesAllocated;
+    return TheHeap.allocRefProxy(V, S->inner(), T->inner(), Label);
+  case TypeKind::Tuple: {
+    assert(V.isHeap() && V.object()->kind() == ObjectKind::Tuple &&
+           "tuple cast applied to non-tuple");
+    uint32_t Size = V.object()->slotCount();
+    Rooted Src(TheHeap, V);
+    Value Fresh = TheHeap.allocTuple(Size);
+    Rooted Dst(TheHeap, Fresh);
+    for (uint32_t I = 0; I != Size; ++I) {
+      Value Element = castTB(Src.get().object()->slot(I), S->element(I),
+                             T->element(I), Label);
+      Dst.get().object()->slot(I) = Element;
+    }
+    return Dst.get();
+  }
+  default:
+    // Consistent atomic types are equal, which was handled above.
+    assert(false && "castTB: unexpected type kind");
+    blame(Label, "impossible cast");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Monotonic references
+//===----------------------------------------------------------------------===//
+
+Value Runtime::castMono(Value V, const Type *S, const Type *T,
+                        const std::string *Label) {
+  if (S == T)
+    return V;
+  if (T->isDyn())
+    return inject(V, S);
+  if (S->isDyn()) {
+    const Type *S2 = runtimeTypeOf(V);
+    if (!consistent(Types, S2, T))
+      blame(Label, "cannot cast " + S2->str() + " to " + T->str());
+    return castMono(dynUnwrap(V), S2, T, Label);
+  }
+  if (S->isRec())
+    return castMono(V, Types.unfold(S), T, Label);
+  if (T->isRec())
+    return castMono(V, S, Types.unfold(T), Label);
+  if (!consistent(Types, S, T))
+    blame(Label, "cannot cast " + S->str() + " to " + T->str());
+
+  switch (S->kind()) {
+  case TypeKind::Function: {
+    // Functions still use space-efficient coercions; their reference
+    // components are interpreted monotonically when applied (see the
+    // RefC branch of coerce).
+    const Coercion *C = Coercions.makeInterned(S, T, Label);
+    if (C->isId())
+      return V;
+    return coerce(V, C);
+  }
+  case TypeKind::Box:
+  case TypeKind::Vect:
+    // The monotonic step: no proxy, same address, stronger cell type.
+    strengthenCell(V.object(), T->inner(), Label);
+    return V;
+  case TypeKind::Tuple: {
+    uint32_t Size = V.object()->slotCount();
+    Rooted Src(TheHeap, V);
+    Value Fresh = TheHeap.allocTuple(Size);
+    Rooted Dst(TheHeap, Fresh);
+    for (uint32_t I = 0; I != Size; ++I) {
+      Value Element = castMono(Src.get().object()->slot(I), S->element(I),
+                               T->element(I), Label);
+      Dst.get().object()->slot(I) = Element;
+    }
+    return Dst.get();
+  }
+  default:
+    assert(false && "castMono: unexpected type kind");
+    blame(Label, "impossible cast");
+  }
+}
+
+void Runtime::strengthenCell(HeapObject *Cell, const Type *TargetElem,
+                             const std::string *Label) {
+  assert((Cell->kind() == ObjectKind::Box ||
+          Cell->kind() == ObjectKind::Vector) &&
+         "monotonic cast of a non-reference");
+  const Type *M = static_cast<const Type *>(Cell->meta(0));
+  assert(M && "monotonic cell without runtime type information");
+  const Type *M2 = meet(Types, M, TargetElem);
+  if (!M2)
+    blame(Label, "a reference holding " + M->str() +
+                     " cannot be viewed at " + TargetElem->str());
+  if (M2 == M)
+    return;
+  // Guard against cycles through self-referential structures: updating
+  // the RTTI before converting makes re-entrant strengthening with the
+  // same target a no-op; the explicit stack catches deeper cycles.
+  for (const auto &Entry : Strengthening)
+    if (Entry.first == Cell && Entry.second == M2)
+      return;
+  Strengthening.push_back({Cell, M2});
+  Cell->setMeta(0, M2);
+  for (uint32_t I = 0; I != Cell->slotCount(); ++I)
+    Cell->slot(I) = castMono(Cell->slot(I), M, M2, Label);
+  Strengthening.pop_back();
+}
+
+Value Runtime::monoBoxRead(Value Box, const Type *ViewElem,
+                           const std::string *Label) {
+  HeapObject *Cell = Box.object();
+  Value V = Cell->slot(0);
+  const Type *M = static_cast<const Type *>(Cell->meta(0));
+  if (M == ViewElem)
+    return V;
+  // The cell is at least as precise as any view; convert outward.
+  return castRuntime(V, M, ViewElem, Label);
+}
+
+void Runtime::monoBoxWrite(Value Box, Value Content, const Type *ViewElem,
+                           const std::string *Label) {
+  HeapObject *Cell = Box.object();
+  const Type *M = static_cast<const Type *>(Cell->meta(0));
+  if (M != ViewElem)
+    Content = castRuntime(Content, ViewElem, M, Label); // may blame
+  Cell->slot(0) = Content;
+}
+
+Value Runtime::monoVectorRef(Value Vect, int64_t Index, const Type *ViewElem,
+                             const std::string *Label) {
+  HeapObject *Cell = Vect.object();
+  if (Index < 0 || Index >= Cell->slotCount())
+    trap("vector index " + std::to_string(Index) + " out of bounds");
+  Value V = Cell->slot(static_cast<uint32_t>(Index));
+  const Type *M = static_cast<const Type *>(Cell->meta(0));
+  if (M == ViewElem)
+    return V;
+  return castRuntime(V, M, ViewElem, Label);
+}
+
+void Runtime::monoVectorSet(Value Vect, int64_t Index, Value Content,
+                            const Type *ViewElem, const std::string *Label) {
+  HeapObject *Cell = Vect.object();
+  if (Index < 0 || Index >= Cell->slotCount())
+    trap("vector index " + std::to_string(Index) + " out of bounds");
+  const Type *M = static_cast<const Type *>(Cell->meta(0));
+  if (M != ViewElem)
+    Content = castRuntime(Content, ViewElem, M, Label);
+  Cell->slot(static_cast<uint32_t>(Index)) = Content;
+}
+
+//===----------------------------------------------------------------------===//
+// Proxy-aware reference operations
+//===----------------------------------------------------------------------===//
+
+HeapObject *Runtime::underlyingRef(Value Ref) const {
+  HeapObject *Object = Ref.object();
+  while (Object->kind() == ObjectKind::RefProxy)
+    Object = Object->slot(0).object();
+  return Object;
+}
+
+Value Runtime::boxRead(Value Box) {
+  if (!Box.isProxy())
+    return Box.object()->slot(0);
+  if (Mode == CastMode::Coercions) {
+    // Invariant: at most one proxy per reference.
+    HeapObject *P = Box.object();
+    Stats.noteChain(1);
+    Value Raw = P->slot(0).object()->slot(0);
+    const Coercion *C = static_cast<const Coercion *>(P->meta(0));
+    return applyCoercion(Raw, C->readCoercion());
+  }
+  // Type-based: traverse the whole chain, applying each read cast from
+  // the innermost proxy outwards.
+  std::vector<const HeapObject *> Chain;
+  const HeapObject *Object = Box.object();
+  while (Object->kind() == ObjectKind::RefProxy) {
+    Chain.push_back(Object);
+    Object = Object->slots()[0].object();
+  }
+  Stats.noteChain(Chain.size());
+  Value V = Object->slots()[0];
+  for (size_t I = Chain.size(); I-- > 0;) {
+    const HeapObject *P = Chain[I];
+    V = applyTypeBased(V, static_cast<const Type *>(P->meta(0)),
+                       static_cast<const Type *>(P->meta(1)),
+                       static_cast<const std::string *>(P->meta(2)));
+  }
+  return V;
+}
+
+void Runtime::boxWrite(Value Box, Value Content) {
+  if (!Box.isProxy()) {
+    Box.object()->slot(0) = Content;
+    return;
+  }
+  if (Mode == CastMode::Coercions) {
+    HeapObject *P = Box.object();
+    Stats.noteChain(1);
+    const Coercion *C = static_cast<const Coercion *>(P->meta(0));
+    Value Converted = applyCoercion(Content, C->writeCoercion());
+    P->slot(0).object()->slot(0) = Converted;
+    return;
+  }
+  // Type-based: apply write casts from the outermost proxy inwards.
+  HeapObject *Object = Box.object();
+  uint64_t Depth = 0;
+  Value V = Content;
+  while (Object->kind() == ObjectKind::RefProxy) {
+    ++Depth;
+    V = applyTypeBased(V, static_cast<const Type *>(Object->meta(1)),
+                       static_cast<const Type *>(Object->meta(0)),
+                       static_cast<const std::string *>(Object->meta(2)));
+    Object = Object->slot(0).object();
+  }
+  Stats.noteChain(Depth);
+  Object->slot(0) = V;
+}
+
+Value Runtime::vectorRef(Value Vect, int64_t Index) {
+  if (!Vect.isProxy()) {
+    HeapObject *Object = Vect.object();
+    if (Index < 0 || Index >= Object->slotCount())
+      trap("vector index " + std::to_string(Index) + " out of bounds for " +
+           "length " + std::to_string(Object->slotCount()));
+    return Object->slot(static_cast<uint32_t>(Index));
+  }
+  if (Mode == CastMode::Coercions) {
+    HeapObject *P = Vect.object();
+    Stats.noteChain(1);
+    HeapObject *Base = P->slot(0).object();
+    if (Index < 0 || Index >= Base->slotCount())
+      trap("vector index out of bounds");
+    const Coercion *C = static_cast<const Coercion *>(P->meta(0));
+    return applyCoercion(Base->slot(static_cast<uint32_t>(Index)),
+                         C->readCoercion());
+  }
+  std::vector<const HeapObject *> Chain;
+  const HeapObject *Object = Vect.object();
+  while (Object->kind() == ObjectKind::RefProxy) {
+    Chain.push_back(Object);
+    Object = Object->slots()[0].object();
+  }
+  Stats.noteChain(Chain.size());
+  if (Index < 0 || Index >= Object->slotCount())
+    trap("vector index out of bounds");
+  Value V = Object->slots()[static_cast<uint32_t>(Index)];
+  for (size_t I = Chain.size(); I-- > 0;) {
+    const HeapObject *P = Chain[I];
+    V = applyTypeBased(V, static_cast<const Type *>(P->meta(0)),
+                       static_cast<const Type *>(P->meta(1)),
+                       static_cast<const std::string *>(P->meta(2)));
+  }
+  return V;
+}
+
+void Runtime::vectorSet(Value Vect, int64_t Index, Value Content) {
+  if (!Vect.isProxy()) {
+    HeapObject *Object = Vect.object();
+    if (Index < 0 || Index >= Object->slotCount())
+      trap("vector index " + std::to_string(Index) + " out of bounds for " +
+           "length " + std::to_string(Object->slotCount()));
+    Object->slot(static_cast<uint32_t>(Index)) = Content;
+    return;
+  }
+  if (Mode == CastMode::Coercions) {
+    HeapObject *P = Vect.object();
+    Stats.noteChain(1);
+    const Coercion *C = static_cast<const Coercion *>(P->meta(0));
+    Value Converted = applyCoercion(Content, C->writeCoercion());
+    HeapObject *Base = P->slot(0).object();
+    if (Index < 0 || Index >= Base->slotCount())
+      trap("vector index out of bounds");
+    Base->slot(static_cast<uint32_t>(Index)) = Converted;
+    return;
+  }
+  HeapObject *Object = Vect.object();
+  uint64_t Depth = 0;
+  Value V = Content;
+  while (Object->kind() == ObjectKind::RefProxy) {
+    ++Depth;
+    V = applyTypeBased(V, static_cast<const Type *>(Object->meta(1)),
+                       static_cast<const Type *>(Object->meta(0)),
+                       static_cast<const std::string *>(Object->meta(2)));
+    Object = Object->slot(0).object();
+  }
+  Stats.noteChain(Depth);
+  if (Index < 0 || Index >= Object->slotCount())
+    trap("vector index out of bounds");
+  Object->slot(static_cast<uint32_t>(Index)) = V;
+}
+
+int64_t Runtime::vectorLength(Value Vect) {
+  if (!Vect.isProxy())
+    return Vect.object()->slotCount();
+  uint64_t Depth = 0;
+  const HeapObject *Object = Vect.object();
+  while (Object->kind() == ObjectKind::RefProxy) {
+    ++Depth;
+    Object = Object->slots()[0].object();
+  }
+  Stats.noteChain(Depth);
+  return Object->slotCount();
+}
+
+unsigned Runtime::proxyDepth(Value Callee) {
+  unsigned Depth = 0;
+  while (Callee.isProxy() &&
+         Callee.object()->kind() == ObjectKind::ProxyClosure) {
+    ++Depth;
+    Callee = Callee.object()->slot(0);
+  }
+  return Depth;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+std::string Runtime::valueToString(Value V, unsigned Depth) {
+  if (Depth == 0)
+    return "...";
+  switch (V.tag()) {
+  case ValueTag::Fixnum:
+    return std::to_string(V.asFixnum());
+  case ValueTag::Imm:
+    switch (V.immKind()) {
+    case ImmKind::Unit:
+      return "()";
+    case ImmKind::False:
+      return "#f";
+    case ImmKind::True:
+      return "#t";
+    case ImmKind::Char:
+      return std::string("#\\") + V.asChar();
+    }
+    return "()";
+  case ValueTag::Heap: {
+    HeapObject *Object = V.object();
+    switch (Object->kind()) {
+    case ObjectKind::Float:
+      return formatDouble(Object->floatValue());
+    case ObjectKind::Tuple: {
+      std::string Out = "#(";
+      for (uint32_t I = 0; I != Object->slotCount(); ++I) {
+        if (I != 0)
+          Out += ' ';
+        Out += valueToString(Object->slot(I), Depth - 1);
+      }
+      return Out + ")";
+    }
+    case ObjectKind::Box:
+      return "#&" + valueToString(boxRead(V), Depth - 1);
+    case ObjectKind::Vector: {
+      std::string Out = "#vec(";
+      uint32_t Limit = std::min<uint32_t>(Object->slotCount(), 8);
+      for (uint32_t I = 0; I != Limit; ++I) {
+        if (I != 0)
+          Out += ' ';
+        Out += valueToString(Object->slot(I), Depth - 1);
+      }
+      if (Object->slotCount() > Limit)
+        Out += " ...";
+      return Out + ")";
+    }
+    case ObjectKind::Closure:
+      return "#<procedure>";
+    case ObjectKind::DynBox:
+      return valueToString(Object->slot(0), Depth);
+    default:
+      return "#<object>";
+    }
+  }
+  case ValueTag::Proxy: {
+    HeapObject *Object = V.object();
+    if (Object->kind() == ObjectKind::ProxyClosure)
+      return "#<procedure>";
+    // Proxied reference: render through the proxy so every cast mode
+    // prints the same contents.
+    HeapObject *Base = underlyingRef(V);
+    if (Base->kind() == ObjectKind::Box)
+      return "#&" + valueToString(boxRead(V), Depth - 1);
+    std::string Out = "#vec(";
+    int64_t Length = vectorLength(V);
+    int64_t Limit = std::min<int64_t>(Length, 8);
+    for (int64_t I = 0; I != Limit; ++I) {
+      if (I != 0)
+        Out += ' ';
+      Out += valueToString(vectorRef(V, I), Depth - 1);
+    }
+    if (Length > Limit)
+      Out += " ...";
+    return Out + ")";
+  }
+  }
+  return "?";
+}

@@ -1,0 +1,155 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cast runtime: the `coerce` function of paper Figure 6, the
+/// traditional type-based `cast` it is compared against, and the
+/// proxy-aware reference operations shared by both. The VM calls into
+/// this class for every runtime type conversion.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_RUNTIME_RUNTIME_H
+#define GRIFT_RUNTIME_RUNTIME_H
+
+#include "coercions/CoercionFactory.h"
+#include "runtime/Blame.h"
+#include "runtime/Heap.h"
+#include "runtime/Mode.h"
+#include "runtime/Stats.h"
+#include "runtime/Value.h"
+
+#include <string>
+
+namespace grift {
+
+/// A compiled cast site: source type, target type, blame label, and (in
+/// coercion mode) the statically allocated coercion. The VM's cast table
+/// holds one of these per cast instruction — paper: "the coercions that
+/// are statically known are allocated once at the start of the program".
+struct CastDescriptor {
+  const Type *Src = nullptr;
+  const Type *Tgt = nullptr;
+  const std::string *Label = nullptr;
+  const Coercion *C = nullptr; // coercion mode only
+};
+
+class Runtime {
+public:
+  Runtime(TypeContext &Types, CoercionFactory &Coercions, CastMode Mode)
+      : Types(Types), Coercions(Coercions), Mode(Mode) {}
+
+  TypeContext &typeContext() { return Types; }
+  CoercionFactory &coercionFactory() { return Coercions; }
+  Heap &heap() { return TheHeap; }
+  RuntimeStats &stats() { return Stats; }
+  CastMode mode() const { return Mode; }
+
+  //===--------------------------------------------------------------------===//
+  // Cast application (mode dispatch)
+  //===--------------------------------------------------------------------===//
+
+  /// Applies a compiled cast site to a value. Counts one runtime cast.
+  Value applyCast(Value V, const CastDescriptor &Desc);
+
+  /// Applies a coercion (coercion mode). Counts one runtime cast.
+  Value applyCoercion(Value V, const Coercion *C);
+
+  /// Applies a type-based cast (type-based mode). Counts one runtime cast.
+  Value applyTypeBased(Value V, const Type *S, const Type *T,
+                       const std::string *Label);
+
+  /// Casts between \p S and \p T at runtime under the current mode; used
+  /// by the Dyn elimination forms whose target types are only known at
+  /// run time. Counts one runtime cast.
+  Value castRuntime(Value V, const Type *S, const Type *T,
+                    const std::string *Label);
+
+  //===--------------------------------------------------------------------===//
+  // Dyn introspection (lazy-D)
+  //===--------------------------------------------------------------------===//
+
+  /// TYPE(v): the source type of a value of static type Dyn.
+  const Type *runtimeTypeOf(Value V) const;
+
+  /// UNTAG(v): the underlying value of a value of static type Dyn.
+  Value dynUnwrap(Value V) const;
+
+  /// INJECT(v, S): tags \p V (of type \p S ≠ Dyn) as Dyn. Self-describing
+  /// values (ints, bools, chars, unit, floats) are returned unchanged;
+  /// everything else is wrapped in a DynBox recording \p S.
+  Value inject(Value V, const Type *S);
+
+  //===--------------------------------------------------------------------===//
+  // Proxy-aware reference operations
+  //===--------------------------------------------------------------------===//
+
+  Value boxRead(Value Box);
+  void boxWrite(Value Box, Value Content);
+  Value vectorRef(Value Vect, int64_t Index);
+  void vectorSet(Value Vect, int64_t Index, Value Content);
+  int64_t vectorLength(Value Vect);
+
+  /// The function-proxy chain length starting at \p Callee (0 for a plain
+  /// closure). Used by the VM for chain statistics.
+  static unsigned proxyDepth(Value Callee);
+
+  //===--------------------------------------------------------------------===//
+  // Monotonic references (CastMode::Monotonic)
+  //===--------------------------------------------------------------------===//
+
+  /// Monotonic cast: like a type-based cast except reference casts never
+  /// allocate a proxy — they strengthen the target cell's runtime type
+  /// (meta slot 0) to the meet of its current type and the cast's element
+  /// type, converting stored values in place. Function casts use
+  /// coercions. Counts one runtime cast.
+  Value applyMonotonic(Value V, const Type *S, const Type *T,
+                       const std::string *Label);
+
+  /// Monotonic read: loads from a bare cell whose runtime type (RTTI) may
+  /// be more precise than the static view type \p ViewElem, converting
+  /// the loaded value up to the view. The fully static fast path never
+  /// reaches here (the compiler emits unchecked reads).
+  Value monoBoxRead(Value Box, const Type *ViewElem,
+                    const std::string *Label);
+  void monoBoxWrite(Value Box, Value Content, const Type *ViewElem,
+                    const std::string *Label);
+  Value monoVectorRef(Value Vect, int64_t Index, const Type *ViewElem,
+                      const std::string *Label);
+  void monoVectorSet(Value Vect, int64_t Index, Value Content,
+                     const Type *ViewElem, const std::string *Label);
+
+  //===--------------------------------------------------------------------===//
+  // Errors
+  //===--------------------------------------------------------------------===//
+
+  [[noreturn]] void blame(const std::string *Label, std::string Message);
+  [[noreturn]] void trap(std::string Message);
+
+  /// Renders a value for program output / tests. Reads through proxies
+  /// (applying read conversions) so every mode prints the same answer.
+  std::string valueToString(Value V, unsigned Depth = 6);
+
+private:
+  TypeContext &Types;
+  CoercionFactory &Coercions;
+  CastMode Mode;
+  Heap TheHeap;
+  RuntimeStats Stats;
+
+  Value coerce(Value V, const Coercion *C);
+  Value castTB(Value V, const Type *S, const Type *T,
+               const std::string *Label);
+  Value castMono(Value V, const Type *S, const Type *T,
+                 const std::string *Label);
+  void strengthenCell(HeapObject *Cell, const Type *TargetElem,
+                      const std::string *Label);
+
+  HeapObject *underlyingRef(Value Ref) const;
+
+  /// (cell, target-type) pairs currently being strengthened; breaks
+  /// cycles through self-referential heap structures.
+  std::vector<std::pair<const HeapObject *, const Type *>> Strengthening;
+};
+
+} // namespace grift
+
+#endif // GRIFT_RUNTIME_RUNTIME_H

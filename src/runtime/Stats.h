@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime statistics backing the paper's plots: the number of casts
+/// executed and the longest proxy chain traversed (paper Figures 4 and 7),
+/// plus allocation and GC counters.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_RUNTIME_STATS_H
+#define GRIFT_RUNTIME_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+
+namespace grift {
+
+struct RuntimeStats {
+  /// Runtime casts executed (every cast application: Cast instructions,
+  /// proxy argument/result conversions, reference read/write conversions,
+  /// Dyn elimination-form conversions).
+  uint64_t CastsApplied = 0;
+  /// Coercion compositions performed (coercion mode only).
+  uint64_t Compositions = 0;
+  /// Longest chain of proxies traversed by any single operation.
+  uint64_t LongestProxyChain = 0;
+  /// Function/reference proxies allocated.
+  uint64_t ProxiesAllocated = 0;
+  /// Nanoseconds measured by the innermost (time ...) form, if any.
+  int64_t TimedNanos = -1;
+
+  void noteChain(uint64_t Length) {
+    LongestProxyChain = std::max(LongestProxyChain, Length);
+  }
+
+  void reset() { *this = RuntimeStats(); }
+};
+
+} // namespace grift
+
+#endif // GRIFT_RUNTIME_STATS_H

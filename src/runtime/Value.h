@@ -1,0 +1,155 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime value representation (paper Section 3.1). A Value is one
+/// 64-bit word whose low 3 bits are a tag:
+///
+///   000  fixnum        — 61-bit signed integer stored shifted left by 3
+///   001  heap pointer  — plain heap object (closure, tuple, box, vector,
+///                        boxed float, DynBox)
+///   010  proxy pointer — proxy closure or proxied reference; paper: "the
+///                        lowest bit of the pointer indicates which kind",
+///                        and call sites / reference operations branch on
+///                        this tag
+///   011  immediate     — unit, #t, #f, characters (subtag in bits 3-4)
+///
+/// Values of type Dyn are self-describing: fixnums, immediates and boxed
+/// floats carry their type in the tag/kind, while injected tuples,
+/// functions and references are wrapped in a DynBox holding the value and
+/// its source type (paper: "for types with larger values, the 61 bits are
+/// a pointer to a pair of the injected value and its type").
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_RUNTIME_VALUE_H
+#define GRIFT_RUNTIME_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace grift {
+
+class HeapObject;
+
+/// Low three bits of a value word.
+enum class ValueTag : uint64_t {
+  Fixnum = 0b000,
+  Heap = 0b001,
+  Proxy = 0b010,
+  Imm = 0b011,
+};
+
+/// Subtags for immediates (bits 3-4).
+enum class ImmKind : uint64_t {
+  Unit = 0,
+  False = 1,
+  True = 2,
+  Char = 3,
+};
+
+/// A 64-bit tagged value word.
+struct Value {
+  uint64_t Bits = 0b011; // default-constructed Value is Unit
+
+  static constexpr uint64_t TagMask = 0b111;
+  static constexpr int64_t FixnumMax = (INT64_C(1) << 60) - 1;
+  static constexpr int64_t FixnumMin = -(INT64_C(1) << 60);
+
+  ValueTag tag() const { return static_cast<ValueTag>(Bits & TagMask); }
+
+  bool isFixnum() const { return tag() == ValueTag::Fixnum; }
+  bool isHeap() const { return tag() == ValueTag::Heap; }
+  bool isProxy() const { return tag() == ValueTag::Proxy; }
+  bool isImm() const { return tag() == ValueTag::Imm; }
+  bool isPointer() const { return isHeap() || isProxy(); }
+
+  ImmKind immKind() const {
+    assert(isImm() && "not an immediate");
+    return static_cast<ImmKind>((Bits >> 3) & 0b11);
+  }
+  bool isUnit() const { return isImm() && immKind() == ImmKind::Unit; }
+  bool isBool() const {
+    return isImm() &&
+           (immKind() == ImmKind::False || immKind() == ImmKind::True);
+  }
+  bool isChar() const { return isImm() && immKind() == ImmKind::Char; }
+
+  //===--------------------------------------------------------------------===//
+  // Constructors
+  //===--------------------------------------------------------------------===//
+
+  static Value fromFixnum(int64_t I) {
+    assert(I >= FixnumMin && I <= FixnumMax && "fixnum overflow");
+    Value V;
+    V.Bits = static_cast<uint64_t>(I) << 3;
+    return V;
+  }
+
+  static Value unit() {
+    Value V;
+    V.Bits = (static_cast<uint64_t>(ImmKind::Unit) << 3) |
+             static_cast<uint64_t>(ValueTag::Imm);
+    return V;
+  }
+
+  static Value fromBool(bool B) {
+    Value V;
+    V.Bits = (static_cast<uint64_t>(B ? ImmKind::True : ImmKind::False) << 3) |
+             static_cast<uint64_t>(ValueTag::Imm);
+    return V;
+  }
+
+  static Value fromChar(char C) {
+    Value V;
+    V.Bits = (static_cast<uint64_t>(static_cast<unsigned char>(C)) << 5) |
+             (static_cast<uint64_t>(ImmKind::Char) << 3) |
+             static_cast<uint64_t>(ValueTag::Imm);
+    return V;
+  }
+
+  static Value fromHeap(HeapObject *Object) {
+    Value V;
+    V.Bits = reinterpret_cast<uint64_t>(Object) |
+             static_cast<uint64_t>(ValueTag::Heap);
+    return V;
+  }
+
+  static Value fromProxy(HeapObject *Object) {
+    Value V;
+    V.Bits = reinterpret_cast<uint64_t>(Object) |
+             static_cast<uint64_t>(ValueTag::Proxy);
+    return V;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Accessors
+  //===--------------------------------------------------------------------===//
+
+  int64_t asFixnum() const {
+    assert(isFixnum() && "not a fixnum");
+    return static_cast<int64_t>(Bits) >> 3; // arithmetic shift keeps sign
+  }
+
+  bool asBool() const {
+    assert(isBool() && "not a boolean");
+    return immKind() == ImmKind::True;
+  }
+
+  char asChar() const {
+    assert(isChar() && "not a character");
+    return static_cast<char>(Bits >> 5);
+  }
+
+  /// The heap object behind a Heap- or Proxy-tagged value. This is the
+  /// paper's "clear the lowest bit of the pointer" step in the shared
+  /// closure calling convention.
+  HeapObject *object() const {
+    assert(isPointer() && "not a pointer value");
+    return reinterpret_cast<HeapObject *>(Bits & ~TagMask);
+  }
+
+  bool operator==(const Value &Other) const { return Bits == Other.Bits; }
+};
+
+} // namespace grift
+
+#endif // GRIFT_RUNTIME_VALUE_H

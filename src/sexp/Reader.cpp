@@ -1,0 +1,252 @@
+#include "sexp/Reader.h"
+
+#include "support/StringUtil.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace grift;
+
+namespace {
+
+/// Recursive-descent s-expression reader over a text buffer.
+class Reader {
+public:
+  Reader(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  std::vector<Sexp> readAll() {
+    std::vector<Sexp> Result;
+    for (;;) {
+      skipTrivia();
+      if (atEnd())
+        break;
+      Sexp Datum = readDatum();
+      if (Failed)
+        break;
+      Result.push_back(std::move(Datum));
+    }
+    return Result;
+  }
+
+private:
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+  bool Failed = false;
+
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek() const { return Source[Pos]; }
+
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+
+  SourceLoc here() const { return SourceLoc(Line, Column); }
+
+  void fail(SourceLoc Loc, std::string Message) {
+    if (!Failed)
+      Diags.error(Loc, std::move(Message));
+    Failed = true;
+  }
+
+  static bool isDelimiter(char C) {
+    return std::isspace(static_cast<unsigned char>(C)) || C == '(' ||
+           C == ')' || C == '[' || C == ']' || C == '"' || C == ';';
+  }
+
+  void skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == ';') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '#' && Pos + 1 < Source.size() && Source[Pos + 1] == '|') {
+        SourceLoc Start = here();
+        advance();
+        advance();
+        unsigned Depth = 1;
+        while (!atEnd() && Depth != 0) {
+          char D = advance();
+          if (D == '#' && !atEnd() && peek() == '|') {
+            advance();
+            ++Depth;
+          } else if (D == '|' && !atEnd() && peek() == '#') {
+            advance();
+            --Depth;
+          }
+        }
+        if (Depth != 0)
+          fail(Start, "unterminated block comment");
+        continue;
+      }
+      break;
+    }
+  }
+
+  Sexp readDatum() {
+    SourceLoc Loc = here();
+    char C = peek();
+    if (C == '(' || C == '[')
+      return readList(C == '(' ? ')' : ']');
+    if (C == ')' || C == ']') {
+      fail(Loc, "unexpected closing parenthesis");
+      advance();
+      return Sexp::makeList({}, Loc);
+    }
+    if (C == '"')
+      return readString();
+    if (C == '#')
+      return readHash();
+    return readAtom();
+  }
+
+  Sexp readList(char Close) {
+    SourceLoc Loc = here();
+    advance(); // consume the opener
+    std::vector<Sexp> Elements;
+    for (;;) {
+      skipTrivia();
+      if (atEnd()) {
+        fail(Loc, "unterminated list");
+        break;
+      }
+      char C = peek();
+      if (C == ')' || C == ']') {
+        if (C != Close)
+          fail(here(), "mismatched closing parenthesis");
+        advance();
+        break;
+      }
+      Sexp Datum = readDatum();
+      if (Failed)
+        break;
+      Elements.push_back(std::move(Datum));
+    }
+    return Sexp::makeList(std::move(Elements), Loc);
+  }
+
+  Sexp readString() {
+    SourceLoc Loc = here();
+    advance(); // consume the quote
+    std::string Text;
+    for (;;) {
+      if (atEnd()) {
+        fail(Loc, "unterminated string literal");
+        break;
+      }
+      char C = advance();
+      if (C == '"')
+        break;
+      if (C == '\\') {
+        if (atEnd()) {
+          fail(Loc, "unterminated string escape");
+          break;
+        }
+        char E = advance();
+        switch (E) {
+        case 'n':
+          Text += '\n';
+          break;
+        case 't':
+          Text += '\t';
+          break;
+        case '\\':
+        case '"':
+          Text += E;
+          break;
+        default:
+          fail(Loc, std::string("unknown string escape '\\") + E + "'");
+          break;
+        }
+        continue;
+      }
+      Text += C;
+    }
+    return Sexp::makeString(std::move(Text), Loc);
+  }
+
+  Sexp readHash() {
+    SourceLoc Loc = here();
+    advance(); // consume '#'
+    if (atEnd()) {
+      fail(Loc, "dangling '#'");
+      return Sexp::makeList({}, Loc);
+    }
+    char C = advance();
+    if (C == 't' || C == 'f') {
+      if (!atEnd() && !isDelimiter(peek()))
+        fail(Loc, "junk after boolean literal");
+      return Sexp::makeBool(C == 't', Loc);
+    }
+    if (C == '\\')
+      return readChar(Loc);
+    fail(Loc, std::string("unknown '#' syntax '#") + C + "'");
+    return Sexp::makeList({}, Loc);
+  }
+
+  Sexp readChar(SourceLoc Loc) {
+    if (atEnd()) {
+      fail(Loc, "dangling character literal");
+      return Sexp::makeChar('?', Loc);
+    }
+    std::string Name;
+    Name += advance();
+    while (!atEnd() && !isDelimiter(peek()))
+      Name += advance();
+    if (Name.size() == 1)
+      return Sexp::makeChar(Name[0], Loc);
+    if (Name == "newline")
+      return Sexp::makeChar('\n', Loc);
+    if (Name == "space")
+      return Sexp::makeChar(' ', Loc);
+    if (Name == "tab")
+      return Sexp::makeChar('\t', Loc);
+    if (Name == "nul")
+      return Sexp::makeChar('\0', Loc);
+    fail(Loc, "unknown character name '#\\" + Name + "'");
+    return Sexp::makeChar('?', Loc);
+  }
+
+  Sexp readAtom() {
+    SourceLoc Loc = here();
+    std::string Text;
+    while (!atEnd() && !isDelimiter(peek()))
+      Text += advance();
+    assert(!Text.empty() && "empty atom");
+    int64_t IntValue = 0;
+    if (parseInt64(Text, IntValue))
+      return Sexp::makeInt(IntValue, Loc);
+    // A float needs a digit somewhere; bare `-`, `...`, etc. are symbols.
+    bool HasDigit = false;
+    for (char C : Text)
+      if (std::isdigit(static_cast<unsigned char>(C)))
+        HasDigit = true;
+    double FloatValue = 0;
+    if (HasDigit && parseDouble(Text, FloatValue))
+      return Sexp::makeFloat(FloatValue, Loc);
+    return Sexp::makeSymbol(std::move(Text), Loc);
+  }
+};
+
+} // namespace
+
+std::vector<Sexp> grift::readSexps(std::string_view Source,
+                                   DiagnosticEngine &Diags) {
+  return Reader(Source, Diags).readAll();
+}

@@ -1,0 +1,27 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The s-expression reader: turns GTLC+ source text into a vector of
+/// top-level Sexp data. Handles `;` line comments, `#|...|#` block
+/// comments, `[` / `]` as parenthesis synonyms (Grift style), and the
+/// literal syntaxes of Figure 5.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_SEXP_READER_H
+#define GRIFT_SEXP_READER_H
+
+#include "sexp/Sexp.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+#include <vector>
+
+namespace grift {
+
+/// Reads every top-level datum in \p Source. Errors are reported through
+/// \p Diags; on error the returned vector holds the data read so far.
+std::vector<Sexp> readSexps(std::string_view Source, DiagnosticEngine &Diags);
+
+} // namespace grift
+
+#endif // GRIFT_SEXP_READER_H

@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// S-expression datum produced by the Reader. GTLC+ surface syntax (paper
+/// Figure 5) is Lisp-style, so the front end first reads generic
+/// s-expressions and then parses them into the AST.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_SEXP_SEXP_H
+#define GRIFT_SEXP_SEXP_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grift {
+
+/// One s-expression datum: an atom or a (possibly empty) list.
+class Sexp {
+public:
+  enum class Kind : uint8_t {
+    Symbol, ///< identifier, e.g. `vector-ref`
+    Int,    ///< integer literal
+    Float,  ///< floating point literal
+    Bool,   ///< `#t` / `#f`
+    Char,   ///< `#\a`, `#\newline`, ...
+    String, ///< double-quoted string (used for blame labels in tests)
+    List,   ///< `(...)` — the empty list doubles as the unit literal
+  };
+
+  static Sexp makeSymbol(std::string Name, SourceLoc Loc);
+  static Sexp makeInt(int64_t Value, SourceLoc Loc);
+  static Sexp makeFloat(double Value, SourceLoc Loc);
+  static Sexp makeBool(bool Value, SourceLoc Loc);
+  static Sexp makeChar(char Value, SourceLoc Loc);
+  static Sexp makeString(std::string Value, SourceLoc Loc);
+  static Sexp makeList(std::vector<Sexp> Elements, SourceLoc Loc);
+
+  Kind kind() const { return TheKind; }
+  SourceLoc loc() const { return Loc; }
+
+  bool isSymbol() const { return TheKind == Kind::Symbol; }
+  /// True if this is the symbol \p Name.
+  bool isSymbol(std::string_view Name) const {
+    return TheKind == Kind::Symbol && Text == Name;
+  }
+  bool isList() const { return TheKind == Kind::List; }
+  bool isEmptyList() const { return isList() && Elements.empty(); }
+
+  const std::string &symbol() const;
+  const std::string &string() const;
+  int64_t intValue() const;
+  double floatValue() const;
+  bool boolValue() const;
+  char charValue() const;
+
+  const std::vector<Sexp> &elements() const;
+  size_t size() const { return elements().size(); }
+  const Sexp &operator[](size_t Index) const;
+
+  /// Renders the datum back to text (for diagnostics and round-trip tests).
+  std::string str() const;
+
+private:
+  Kind TheKind = Kind::List;
+  SourceLoc Loc;
+  std::string Text;      // Symbol / String
+  int64_t IntVal = 0;    // Int, Char (as code point)
+  double FloatVal = 0;   // Float
+  std::vector<Sexp> Elements;
+};
+
+} // namespace grift
+
+#endif // GRIFT_SEXP_SEXP_H

@@ -1,0 +1,46 @@
+#include "support/Diagnostics.h"
+
+using namespace grift;
+
+static const char *severityName(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::string Out = severityName(Severity);
+  Out += ": ";
+  Out += Loc.str();
+  Out += ": ";
+  Out += Message;
+  return Out;
+}
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine used by the front end. Parse and type errors
+/// are collected rather than thrown, so library clients can render them
+/// however they like.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_SUPPORT_DIAGNOSTICS_H
+#define GRIFT_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace grift {
+
+/// Severity of a diagnostic message.
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One diagnostic: a severity, a location, and a rendered message.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders "error: 3:14: message" style text.
+  std::string str() const;
+};
+
+/// Accumulates diagnostics during parsing and type checking.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace grift
+
+#endif // GRIFT_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,52 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generation for the configuration
+/// sampler and the property tests. SplitMix64 is tiny, fast, and has
+/// reproducible behaviour across platforms (unlike std::mt19937 seeded
+/// through std::seed_seq distribution helpers).
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_SUPPORT_RNG_H
+#define GRIFT_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace grift {
+
+/// SplitMix64: a 64-bit PRNG with full-period state advance.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be positive");
+    // Rejection-free multiply-shift; bias is negligible for our bounds.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return (next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Bernoulli draw with probability \p P of returning true.
+  bool flip(double P) { return unit() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace grift
+
+#endif // GRIFT_SUPPORT_RNG_H

@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations for diagnostics and blame labels. Every token and AST
+/// node carries a SourceLoc so that runtime blame can point back at the
+/// offending cast site, as Grift's blame labels do.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_SUPPORT_SOURCELOC_H
+#define GRIFT_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace grift {
+
+/// A (line, column) position in a source buffer. Lines and columns are
+/// 1-based; a default-constructed SourceLoc is "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  constexpr SourceLoc() = default;
+  constexpr SourceLoc(uint32_t Line, uint32_t Column)
+      : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &Other) const {
+    return Line == Other.Line && Column == Other.Column;
+  }
+
+  /// Renders "line:col" or "?" for an unknown location.
+  std::string str() const {
+    if (!isValid())
+      return "?";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+} // namespace grift
+
+#endif // GRIFT_SUPPORT_SOURCELOC_H

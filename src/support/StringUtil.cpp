@@ -1,0 +1,78 @@
+#include "support/StringUtil.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace grift;
+
+bool grift::parseInt64(std::string_view Text, int64_t &Out) {
+  if (Text.empty())
+    return false;
+  std::string Buf(Text);
+  errno = 0;
+  char *End = nullptr;
+  long long Value = std::strtoll(Buf.c_str(), &End, 10);
+  if (errno == ERANGE || End != Buf.c_str() + Buf.size())
+    return false;
+  Out = static_cast<int64_t>(Value);
+  return true;
+}
+
+bool grift::parseDouble(std::string_view Text, double &Out) {
+  if (Text.empty())
+    return false;
+  std::string Buf(Text);
+  errno = 0;
+  char *End = nullptr;
+  double Value = std::strtod(Buf.c_str(), &End);
+  if (errno == ERANGE || End != Buf.c_str() + Buf.size())
+    return false;
+  Out = Value;
+  return true;
+}
+
+std::string grift::formatDouble(double Value) {
+  if (std::isnan(Value))
+    return "+nan.0";
+  if (std::isinf(Value))
+    return Value > 0 ? "+inf.0" : "-inf.0";
+  char Buf[64];
+  // %.17g round-trips; try shorter representations first for readability.
+  for (int Precision = 1; Precision <= 17; ++Precision) {
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Precision, Value);
+    double Back = 0;
+    if (parseDouble(Buf, Back) && Back == Value)
+      break;
+  }
+  std::string Out(Buf);
+  if (Out.find('.') == std::string::npos &&
+      Out.find('e') == std::string::npos &&
+      Out.find("inf") == std::string::npos &&
+      Out.find("nan") == std::string::npos)
+    Out += ".0";
+  return Out;
+}
+
+std::string grift::join(const std::vector<std::string> &Parts,
+                        std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I != Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+uint64_t grift::hashBytes(const void *Data, size_t Size, uint64_t Seed) {
+  const unsigned char *Bytes = static_cast<const unsigned char *>(Data);
+  uint64_t Hash = Seed;
+  for (size_t I = 0; I != Size; ++I) {
+    Hash ^= Bytes[I];
+    Hash *= 1099511628211ULL;
+  }
+  return Hash;
+}

@@ -1,0 +1,160 @@
+#include "types/TypeContext.h"
+
+#include "support/StringUtil.h"
+
+#include <cassert>
+
+using namespace grift;
+
+size_t TypeContext::KeyHash::operator()(const Key &K) const {
+  uint64_t Hash = hashCombine(static_cast<uint64_t>(K.Kind), K.VarIdx);
+  for (const Type *Child : K.Children)
+    Hash = hashCombine(Hash, Child->hash());
+  return static_cast<size_t>(Hash);
+}
+
+TypeContext::TypeContext() {
+  DynTy = makeAtomic(TypeKind::Dyn);
+  UnitTy = makeAtomic(TypeKind::Unit);
+  BoolTy = makeAtomic(TypeKind::Bool);
+  IntTy = makeAtomic(TypeKind::Int);
+  CharTy = makeAtomic(TypeKind::Char);
+  FloatTy = makeAtomic(TypeKind::Float);
+}
+
+const Type *TypeContext::makeAtomic(TypeKind Kind) {
+  return intern(Kind, {}, 0);
+}
+
+const Type *TypeContext::intern(TypeKind Kind,
+                                std::vector<const Type *> Children,
+                                uint32_t VarIdx) {
+  Key K{Kind, VarIdx, Children};
+  auto It = Interner.find(K);
+  if (It != Interner.end())
+    return It->second;
+
+  auto Owned = std::unique_ptr<Type>(new Type());
+  Type *T = Owned.get();
+  T->Kind = Kind;
+  T->VarIdx = VarIdx;
+  T->Children = std::move(Children);
+  T->Id = static_cast<uint32_t>(AllTypes.size());
+
+  uint64_t Hash = hashCombine(static_cast<uint64_t>(Kind), VarIdx);
+  uint32_t Nodes = 1;
+  uint32_t Typed = Kind == TypeKind::Dyn ? 0 : 1;
+  uint32_t Height = 1;
+  bool HasDyn = Kind == TypeKind::Dyn;
+  bool HasRec = Kind == TypeKind::Rec;
+  uint32_t FreeBound = Kind == TypeKind::Var ? VarIdx + 1 : 0;
+  for (const Type *Child : T->Children) {
+    Hash = hashCombine(Hash, Child->hash());
+    Nodes += Child->nodeCount();
+    Typed += Child->typedNodeCount();
+    Height = std::max(Height, Child->height() + 1);
+    HasDyn |= Child->hasDyn();
+    HasRec |= Child->hasRec();
+    uint32_t ChildFree = Child->freeVarBound();
+    if (Kind == TypeKind::Rec)
+      ChildFree = ChildFree > 0 ? ChildFree - 1 : 0;
+    FreeBound = std::max(FreeBound, ChildFree);
+  }
+  T->Hash = Hash;
+  T->NodeCount = Nodes;
+  T->TypedNodeCount = Typed;
+  T->Height = Height;
+  T->HasDyn = HasDyn;
+  T->HasRec = HasRec;
+  T->FreeVarBound = FreeBound;
+
+  const Type *Result = T;
+  AllTypes.push_back(std::move(Owned));
+  Interner.emplace(std::move(K), Result);
+  return Result;
+}
+
+const Type *TypeContext::function(std::vector<const Type *> Params,
+                                  const Type *Result) {
+  assert(Result && "null return type");
+  std::vector<const Type *> Children = std::move(Params);
+  Children.push_back(Result);
+  return intern(TypeKind::Function, std::move(Children), 0);
+}
+
+const Type *TypeContext::tuple(std::vector<const Type *> Elements) {
+  return intern(TypeKind::Tuple, std::move(Elements), 0);
+}
+
+const Type *TypeContext::box(const Type *Element) {
+  assert(Element && "null box element");
+  return intern(TypeKind::Box, {Element}, 0);
+}
+
+const Type *TypeContext::vect(const Type *Element) {
+  assert(Element && "null vector element");
+  return intern(TypeKind::Vect, {Element}, 0);
+}
+
+const Type *TypeContext::var(uint32_t Index) {
+  return intern(TypeKind::Var, {}, Index);
+}
+
+const Type *TypeContext::rec(const Type *Body) {
+  assert(Body && "null rec body");
+  // Normalize degenerate binders so every interned type is canonical:
+  // (Rec x Dyn) => Dyn, (Rec x x) => Dyn, and a binder whose variable
+  // never occurs in the body is dropped.
+  if (Body->isDyn())
+    return DynTy;
+  if (Body->isVar() && Body->varIndex() == 0)
+    return DynTy;
+  if (Body->freeVarBound() == 0)
+    return Body;
+  return intern(TypeKind::Rec, {Body}, 0);
+}
+
+const Type *TypeContext::substitute(const Type *T, const Type *Replacement,
+                                    uint32_t Depth) {
+  if (T->freeVarBound() <= Depth)
+    return T; // No occurrence of Var(Depth) or anything freer.
+  if (T->isVar()) {
+    if (T->varIndex() == Depth)
+      return Replacement;
+    assert(T->varIndex() < Depth && "unexpected free variable");
+    return T;
+  }
+  std::vector<const Type *> NewChildren;
+  NewChildren.reserve(T->children().size());
+  uint32_t ChildDepth = T->isRec() ? Depth + 1 : Depth;
+  for (const Type *Child : T->children())
+    NewChildren.push_back(substitute(Child, Replacement, ChildDepth));
+  switch (T->kind()) {
+  case TypeKind::Function: {
+    const Type *Result = NewChildren.back();
+    NewChildren.pop_back();
+    return function(std::move(NewChildren), Result);
+  }
+  case TypeKind::Tuple:
+    return tuple(std::move(NewChildren));
+  case TypeKind::Box:
+    return box(NewChildren[0]);
+  case TypeKind::Vect:
+    return vect(NewChildren[0]);
+  case TypeKind::Rec:
+    return rec(NewChildren[0]);
+  default:
+    assert(false && "substitute: unexpected type kind");
+    return T;
+  }
+}
+
+const Type *TypeContext::unfold(const Type *RecTy) {
+  assert(RecTy->isRec() && "unfold requires a Rec type");
+  auto It = UnfoldCache.find(RecTy);
+  if (It != UnfoldCache.end())
+    return It->second;
+  const Type *Result = substitute(RecTy->inner(), RecTy, 0);
+  UnfoldCache.emplace(RecTy, Result);
+  return Result;
+}

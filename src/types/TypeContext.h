@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TypeContext interns types so structural equality is pointer equality.
+/// The smart constructors normalize degenerate recursive types:
+///   (Rec x Dyn)        => Dyn
+///   (Rec x T), x ∉ T   => T
+///   (Rec x x)          => Dyn   (the fully unconstrained infinite type)
+/// so every interned type has a unique canonical representation.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_TYPES_TYPECONTEXT_H
+#define GRIFT_TYPES_TYPECONTEXT_H
+
+#include "types/Type.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace grift {
+
+/// Owns and interns every Type. All Type pointers returned by a context are
+/// valid for the lifetime of the context.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  const Type *dyn() const { return DynTy; }
+  const Type *unit() const { return UnitTy; }
+  const Type *boolean() const { return BoolTy; }
+  const Type *integer() const { return IntTy; }
+  const Type *character() const { return CharTy; }
+  const Type *floating() const { return FloatTy; }
+
+  /// (T1 ... Tn -> R)
+  const Type *function(std::vector<const Type *> Params, const Type *Result);
+  /// (Tuple T1 ... Tn)
+  const Type *tuple(std::vector<const Type *> Elements);
+  /// (Ref T)
+  const Type *box(const Type *Element);
+  /// (Vect T)
+  const Type *vect(const Type *Element);
+  /// (Rec x T) with \p Body using de Bruijn Var(0) for x.
+  const Type *rec(const Type *Body);
+  /// de Bruijn variable; only valid inside a Rec body being constructed.
+  const Type *var(uint32_t Index);
+
+  /// Unfolds a recursive type one step: (Rec x T) => T[x := (Rec x T)].
+  /// Results are memoized. \p RecTy must be a Rec.
+  const Type *unfold(const Type *RecTy);
+
+  /// Substitutes \p Replacement for free Var(Depth) in \p T (used by
+  /// unfold; exposed for tests).
+  const Type *substitute(const Type *T, const Type *Replacement,
+                         uint32_t Depth = 0);
+
+  /// Number of distinct interned types (diagnostics/tests).
+  size_t size() const { return AllTypes.size(); }
+
+private:
+  const Type *intern(TypeKind Kind, std::vector<const Type *> Children,
+                     uint32_t VarIdx);
+  const Type *makeAtomic(TypeKind Kind);
+
+  struct Key {
+    TypeKind Kind;
+    uint32_t VarIdx;
+    std::vector<const Type *> Children;
+    bool operator==(const Key &Other) const {
+      return Kind == Other.Kind && VarIdx == Other.VarIdx &&
+             Children == Other.Children;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const;
+  };
+
+  std::unordered_map<Key, const Type *, KeyHash> Interner;
+  std::vector<std::unique_ptr<Type>> AllTypes;
+  std::unordered_map<const Type *, const Type *> UnfoldCache;
+
+  const Type *DynTy = nullptr;
+  const Type *UnitTy = nullptr;
+  const Type *BoolTy = nullptr;
+  const Type *IntTy = nullptr;
+  const Type *CharTy = nullptr;
+  const Type *FloatTy = nullptr;
+};
+
+} // namespace grift
+
+#endif // GRIFT_TYPES_TYPECONTEXT_H

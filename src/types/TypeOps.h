@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two relations of paper Figure 17:
+///
+///   * consistency `T₁ ~ T₂` — the gradual typing relation that permits an
+///     implicit cast. Dyn is consistent with everything; structural types
+///     are consistent componentwise. Extended coinductively to
+///     equirecursive types with an assumption set.
+///
+///   * meet `T₁ ⊓ T₂` — the greatest lower bound in the precision order
+///     (Dyn is the least precise). Used to combine static information at
+///     `if` joins during cast insertion.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_TYPES_TYPEOPS_H
+#define GRIFT_TYPES_TYPEOPS_H
+
+#include "types/TypeContext.h"
+
+namespace grift {
+
+/// True if \p A ~ \p B (an implicit cast between them is allowed).
+bool consistent(TypeContext &Ctx, const Type *A, const Type *B);
+
+/// Greatest lower bound of \p A and \p B in the precision order, or
+/// nullptr when the types are inconsistent.
+const Type *meet(TypeContext &Ctx, const Type *A, const Type *B);
+
+/// Precision of \p T in [0, 1]: fraction of constructors that are not Dyn.
+/// A fully static type has precision 1; Dyn itself has precision 0.
+double precision(const Type *T);
+
+/// True if \p A is less or equally precise than \p B (A ⊑ B): A can be
+/// obtained from B by replacing subtrees with Dyn.
+bool lessPrecise(TypeContext &Ctx, const Type *A, const Type *B);
+
+} // namespace grift
+
+#endif // GRIFT_TYPES_TYPEOPS_H

@@ -1,0 +1,120 @@
+#include "types/TypeParser.h"
+
+#include <vector>
+
+using namespace grift;
+
+namespace {
+
+class TypeParser {
+public:
+  TypeParser(TypeContext &Ctx, DiagnosticEngine &Diags)
+      : Ctx(Ctx), Diags(Diags) {}
+
+  const Type *parse(const Sexp &Datum) {
+    if (Datum.isSymbol())
+      return parseName(Datum);
+    if (Datum.isList())
+      return parseList(Datum);
+    Diags.error(Datum.loc(), "expected a type, found '" + Datum.str() + "'");
+    return nullptr;
+  }
+
+private:
+  TypeContext &Ctx;
+  DiagnosticEngine &Diags;
+  std::vector<std::string> RecVars; // innermost binder last
+
+  const Type *parseName(const Sexp &Datum) {
+    const std::string &Name = Datum.symbol();
+    if (Name == "Dyn")
+      return Ctx.dyn();
+    if (Name == "Unit")
+      return Ctx.unit();
+    if (Name == "Bool")
+      return Ctx.boolean();
+    if (Name == "Int")
+      return Ctx.integer();
+    if (Name == "Char")
+      return Ctx.character();
+    if (Name == "Float")
+      return Ctx.floating();
+    // A Rec-bound variable: innermost binder has de Bruijn index 0.
+    for (size_t I = RecVars.size(); I-- > 0;)
+      if (RecVars[I] == Name)
+        return Ctx.var(static_cast<uint32_t>(RecVars.size() - 1 - I));
+    Diags.error(Datum.loc(), "unknown type name '" + Name + "'");
+    return nullptr;
+  }
+
+  const Type *parseList(const Sexp &Datum) {
+    const auto &Elements = Datum.elements();
+    if (Elements.empty())
+      return Ctx.unit(); // `()` — the Unit type, as in `-> ()`.
+    // Function types contain a `->` in the second-to-last position.
+    if (Elements.size() >= 2 && Elements[Elements.size() - 2].isSymbol("->"))
+      return parseFunction(Datum);
+    const Sexp &Head = Elements[0];
+    if (Head.isSymbol("Tuple")) {
+      std::vector<const Type *> Members;
+      for (size_t I = 1; I != Elements.size(); ++I) {
+        const Type *T = parse(Elements[I]);
+        if (!T)
+          return nullptr;
+        Members.push_back(T);
+      }
+      if (Members.empty()) {
+        Diags.error(Datum.loc(), "tuple type needs at least one element");
+        return nullptr;
+      }
+      return Ctx.tuple(std::move(Members));
+    }
+    if (Head.isSymbol("Ref") || Head.isSymbol("Vect")) {
+      if (Elements.size() != 2) {
+        Diags.error(Datum.loc(),
+                    Head.symbol() + " type takes exactly one element type");
+        return nullptr;
+      }
+      const Type *Element = parse(Elements[1]);
+      if (!Element)
+        return nullptr;
+      return Head.isSymbol("Ref") ? Ctx.box(Element) : Ctx.vect(Element);
+    }
+    if (Head.isSymbol("Rec")) {
+      if (Elements.size() != 3 || !Elements[1].isSymbol()) {
+        Diags.error(Datum.loc(), "expected (Rec x T)");
+        return nullptr;
+      }
+      RecVars.push_back(Elements[1].symbol());
+      const Type *Body = parse(Elements[2]);
+      RecVars.pop_back();
+      if (!Body)
+        return nullptr;
+      return Ctx.rec(Body);
+    }
+    Diags.error(Datum.loc(), "malformed type '" + Datum.str() + "'");
+    return nullptr;
+  }
+
+  const Type *parseFunction(const Sexp &Datum) {
+    const auto &Elements = Datum.elements();
+    std::vector<const Type *> Params;
+    for (size_t I = 0; I + 2 < Elements.size(); ++I) {
+      const Type *P = parse(Elements[I]);
+      if (!P)
+        return nullptr;
+      Params.push_back(P);
+    }
+    const Type *Result = parse(Elements.back());
+    if (!Result)
+      return nullptr;
+    return Ctx.function(std::move(Params), Result);
+  }
+};
+
+} // namespace
+
+const Type *grift::parseType(TypeContext &Ctx, const Sexp &Datum,
+                             DiagnosticEngine &Diags) {
+  return TypeParser(Ctx, Diags).parse(Datum);
+}

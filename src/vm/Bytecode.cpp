@@ -1,0 +1,132 @@
+#include "vm/Bytecode.h"
+
+using namespace grift;
+
+const char *grift::opName(Op Code) {
+  switch (Code) {
+  case Op::PushUnit:
+    return "push-unit";
+  case Op::PushTrue:
+    return "push-true";
+  case Op::PushFalse:
+    return "push-false";
+  case Op::PushInt:
+    return "push-int";
+  case Op::PushIntBig:
+    return "push-int-big";
+  case Op::PushChar:
+    return "push-char";
+  case Op::PushFloat:
+    return "push-float";
+  case Op::LocalGet:
+    return "local-get";
+  case Op::LocalSet:
+    return "local-set";
+  case Op::GlobalGet:
+    return "global-get";
+  case Op::GlobalSet:
+    return "global-set";
+  case Op::FreeGet:
+    return "free-get";
+  case Op::Pop:
+    return "pop";
+  case Op::Jump:
+    return "jump";
+  case Op::JumpIfFalse:
+    return "jump-if-false";
+  case Op::Call:
+    return "call";
+  case Op::TailCall:
+    return "tail-call";
+  case Op::Return:
+    return "return";
+  case Op::Halt:
+    return "halt";
+  case Op::MakeClosure:
+    return "make-closure";
+  case Op::ClosureInitFree:
+    return "closure-init-free";
+  case Op::Cast:
+    return "cast";
+  case Op::Prim:
+    return "prim";
+  case Op::MakeTuple:
+    return "make-tuple";
+  case Op::TupleProj:
+    return "tuple-proj";
+  case Op::TupleProjDyn:
+    return "tuple-proj-dyn";
+  case Op::BoxNew:
+    return "box-new";
+  case Op::BoxNewMono:
+    return "box-new-mono";
+  case Op::BoxGet:
+    return "box-get";
+  case Op::BoxGetFast:
+    return "box-get-fast";
+  case Op::BoxGetMono:
+    return "box-get-mono";
+  case Op::BoxSet:
+    return "box-set";
+  case Op::BoxSetFast:
+    return "box-set-fast";
+  case Op::BoxSetMono:
+    return "box-set-mono";
+  case Op::UnboxDyn:
+    return "unbox-dyn";
+  case Op::BoxSetDyn:
+    return "box-set-dyn";
+  case Op::MakeVector:
+    return "make-vector";
+  case Op::MakeVectorMono:
+    return "make-vector-mono";
+  case Op::VecRef:
+    return "vec-ref";
+  case Op::VecRefFast:
+    return "vec-ref-fast";
+  case Op::VecRefMono:
+    return "vec-ref-mono";
+  case Op::VecRefDyn:
+    return "vec-ref-dyn";
+  case Op::VecSet:
+    return "vec-set";
+  case Op::VecSetFast:
+    return "vec-set-fast";
+  case Op::VecSetMono:
+    return "vec-set-mono";
+  case Op::VecSetDyn:
+    return "vec-set-dyn";
+  case Op::VecLen:
+    return "vec-len";
+  case Op::VecLenFast:
+    return "vec-len-fast";
+  case Op::VecLenDyn:
+    return "vec-len-dyn";
+  case Op::AppDyn:
+    return "app-dyn";
+  case Op::TimeStart:
+    return "time-start";
+  case Op::TimeEnd:
+    return "time-end";
+  }
+  return "?";
+}
+
+std::string VMProgram::str() const {
+  std::string Out;
+  for (size_t F = 0; F != Functions.size(); ++F) {
+    const VMFunction &Fn = Functions[F];
+    Out += "fn " + std::to_string(F) + " \"" + Fn.Name +
+           "\" params=" + std::to_string(Fn.NumParams) +
+           " locals=" + std::to_string(Fn.NumLocals) + "\n";
+    for (size_t I = 0; I != Fn.Code.size(); ++I) {
+      const Instr &Ins = Fn.Code[I];
+      Out += "  " + std::to_string(I) + ": " + opName(Ins.Code);
+      Out += " " + std::to_string(Ins.A);
+      if (Ins.B != 0)
+        Out += " " + std::to_string(Ins.B);
+      Out += "\n";
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,33 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers checked core IR to VM bytecode: flat closure conversion
+/// (paper Section 3: "closure conversion using a flat representation"),
+/// letrec backpatching, tail-call marking, and cast-table construction.
+/// In coercion mode every cast site's coercion is created here, once, at
+/// compile time.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_VM_COMPILER_H
+#define GRIFT_VM_COMPILER_H
+
+#include "coercions/CoercionFactory.h"
+#include "frontend/CoreIR.h"
+#include "vm/Bytecode.h"
+
+#include <optional>
+#include <string>
+
+namespace grift {
+
+/// Compiles \p Prog for \p Mode. Returns nullopt with \p Error set when
+/// the program cannot be compiled for the mode (e.g. Static mode on a
+/// program that still contains casts or Dyn operations).
+std::optional<VMProgram> compileProgram(const core::CoreProgram &Prog,
+                                        TypeContext &Types,
+                                        CoercionFactory &Coercions,
+                                        CastMode Mode, std::string &Error);
+
+} // namespace grift
+
+#endif // GRIFT_VM_COMPILER_H

@@ -1,0 +1,843 @@
+#include "vm/VM.h"
+
+#include "support/StringUtil.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+
+using namespace grift;
+
+namespace {
+constexpr size_t InitialStack = 1u << 16;
+constexpr size_t MaxStackEntries = 1u << 26; // 64M values ≈ 512 MB
+constexpr size_t MaxFrames = 4u << 20;
+} // namespace
+
+VM::VM(Runtime &RT, const VMProgram &Prog) : RT(RT), Prog(Prog) {
+  RT.heap().addRootProvider(this);
+}
+
+VM::~VM() { RT.heap().removeRootProvider(this); }
+
+void VM::visitRoots(void (*Visit)(Value &, void *), void *Ctx) {
+  for (size_t I = 0; I != Top; ++I)
+    Visit(Stack[I], Ctx);
+  for (Value &G : Globals)
+    Visit(G, Ctx);
+  for (Frame &F : Frames)
+    Visit(F.Clos, Ctx);
+}
+
+void VM::growStack() {
+  if (Stack.size() >= MaxStackEntries)
+    trap("value stack overflow");
+  Stack.resize(Stack.size() * 2);
+}
+
+void VM::ensureStack(size_t Extra) {
+  while (Top + Extra > Stack.size())
+    growStack();
+}
+
+RunResult VM::run(std::string In) {
+  RunResult Result;
+  Stack.assign(InitialStack, Value::unit());
+  Top = 0;
+  Frames.clear();
+  Globals.assign(Prog.GlobalNames.size(), Value::unit());
+  Output.clear();
+  Input = std::move(In);
+  InputPos = 0;
+  TimeStack.clear();
+  RT.stats().reset();
+
+  auto Start = std::chrono::steady_clock::now();
+  try {
+    Value Final = execute();
+    Result.WallNanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - Start)
+                           .count();
+    Result.Stats = RT.stats();
+    Result.PeakHeapBytes = RT.heap().peakHeapBytes();
+    Result.ResultText = RT.valueToString(Final);
+    Result.OK = true;
+  } catch (RuntimeError &Error) {
+    Result.WallNanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - Start)
+                           .count();
+    Result.Stats = RT.stats();
+    Result.PeakHeapBytes = RT.heap().peakHeapBytes();
+    Result.OK = false;
+    Result.Error = std::move(Error);
+  }
+  Result.Output = Output;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Calls
+//===----------------------------------------------------------------------===//
+
+Value VM::resolveCallee(Value Callee, uint32_t Argc, size_t ArgsBase,
+                        std::vector<RetCast> &Pending) {
+  unsigned Depth = 0;
+  while (Callee.isProxy()) {
+    HeapObject *P = Callee.object();
+    if (P->kind() != ObjectKind::ProxyClosure)
+      trap("call of a non-function value");
+    ++Depth;
+    if (RT.mode() != CastMode::TypeBased) {
+      // Coercion-flavored proxy (coercion and monotonic modes).
+      const Coercion *C = static_cast<const Coercion *>(P->meta(0));
+      assert(C->kind() == CoercionKind::Fun && C->arity() == Argc &&
+             "proxy coercion arity mismatch");
+      for (uint32_t I = 0; I != Argc; ++I)
+        Stack[ArgsBase + I] = RT.applyCoercion(Stack[ArgsBase + I], C->arg(I));
+      Pending.push_back({C->result(), nullptr, nullptr, nullptr});
+    } else {
+      const Type *S = static_cast<const Type *>(P->meta(0));
+      const Type *T = static_cast<const Type *>(P->meta(1));
+      const auto *L = static_cast<const std::string *>(P->meta(2));
+      assert(S->isFunction() && T->isFunction() && T->arity() == Argc);
+      for (uint32_t I = 0; I != Argc; ++I)
+        Stack[ArgsBase + I] =
+            RT.applyTypeBased(Stack[ArgsBase + I], T->param(I), S->param(I), L);
+      Pending.push_back({nullptr, S->result(), T->result(), L});
+    }
+    Callee = P->slot(0);
+  }
+  if (Depth)
+    RT.stats().noteChain(Depth);
+  return Callee;
+}
+
+void VM::doCall(uint32_t Argc, bool Tail, std::vector<RetCast> Pending) {
+  size_t ArgsBase = Top - Argc;
+  size_t CalleeIdx = ArgsBase - 1;
+  Value Callee = resolveCallee(Stack[CalleeIdx], Argc, ArgsBase, Pending);
+  if (!Callee.isHeap() || Callee.object()->kind() != ObjectKind::Closure)
+    trap("call of a non-function value");
+  uint32_t FnIdx = static_cast<uint32_t>(Callee.object()->raw());
+  const VMFunction &Target = Prog.Functions[FnIdx];
+  if (Target.NumParams != Argc)
+    trap("arity mismatch calling " + Target.Name + ": expected " +
+         std::to_string(Target.NumParams) + " arguments, got " +
+         std::to_string(Argc));
+  Stack[CalleeIdx] = Callee;
+
+  if (Tail) {
+    Frame &Cur = Frames.back();
+    // Slide callee + args down over the current frame's window.
+    size_t Dst = Cur.CalleeSlot;
+    for (uint32_t I = 0; I != Argc + 1; ++I)
+      Stack[Dst + I] = Stack[CalleeIdx + I];
+    Top = Dst + 1 + Argc;
+    Cur.Func = FnIdx;
+    Cur.PC = 0;
+    Cur.Base = static_cast<uint32_t>(Dst + 1);
+    Cur.Clos = Callee;
+    for (RetCast &RC : Pending)
+      Cur.RetCasts.push_back(RC);
+  } else {
+    if (Frames.size() >= MaxFrames)
+      trap("call stack overflow");
+    Frame NF;
+    NF.Func = FnIdx;
+    NF.PC = 0;
+    NF.Base = static_cast<uint32_t>(ArgsBase);
+    NF.CalleeSlot = static_cast<uint32_t>(CalleeIdx);
+    NF.Clos = Callee;
+    NF.RetCasts = std::move(Pending);
+    Frames.push_back(std::move(NF));
+  }
+  ensureStack(Target.NumLocals - Argc + 16);
+  for (uint32_t I = Argc; I != Target.NumLocals; ++I)
+    push(Value::unit());
+}
+
+void VM::doReturn() {
+  Value Result = pop();
+  Frame &Cur = Frames.back();
+  for (size_t I = Cur.RetCasts.size(); I-- > 0;) {
+    const RetCast &RC = Cur.RetCasts[I];
+    Result = RC.C ? RT.applyCoercion(Result, RC.C)
+                  : RT.castRuntime(Result, RC.S, RC.T, RC.L);
+  }
+  Top = Cur.CalleeSlot;
+  Frames.pop_back();
+  push(Result);
+}
+
+//===----------------------------------------------------------------------===//
+// Main loop
+//===----------------------------------------------------------------------===//
+
+Value VM::execute() {
+  Frame Main;
+  Main.Func = Prog.MainFunction;
+  Main.PC = 0;
+  Main.Base = 0;
+  Main.CalleeSlot = 0;
+  Frames.push_back(Main);
+  ensureStack(Prog.Functions[Main.Func].NumLocals + 16);
+  for (uint32_t I = 0; I != Prog.Functions[Main.Func].NumLocals; ++I)
+    push(Value::unit());
+
+  for (;;) {
+    Frame &F = Frames.back();
+    const Instr I = Prog.Functions[F.Func].Code[F.PC++];
+    switch (I.Code) {
+    case Op::PushUnit:
+      push(Value::unit());
+      break;
+    case Op::PushTrue:
+      push(Value::fromBool(true));
+      break;
+    case Op::PushFalse:
+      push(Value::fromBool(false));
+      break;
+    case Op::PushInt:
+      push(Value::fromFixnum(I.A));
+      break;
+    case Op::PushIntBig:
+      push(Value::fromFixnum(Prog.IntPool[I.A]));
+      break;
+    case Op::PushChar:
+      push(Value::fromChar(static_cast<char>(I.A)));
+      break;
+    case Op::PushFloat:
+      push(RT.heap().allocFloat(Prog.FloatPool[I.A]));
+      break;
+    case Op::LocalGet:
+      push(Stack[F.Base + I.A]);
+      break;
+    case Op::LocalSet:
+      Stack[F.Base + I.A] = pop();
+      break;
+    case Op::GlobalGet:
+      push(Globals[I.A]);
+      break;
+    case Op::GlobalSet:
+      Globals[I.A] = pop();
+      break;
+    case Op::FreeGet:
+      push(F.Clos.object()->slot(I.A));
+      break;
+    case Op::Pop:
+      --Top;
+      break;
+    case Op::Jump:
+      F.PC = static_cast<uint32_t>(I.A);
+      break;
+    case Op::JumpIfFalse: {
+      Value Cond = pop();
+      assert(Cond.isBool() && "condition must be a boolean");
+      if (!Cond.asBool())
+        F.PC = static_cast<uint32_t>(I.A);
+      break;
+    }
+    case Op::Call:
+      doCall(static_cast<uint32_t>(I.A), /*Tail=*/false, {});
+      break;
+    case Op::TailCall:
+      doCall(static_cast<uint32_t>(I.A), /*Tail=*/true, {});
+      break;
+    case Op::Return:
+      doReturn();
+      break;
+    case Op::Halt:
+      return pop();
+    case Op::MakeClosure: {
+      uint32_t NumFree = static_cast<uint32_t>(I.B);
+      Value Clos = RT.heap().allocClosure(static_cast<uint32_t>(I.A), NumFree);
+      HeapObject *Object = Clos.object();
+      for (uint32_t J = 0; J != NumFree; ++J)
+        Object->slot(J) = Stack[Top - NumFree + J];
+      Top -= NumFree;
+      push(Clos);
+      break;
+    }
+    case Op::ClosureInitFree: {
+      Value V = Stack[Top - 1];
+      Value Clos = Stack[Top - 2];
+      // Letrec backpatch: reach the underlying closure through any cast
+      // wrappers (DynBox from an injection, proxy from a function cast).
+      HeapObject *Object = Clos.object();
+      while (Object->kind() == ObjectKind::DynBox ||
+             Object->kind() == ObjectKind::ProxyClosure)
+        Object = Object->slot(0).object();
+      assert(Object->kind() == ObjectKind::Closure &&
+             "letrec initializer did not produce a closure");
+      Object->slot(static_cast<uint32_t>(I.A)) = V;
+      Top -= 2;
+      break;
+    }
+    case Op::Cast: {
+      Value V = Stack[Top - 1];
+      Stack[Top - 1] = RT.applyCast(V, Prog.Casts[I.A]);
+      break;
+    }
+    case Op::Prim:
+      doPrim(static_cast<PrimOp>(I.A));
+      break;
+    case Op::MakeTuple: {
+      uint32_t Size = static_cast<uint32_t>(I.A);
+      Value Tup = RT.heap().allocTuple(Size);
+      HeapObject *Object = Tup.object();
+      for (uint32_t J = 0; J != Size; ++J)
+        Object->slot(J) = Stack[Top - Size + J];
+      Top -= Size;
+      push(Tup);
+      break;
+    }
+    case Op::TupleProj: {
+      Value V = Stack[Top - 1];
+      assert(V.isHeap() && V.object()->kind() == ObjectKind::Tuple);
+      Stack[Top - 1] = V.object()->slot(static_cast<uint32_t>(I.A));
+      break;
+    }
+    case Op::TupleProjDyn: {
+      const DynSite &Site = Prog.Sites[I.B];
+      Value V = Stack[Top - 1];
+      const Type *T = RT.runtimeTypeOf(V);
+      if (T->isRec())
+        T = RT.typeContext().unfold(T);
+      uint32_t Index = static_cast<uint32_t>(I.A);
+      if (!T->isTuple() || Index >= T->tupleSize())
+        RT.blame(Site.Label, "tuple projection from a value of type " +
+                                 T->str());
+      Value Tup = RT.dynUnwrap(V);
+      Value Element = Tup.object()->slot(Index);
+      Stack[Top - 1] = RT.castRuntime(Element, T->element(Index),
+                                      RT.typeContext().dyn(), Site.Label);
+      break;
+    }
+    case Op::BoxNew: {
+      Value V = Stack[Top - 1];
+      Stack[Top - 1] = RT.heap().allocBox(V);
+      break;
+    }
+    case Op::BoxNewMono: {
+      Value V = Stack[Top - 1];
+      Value Box = RT.heap().allocBox(V);
+      Box.object()->setMeta(0, Prog.TypePool[I.A]);
+      Stack[Top - 1] = Box;
+      break;
+    }
+    case Op::BoxGetMono:
+      Stack[Top - 1] = RT.monoBoxRead(Stack[Top - 1], Prog.TypePool[I.A],
+                                      Prog.Sites[I.B].Label);
+      break;
+    case Op::BoxSetMono: {
+      RT.monoBoxWrite(Stack[Top - 2], Stack[Top - 1], Prog.TypePool[I.A],
+                      Prog.Sites[I.B].Label);
+      Top -= 2;
+      push(Value::unit());
+      break;
+    }
+    case Op::BoxGetFast: {
+      Value V = Stack[Top - 1];
+      assert(V.isHeap() && V.object()->kind() == ObjectKind::Box);
+      Stack[Top - 1] = V.object()->slot(0);
+      break;
+    }
+    case Op::BoxGet:
+      Stack[Top - 1] = RT.boxRead(Stack[Top - 1]);
+      break;
+    case Op::BoxSetFast: {
+      Value V = Stack[Top - 1];
+      Value Box = Stack[Top - 2];
+      assert(Box.isHeap() && Box.object()->kind() == ObjectKind::Box);
+      Box.object()->slot(0) = V;
+      Top -= 2;
+      push(Value::unit());
+      break;
+    }
+    case Op::BoxSet: {
+      RT.boxWrite(Stack[Top - 2], Stack[Top - 1]);
+      Top -= 2;
+      push(Value::unit());
+      break;
+    }
+    case Op::UnboxDyn: {
+      const DynSite &Site = Prog.Sites[I.A];
+      Value V = Stack[Top - 1];
+      const Type *T = RT.runtimeTypeOf(V);
+      if (T->isRec())
+        T = RT.typeContext().unfold(T);
+      if (!T->isBox())
+        RT.blame(Site.Label, "unbox of a value of type " + T->str());
+      Value Inner = RT.dynUnwrap(V);
+      Stack[Top - 1] = Inner; // keep rooted during the read + cast
+      if (RT.mode() == CastMode::Monotonic) {
+        // Monotonic cells may be more precise than the DynBox's view
+        // type; read against the cell's own runtime type.
+        Stack[Top - 1] =
+            RT.monoBoxRead(Inner, RT.typeContext().dyn(), Site.Label);
+        break;
+      }
+      Value Content = RT.boxRead(Inner);
+      Stack[Top - 1] = RT.castRuntime(Content, T->inner(),
+                                      RT.typeContext().dyn(), Site.Label);
+      break;
+    }
+    case Op::BoxSetDyn: {
+      const DynSite &Site = Prog.Sites[I.A];
+      Value V = Stack[Top - 2];
+      Value Content = Stack[Top - 1];
+      const Type *T = RT.runtimeTypeOf(V);
+      if (T->isRec())
+        T = RT.typeContext().unfold(T);
+      if (!T->isBox())
+        RT.blame(Site.Label, "box-set! of a value of type " + T->str());
+      Value Inner = RT.dynUnwrap(V);
+      Stack[Top - 2] = Inner;
+      if (RT.mode() == CastMode::Monotonic) {
+        RT.monoBoxWrite(Inner, Content, RT.typeContext().dyn(), Site.Label);
+      } else {
+        Value Converted = RT.castRuntime(Content, RT.typeContext().dyn(),
+                                         T->inner(), Site.Label);
+        RT.boxWrite(Inner, Converted);
+      }
+      Top -= 2;
+      push(Value::unit());
+      break;
+    }
+    case Op::MakeVector: {
+      Value Init = Stack[Top - 1];
+      Value Size = Stack[Top - 2];
+      assert(Size.isFixnum() && "vector size must be an integer");
+      int64_t N = Size.asFixnum();
+      if (N < 0 || N > (INT64_C(1) << 32))
+        trap("invalid vector size " + std::to_string(N));
+      Value Vect = RT.heap().allocVector(static_cast<uint32_t>(N), Init);
+      Top -= 2;
+      push(Vect);
+      break;
+    }
+    case Op::MakeVectorMono: {
+      Value Init = Stack[Top - 1];
+      Value Size = Stack[Top - 2];
+      int64_t N = Size.asFixnum();
+      if (N < 0 || N > (INT64_C(1) << 32))
+        trap("invalid vector size " + std::to_string(N));
+      Value Vect = RT.heap().allocVector(static_cast<uint32_t>(N), Init);
+      Vect.object()->setMeta(0, Prog.TypePool[I.A]);
+      Top -= 2;
+      push(Vect);
+      break;
+    }
+    case Op::VecRefMono: {
+      Value Result =
+          RT.monoVectorRef(Stack[Top - 2], Stack[Top - 1].asFixnum(),
+                           Prog.TypePool[I.A], Prog.Sites[I.B].Label);
+      Top -= 2;
+      push(Result);
+      break;
+    }
+    case Op::VecSetMono: {
+      RT.monoVectorSet(Stack[Top - 3], Stack[Top - 2].asFixnum(),
+                       Stack[Top - 1], Prog.TypePool[I.A],
+                       Prog.Sites[I.B].Label);
+      Top -= 3;
+      push(Value::unit());
+      break;
+    }
+    case Op::VecRefFast: {
+      Value Index = Stack[Top - 1];
+      Value Vect = Stack[Top - 2];
+      HeapObject *Object = Vect.object();
+      int64_t Idx = Index.asFixnum();
+      if (Idx < 0 || Idx >= Object->slotCount())
+        trap("vector index " + std::to_string(Idx) + " out of bounds");
+      Top -= 2;
+      push(Object->slot(static_cast<uint32_t>(Idx)));
+      break;
+    }
+    case Op::VecRef: {
+      Value Result = RT.vectorRef(Stack[Top - 2], Stack[Top - 1].asFixnum());
+      Top -= 2;
+      push(Result);
+      break;
+    }
+    case Op::VecRefDyn: {
+      const DynSite &Site = Prog.Sites[I.A];
+      Value V = Stack[Top - 2];
+      const Type *T = RT.runtimeTypeOf(V);
+      if (T->isRec())
+        T = RT.typeContext().unfold(T);
+      if (!T->isVect())
+        RT.blame(Site.Label, "vector-ref of a value of type " + T->str());
+      Value Inner = RT.dynUnwrap(V);
+      Stack[Top - 2] = Inner;
+      Value Result;
+      if (RT.mode() == CastMode::Monotonic) {
+        Result = RT.monoVectorRef(Inner, Stack[Top - 1].asFixnum(),
+                                  RT.typeContext().dyn(), Site.Label);
+      } else {
+        Value Element = RT.vectorRef(Inner, Stack[Top - 1].asFixnum());
+        Result = RT.castRuntime(Element, T->inner(),
+                                RT.typeContext().dyn(), Site.Label);
+      }
+      Top -= 2;
+      push(Result);
+      break;
+    }
+    case Op::VecSetFast: {
+      Value Content = Stack[Top - 1];
+      Value Index = Stack[Top - 2];
+      Value Vect = Stack[Top - 3];
+      HeapObject *Object = Vect.object();
+      int64_t Idx = Index.asFixnum();
+      if (Idx < 0 || Idx >= Object->slotCount())
+        trap("vector index " + std::to_string(Idx) + " out of bounds");
+      Object->slot(static_cast<uint32_t>(Idx)) = Content;
+      Top -= 3;
+      push(Value::unit());
+      break;
+    }
+    case Op::VecSet: {
+      RT.vectorSet(Stack[Top - 3], Stack[Top - 2].asFixnum(),
+                   Stack[Top - 1]);
+      Top -= 3;
+      push(Value::unit());
+      break;
+    }
+    case Op::VecSetDyn: {
+      const DynSite &Site = Prog.Sites[I.A];
+      Value V = Stack[Top - 3];
+      const Type *T = RT.runtimeTypeOf(V);
+      if (T->isRec())
+        T = RT.typeContext().unfold(T);
+      if (!T->isVect())
+        RT.blame(Site.Label, "vector-set! of a value of type " + T->str());
+      Value Inner = RT.dynUnwrap(V);
+      Stack[Top - 3] = Inner;
+      if (RT.mode() == CastMode::Monotonic) {
+        RT.monoVectorSet(Inner, Stack[Top - 2].asFixnum(), Stack[Top - 1],
+                         RT.typeContext().dyn(), Site.Label);
+      } else {
+        Value Converted = RT.castRuntime(
+            Stack[Top - 1], RT.typeContext().dyn(), T->inner(), Site.Label);
+        RT.vectorSet(Inner, Stack[Top - 2].asFixnum(), Converted);
+      }
+      Top -= 3;
+      push(Value::unit());
+      break;
+    }
+    case Op::VecLenFast: {
+      Value Vect = Stack[Top - 1];
+      Stack[Top - 1] = Value::fromFixnum(Vect.object()->slotCount());
+      break;
+    }
+    case Op::VecLen:
+      Stack[Top - 1] = Value::fromFixnum(RT.vectorLength(Stack[Top - 1]));
+      break;
+    case Op::VecLenDyn: {
+      const DynSite &Site = Prog.Sites[I.A];
+      Value V = Stack[Top - 1];
+      const Type *T = RT.runtimeTypeOf(V);
+      if (T->isRec())
+        T = RT.typeContext().unfold(T);
+      if (!T->isVect())
+        RT.blame(Site.Label, "vector-length of a value of type " + T->str());
+      Stack[Top - 1] = Value::fromFixnum(RT.vectorLength(RT.dynUnwrap(V)));
+      break;
+    }
+    case Op::AppDyn: {
+      uint32_t Argc = static_cast<uint32_t>(I.A);
+      const DynSite &Site = Prog.Sites[I.B];
+      size_t CalleeIdx = Top - Argc - 1;
+      Value Dv = Stack[CalleeIdx];
+      const Type *FT = RT.runtimeTypeOf(Dv);
+      if (FT->isRec())
+        FT = RT.typeContext().unfold(FT);
+      if (!FT->isFunction())
+        RT.blame(Site.Label, "application of a value of type " + FT->str());
+      if (FT->arity() != Argc)
+        RT.blame(Site.Label,
+                 "arity mismatch: function expects " +
+                     std::to_string(FT->arity()) + " arguments, got " +
+                     std::to_string(Argc));
+      Stack[CalleeIdx] = RT.dynUnwrap(Dv);
+      const Type *Dyn = RT.typeContext().dyn();
+      for (uint32_t J = 0; J != Argc; ++J)
+        Stack[CalleeIdx + 1 + J] = RT.castRuntime(
+            Stack[CalleeIdx + 1 + J], Dyn, FT->param(J), Site.Label);
+      std::vector<RetCast> Pending;
+      Pending.push_back({nullptr, FT->result(), Dyn, Site.Label});
+      doCall(Argc, /*Tail=*/false, std::move(Pending));
+      break;
+    }
+    case Op::TimeStart:
+      TimeStack.push_back(std::chrono::steady_clock::now());
+      break;
+    case Op::TimeEnd: {
+      auto End = std::chrono::steady_clock::now();
+      RT.stats().TimedNanos =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              End - TimeStack.back())
+              .count();
+      TimeStack.pop_back();
+      break;
+    }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Primitives
+//===----------------------------------------------------------------------===//
+
+void VM::doPrim(PrimOp Op) {
+  auto popInt = [&]() {
+    Value V = pop();
+    assert(V.isFixnum() && "integer primitive on non-integer");
+    return V.asFixnum();
+  };
+  auto popFloat = [&]() {
+    Value V = pop();
+    assert(V.isHeap() && V.object()->kind() == ObjectKind::Float &&
+           "float primitive on non-float");
+    return V.object()->floatValue();
+  };
+  auto pushInt = [&](int64_t I) { push(Value::fromFixnum(I)); };
+  auto pushF = [&](double D) { push(RT.heap().allocFloat(D)); };
+  auto pushBool = [&](bool B) { push(Value::fromBool(B)); };
+
+  switch (Op) {
+  case PrimOp::AddI: {
+    int64_t B = popInt(), A = popInt();
+    pushInt(A + B);
+    return;
+  }
+  case PrimOp::SubI: {
+    int64_t B = popInt(), A = popInt();
+    pushInt(A - B);
+    return;
+  }
+  case PrimOp::MulI: {
+    int64_t B = popInt(), A = popInt();
+    pushInt(A * B);
+    return;
+  }
+  case PrimOp::DivI: {
+    int64_t B = popInt(), A = popInt();
+    if (B == 0)
+      trap("integer division by zero");
+    pushInt(A / B);
+    return;
+  }
+  case PrimOp::ModI: {
+    int64_t B = popInt(), A = popInt();
+    if (B == 0)
+      trap("integer modulo by zero");
+    pushInt(A % B);
+    return;
+  }
+  case PrimOp::LtI: {
+    int64_t B = popInt(), A = popInt();
+    pushBool(A < B);
+    return;
+  }
+  case PrimOp::LeI: {
+    int64_t B = popInt(), A = popInt();
+    pushBool(A <= B);
+    return;
+  }
+  case PrimOp::EqI: {
+    int64_t B = popInt(), A = popInt();
+    pushBool(A == B);
+    return;
+  }
+  case PrimOp::GeI: {
+    int64_t B = popInt(), A = popInt();
+    pushBool(A >= B);
+    return;
+  }
+  case PrimOp::GtI: {
+    int64_t B = popInt(), A = popInt();
+    pushBool(A > B);
+    return;
+  }
+  case PrimOp::AddF: {
+    double B = popFloat(), A = popFloat();
+    pushF(A + B);
+    return;
+  }
+  case PrimOp::SubF: {
+    double B = popFloat(), A = popFloat();
+    pushF(A - B);
+    return;
+  }
+  case PrimOp::MulF: {
+    double B = popFloat(), A = popFloat();
+    pushF(A * B);
+    return;
+  }
+  case PrimOp::DivF: {
+    double B = popFloat(), A = popFloat();
+    pushF(A / B);
+    return;
+  }
+  case PrimOp::ModF: {
+    double B = popFloat(), A = popFloat();
+    pushF(std::fmod(A, B));
+    return;
+  }
+  case PrimOp::ExptF: {
+    double B = popFloat(), A = popFloat();
+    pushF(std::pow(A, B));
+    return;
+  }
+  case PrimOp::Atan2F: {
+    double B = popFloat(), A = popFloat();
+    pushF(std::atan2(A, B));
+    return;
+  }
+  case PrimOp::MinF: {
+    double B = popFloat(), A = popFloat();
+    pushF(std::fmin(A, B));
+    return;
+  }
+  case PrimOp::MaxF: {
+    double B = popFloat(), A = popFloat();
+    pushF(std::fmax(A, B));
+    return;
+  }
+  case PrimOp::LtF: {
+    double B = popFloat(), A = popFloat();
+    pushBool(A < B);
+    return;
+  }
+  case PrimOp::LeF: {
+    double B = popFloat(), A = popFloat();
+    pushBool(A <= B);
+    return;
+  }
+  case PrimOp::EqF: {
+    double B = popFloat(), A = popFloat();
+    pushBool(A == B);
+    return;
+  }
+  case PrimOp::GeF: {
+    double B = popFloat(), A = popFloat();
+    pushBool(A >= B);
+    return;
+  }
+  case PrimOp::GtF: {
+    double B = popFloat(), A = popFloat();
+    pushBool(A > B);
+    return;
+  }
+  case PrimOp::NegF:
+    pushF(-popFloat());
+    return;
+  case PrimOp::AbsF:
+    pushF(std::fabs(popFloat()));
+    return;
+  case PrimOp::SqrtF:
+    pushF(std::sqrt(popFloat()));
+    return;
+  case PrimOp::SinF:
+    pushF(std::sin(popFloat()));
+    return;
+  case PrimOp::CosF:
+    pushF(std::cos(popFloat()));
+    return;
+  case PrimOp::TanF:
+    pushF(std::tan(popFloat()));
+    return;
+  case PrimOp::AsinF:
+    pushF(std::asin(popFloat()));
+    return;
+  case PrimOp::AcosF:
+    pushF(std::acos(popFloat()));
+    return;
+  case PrimOp::AtanF:
+    pushF(std::atan(popFloat()));
+    return;
+  case PrimOp::ExpF:
+    pushF(std::exp(popFloat()));
+    return;
+  case PrimOp::LogF:
+    pushF(std::log(popFloat()));
+    return;
+  case PrimOp::FloorF:
+    pushF(std::floor(popFloat()));
+    return;
+  case PrimOp::CeilingF:
+    pushF(std::ceil(popFloat()));
+    return;
+  case PrimOp::RoundF:
+    pushF(std::nearbyint(popFloat()));
+    return;
+  case PrimOp::IntToFloat:
+    pushF(static_cast<double>(popInt()));
+    return;
+  case PrimOp::FloatToInt:
+    pushInt(static_cast<int64_t>(popFloat()));
+    return;
+  case PrimOp::IntToChar:
+    push(Value::fromChar(static_cast<char>(popInt())));
+    return;
+  case PrimOp::CharToInt: {
+    Value V = pop();
+    pushInt(static_cast<unsigned char>(V.asChar()));
+    return;
+  }
+  case PrimOp::Not: {
+    Value V = pop();
+    pushBool(!V.asBool());
+    return;
+  }
+  case PrimOp::PrintInt:
+    Output += std::to_string(popInt());
+    push(Value::unit());
+    return;
+  case PrimOp::PrintFloat:
+    Output += formatDouble(popFloat());
+    push(Value::unit());
+    return;
+  case PrimOp::PrintChar:
+    Output += pop().asChar();
+    push(Value::unit());
+    return;
+  case PrimOp::PrintBool:
+    Output += pop().asBool() ? "#t" : "#f";
+    push(Value::unit());
+    return;
+  case PrimOp::ReadInt:
+    pushInt(readIntFromInput());
+    return;
+  case PrimOp::ReadChar:
+    push(Value::fromChar(readCharFromInput()));
+    return;
+  }
+  trap("unknown primitive");
+}
+
+int64_t VM::readIntFromInput() {
+  while (InputPos < Input.size() &&
+         std::isspace(static_cast<unsigned char>(Input[InputPos])))
+    ++InputPos;
+  size_t Start = InputPos;
+  if (InputPos < Input.size() &&
+      (Input[InputPos] == '-' || Input[InputPos] == '+'))
+    ++InputPos;
+  while (InputPos < Input.size() &&
+         std::isdigit(static_cast<unsigned char>(Input[InputPos])))
+    ++InputPos;
+  int64_t Out = 0;
+  if (!parseInt64(std::string_view(Input).substr(Start, InputPos - Start),
+                  Out))
+    trap("read-int: no integer available on input");
+  return Out;
+}
+
+char VM::readCharFromInput() {
+  if (InputPos >= Input.size())
+    trap("read-char: end of input");
+  return Input[InputPos++];
+}

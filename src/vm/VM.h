@@ -1,0 +1,108 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bytecode interpreter. A stack machine whose calling convention is
+/// proxy-aware: calling through a proxy closure converts the arguments,
+/// records a pending result conversion on the frame, and proceeds with
+/// the underlying closure (paper Section 3.2, "Applying Functions" —
+/// proxy closures share the plain-closure convention; only the pointer
+/// tag must be cleared).
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_VM_VM_H
+#define GRIFT_VM_VM_H
+
+#include "runtime/Runtime.h"
+#include "vm/Bytecode.h"
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace grift {
+
+/// The outcome of running a program.
+struct RunResult {
+  bool OK = false;
+  std::string ResultText; ///< rendered final value (when OK)
+  RuntimeError Error;     ///< when !OK
+  std::string Output;     ///< everything the program printed
+  RuntimeStats Stats;     ///< runtime statistics snapshot
+  int64_t WallNanos = 0;  ///< total execution wall time
+  size_t PeakHeapBytes = 0; ///< heap high-water mark (space efficiency)
+};
+
+class VM final : public RootProvider {
+public:
+  VM(Runtime &RT, const VMProgram &Prog);
+  ~VM() override;
+  VM(const VM &) = delete;
+  VM &operator=(const VM &) = delete;
+
+  /// Runs the program to completion. \p Input feeds read-int/read-char.
+  RunResult run(std::string Input = "");
+
+  void visitRoots(void (*Visit)(Value &, void *), void *Ctx) override;
+
+private:
+  /// A pending result conversion recorded when calling through a proxy
+  /// or a Dyn application site. C is used in coercion mode; S/T/L in
+  /// type-based mode (and for runtime-typed Dyn results).
+  struct RetCast {
+    const Coercion *C = nullptr;
+    const Type *S = nullptr;
+    const Type *T = nullptr;
+    const std::string *L = nullptr;
+  };
+
+  struct Frame {
+    uint32_t Func = 0;
+    uint32_t PC = 0;
+    uint32_t Base = 0;       // stack index of local 0
+    uint32_t CalleeSlot = 0; // stack index holding the callee value
+    Value Clos;              // closure providing FreeGet slots
+    std::vector<RetCast> RetCasts; // applied LIFO at Return
+  };
+
+  Runtime &RT;
+  const VMProgram &Prog;
+  std::vector<Value> Stack;
+  size_t Top = 0;
+  std::vector<Frame> Frames;
+  std::vector<Value> Globals;
+  std::string Output;
+  std::string Input;
+  size_t InputPos = 0;
+  std::vector<std::chrono::steady_clock::time_point> TimeStack;
+
+  Value execute();
+
+  void push(Value V) {
+    if (Top == Stack.size())
+      growStack();
+    Stack[Top++] = V;
+  }
+  Value pop() { return Stack[--Top]; }
+  Value &peek(size_t FromTop = 0) { return Stack[Top - 1 - FromTop]; }
+  void growStack();
+  void ensureStack(size_t Extra);
+
+  /// Unwraps function proxies at a call site: converts arguments in
+  /// place, appends pending result conversions, and returns the plain
+  /// closure. \p ArgsBase indexes the first argument on the stack.
+  Value resolveCallee(Value Callee, uint32_t Argc, size_t ArgsBase,
+                      std::vector<RetCast> &Pending);
+
+  void doCall(uint32_t Argc, bool Tail, std::vector<RetCast> Pending);
+  void doReturn();
+  void doPrim(PrimOp Op);
+
+  int64_t readIntFromInput();
+  char readCharFromInput();
+
+  [[noreturn]] void trap(std::string Message) { RT.trap(std::move(Message)); }
+};
+
+} // namespace grift
+
+#endif // GRIFT_VM_VM_H

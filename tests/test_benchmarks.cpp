@@ -1,0 +1,178 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integration tests over the paper's benchmark suite: every benchmark
+/// compiles and computes its golden output under Static Grift, Grift with
+/// coercions, Grift with type-based casts, Dynamic Grift, and randomly
+/// sampled partially typed configurations (the gradual guarantee observed
+/// end to end).
+///
+//===----------------------------------------------------------------------===//
+#include "bench_programs/Benchmarks.h"
+#include "grift/Grift.h"
+#include "lattice/Lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+using namespace grift;
+
+namespace {
+
+std::string runSource(Grift &G, const std::string &Source, CastMode Mode,
+                      const std::string &Input) {
+  std::string Errors;
+  auto Exe = G.compile(Source, Mode, Errors);
+  EXPECT_TRUE(Exe.has_value()) << Errors;
+  if (!Exe)
+    return "<compile error>";
+  RunResult R = Exe->run(Input);
+  EXPECT_TRUE(R.OK) << R.Error.str();
+  return R.OK ? R.Output : "<run error>";
+}
+
+class BenchmarkModes
+    : public ::testing::TestWithParam<std::tuple<int, CastMode>> {};
+
+/// gtest parameter names must be alphanumeric.
+std::string sanitize(std::string Name) {
+  for (char &C : Name)
+    if (!std::isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+} // namespace
+
+TEST_P(BenchmarkModes, GoldenOutput) {
+  const BenchProgram &B = allBenchmarks()[std::get<0>(GetParam())];
+  CastMode Mode = std::get<1>(GetParam());
+  Grift G;
+  EXPECT_EQ(runSource(G, B.Source, Mode, B.TestInput), B.TestOutput)
+      << B.Name << " under " << castModeName(Mode);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkModes,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(CastMode::Static,
+                                         CastMode::Coercions,
+                                         CastMode::TypeBased)),
+    [](const ::testing::TestParamInfo<std::tuple<int, CastMode>> &Info) {
+      return sanitize(allBenchmarks()[std::get<0>(Info.param)].Name + "_" +
+                      std::string(castModeName(std::get<1>(Info.param))));
+    });
+
+namespace {
+
+class BenchmarkDynamic : public ::testing::TestWithParam<int> {};
+
+} // namespace
+
+TEST_P(BenchmarkDynamic, ErasedProgramMatchesGolden) {
+  const BenchProgram &B = allBenchmarks()[GetParam()];
+  Grift G;
+  std::string Errors;
+  auto Ast = G.parse(B.Source, Errors);
+  ASSERT_TRUE(Ast.has_value()) << Errors;
+  Program Erased = eraseTypes(*Ast, G.types());
+  EXPECT_LE(programPrecision(Erased), 0.0001);
+  for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased}) {
+    auto Exe = G.compileAst(Erased, Mode, Errors);
+    ASSERT_TRUE(Exe.has_value()) << Errors;
+    RunResult R = Exe->run(B.TestInput);
+    ASSERT_TRUE(R.OK) << B.Name << ": " << R.Error.str();
+    EXPECT_EQ(R.Output, B.TestOutput) << B.Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkDynamic,
+                         ::testing::Range(0, 8), [](const auto &Info) {
+                           return sanitize(allBenchmarks()[Info.param].Name);
+                         });
+
+namespace {
+
+class BenchmarkLattice : public ::testing::TestWithParam<int> {};
+
+} // namespace
+
+TEST_P(BenchmarkLattice, SampledConfigurationsAgree) {
+  // The gradual guarantee on real programs: partially typed
+  // configurations sampled across the precision range all compute the
+  // benchmark's golden output in both cast modes.
+  const BenchProgram &B = allBenchmarks()[GetParam()];
+  Grift G;
+  std::string Errors;
+  auto Ast = G.parse(B.Source, Errors);
+  ASSERT_TRUE(Ast.has_value()) << Errors;
+  auto Configs = sampleFineGrained(*Ast, G.types(), 3, 1, 0xC0FFEE + GetParam());
+  ASSERT_EQ(Configs.size(), 3u);
+  for (const Configuration &C : Configs) {
+    for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased}) {
+      auto Exe = G.compileAst(C.Prog, Mode, Errors);
+      ASSERT_TRUE(Exe.has_value())
+          << B.Name << " precision " << C.Precision << ": " << Errors;
+      RunResult R = Exe->run(B.TestInput);
+      ASSERT_TRUE(R.OK) << B.Name << ": " << R.Error.str();
+      EXPECT_EQ(R.Output, B.TestOutput)
+          << B.Name << " precision " << C.Precision << " mode "
+          << castModeName(Mode);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkLattice,
+                         ::testing::Range(0, 8), [](const auto &Info) {
+                           return sanitize(allBenchmarks()[Info.param].Name);
+                         });
+
+//===----------------------------------------------------------------------===//
+// The Figure 2 / Figure 3 microbenchmarks
+//===----------------------------------------------------------------------===//
+
+TEST(MicroBenchmarks, EvenOddFigure2) {
+  Grift G;
+  for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased}) {
+    EXPECT_EQ(runSource(G, evenOddSource(), Mode, "100"), "#t");
+    EXPECT_EQ(runSource(G, evenOddSource(), Mode, "101"), "#f");
+  }
+}
+
+TEST(MicroBenchmarks, QuicksortFigure3) {
+  Grift G;
+  for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased})
+    EXPECT_EQ(runSource(G, quicksortFig3Source(), Mode, "100"), "#t");
+}
+
+TEST(MicroBenchmarks, EvenOddChainShapes) {
+  // Figure 4 left: type-based chains grow linearly in n; coercions stay
+  // at one proxy.
+  Grift G;
+  std::string Errors;
+  auto ExeC = G.compile(evenOddSource(), CastMode::Coercions, Errors);
+  auto ExeT = G.compile(evenOddSource(), CastMode::TypeBased, Errors);
+  ASSERT_TRUE(ExeC && ExeT) << Errors;
+  RunResult C = ExeC->run("500");
+  RunResult T = ExeT->run("500");
+  ASSERT_TRUE(C.OK && T.OK);
+  EXPECT_LE(C.Stats.LongestProxyChain, 1u);
+  EXPECT_GE(T.Stats.LongestProxyChain, 250u);
+}
+
+TEST(MicroBenchmarks, QuicksortFigure3ChainShapes) {
+  Grift G;
+  std::string Errors;
+  auto ExeC = G.compile(quicksortFig3Source(), CastMode::Coercions, Errors);
+  auto ExeT = G.compile(quicksortFig3Source(), CastMode::TypeBased, Errors);
+  ASSERT_TRUE(ExeC && ExeT) << Errors;
+  RunResult C = ExeC->run("128");
+  RunResult T = ExeT->run("128");
+  ASSERT_TRUE(C.OK && T.OK);
+  EXPECT_LE(C.Stats.LongestProxyChain, 1u);
+  // Sorted input: recursion depth ≈ n, so chains approach n.
+  EXPECT_GE(T.Stats.LongestProxyChain, 64u);
+  // And the type-based run performs asymptotically more cast work.
+  EXPECT_GT(T.Stats.CastsApplied, 4 * C.Stats.CastsApplied);
+}

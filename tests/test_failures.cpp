@@ -1,0 +1,253 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Failure injection and edge cases: runtime traps (division, bounds,
+/// input exhaustion), blame from deep structural positions, shadowing
+/// and scoping corners, and resource-related behaviour. Errors must be
+/// *reported*, never crash, and must be the right kind (trap vs blame).
+///
+//===----------------------------------------------------------------------===//
+#include "grift/Grift.h"
+
+#include <gtest/gtest.h>
+
+using namespace grift;
+
+namespace {
+
+class FailureTest : public ::testing::Test {
+protected:
+  Grift G;
+
+  RunResult run(std::string_view Source, CastMode Mode = CastMode::Coercions,
+                std::string Input = "") {
+    std::string Errors;
+    auto Exe = G.compile(Source, Mode, Errors);
+    EXPECT_TRUE(Exe.has_value()) << Errors;
+    if (!Exe) {
+      RunResult R;
+      R.Error = {false, "", "compile failed: " + Errors};
+      return R;
+    }
+    return Exe->run(std::move(Input));
+  }
+
+  /// Expects a trap (not blame) whose message contains \p Needle.
+  void expectTrap(std::string_view Source, std::string_view Needle,
+                  std::string Input = "") {
+    for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased,
+                          CastMode::Monotonic}) {
+      RunResult R = run(Source, Mode, Input);
+      ASSERT_FALSE(R.OK) << Source;
+      EXPECT_FALSE(R.Error.IsBlame) << R.Error.str();
+      EXPECT_NE(R.Error.Message.find(Needle), std::string::npos)
+          << R.Error.str();
+    }
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Runtime traps
+//===----------------------------------------------------------------------===//
+
+TEST_F(FailureTest, DivisionByZeroTraps) {
+  expectTrap("(/ 1 0)", "division by zero");
+  expectTrap("(% 1 0)", "modulo by zero");
+  expectTrap("(let ([n 0]) (/ 10 n))", "division by zero");
+}
+
+TEST_F(FailureTest, VectorBoundsTrap) {
+  expectTrap("(vector-ref (make-vector 3 0) 3)", "out of bounds");
+  expectTrap("(vector-ref (make-vector 3 0) -1)", "out of bounds");
+  expectTrap("(vector-set! (make-vector 3 0) 99 1)", "out of bounds");
+  expectTrap("(make-vector -1 0)", "invalid vector size");
+}
+
+TEST_F(FailureTest, BoundsThroughDynViewStillTrap) {
+  expectTrap("((lambda (v) (vector-ref v 5)) (make-vector 2 0))",
+             "out of bounds");
+}
+
+TEST_F(FailureTest, BoundsThroughProxiedVectorTrap) {
+  const char *Source = "(let ([v : (Vect Int) (make-vector 2 0)])"
+                       "  (let ([w : (Vect Dyn) v]) (vector-ref w 7)))";
+  expectTrap(Source, "out of bounds");
+}
+
+TEST_F(FailureTest, ReadIntExhaustionTraps) {
+  expectTrap("(+ (read-int) (read-int))", "no integer", "41");
+  expectTrap("(read-char)", "end of input", "");
+}
+
+TEST_F(FailureTest, FloatEdgeCasesDoNotTrap) {
+  // IEEE semantics, not traps.
+  RunResult R = run("(fl/ 1.0 0.0)");
+  ASSERT_TRUE(R.OK);
+  EXPECT_EQ(R.ResultText, "+inf.0");
+  RunResult R2 = run("(fl/ 0.0 0.0)");
+  ASSERT_TRUE(R2.OK);
+  EXPECT_EQ(R2.ResultText, "+nan.0");
+  RunResult R3 = run("(flsqrt -1.0)");
+  ASSERT_TRUE(R3.OK);
+  EXPECT_EQ(R3.ResultText, "+nan.0");
+}
+
+//===----------------------------------------------------------------------===//
+// Blame from deep positions
+//===----------------------------------------------------------------------===//
+
+TEST_F(FailureTest, BlameThroughNestedTuples) {
+  const char *Source =
+      "(let ([p : (Tuple (Tuple Int Dyn) Int) (tuple (tuple 1 #t) 2)])"
+      "  (ann (tuple-proj (tuple-proj p 0) 1) Int))";
+  for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased}) {
+    RunResult R = run(Source, Mode);
+    ASSERT_FALSE(R.OK);
+    EXPECT_TRUE(R.Error.IsBlame);
+  }
+}
+
+TEST_F(FailureTest, BlameThroughFunctionResult) {
+  // The lie is in the *result* side of the cast.
+  const char *Source =
+      "(define f : (Int -> Dyn) (lambda ([x : Int]) : Dyn (ann #t Dyn)))"
+      "(define g : (Int -> Int) f)"
+      "(g 1)";
+  for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased,
+                        CastMode::Monotonic}) {
+    RunResult R = run(Source, Mode);
+    ASSERT_FALSE(R.OK) << castModeName(Mode);
+    EXPECT_TRUE(R.Error.IsBlame);
+  }
+}
+
+TEST_F(FailureTest, BlameThroughBoxReadAfterManyCasts) {
+  // The box bounces through Dyn views; the bad write is caught with
+  // blame, in every mode, no matter how many casts intervened.
+  const char *Source =
+      "(define b : (Ref Int) (box 1))"
+      "(define d1 : (Ref Dyn) b)"
+      "(define d2 : Dyn d1)"
+      "(define d3 : (Ref Dyn) (ann d2 (Ref Dyn)))"
+      "(box-set! d3 (ann #f Dyn))";
+  for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased,
+                        CastMode::Monotonic}) {
+    RunResult R = run(Source, Mode);
+    ASSERT_FALSE(R.OK) << castModeName(Mode);
+    EXPECT_TRUE(R.Error.IsBlame) << R.Error.str();
+  }
+}
+
+TEST_F(FailureTest, SuccessfulDeepFlowsStillWork) {
+  const char *Source =
+      "(define b : (Ref Int) (box 1))"
+      "(define d1 : (Ref Dyn) b)"
+      "(define d2 : Dyn d1)"
+      "(define d3 : (Ref Dyn) (ann d2 (Ref Dyn)))"
+      "(begin (box-set! d3 (ann 42 Dyn)) (unbox b))";
+  for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased,
+                        CastMode::Monotonic}) {
+    RunResult R = run(Source, Mode);
+    ASSERT_TRUE(R.OK) << castModeName(Mode) << ": " << R.Error.str();
+    EXPECT_EQ(R.ResultText, "42");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scoping and shadowing corners
+//===----------------------------------------------------------------------===//
+
+TEST_F(FailureTest, ShadowingResolvesInnermost) {
+  RunResult R = run("(let ([x 1])"
+                    "  (let ([x 2])"
+                    "    (+ x (let ([x 30]) x))))");
+  ASSERT_TRUE(R.OK);
+  EXPECT_EQ(R.ResultText, "32");
+}
+
+TEST_F(FailureTest, ParameterShadowsGlobal) {
+  RunResult R = run("(define x : Int 100)"
+                    "(define (f [x : Int]) : Int (+ x 1))"
+                    "(f 1)");
+  ASSERT_TRUE(R.OK);
+  EXPECT_EQ(R.ResultText, "2");
+}
+
+TEST_F(FailureTest, ClosureCapturesShadowedBinding) {
+  RunResult R = run("(let ([x 1])"
+                    "  (let ([f (lambda () x)])"
+                    "    (let ([x 99]) (f))))");
+  ASSERT_TRUE(R.OK);
+  EXPECT_EQ(R.ResultText, "1");
+}
+
+TEST_F(FailureTest, RepeatVariableScopedToBody) {
+  // The loop index does not leak.
+  std::string Errors;
+  auto Exe = G.compile("(begin (repeat (i 0 3) ()) i)",
+                       CastMode::Coercions, Errors);
+  EXPECT_FALSE(Exe.has_value()); // `i` unbound outside
+}
+
+TEST_F(FailureTest, LetrecSiblingCapturesWork) {
+  RunResult R = run(
+      "(letrec ([even? : (Int -> Bool)"
+      "           (lambda ([n : Int]) : Bool (if (= n 0) #t (odd? (- n 1))))]"
+      "         [odd? : (Int -> Bool)"
+      "           (lambda ([n : Int]) : Bool (if (= n 0) #f (even? (- n 1))))])"
+      "  (odd? 77))");
+  ASSERT_TRUE(R.OK);
+  EXPECT_EQ(R.ResultText, "#t");
+}
+
+//===----------------------------------------------------------------------===//
+// Numeric representation corners
+//===----------------------------------------------------------------------===//
+
+TEST_F(FailureTest, SixtyOneBitFixnumsSurvive) {
+  // Values near the 61-bit boundary round-trip through Dyn.
+  RunResult R = run("(ann (ann 1152921504606846975 Dyn) Int)");
+  ASSERT_TRUE(R.OK);
+  EXPECT_EQ(R.ResultText, "1152921504606846975"); // 2^60 - 1
+  RunResult R2 = run("(ann (ann -1152921504606846976 Dyn) Int)");
+  ASSERT_TRUE(R2.OK);
+  EXPECT_EQ(R2.ResultText, "-1152921504606846976"); // -2^60
+}
+
+TEST_F(FailureTest, NegativeZeroAndPrecisionSurvive) {
+  RunResult R = run("(fl* -1.0 0.0)");
+  ASSERT_TRUE(R.OK);
+  EXPECT_EQ(R.ResultText, "-0.0");
+  RunResult R2 = run("(ann (ann 0.1 Dyn) Float)");
+  ASSERT_TRUE(R2.OK);
+  EXPECT_EQ(R2.ResultText, "0.1");
+}
+
+TEST_F(FailureTest, CharRoundTripsThroughDyn) {
+  RunResult R = run("(char->int (ann (ann #\\z Dyn) Char))");
+  ASSERT_TRUE(R.OK);
+  EXPECT_EQ(R.ResultText, "122");
+}
+
+//===----------------------------------------------------------------------===//
+// Output determinism across modes under GC pressure
+//===----------------------------------------------------------------------===//
+
+TEST_F(FailureTest, AllocationHeavyProgramAgreesAcrossModes) {
+  const char *Source =
+      "(define (mk [i : Int]) : (Tuple Int (Ref Int))"
+      "  (tuple i (box (* i i))))"
+      "(repeat (i 0 50000) (acc : Int 0)"
+      "  (+ acc (unbox (tuple-proj (mk i) 1))))";
+  std::string Expected;
+  for (CastMode Mode : {CastMode::Static, CastMode::Coercions,
+                        CastMode::TypeBased, CastMode::Monotonic}) {
+    RunResult R = run(Source, Mode);
+    ASSERT_TRUE(R.OK) << castModeName(Mode) << ": " << R.Error.str();
+    if (Expected.empty())
+      Expected = R.ResultText;
+    EXPECT_EQ(R.ResultText, Expected) << castModeName(Mode);
+  }
+}

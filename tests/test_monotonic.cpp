@@ -1,0 +1,206 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for monotonic references (CastMode::Monotonic, paper Section 5):
+/// references are never proxied; casting a reference strengthens the heap
+/// cell's runtime type in place. Functional behaviour matches the other
+/// modes on all benchmarks; the observable differences are structural
+/// (no proxies) and temporal (blame can surface at the cast instead of
+/// the use).
+///
+//===----------------------------------------------------------------------===//
+#include "bench_programs/Benchmarks.h"
+#include "grift/Grift.h"
+#include "lattice/Lattice.h"
+
+#include <gtest/gtest.h>
+
+using namespace grift;
+
+namespace {
+
+class MonotonicTest : public ::testing::Test {
+protected:
+  Grift G;
+
+  RunResult run(std::string_view Source, std::string Input = "") {
+    std::string Errors;
+    auto Exe = G.compile(Source, CastMode::Monotonic, Errors);
+    EXPECT_TRUE(Exe.has_value()) << Errors;
+    if (!Exe) {
+      RunResult R;
+      R.Error = {false, "", "compile failed"};
+      return R;
+    }
+    return Exe->run(std::move(Input));
+  }
+
+  void expectResult(std::string_view Source, std::string_view Expected) {
+    RunResult R = run(Source);
+    ASSERT_TRUE(R.OK) << R.Error.str() << " for " << Source;
+    EXPECT_EQ(R.ResultText, Expected) << Source;
+  }
+};
+
+} // namespace
+
+TEST_F(MonotonicTest, BasicReferenceOps) {
+  expectResult("(unbox (box 41))", "41");
+  expectResult("(let ([b (box 1)]) (begin (box-set! b 42) (unbox b)))", "42");
+  expectResult("(let ([v (make-vector 3 7)]) (vector-ref v 2))", "7");
+  expectResult("(vector-length (make-vector 9 0))", "9");
+}
+
+TEST_F(MonotonicTest, GradualFlowsWork) {
+  expectResult("(ann (ann 42 Dyn) Int)", "42");
+  expectResult("((lambda (b) (unbox b)) (box 41))", "41");
+  expectResult("((lambda (v) (vector-ref v 0)) (make-vector 2 5))", "5");
+  expectResult("((lambda (f) (f 21)) (lambda ([x : Int]) : Int (* 2 x)))",
+               "42");
+}
+
+TEST_F(MonotonicTest, NoRefProxiesEver) {
+  // The quicksort of Figure 3 drives millions of reference operations
+  // through a Dyn-viewed vector; monotonic mode must never create a
+  // proxy for them. (The one remaining proxy is the composed *function*
+  // proxy on sort! itself — length 1, never growing.)
+  std::string Errors;
+  auto Exe = G.compile(quicksortFig3Source(), CastMode::Monotonic, Errors);
+  ASSERT_TRUE(Exe.has_value()) << Errors;
+  RunResult R = Exe->run("128");
+  ASSERT_TRUE(R.OK) << R.Error.str();
+  EXPECT_EQ(R.Output, "#t");
+  EXPECT_LE(R.Stats.LongestProxyChain, 1u);
+}
+
+TEST_F(MonotonicTest, StrengtheningIsSharedAcrossAliases) {
+  // Casting one view strengthens the single heap cell: a later write of
+  // the wrong kind through the *other*, dynamic view is rejected.
+  const char *Source = "(define v : (Vect Dyn) (make-vector 2 (ann 0 Dyn)))"
+                       "(define w : (Vect Int) v)" // strengthens the cell
+                       "(vector-set! v 0 (ann #t Dyn))";
+  RunResult R = run(Source);
+  ASSERT_FALSE(R.OK);
+  EXPECT_TRUE(R.Error.IsBlame);
+}
+
+TEST_F(MonotonicTest, WriteOfRightTypeThroughDynViewWorks) {
+  const char *Source = "(define v : (Vect Dyn) (make-vector 2 (ann 0 Dyn)))"
+                       "(define w : (Vect Int) v)"
+                       "(begin (vector-set! v 0 (ann 7 Dyn))"
+                       "       (vector-ref w 0))";
+  expectResult(Source, "7");
+}
+
+TEST_F(MonotonicTest, InconsistentStrengtheningBlamesEagerly) {
+  // The cell already holds Ints; viewing it at Bool blames at the cast
+  // itself (monotonic blames earlier than proxy-based semantics).
+  const char *Source = "(define v : (Vect Dyn) (make-vector 2 (ann 1 Dyn)))"
+                       "(define w : (Vect Int) v)"
+                       "(ann (ann v Dyn) (Vect Bool))";
+  RunResult R = run(Source);
+  ASSERT_FALSE(R.OK);
+  EXPECT_TRUE(R.Error.IsBlame);
+}
+
+TEST_F(MonotonicTest, HigherOrderFunctionsStillCompose) {
+  const char *Chain =
+      "(define f : (Int -> Int) (lambda ([x : Int]) : Int (+ x 1)))"
+      "(define g1 : (Dyn -> Dyn) f)"
+      "(define g2 : (Int -> Int) g1)"
+      "(g2 41)";
+  expectResult(Chain, "42");
+  // And the even/odd continuation stays at one proxy.
+  std::string Errors;
+  auto Exe = G.compile(evenOddSource(), CastMode::Monotonic, Errors);
+  ASSERT_TRUE(Exe.has_value()) << Errors;
+  RunResult R = Exe->run("500");
+  ASSERT_TRUE(R.OK) << R.Error.str();
+  EXPECT_EQ(R.Output, "#t");
+  EXPECT_LE(R.Stats.LongestProxyChain, 1u);
+}
+
+TEST_F(MonotonicTest, FunctionsOverReferences) {
+  // A function with reference-typed parameters crossing a Dyn boundary:
+  // the coercion's RefC component strengthens at application time.
+  const char *Source =
+      "(define (fill [v : (Vect Int)] [x : Int]) : ()"
+      "  (repeat (i 0 (vector-length v)) (vector-set! v i x)))"
+      "(define g : Dyn fill)"
+      "(define v : (Vect Int) (make-vector 3 0))"
+      "(begin ((ann g ((Vect Int) Int -> ())) v 9)"
+      "       (vector-ref v 2))";
+  expectResult(Source, "9");
+}
+
+TEST_F(MonotonicTest, FullyStaticViewsAreUnchecked) {
+  // On a fully typed program the compiler emits the same fast ops as
+  // Static Grift: zero casts at runtime.
+  const char *Typed = "(define v : (Vect Int) (make-vector 100 1))"
+                      "(repeat (i 0 100) (acc : Int 0)"
+                      "  (+ acc (vector-ref v i)))";
+  RunResult R = run(Typed);
+  ASSERT_TRUE(R.OK) << R.Error.str();
+  EXPECT_EQ(R.ResultText, "100");
+  EXPECT_EQ(R.Stats.CastsApplied, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Benchmark suite under monotonic references
+//===----------------------------------------------------------------------===//
+
+namespace {
+class MonotonicBenchmarks : public ::testing::TestWithParam<int> {};
+} // namespace
+
+TEST_P(MonotonicBenchmarks, GoldenOutput) {
+  const BenchProgram &B = allBenchmarks()[GetParam()];
+  Grift G;
+  std::string Errors;
+  // Typed.
+  auto Exe = G.compile(B.Source, CastMode::Monotonic, Errors);
+  ASSERT_TRUE(Exe.has_value()) << Errors;
+  RunResult R = Exe->run(B.TestInput);
+  ASSERT_TRUE(R.OK) << B.Name << ": " << R.Error.str();
+  EXPECT_EQ(R.Output, B.TestOutput) << B.Name;
+  // Erased (fully dynamic).
+  auto Ast = G.parse(B.Source, Errors);
+  ASSERT_TRUE(Ast.has_value()) << Errors;
+  Program Erased = eraseTypes(*Ast, G.types());
+  auto ExeD = G.compileAst(Erased, CastMode::Monotonic, Errors);
+  ASSERT_TRUE(ExeD.has_value()) << Errors;
+  RunResult RD = ExeD->run(B.TestInput);
+  ASSERT_TRUE(RD.OK) << B.Name << ": " << RD.Error.str();
+  EXPECT_EQ(RD.Output, B.TestOutput) << B.Name;
+  // No reference proxies in either configuration.
+  EXPECT_LE(R.Stats.LongestProxyChain, 1u);
+  EXPECT_LE(RD.Stats.LongestProxyChain, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, MonotonicBenchmarks,
+                         ::testing::Range(0, 8), [](const auto &Info) {
+                           std::string Name =
+                               allBenchmarks()[Info.param].Name;
+                           for (char &C : Name)
+                             if (C == '-')
+                               C = '_';
+                           return Name;
+                         });
+
+TEST(MonotonicLattice, SampledConfigurationsAgree) {
+  // The gradual guarantee holds across the lattice in monotonic mode for
+  // programs whose casts succeed.
+  const BenchProgram &B = getBenchmark("quicksort");
+  Grift G;
+  std::string Errors;
+  auto Ast = G.parse(B.Source, Errors);
+  ASSERT_TRUE(Ast.has_value()) << Errors;
+  auto Configs = sampleFineGrained(*Ast, G.types(), 3, 2, 0xFACADE);
+  for (const Configuration &C : Configs) {
+    auto Exe = G.compileAst(C.Prog, CastMode::Monotonic, Errors);
+    ASSERT_TRUE(Exe.has_value()) << Errors;
+    RunResult R = Exe->run(B.TestInput);
+    ASSERT_TRUE(R.OK) << R.Error.str() << " precision " << C.Precision;
+    EXPECT_EQ(R.Output, B.TestOutput);
+  }
+}

@@ -1,0 +1,277 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-mode semantic property tests at the runtime level. For random
+/// base types we draw random "precision ladders" (mutually consistent
+/// erasures), build random values, and push them through random cast
+/// chains under every cast implementation:
+///
+///   * coercions, applied cast-by-cast (composition happens on proxies);
+///   * coercions, pre-composed into a single normal-form coercion
+///     (apply(c ⨟ d, v) ≡ apply(d, apply(c, v)) — the soundness of
+///     composition, the linchpin of the paper);
+///   * traditional type-based casts;
+///   * monotonic references (on chains that succeed; monotonic may blame
+///     *earlier* than proxy semantics, never differently on success).
+///
+/// All implementations must agree on success/failure, and on success the
+/// observable value (read through any proxies) must be identical.
+///
+//===----------------------------------------------------------------------===//
+#include "runtime/Runtime.h"
+#include "support/RNG.h"
+#include "types/TypeOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace grift;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Random types, erasures, and values
+//===----------------------------------------------------------------------===//
+
+/// A random fully static first-order-ish type (no functions: closures
+/// need the VM; function-cast semantics are covered in test_vm.cpp).
+const Type *randomStaticType(TypeContext &Ctx, RNG &Gen, unsigned Depth) {
+  switch (Gen.below(Depth == 0 ? 5 : 8)) {
+  case 0:
+    return Ctx.integer();
+  case 1:
+    return Ctx.boolean();
+  case 2:
+    return Ctx.floating();
+  case 3:
+    return Ctx.unit();
+  case 4:
+    return Ctx.character();
+  case 5: {
+    std::vector<const Type *> Elements;
+    unsigned Size = 1 + Gen.below(3);
+    for (unsigned I = 0; I != Size; ++I)
+      Elements.push_back(randomStaticType(Ctx, Gen, Depth - 1));
+    return Ctx.tuple(std::move(Elements));
+  }
+  case 6:
+    return Ctx.box(randomStaticType(Ctx, Gen, Depth - 1));
+  default:
+    return Ctx.vect(randomStaticType(Ctx, Gen, Depth - 1));
+  }
+}
+
+/// A random erasure of \p T: every two erasures of the same type are
+/// consistent, which is what makes random cast chains well-formed.
+const Type *randomErasure(TypeContext &Ctx, const Type *T, RNG &Gen,
+                          double Keep) {
+  if (!Gen.flip(Keep))
+    return Ctx.dyn();
+  switch (T->kind()) {
+  case TypeKind::Tuple: {
+    std::vector<const Type *> Elements;
+    for (size_t I = 0; I != T->tupleSize(); ++I)
+      Elements.push_back(randomErasure(Ctx, T->element(I), Gen, Keep));
+    return Ctx.tuple(std::move(Elements));
+  }
+  case TypeKind::Box:
+    return Ctx.box(randomErasure(Ctx, T->inner(), Gen, Keep));
+  case TypeKind::Vect:
+    return Ctx.vect(randomErasure(Ctx, T->inner(), Gen, Keep));
+  default:
+    return T;
+  }
+}
+
+/// Builds a value of (fully static) type \p T. The same RNG draw sequence
+/// builds structurally identical values in different runtimes. Reference
+/// cells get monotonic RTTI so the same value works in every mode.
+Value genValue(Runtime &RT, const Type *T, RNG &Gen) {
+  switch (T->kind()) {
+  case TypeKind::Int:
+    return Value::fromFixnum(static_cast<int64_t>(Gen.below(2000)) - 1000);
+  case TypeKind::Bool:
+    return Value::fromBool(Gen.flip(0.5));
+  case TypeKind::Float:
+    return RT.heap().allocFloat((static_cast<double>(Gen.below(4000)) -
+                                 2000.0) /
+                                16.0);
+  case TypeKind::Unit:
+    return Value::unit();
+  case TypeKind::Char:
+    return Value::fromChar(static_cast<char>('a' + Gen.below(26)));
+  case TypeKind::Tuple: {
+    Value Tup = RT.heap().allocTuple(static_cast<uint32_t>(T->tupleSize()));
+    Rooted Root(RT.heap(), Tup);
+    for (size_t I = 0; I != T->tupleSize(); ++I)
+      Root.get().object()->slot(static_cast<uint32_t>(I)) =
+          genValue(RT, T->element(I), Gen);
+    return Root.get();
+  }
+  case TypeKind::Box: {
+    Value Content = genValue(RT, T->inner(), Gen);
+    Value Box = RT.heap().allocBox(Content);
+    Box.object()->setMeta(0, T->inner());
+    return Box;
+  }
+  case TypeKind::Vect: {
+    Value Vect = RT.heap().allocVector(2, Value::unit());
+    Rooted Root(RT.heap(), Vect);
+    for (uint32_t I = 0; I != 2; ++I)
+      Root.get().object()->slot(I) = genValue(RT, T->inner(), Gen);
+    Root.get().object()->setMeta(0, T->inner());
+    return Root.get();
+  }
+  default:
+    ADD_FAILURE() << "genValue: unsupported type " << T->str();
+    return Value::unit();
+  }
+}
+
+/// Renders a value *as observed*: proxies are read through, so every
+/// mode's representation strategies collapse to the same observation.
+/// (valueToString already reads through proxies and DynBoxes.)
+struct Outcome {
+  bool OK = false;
+  std::string Observation; // value rendering, or the trap/blame message
+};
+
+} // namespace
+
+class CastChainProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CastChainProperty, AllModesAgree) {
+  TypeContext Types;
+  CoercionFactory Factory(Types);
+  uint64_t Seed = 0x5EED + GetParam() * 977;
+
+  for (int Iter = 0; Iter != 120; ++Iter) {
+    RNG Shape(Seed + Iter);
+    const Type *Base = randomStaticType(Types, Shape, 2);
+
+    // A random ladder of mutually consistent views over Base.
+    std::vector<const Type *> Chain;
+    Chain.push_back(randomErasure(Types, Base, Shape, 0.7));
+    unsigned Steps = 2 + Shape.below(5);
+    for (unsigned I = 0; I != Steps; ++I)
+      Chain.push_back(randomErasure(Types, Base, Shape, 0.6));
+
+    const std::string *Label = Factory.internLabel("chain");
+    uint64_t ValueSeed = Shape.next();
+
+    auto runChain = [&](CastMode Mode, bool Precompose) -> Outcome {
+      Runtime RT(Types, Factory, Mode);
+      RNG ValueGen(ValueSeed);
+      Outcome Out;
+      try {
+        Value V = genValue(RT, Base, ValueGen);
+        Rooted Root(RT.heap(), V);
+        // Initial cast from the (static) base type to the first view.
+        V = RT.castRuntime(V, Base, Chain[0], Label);
+        Root.set(V);
+        if (Precompose) {
+          const Coercion *C = Factory.id();
+          for (size_t I = 0; I + 1 < Chain.size(); ++I)
+            C = Factory.compose(
+                C, Factory.makeInterned(Chain[I], Chain[I + 1], Label));
+          V = RT.applyCoercion(V, C);
+        } else {
+          for (size_t I = 0; I + 1 < Chain.size(); ++I) {
+            V = RT.castRuntime(V, Chain[I], Chain[I + 1], Label);
+            Root.set(V);
+          }
+        }
+        Rooted Final(RT.heap(), V);
+        Out.OK = true;
+        Out.Observation = RT.valueToString(V, 8);
+      } catch (RuntimeError &E) {
+        Out.OK = false;
+        Out.Observation = E.str();
+      }
+      return Out;
+    };
+
+    Outcome Stepwise = runChain(CastMode::Coercions, false);
+    Outcome Composed = runChain(CastMode::Coercions, true);
+    Outcome TypeBased = runChain(CastMode::TypeBased, false);
+    Outcome Mono = runChain(CastMode::Monotonic, false);
+
+    // Composition soundness: composing first changes nothing observable.
+    EXPECT_EQ(Stepwise.OK, Composed.OK) << "base " << Base->str();
+    if (Stepwise.OK && Composed.OK)
+      EXPECT_EQ(Stepwise.Observation, Composed.Observation)
+          << "base " << Base->str();
+
+    // Coercions and type-based casts agree on success and observation.
+    // (These chains only go up and down the same precision ladder, so
+    // they never fail — erasures of one type are always convertible.)
+    EXPECT_EQ(Stepwise.OK, TypeBased.OK) << "base " << Base->str();
+    if (Stepwise.OK && TypeBased.OK)
+      EXPECT_EQ(Stepwise.Observation, TypeBased.Observation)
+          << "base " << Base->str();
+
+    // Monotonic agrees whenever it succeeds (it may blame eagerly in
+    // principle; on a single ladder every meet exists, so it succeeds).
+    if (Stepwise.OK && Mono.OK)
+      EXPECT_EQ(Stepwise.Observation, Mono.Observation)
+          << "base " << Base->str();
+    EXPECT_EQ(Stepwise.OK, Mono.OK) << "base " << Base->str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, CastChainProperty,
+                         ::testing::Range(0, 6));
+
+//===----------------------------------------------------------------------===//
+// Blame agreement on failing projections
+//===----------------------------------------------------------------------===//
+
+class BlameAgreementProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlameAgreementProperty, CoercionsAndTypeBasedBlameAlike) {
+  TypeContext Types;
+  CoercionFactory Factory(Types);
+  RNG Gen(0xB1A4E + GetParam());
+
+  for (int Iter = 0; Iter != 150; ++Iter) {
+    // Inject a value of type A into Dyn, then project at type B. The
+    // two implementations must agree on success vs blame (lazy-D).
+    const Type *A = randomStaticType(Types, Gen, 1);
+    const Type *B = randomStaticType(Types, Gen, 1);
+    const std::string *Label = Factory.internLabel("prj");
+    uint64_t ValueSeed = Gen.next();
+
+    auto tryIt = [&](CastMode Mode) -> Outcome {
+      Runtime RT(Types, Factory, Mode);
+      RNG ValueGen(ValueSeed);
+      Outcome Out;
+      try {
+        Value V = genValue(RT, A, ValueGen);
+        Rooted Root(RT.heap(), V);
+        V = RT.castRuntime(V, A, Types.dyn(), Label);
+        Root.set(V);
+        V = RT.castRuntime(V, Types.dyn(), B, Label);
+        Rooted Final(RT.heap(), V);
+        Out.OK = true;
+        Out.Observation = RT.valueToString(V, 8);
+      } catch (RuntimeError &E) {
+        Out.OK = false;
+        Out.Observation = E.Label; // blame labels must agree too
+        EXPECT_TRUE(E.IsBlame);
+      }
+      return Out;
+    };
+
+    Outcome C = tryIt(CastMode::Coercions);
+    Outcome T = tryIt(CastMode::TypeBased);
+    EXPECT_EQ(C.OK, T.OK) << A->str() << " via Dyn to " << B->str();
+    EXPECT_EQ(C.Observation, T.Observation)
+        << A->str() << " via Dyn to " << B->str();
+    // Success iff the runtime type is consistent with the target
+    // (lazy-D projection rule).
+    EXPECT_EQ(C.OK, consistent(Types, A, B))
+        << A->str() << " via Dyn to " << B->str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, BlameAgreementProperty,
+                         ::testing::Range(0, 6));

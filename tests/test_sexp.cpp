@@ -1,0 +1,152 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the s-expression reader.
+///
+//===----------------------------------------------------------------------===//
+#include "sexp/Reader.h"
+
+#include <gtest/gtest.h>
+
+using namespace grift;
+
+namespace {
+
+std::vector<Sexp> readOk(std::string_view Source) {
+  DiagnosticEngine Diags;
+  std::vector<Sexp> Data = readSexps(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Data;
+}
+
+void expectReadError(std::string_view Source) {
+  DiagnosticEngine Diags;
+  readSexps(Source, Diags);
+  EXPECT_TRUE(Diags.hasErrors()) << "expected a read error for: " << Source;
+}
+
+} // namespace
+
+TEST(Reader, EmptyInput) {
+  EXPECT_TRUE(readOk("").empty());
+  EXPECT_TRUE(readOk("   \n\t ").empty());
+  EXPECT_TRUE(readOk("; just a comment\n").empty());
+}
+
+TEST(Reader, Integers) {
+  auto Data = readOk("42 -7 0");
+  ASSERT_EQ(Data.size(), 3u);
+  EXPECT_EQ(Data[0].intValue(), 42);
+  EXPECT_EQ(Data[1].intValue(), -7);
+  EXPECT_EQ(Data[2].intValue(), 0);
+}
+
+TEST(Reader, Floats) {
+  auto Data = readOk("3.5 -0.25 1e3 2.");
+  ASSERT_EQ(Data.size(), 4u);
+  EXPECT_DOUBLE_EQ(Data[0].floatValue(), 3.5);
+  EXPECT_DOUBLE_EQ(Data[1].floatValue(), -0.25);
+  EXPECT_DOUBLE_EQ(Data[2].floatValue(), 1000.0);
+  EXPECT_DOUBLE_EQ(Data[3].floatValue(), 2.0);
+}
+
+TEST(Reader, Booleans) {
+  auto Data = readOk("#t #f");
+  ASSERT_EQ(Data.size(), 2u);
+  EXPECT_TRUE(Data[0].boolValue());
+  EXPECT_FALSE(Data[1].boolValue());
+}
+
+TEST(Reader, Characters) {
+  auto Data = readOk("#\\a #\\newline #\\space #\\0");
+  ASSERT_EQ(Data.size(), 4u);
+  EXPECT_EQ(Data[0].charValue(), 'a');
+  EXPECT_EQ(Data[1].charValue(), '\n');
+  EXPECT_EQ(Data[2].charValue(), ' ');
+  EXPECT_EQ(Data[3].charValue(), '0');
+}
+
+TEST(Reader, Symbols) {
+  auto Data = readOk("vector-ref fl+ -> even? - ...");
+  ASSERT_EQ(Data.size(), 6u);
+  EXPECT_EQ(Data[0].symbol(), "vector-ref");
+  EXPECT_EQ(Data[1].symbol(), "fl+");
+  EXPECT_EQ(Data[2].symbol(), "->");
+  EXPECT_EQ(Data[3].symbol(), "even?");
+  EXPECT_EQ(Data[4].symbol(), "-");
+  EXPECT_EQ(Data[5].symbol(), "...");
+}
+
+TEST(Reader, Strings) {
+  auto Data = readOk("\"hello\" \"a\\nb\" \"q\\\"q\"");
+  ASSERT_EQ(Data.size(), 3u);
+  EXPECT_EQ(Data[0].string(), "hello");
+  EXPECT_EQ(Data[1].string(), "a\nb");
+  EXPECT_EQ(Data[2].string(), "q\"q");
+}
+
+TEST(Reader, NestedLists) {
+  auto Data = readOk("(define (f [x : Int]) : Int (+ x 1))");
+  ASSERT_EQ(Data.size(), 1u);
+  const Sexp &Define = Data[0];
+  ASSERT_TRUE(Define.isList());
+  ASSERT_EQ(Define.size(), 5u);
+  EXPECT_TRUE(Define[0].isSymbol("define"));
+  EXPECT_TRUE(Define[1].isList());
+  EXPECT_TRUE(Define[1][1].isList());
+  EXPECT_TRUE(Define[1][1][0].isSymbol("x"));
+}
+
+TEST(Reader, BracketsAreParens) {
+  auto Data = readOk("[let ([x 1]) x]");
+  ASSERT_EQ(Data.size(), 1u);
+  EXPECT_TRUE(Data[0][0].isSymbol("let"));
+}
+
+TEST(Reader, MismatchedBracketFails) {
+  expectReadError("(let [x 1)]");
+  expectReadError("(a b");
+  expectReadError(")");
+}
+
+TEST(Reader, EmptyListIsUnit) {
+  auto Data = readOk("()");
+  ASSERT_EQ(Data.size(), 1u);
+  EXPECT_TRUE(Data[0].isEmptyList());
+}
+
+TEST(Reader, LineComments) {
+  auto Data = readOk("1 ; ignored (2 3\n4");
+  ASSERT_EQ(Data.size(), 2u);
+  EXPECT_EQ(Data[0].intValue(), 1);
+  EXPECT_EQ(Data[1].intValue(), 4);
+}
+
+TEST(Reader, BlockComments) {
+  auto Data = readOk("1 #| a #| nested |# b |# 2");
+  ASSERT_EQ(Data.size(), 2u);
+  EXPECT_EQ(Data[1].intValue(), 2);
+  expectReadError("#| unterminated");
+}
+
+TEST(Reader, SourceLocations) {
+  auto Data = readOk("\n  (f 1)");
+  ASSERT_EQ(Data.size(), 1u);
+  EXPECT_EQ(Data[0].loc().Line, 2u);
+  EXPECT_EQ(Data[0].loc().Column, 3u);
+  EXPECT_EQ(Data[0][1].loc().Column, 6u);
+}
+
+TEST(Reader, StrRoundTrip) {
+  const char *Source = "(define x (tuple 1 2.5 #t #\\a \"s\" ()))";
+  auto Data = readOk(Source);
+  ASSERT_EQ(Data.size(), 1u);
+  auto Again = readOk(Data[0].str());
+  ASSERT_EQ(Again.size(), 1u);
+  EXPECT_EQ(Again[0].str(), Data[0].str());
+}
+
+TEST(Reader, UnknownHashSyntaxFails) {
+  expectReadError("#q");
+  expectReadError("#\\bogusname");
+}

@@ -1,0 +1,197 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// griftc — command-line compiler and runner for GTLC+.
+///
+///   griftc [options] file.grift [-- input words...]
+///
+/// Options:
+///   --mode=coercions|type-based|static|monotonic
+///                    cast implementation (default coercions)
+///   --dynamic        erase every type annotation before compiling
+///   --optimize       enable the optional core-IR optimizer
+///   --ref-interp     run on the Appendix-B definitional interpreter
+///   --stats          print runtime statistics after the run
+///   --dump-core      print the explicit-cast core IR and exit
+///   --dump-bytecode  print the compiled bytecode and exit
+///   --expr 'SRC'     compile SRC instead of reading a file
+///   --benchmark NAME load a built-in benchmark program
+///   --input 'WORDS'  input words for read-int / read-char
+///
+//===----------------------------------------------------------------------===//
+#include "bench_programs/Benchmarks.h"
+#include "grift/Grift.h"
+#include "lattice/Lattice.h"
+#include "refinterp/RefInterp.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace grift;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: griftc [--mode=coercions|type-based|static|monotonic]\n"
+      "              [--dynamic] [--optimize] [--ref-interp]\n"
+      "              [--stats] [--dump-core] [--dump-bytecode]\n"
+      "              (file.grift | --expr 'SRC' | --benchmark NAME)\n"
+      "              [--input 'WORDS']\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CastMode Mode = CastMode::Coercions;
+  bool Dynamic = false;
+  bool Optimize = false;
+  bool RefInterp = false;
+  bool Stats = false;
+  bool DumpCore = false;
+  bool DumpBytecode = false;
+  std::string Source;
+  std::string Input;
+  std::string File;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--mode=coercions") {
+      Mode = CastMode::Coercions;
+    } else if (Arg == "--mode=type-based") {
+      Mode = CastMode::TypeBased;
+    } else if (Arg == "--mode=static") {
+      Mode = CastMode::Static;
+    } else if (Arg == "--mode=monotonic") {
+      Mode = CastMode::Monotonic;
+    } else if (Arg == "--dynamic") {
+      Dynamic = true;
+    } else if (Arg == "--optimize") {
+      Optimize = true;
+    } else if (Arg == "--ref-interp") {
+      RefInterp = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--dump-core") {
+      DumpCore = true;
+    } else if (Arg == "--dump-bytecode") {
+      DumpBytecode = true;
+    } else if (Arg == "--expr" && I + 1 < Argc) {
+      Source = Argv[++I];
+    } else if (Arg == "--benchmark" && I + 1 < Argc) {
+      const BenchProgram &B = getBenchmark(Argv[++I]);
+      Source = B.Source;
+      if (Input.empty())
+        Input = B.BenchInput;
+    } else if (Arg == "--input" && I + 1 < Argc) {
+      Input = Argv[++I];
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "griftc: unknown option '%s'\n", Arg.c_str());
+      printUsage();
+      return 2;
+    } else {
+      File = Arg;
+    }
+  }
+
+  if (Source.empty()) {
+    if (File.empty()) {
+      printUsage();
+      return 2;
+    }
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "griftc: cannot open '%s'\n", File.c_str());
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  }
+
+  Grift G;
+  std::string Errors;
+  auto Ast = G.parse(Source, Errors);
+  if (!Ast) {
+    std::fprintf(stderr, "%s", Errors.c_str());
+    return 1;
+  }
+  if (Dynamic)
+    *Ast = eraseTypes(*Ast, G.types());
+
+  if (DumpCore) {
+    auto Core = G.check(*Ast, Errors);
+    if (!Core) {
+      std::fprintf(stderr, "%s", Errors.c_str());
+      return 1;
+    }
+    std::printf("%s", Core->str().c_str());
+    return 0;
+  }
+
+  if (RefInterp) {
+    // Run on the Appendix-B definitional interpreter instead of the VM.
+    auto Core = G.check(*Ast, Errors);
+    if (!Core) {
+      std::fprintf(stderr, "%s", Errors.c_str());
+      return 1;
+    }
+    refinterp::RefResult R =
+        refinterp::interpret(G.types(), G.coercions(), *Core, Input);
+    std::fputs(R.Output.c_str(), stdout);
+    if (!R.Output.empty() && R.Output.back() != '\n')
+      std::fputc('\n', stdout);
+    if (!R.OK) {
+      if (R.IsBlame)
+        std::fprintf(stderr, "blame %s: %s\n", R.Label.c_str(),
+                     R.Message.c_str());
+      else
+        std::fprintf(stderr, "trap: %s\n", R.Message.c_str());
+      return 1;
+    }
+    std::printf("=> %s\n", R.ResultText.c_str());
+    return 0;
+  }
+
+  auto Exe = G.compileAst(*Ast, Mode, Errors, Optimize);
+  if (!Exe) {
+    std::fprintf(stderr, "%s", Errors.c_str());
+    return 1;
+  }
+  if (DumpBytecode) {
+    std::printf("%s", Exe->program().str().c_str());
+    return 0;
+  }
+
+  RunResult R = Exe->run(Input);
+  std::fputs(R.Output.c_str(), stdout);
+  if (!R.Output.empty() && R.Output.back() != '\n')
+    std::fputc('\n', stdout);
+  if (!R.OK) {
+    std::fprintf(stderr, "%s\n", R.Error.str().c_str());
+    return 1;
+  }
+  std::printf("=> %s\n", R.ResultText.c_str());
+  if (Stats) {
+    std::printf("; mode: %s\n", castModeName(Mode));
+    std::printf("; wall: %.3f ms\n", R.WallNanos / 1e6);
+    if (R.Stats.TimedNanos >= 0)
+      std::printf("; timed region: %.3f ms\n", R.Stats.TimedNanos / 1e6);
+    std::printf("; casts applied: %llu\n",
+                static_cast<unsigned long long>(R.Stats.CastsApplied));
+    std::printf("; compositions: %llu\n",
+                static_cast<unsigned long long>(R.Stats.Compositions));
+    std::printf("; longest proxy chain: %llu\n",
+                static_cast<unsigned long long>(R.Stats.LongestProxyChain));
+    std::printf("; proxies allocated: %llu\n",
+                static_cast<unsigned long long>(R.Stats.ProxiesAllocated));
+  }
+  return 0;
+}
