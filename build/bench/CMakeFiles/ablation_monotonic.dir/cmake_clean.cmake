@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_monotonic.dir/ablation_monotonic.cpp.o"
+  "CMakeFiles/ablation_monotonic.dir/ablation_monotonic.cpp.o.d"
+  "ablation_monotonic"
+  "ablation_monotonic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_monotonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

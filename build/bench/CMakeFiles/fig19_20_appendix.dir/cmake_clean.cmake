@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_20_appendix.dir/fig19_20_appendix.cpp.o"
+  "CMakeFiles/fig19_20_appendix.dir/fig19_20_appendix.cpp.o.d"
+  "fig19_20_appendix"
+  "fig19_20_appendix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_20_appendix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig19_20_appendix.
+# This may be replaced when dependencies are built.

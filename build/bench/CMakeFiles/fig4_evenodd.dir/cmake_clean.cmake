@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_evenodd.dir/fig4_evenodd.cpp.o"
+  "CMakeFiles/fig4_evenodd.dir/fig4_evenodd.cpp.o.d"
+  "fig4_evenodd"
+  "fig4_evenodd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_evenodd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_quicksort.dir/fig4_quicksort.cpp.o"
+  "CMakeFiles/fig4_quicksort.dir/fig4_quicksort.cpp.o.d"
+  "fig4_quicksort"
+  "fig4_quicksort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_quicksort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

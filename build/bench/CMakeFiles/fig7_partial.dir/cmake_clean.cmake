@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_partial.dir/fig7_partial.cpp.o"
+  "CMakeFiles/fig7_partial.dir/fig7_partial.cpp.o.d"
+  "fig7_partial"
+  "fig7_partial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_lattice.dir/fig8_lattice.cpp.o"
+  "CMakeFiles/fig8_lattice.dir/fig8_lattice.cpp.o.d"
+  "fig8_lattice"
+  "fig8_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_static.dir/fig9a_static.cpp.o"
+  "CMakeFiles/fig9a_static.dir/fig9a_static.cpp.o.d"
+  "fig9a_static"
+  "fig9a_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_untyped.dir/fig9b_untyped.cpp.o"
+  "CMakeFiles/fig9b_untyped.dir/fig9b_untyped.cpp.o.d"
+  "fig9b_untyped"
+  "fig9b_untyped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_untyped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blame_tour.dir/blame_tour.cpp.o"
+  "CMakeFiles/blame_tour.dir/blame_tour.cpp.o.d"
+  "blame_tour"
+  "blame_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blame_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_casts.dir/compare_casts.cpp.o"
+  "CMakeFiles/compare_casts.dir/compare_casts.cpp.o.d"
+  "compare_casts"
+  "compare_casts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_casts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

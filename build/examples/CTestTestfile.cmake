@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(grift_ackermann "/root/repo/build/tools/griftc" "/root/repo/examples/programs/ackermann.grift" "--input" "2 3")
+set_tests_properties(grift_ackermann PROPERTIES  PASS_REGULAR_EXPRESSION "^9
+" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(grift_nqueens "/root/repo/build/tools/griftc" "/root/repo/examples/programs/nqueens.grift" "--input" "6")
+set_tests_properties(grift_nqueens PROPERTIES  PASS_REGULAR_EXPRESSION "^4
+" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(grift_nqueens_tb "/root/repo/build/tools/griftc" "/root/repo/examples/programs/nqueens.grift" "--input" "6" "--mode=type-based")
+set_tests_properties(grift_nqueens_tb PROPERTIES  PASS_REGULAR_EXPRESSION "^4
+" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(grift_church "/root/repo/build/tools/griftc" "/root/repo/examples/programs/church.grift")
+set_tests_properties(grift_church PROPERTIES  PASS_REGULAR_EXPRESSION "7 12" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(grift_church_mono "/root/repo/build/tools/griftc" "/root/repo/examples/programs/church.grift" "--mode=monotonic")
+set_tests_properties(grift_church_mono PROPERTIES  PASS_REGULAR_EXPRESSION "7 12" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(grift_queue "/root/repo/build/tools/griftc" "/root/repo/examples/programs/queue.grift")
+set_tests_properties(grift_queue PROPERTIES  PASS_REGULAR_EXPRESSION "5050" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(grift_queue_tb "/root/repo/build/tools/griftc" "/root/repo/examples/programs/queue.grift" "--mode=type-based")
+set_tests_properties(grift_queue_tb PROPERTIES  PASS_REGULAR_EXPRESSION "5050" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "6765" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_blame_tour "/root/repo/build/examples/blame_tour")
+set_tests_properties(example_blame_tour PROPERTIES  PASS_REGULAR_EXPRESSION "blame 1:2" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_compare_casts "/root/repo/build/examples/compare_casts")
+set_tests_properties(example_compare_casts PROPERTIES  PASS_REGULAR_EXPRESSION "type-based" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_migration "/root/repo/build/examples/migration")
+set_tests_properties(example_migration PROPERTIES  PASS_REGULAR_EXPRESSION "100%" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;36;add_test;/root/repo/examples/CMakeLists.txt;0;")

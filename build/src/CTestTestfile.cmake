@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sexp")
+subdirs("types")
+subdirs("ast")
+subdirs("frontend")
+subdirs("coercions")
+subdirs("runtime")
+subdirs("vm")
+subdirs("grift")
+subdirs("lattice")
+subdirs("bench_programs")
+subdirs("refinterp")

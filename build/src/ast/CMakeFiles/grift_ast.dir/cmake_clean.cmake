@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grift_ast.dir/Ast.cpp.o"
+  "CMakeFiles/grift_ast.dir/Ast.cpp.o.d"
+  "CMakeFiles/grift_ast.dir/Prim.cpp.o"
+  "CMakeFiles/grift_ast.dir/Prim.cpp.o.d"
+  "libgrift_ast.a"
+  "libgrift_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grift_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grift_bench_programs.dir/Benchmarks.cpp.o"
+  "CMakeFiles/grift_bench_programs.dir/Benchmarks.cpp.o.d"
+  "libgrift_bench_programs.a"
+  "libgrift_bench_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grift_bench_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grift_coercions.dir/Coercion.cpp.o"
+  "CMakeFiles/grift_coercions.dir/Coercion.cpp.o.d"
+  "CMakeFiles/grift_coercions.dir/CoercionFactory.cpp.o"
+  "CMakeFiles/grift_coercions.dir/CoercionFactory.cpp.o.d"
+  "libgrift_coercions.a"
+  "libgrift_coercions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grift_coercions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/CoreIR.cpp" "src/frontend/CMakeFiles/grift_frontend.dir/CoreIR.cpp.o" "gcc" "src/frontend/CMakeFiles/grift_frontend.dir/CoreIR.cpp.o.d"
+  "/root/repo/src/frontend/Optimizer.cpp" "src/frontend/CMakeFiles/grift_frontend.dir/Optimizer.cpp.o" "gcc" "src/frontend/CMakeFiles/grift_frontend.dir/Optimizer.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "src/frontend/CMakeFiles/grift_frontend.dir/Parser.cpp.o" "gcc" "src/frontend/CMakeFiles/grift_frontend.dir/Parser.cpp.o.d"
+  "/root/repo/src/frontend/TypeChecker.cpp" "src/frontend/CMakeFiles/grift_frontend.dir/TypeChecker.cpp.o" "gcc" "src/frontend/CMakeFiles/grift_frontend.dir/TypeChecker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/grift_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexp/CMakeFiles/grift_sexp.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/grift_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/grift_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

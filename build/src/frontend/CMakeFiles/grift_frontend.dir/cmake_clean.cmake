@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grift_frontend.dir/CoreIR.cpp.o"
+  "CMakeFiles/grift_frontend.dir/CoreIR.cpp.o.d"
+  "CMakeFiles/grift_frontend.dir/Optimizer.cpp.o"
+  "CMakeFiles/grift_frontend.dir/Optimizer.cpp.o.d"
+  "CMakeFiles/grift_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/grift_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/grift_frontend.dir/TypeChecker.cpp.o"
+  "CMakeFiles/grift_frontend.dir/TypeChecker.cpp.o.d"
+  "libgrift_frontend.a"
+  "libgrift_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grift_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grift_driver.dir/Grift.cpp.o"
+  "CMakeFiles/grift_driver.dir/Grift.cpp.o.d"
+  "libgrift_driver.a"
+  "libgrift_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grift_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

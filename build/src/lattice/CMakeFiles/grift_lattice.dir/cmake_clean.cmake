@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grift_lattice.dir/Lattice.cpp.o"
+  "CMakeFiles/grift_lattice.dir/Lattice.cpp.o.d"
+  "libgrift_lattice.a"
+  "libgrift_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grift_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grift_refinterp.dir/RefInterp.cpp.o"
+  "CMakeFiles/grift_refinterp.dir/RefInterp.cpp.o.d"
+  "libgrift_refinterp.a"
+  "libgrift_refinterp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grift_refinterp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grift_runtime.dir/Heap.cpp.o"
+  "CMakeFiles/grift_runtime.dir/Heap.cpp.o.d"
+  "CMakeFiles/grift_runtime.dir/Runtime.cpp.o"
+  "CMakeFiles/grift_runtime.dir/Runtime.cpp.o.d"
+  "libgrift_runtime.a"
+  "libgrift_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grift_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

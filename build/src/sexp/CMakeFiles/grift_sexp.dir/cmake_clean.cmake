@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grift_sexp.dir/Reader.cpp.o"
+  "CMakeFiles/grift_sexp.dir/Reader.cpp.o.d"
+  "CMakeFiles/grift_sexp.dir/Sexp.cpp.o"
+  "CMakeFiles/grift_sexp.dir/Sexp.cpp.o.d"
+  "libgrift_sexp.a"
+  "libgrift_sexp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grift_sexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrift_sexp.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for grift_sexp.
+# This may be replaced when dependencies are built.

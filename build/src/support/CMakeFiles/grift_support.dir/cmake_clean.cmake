@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grift_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/grift_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/grift_support.dir/StringUtil.cpp.o"
+  "CMakeFiles/grift_support.dir/StringUtil.cpp.o.d"
+  "libgrift_support.a"
+  "libgrift_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grift_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/types/Type.cpp" "src/types/CMakeFiles/grift_types.dir/Type.cpp.o" "gcc" "src/types/CMakeFiles/grift_types.dir/Type.cpp.o.d"
+  "/root/repo/src/types/TypeContext.cpp" "src/types/CMakeFiles/grift_types.dir/TypeContext.cpp.o" "gcc" "src/types/CMakeFiles/grift_types.dir/TypeContext.cpp.o.d"
+  "/root/repo/src/types/TypeOps.cpp" "src/types/CMakeFiles/grift_types.dir/TypeOps.cpp.o" "gcc" "src/types/CMakeFiles/grift_types.dir/TypeOps.cpp.o.d"
+  "/root/repo/src/types/TypeParser.cpp" "src/types/CMakeFiles/grift_types.dir/TypeParser.cpp.o" "gcc" "src/types/CMakeFiles/grift_types.dir/TypeParser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/grift_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexp/CMakeFiles/grift_sexp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

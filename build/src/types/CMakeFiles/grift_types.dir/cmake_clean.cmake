@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grift_types.dir/Type.cpp.o"
+  "CMakeFiles/grift_types.dir/Type.cpp.o.d"
+  "CMakeFiles/grift_types.dir/TypeContext.cpp.o"
+  "CMakeFiles/grift_types.dir/TypeContext.cpp.o.d"
+  "CMakeFiles/grift_types.dir/TypeOps.cpp.o"
+  "CMakeFiles/grift_types.dir/TypeOps.cpp.o.d"
+  "CMakeFiles/grift_types.dir/TypeParser.cpp.o"
+  "CMakeFiles/grift_types.dir/TypeParser.cpp.o.d"
+  "libgrift_types.a"
+  "libgrift_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grift_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grift_vm.dir/Bytecode.cpp.o"
+  "CMakeFiles/grift_vm.dir/Bytecode.cpp.o.d"
+  "CMakeFiles/grift_vm.dir/Compiler.cpp.o"
+  "CMakeFiles/grift_vm.dir/Compiler.cpp.o.d"
+  "CMakeFiles/grift_vm.dir/VM.cpp.o"
+  "CMakeFiles/grift_vm.dir/VM.cpp.o.d"
+  "libgrift_vm.a"
+  "libgrift_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grift_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coercions.dir/test_coercions.cpp.o"
+  "CMakeFiles/test_coercions.dir/test_coercions.cpp.o.d"
+  "test_coercions"
+  "test_coercions.pdb"
+  "test_coercions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coercions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

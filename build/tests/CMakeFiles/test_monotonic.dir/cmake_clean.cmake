@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monotonic.dir/test_monotonic.cpp.o"
+  "CMakeFiles/test_monotonic.dir/test_monotonic.cpp.o.d"
+  "test_monotonic"
+  "test_monotonic.pdb"
+  "test_monotonic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monotonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_optimizer.cpp" "tests/CMakeFiles/test_optimizer.dir/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/test_optimizer.dir/test_optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grift/CMakeFiles/grift_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/grift_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_programs/CMakeFiles/grift_bench_programs.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/grift_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/grift_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/grift_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/coercions/CMakeFiles/grift_coercions.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/grift_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/grift_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexp/CMakeFiles/grift_sexp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/grift_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refinterp.dir/test_refinterp.cpp.o"
+  "CMakeFiles/test_refinterp.dir/test_refinterp.cpp.o.d"
+  "test_refinterp"
+  "test_refinterp.pdb"
+  "test_refinterp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refinterp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griftc.dir/griftc.cpp.o"
+  "CMakeFiles/griftc.dir/griftc.cpp.o.d"
+  "griftc"
+  "griftc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griftc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(griftc_expr "/root/repo/build/tools/griftc" "--expr" "(+ 40 2)")
+set_tests_properties(griftc_expr PROPERTIES  PASS_REGULAR_EXPRESSION "=> 42" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(griftc_benchmark "/root/repo/build/tools/griftc" "--benchmark" "tak" "--input" "10 5 1" "--stats")
+set_tests_properties(griftc_benchmark PROPERTIES  PASS_REGULAR_EXPRESSION "casts applied" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(griftc_dynamic "/root/repo/build/tools/griftc" "--benchmark" "matmult" "--dynamic" "--input" "4" "--mode=type-based")
+set_tests_properties(griftc_dynamic PROPERTIES  PASS_REGULAR_EXPRESSION "=> " _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(griftc_dump_core "/root/repo/build/tools/griftc" "--expr" "(ann 1 Dyn)" "--dump-core")
+set_tests_properties(griftc_dump_core PROPERTIES  PASS_REGULAR_EXPRESSION "cast" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(griftc_dump_bytecode "/root/repo/build/tools/griftc" "--expr" "(+ 1 2)" "--dump-bytecode")
+set_tests_properties(griftc_dump_bytecode PROPERTIES  PASS_REGULAR_EXPRESSION "push-int" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(griftc_static_reject "/root/repo/build/tools/griftc" "--expr" "(lambda (x) x)" "--mode=static")
+set_tests_properties(griftc_static_reject PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(griftc_refinterp "/root/repo/build/tools/griftc" "--expr" "(* 6 7)" "--ref-interp")
+set_tests_properties(griftc_refinterp PROPERTIES  PASS_REGULAR_EXPRESSION "=> 42" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
