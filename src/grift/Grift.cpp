@@ -7,10 +7,12 @@
 
 using namespace grift;
 
-RunResult Executable::run(std::string Input) const {
+RunResult Executable::run(std::string Input, const RunLimits &Limits,
+                          FaultInjector *Injector) const {
   Runtime RT(Owner->Types, Owner->Coercions, Prog.Mode);
+  RT.heap().setFaultInjector(Injector);
   VM Machine(RT, Prog);
-  return Machine.run(std::move(Input));
+  return Machine.run(std::move(Input), Limits);
 }
 
 std::optional<Program> Grift::parse(std::string_view Source,

@@ -23,6 +23,8 @@
 #include "ast/Ast.h"
 #include "coercions/CoercionFactory.h"
 #include "frontend/CoreIR.h"
+#include "runtime/FaultInjector.h"
+#include "runtime/Limits.h"
 #include "runtime/Mode.h"
 #include "types/TypeContext.h"
 #include "vm/Bytecode.h"
@@ -41,7 +43,14 @@ class Grift;
 class Executable {
 public:
   /// Runs the program on a fresh heap. \p Input feeds read-int/read-char.
-  RunResult run(std::string Input = "") const;
+  /// \p Limits imposes resource budgets (default: unlimited); exhausting
+  /// one returns a RunResult whose Error carries the matching resource
+  /// ErrorKind. \p Injector optionally attaches a deterministic fault
+  /// injector (GC torture / scheduled allocation failure) to the run's
+  /// heap. run() never throws and never terminates the process; the
+  /// owning Grift stays usable after any failure.
+  RunResult run(std::string Input = "", const RunLimits &Limits = {},
+                FaultInjector *Injector = nullptr) const;
 
   /// The compiled bytecode (inspection, tests).
   const VMProgram &program() const { return Prog; }

@@ -6,8 +6,11 @@
 
 #include <cassert>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <new>
+#include <pthread.h>
 #include <unordered_map>
 #include <vector>
 
@@ -112,8 +115,10 @@ Env extend(Env Parent, std::string Name, RVal Value) {
 
 class Interp {
 public:
-  Interp(TypeContext &Types, CoercionFactory &F, std::string Input)
-      : Types(Types), F(F), Input(std::move(Input)) {}
+  Interp(TypeContext &Types, CoercionFactory &F, std::string Input,
+         const RunLimits &Limits)
+      : Types(Types), F(F), Input(std::move(Input)), Limits(Limits),
+        StartTime(std::chrono::steady_clock::now()) {}
 
   RefResult run(const CoreProgram &Prog) {
     RefResult Result;
@@ -129,9 +134,13 @@ public:
       Result.ResultText = render(Last, 6);
     } catch (RuntimeError &E) {
       Result.OK = false;
-      Result.IsBlame = E.IsBlame;
+      Result.Kind = E.Kind;
       Result.Label = E.Label;
       Result.Message = E.Message;
+    } catch (std::bad_alloc &) {
+      Result.OK = false;
+      Result.Kind = ErrorKind::OutOfMemory;
+      Result.Message = "allocator failed growing interpreter state";
     }
     Result.Output = Output;
     return Result;
@@ -146,13 +155,77 @@ private:
   std::unordered_map<std::string, RVal> Globals;
   std::vector<std::vector<RVal>> Store; // μ: addresses to cells
   std::vector<bool> IsBoxCell;          // rendering: box vs vector
+  RunLimits Limits;
+  uint64_t Steps = 0;
+  size_t CallDepth = 0; // interpreted (apply) nesting, mirrors VM frames
+  size_t EvalDepth = 0; // native eval() recursion, tracks the C++ stack
+  std::chrono::steady_clock::time_point StartTime;
 
   [[noreturn]] void blame(const std::string &Label, std::string Message) {
-    throw RuntimeError{true, Label, std::move(Message)};
+    throw RuntimeError{ErrorKind::Blame, Label, std::move(Message)};
   }
   [[noreturn]] void trap(std::string Message) {
-    throw RuntimeError{false, "", std::move(Message)};
+    throw RuntimeError{ErrorKind::Trap, "", std::move(Message)};
   }
+
+  /// One fuel unit per eval() step; the wall clock is sampled every 4096
+  /// steps (this interpreter is slow enough that finer is pointless).
+  void chargeStep() {
+    ++Steps;
+    if (Limits.MaxSteps && Steps >= Limits.MaxSteps)
+      throw RuntimeError{ErrorKind::FuelExhausted, "",
+                         "step budget of " +
+                             std::to_string(Limits.MaxSteps) +
+                             " eval steps exhausted"};
+    if (Limits.MaxWallNanos && (Steps & 4095) == 0) {
+      int64_t Elapsed =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - StartTime)
+              .count();
+      if (Elapsed > Limits.MaxWallNanos)
+        throw RuntimeError{ErrorKind::Timeout, "",
+                           "wall-clock budget of " +
+                               std::to_string(Limits.MaxWallNanos) +
+                               " ns exhausted"};
+    }
+  }
+
+  /// Hard cap on native eval() recursion. The reference interpreter has
+  /// no tail calls — every interpreted call consumes real C++ stack — so
+  /// without this guard a divergent program overflows the process stack
+  /// long before any fuel budget trips. interpret() runs the evaluator
+  /// on a thread whose stack is provisioned for this many levels even
+  /// with sanitizer-inflated frames.
+  static constexpr size_t NativeEvalDepthCap = 6000;
+
+  /// RAII guard for native eval() recursion (always on).
+  struct EvalDepthGuard {
+    Interp &I;
+    explicit EvalDepthGuard(Interp &I) : I(I) {
+      if (I.EvalDepth >= NativeEvalDepthCap)
+        throw RuntimeError{
+            ErrorKind::StackOverflow, "",
+            "evaluator recursion exceeded " +
+                std::to_string(NativeEvalDepthCap) +
+                " levels (the reference interpreter has no tail calls)"};
+      ++I.EvalDepth;
+    }
+    ~EvalDepthGuard() { --I.EvalDepth; }
+  };
+
+  /// RAII guard for interpreted call depth (MaxFrames budget).
+  struct DepthGuard {
+    Interp &I;
+    explicit DepthGuard(Interp &I) : I(I) {
+      if (I.Limits.MaxFrames && I.CallDepth >= I.Limits.MaxFrames)
+        throw RuntimeError{ErrorKind::StackOverflow, "",
+                           "call depth exceeded " +
+                               std::to_string(I.Limits.MaxFrames) +
+                               " frames"};
+      ++I.CallDepth;
+    }
+    ~DepthGuard() { --I.CallDepth; }
+  };
 
   //===--------------------------------------------------------------------===//
   // Lookup
@@ -333,6 +406,7 @@ private:
     Env E = Callee->Captured;
     for (size_t I = 0; I != Args.size(); ++I)
       E = extend(E, Lambda.ParamNames[I], std::move(Args[I]));
+    DepthGuard Depth(*this);
     return eval(*Lambda.Subs[0], E);
   }
 
@@ -341,6 +415,8 @@ private:
   //===--------------------------------------------------------------------===//
 
   RVal eval(const Node &N, Env E) {
+    EvalDepthGuard Depth(*this);
+    chargeStep();
     switch (N.Kind) {
     case NodeKind::LitUnit:
       return mkUnit();
@@ -770,6 +846,40 @@ private:
 RefResult grift::refinterp::interpret(TypeContext &Types,
                                       CoercionFactory &Coercions,
                                       const CoreProgram &Prog,
-                                      std::string Input) {
-  return Interp(Types, Coercions, Input).run(Prog);
+                                      std::string Input,
+                                      const RunLimits &Limits) {
+  // Run the evaluator on a thread with a large explicit stack: eval()
+  // recursion tracks interpreted call depth (no tail calls), and
+  // sanitizer builds inflate each frame several-fold, so the default
+  // process stack cannot hold NativeEvalDepthCap levels. 128 MB of
+  // (lazily committed) stack gives the cap a wide margin in any build.
+  struct Job {
+    TypeContext &Types;
+    CoercionFactory &Coercions;
+    const CoreProgram &Prog;
+    std::string Input;
+    const RunLimits &Limits;
+    RefResult Result;
+  } TheJob{Types, Coercions, Prog, std::move(Input), Limits, {}};
+
+  auto Run = [](void *Arg) -> void * {
+    Job &J = *static_cast<Job *>(Arg);
+    J.Result = Interp(J.Types, J.Coercions, std::move(J.Input), J.Limits)
+                   .run(J.Prog);
+    return nullptr;
+  };
+
+  pthread_attr_t Attr;
+  pthread_t Thread;
+  if (pthread_attr_init(&Attr) != 0 ||
+      pthread_attr_setstacksize(&Attr, 128u << 20) != 0 ||
+      pthread_create(&Thread, &Attr, Run, &TheJob) != 0) {
+    // Could not provision the big stack; interpret on this thread (the
+    // eval-depth guard still bounds recursion, with less headroom).
+    return Interp(Types, Coercions, std::move(TheJob.Input), Limits)
+        .run(Prog);
+  }
+  pthread_attr_destroy(&Attr);
+  pthread_join(Thread, nullptr);
+  return std::move(TheJob.Result);
 }

@@ -24,6 +24,8 @@
 
 #include "coercions/CoercionFactory.h"
 #include "frontend/CoreIR.h"
+#include "runtime/Blame.h"
+#include "runtime/Limits.h"
 
 #include <string>
 
@@ -34,16 +36,23 @@ struct RefResult {
   bool OK = false;
   std::string ResultText; ///< rendering of the final value (when OK)
   std::string Output;     ///< everything printed
-  bool IsBlame = false;   ///< when !OK: blame vs trap
-  std::string Label;      ///< blame label
+  ErrorKind Kind = ErrorKind::Trap; ///< when !OK: what went wrong
+  std::string Label;      ///< blame label (Kind == Blame)
   std::string Message;    ///< error message
+
+  bool isBlame() const { return Kind == ErrorKind::Blame; }
 };
 
 /// Interprets \p Prog under the Figure 18 semantics. \p Input feeds
 /// read-int / read-char. Deterministic; no timing side effects ((time E)
-/// evaluates E and reports no measurement).
+/// evaluates E and reports no measurement). \p Limits imposes resource
+/// budgets: MaxSteps counts eval() steps, MaxFrames bounds interpreted
+/// call depth, MaxWallNanos bounds wall time (MaxHeapBytes is not
+/// meaningful here — the reference interpreter's values live on the C++
+/// heap and are reclaimed by shared_ptr, not by the governed Heap).
 RefResult interpret(TypeContext &Types, CoercionFactory &Coercions,
-                    const core::CoreProgram &Prog, std::string Input = "");
+                    const core::CoreProgram &Prog, std::string Input = "",
+                    const RunLimits &Limits = {});
 
 } // namespace grift::refinterp
 

@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the heap. Two torture modes, both
+/// keyed to the global allocation counter so failures are exactly
+/// reproducible:
+///
+///   * GC torture: force a full collection every Nth allocation. Period 1
+///     collects before *every* allocation, which flushes out any value
+///     held across an allocating call without a Rooted / RootProvider
+///     registration (the classic precise-GC bug: the collector frees or
+///     fails to trace an object the mutator still holds in a C++ local).
+///
+///   * Scheduled allocation failure: make the Nth allocation throw
+///     ErrorKind::OutOfMemory. Sweeping N across a program's allocation
+///     count exercises every OOM unwind path — each Rooted destructor,
+///     each catch — deterministically, without needing to actually
+///     exhaust memory.
+///
+/// The injector is owned by the caller (tests, the CLI) and attached to a
+/// Heap with setFaultInjector; the heap only reads/advances the counter,
+/// so the caller can inspect AllocCount after a run to plan a failure
+/// schedule.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_RUNTIME_FAULTINJECTOR_H
+#define GRIFT_RUNTIME_FAULTINJECTOR_H
+
+#include <cstdint>
+
+namespace grift {
+
+struct FaultInjector {
+  /// Force a full collection every Nth allocation (0 = off).
+  uint64_t GCTorturePeriod = 0;
+
+  /// Throw ErrorKind::OutOfMemory on the Nth allocation, 1-based
+  /// (0 = off). One-shot: the counter keeps advancing afterwards, so a
+  /// retried run on the same injector does not re-fail unless re-armed.
+  uint64_t FailAllocAt = 0;
+
+  /// Allocations observed so far (advanced by the heap). Read this after
+  /// an uninstrumented run to learn a program's allocation count, then
+  /// schedule FailAllocAt anywhere in [1, AllocCount].
+  uint64_t AllocCount = 0;
+
+  /// Collections forced by GC torture (diagnostics).
+  uint64_t ForcedCollections = 0;
+};
+
+} // namespace grift
+
+#endif // GRIFT_RUNTIME_FAULTINJECTOR_H

@@ -1,5 +1,7 @@
 #include "runtime/Heap.h"
 
+#include "runtime/Blame.h"
+
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -19,9 +21,41 @@ Heap::~Heap() {
 
 HeapObject *Heap::allocateObject(ObjectKind Kind, uint32_t NumSlots) {
   size_t Bytes = sizeof(HeapObject) + NumSlots * sizeof(Value);
+  if (Injector) {
+    ++Injector->AllocCount;
+    if (Injector->FailAllocAt &&
+        Injector->AllocCount == Injector->FailAllocAt)
+      throw RuntimeError{ErrorKind::OutOfMemory, "",
+                         "injected failure of allocation #" +
+                             std::to_string(Injector->AllocCount)};
+    if (Injector->GCTorturePeriod &&
+        Injector->AllocCount % Injector->GCTorturePeriod == 0) {
+      ++Injector->ForcedCollections;
+      collect();
+    }
+  }
   maybeCollect(Bytes);
+  if (HeapLimit && LiveBytesAtGC + BytesSinceGC + Bytes > HeapLimit) {
+    // Floating garbage must not count against the budget: collect once,
+    // then re-measure before declaring defeat.
+    collect();
+    if (LiveBytesAtGC + BytesSinceGC + Bytes > HeapLimit)
+      throw RuntimeError{ErrorKind::OutOfMemory, "",
+                         "heap limit of " + std::to_string(HeapLimit) +
+                             " bytes exceeded allocating " +
+                             std::to_string(Bytes) + " bytes"};
+  }
   void *Memory = std::malloc(Bytes);
-  assert(Memory && "out of memory");
+  if (!Memory) {
+    // The allocator itself failed; reclaim garbage and retry once, then
+    // degrade to a reportable OutOfMemory instead of crashing.
+    collect();
+    Memory = std::malloc(Bytes);
+    if (!Memory)
+      throw RuntimeError{ErrorKind::OutOfMemory, "",
+                         "allocator failed for a " + std::to_string(Bytes) +
+                             "-byte object"};
+  }
   assert((reinterpret_cast<uintptr_t>(Memory) & Value::TagMask) == 0 &&
          "heap objects must be 8-byte aligned");
   HeapObject *Object = new (Memory) HeapObject();
@@ -148,8 +182,11 @@ void Heap::collect() {
     Provider->visitRoots(
         [](Value &Slot, void *Ctx) { static_cast<Heap *>(Ctx)->mark(Slot); },
         this);
-  for (Value *Slot : TempRoots)
+  for (Value *Slot : TempRoots) {
+    assert(Slot && "dangling temp root at collection time — push/pop "
+                   "mismatch (use the RAII Rooted helper)");
     mark(*Slot);
+  }
 
   // Sweep.
   HeapObject **Link = &AllObjects;

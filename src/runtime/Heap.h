@@ -18,6 +18,7 @@
 #ifndef GRIFT_RUNTIME_HEAP_H
 #define GRIFT_RUNTIME_HEAP_H
 
+#include "runtime/FaultInjector.h"
 #include "runtime/Value.h"
 
 #include <cstddef>
@@ -129,8 +130,18 @@ public:
   void addRootProvider(RootProvider *Provider);
   void removeRootProvider(RootProvider *Provider);
 
-  void pushTempRoot(Value *Slot) { TempRoots.push_back(Slot); }
-  void popTempRoot() { TempRoots.pop_back(); }
+  void pushTempRoot(Value *Slot) {
+    assert(Slot && "null temp root");
+    TempRoots.push_back(Slot);
+  }
+  void popTempRoot() {
+    assert(!TempRoots.empty() && "popTempRoot without a matching push");
+    TempRoots.pop_back();
+  }
+  /// Current temp-root stack depth. Engines assert this returns to its
+  /// entry value at the run() boundary, catching unbalanced manual
+  /// push/pop pairs (prefer the RAII Rooted helper, which cannot leak).
+  size_t tempRootDepth() const { return TempRoots.size(); }
 
   /// Forces a full collection (tests).
   void collect();
@@ -147,6 +158,17 @@ public:
   /// tiny threshold to stress the collector).
   void setGCThreshold(size_t Bytes) { GCThreshold = Bytes; }
 
+  /// Hard cap on live bytes (0 = unlimited). When an allocation would
+  /// push the live estimate past the cap, the heap collects once; if
+  /// still over, the allocation throws ErrorKind::OutOfMemory instead of
+  /// aborting the process. Malloc failure degrades the same way.
+  void setHeapLimit(size_t Bytes) { HeapLimit = Bytes; }
+  size_t heapLimit() const { return HeapLimit; }
+
+  /// Attaches a caller-owned fault injector (nullptr detaches). See
+  /// runtime/FaultInjector.h; injected failures throw OutOfMemory.
+  void setFaultInjector(FaultInjector *Injector) { this->Injector = Injector; }
+
 private:
   HeapObject *allocateObject(ObjectKind Kind, uint32_t NumSlots);
   void mark(Value V);
@@ -159,6 +181,8 @@ private:
   size_t LiveBytesAtGC = 0;
   size_t PeakHeapBytes = 0;
   size_t GCThreshold = 8u << 20;
+  size_t HeapLimit = 0;
+  FaultInjector *Injector = nullptr;
   uint64_t Collections = 0;
   std::vector<RootProvider *> RootProviders;
   std::vector<Value *> TempRoots;

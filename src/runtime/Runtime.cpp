@@ -12,11 +12,12 @@ using namespace grift;
 //===----------------------------------------------------------------------===//
 
 void Runtime::blame(const std::string *Label, std::string Message) {
-  throw RuntimeError{true, Label ? *Label : "?", std::move(Message)};
+  throw RuntimeError{ErrorKind::Blame, Label ? *Label : "?",
+                     std::move(Message)};
 }
 
 void Runtime::trap(std::string Message) {
-  throw RuntimeError{false, "", std::move(Message)};
+  throw RuntimeError{ErrorKind::Trap, "", std::move(Message)};
 }
 
 //===----------------------------------------------------------------------===//

@@ -5,13 +5,18 @@
 #include <cassert>
 #include <cctype>
 #include <cmath>
+#include <new>
 
 using namespace grift;
 
 namespace {
 constexpr size_t InitialStack = 1u << 16;
 constexpr size_t MaxStackEntries = 1u << 26; // 64M values ≈ 512 MB
-constexpr size_t MaxFrames = 4u << 20;
+constexpr size_t DefaultMaxFrames = 4u << 20;
+/// Fuel/wall budgets are checked once per this many dispatched
+/// instructions: cheap enough for the hot loop, tight enough that a
+/// divergent program overshoots its budget by at most one batch.
+constexpr uint32_t StepBatch = 1024;
 } // namespace
 
 VM::VM(Runtime &RT, const VMProgram &Prog) : RT(RT), Prog(Prog) {
@@ -31,7 +36,9 @@ void VM::visitRoots(void (*Visit)(Value &, void *), void *Ctx) {
 
 void VM::growStack() {
   if (Stack.size() >= MaxStackEntries)
-    trap("value stack overflow");
+    throw RuntimeError{ErrorKind::StackOverflow, "",
+                       "value stack exceeded " +
+                           std::to_string(MaxStackEntries) + " slots"};
   Stack.resize(Stack.size() * 2);
 }
 
@@ -40,7 +47,7 @@ void VM::ensureStack(size_t Extra) {
     growStack();
 }
 
-RunResult VM::run(std::string In) {
+RunResult VM::run(std::string In, const RunLimits &L) {
   RunResult Result;
   Stack.assign(InitialStack, Value::unit());
   Top = 0;
@@ -51,28 +58,63 @@ RunResult VM::run(std::string In) {
   InputPos = 0;
   TimeStack.clear();
   RT.stats().reset();
+  Limits = L;
+  FrameCap = Limits.MaxFrames ? Limits.MaxFrames : DefaultMaxFrames;
+  StepsUsed = 0;
+  RT.heap().setHeapLimit(Limits.MaxHeapBytes);
+  size_t RootDepthAtEntry = RT.heap().tempRootDepth();
 
-  auto Start = std::chrono::steady_clock::now();
-  try {
-    Value Final = execute();
+  StartTime = std::chrono::steady_clock::now();
+  auto Finish = [&] {
     Result.WallNanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                           std::chrono::steady_clock::now() - Start)
+                           std::chrono::steady_clock::now() - StartTime)
                            .count();
     Result.Stats = RT.stats();
     Result.PeakHeapBytes = RT.heap().peakHeapBytes();
+  };
+  try {
+    Value Final = execute();
+    Finish();
     Result.ResultText = RT.valueToString(Final);
     Result.OK = true;
   } catch (RuntimeError &Error) {
-    Result.WallNanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                           std::chrono::steady_clock::now() - Start)
-                           .count();
-    Result.Stats = RT.stats();
-    Result.PeakHeapBytes = RT.heap().peakHeapBytes();
+    Finish();
     Result.OK = false;
     Result.Error = std::move(Error);
+  } catch (std::bad_alloc &) {
+    // Allocation failure outside Heap::allocateObject (frame vector or
+    // value-stack growth, string building, ...): degrade to a reportable
+    // OutOfMemory rather than letting the exception escape run().
+    Finish();
+    Result.OK = false;
+    Result.Error = {ErrorKind::OutOfMemory, "",
+                    "allocator failed growing interpreter state"};
   }
   Result.Output = Output;
+  // Every Rooted opened during execution unwound with it; a mismatch
+  // here means a manual pushTempRoot leaked past the run boundary.
+  assert(RT.heap().tempRootDepth() == RootDepthAtEntry &&
+         "temp-root push/pop mismatch across run()");
+  (void)RootDepthAtEntry;
   return Result;
+}
+
+void VM::checkBudgets(uint32_t BatchSteps) {
+  StepsUsed += BatchSteps;
+  if (Limits.MaxSteps && StepsUsed >= Limits.MaxSteps)
+    throw RuntimeError{ErrorKind::FuelExhausted, "",
+                       "step budget of " + std::to_string(Limits.MaxSteps) +
+                           " instructions exhausted"};
+  if (Limits.MaxWallNanos) {
+    int64_t Elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - StartTime)
+                          .count();
+    if (Elapsed > Limits.MaxWallNanos)
+      throw RuntimeError{ErrorKind::Timeout, "",
+                         "wall-clock budget of " +
+                             std::to_string(Limits.MaxWallNanos) +
+                             " ns exhausted"};
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -140,8 +182,10 @@ void VM::doCall(uint32_t Argc, bool Tail, std::vector<RetCast> Pending) {
     for (RetCast &RC : Pending)
       Cur.RetCasts.push_back(RC);
   } else {
-    if (Frames.size() >= MaxFrames)
-      trap("call stack overflow");
+    if (Frames.size() >= FrameCap)
+      throw RuntimeError{ErrorKind::StackOverflow, "",
+                         "call depth exceeded " + std::to_string(FrameCap) +
+                             " frames"};
     Frame NF;
     NF.Func = FnIdx;
     NF.PC = 0;
@@ -184,7 +228,12 @@ Value VM::execute() {
   for (uint32_t I = 0; I != Prog.Functions[Main.Func].NumLocals; ++I)
     push(Value::unit());
 
+  uint32_t BatchLeft = StepBatch;
   for (;;) {
+    if (--BatchLeft == 0) {
+      checkBudgets(StepBatch);
+      BatchLeft = StepBatch;
+    }
     Frame &F = Frames.back();
     const Instr I = Prog.Functions[F.Func].Code[F.PC++];
     switch (I.Code) {

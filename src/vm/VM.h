@@ -12,6 +12,7 @@
 #ifndef GRIFT_VM_VM_H
 #define GRIFT_VM_VM_H
 
+#include "runtime/Limits.h"
 #include "runtime/Runtime.h"
 #include "vm/Bytecode.h"
 
@@ -39,8 +40,10 @@ public:
   VM(const VM &) = delete;
   VM &operator=(const VM &) = delete;
 
-  /// Runs the program to completion. \p Input feeds read-int/read-char.
-  RunResult run(std::string Input = "");
+  /// Runs the program to completion or until a budget in \p Limits is
+  /// exhausted. \p Input feeds read-int/read-char. Never throws: every
+  /// RuntimeError and allocation failure is surfaced through the result.
+  RunResult run(std::string Input = "", const RunLimits &Limits = {});
 
   void visitRoots(void (*Visit)(Value &, void *), void *Ctx) override;
 
@@ -74,8 +77,16 @@ private:
   std::string Input;
   size_t InputPos = 0;
   std::vector<std::chrono::steady_clock::time_point> TimeStack;
+  RunLimits Limits;
+  size_t FrameCap = 0; ///< resolved from Limits (or the built-in cap)
+  uint64_t StepsUsed = 0;
+  std::chrono::steady_clock::time_point StartTime;
 
   Value execute();
+
+  /// Called once per dispatch batch: charges the batch against the fuel
+  /// budget and samples the wall clock. Throws FuelExhausted / Timeout.
+  void checkBudgets(uint32_t BatchSteps);
 
   void push(Value V) {
     if (Top == Stack.size())

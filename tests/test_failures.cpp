@@ -26,7 +26,7 @@ protected:
     EXPECT_TRUE(Exe.has_value()) << Errors;
     if (!Exe) {
       RunResult R;
-      R.Error = {false, "", "compile failed: " + Errors};
+      R.Error = {ErrorKind::Trap, "", "compile failed: " + Errors};
       return R;
     }
     return Exe->run(std::move(Input));
@@ -39,7 +39,7 @@ protected:
                           CastMode::Monotonic}) {
       RunResult R = run(Source, Mode, Input);
       ASSERT_FALSE(R.OK) << Source;
-      EXPECT_FALSE(R.Error.IsBlame) << R.Error.str();
+      EXPECT_FALSE(R.Error.isBlame()) << R.Error.str();
       EXPECT_NE(R.Error.Message.find(Needle), std::string::npos)
           << R.Error.str();
     }
@@ -105,7 +105,7 @@ TEST_F(FailureTest, BlameThroughNestedTuples) {
   for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased}) {
     RunResult R = run(Source, Mode);
     ASSERT_FALSE(R.OK);
-    EXPECT_TRUE(R.Error.IsBlame);
+    EXPECT_TRUE(R.Error.isBlame());
   }
 }
 
@@ -119,7 +119,7 @@ TEST_F(FailureTest, BlameThroughFunctionResult) {
                         CastMode::Monotonic}) {
     RunResult R = run(Source, Mode);
     ASSERT_FALSE(R.OK) << castModeName(Mode);
-    EXPECT_TRUE(R.Error.IsBlame);
+    EXPECT_TRUE(R.Error.isBlame());
   }
 }
 
@@ -136,7 +136,7 @@ TEST_F(FailureTest, BlameThroughBoxReadAfterManyCasts) {
                         CastMode::Monotonic}) {
     RunResult R = run(Source, Mode);
     ASSERT_FALSE(R.OK) << castModeName(Mode);
-    EXPECT_TRUE(R.Error.IsBlame) << R.Error.str();
+    EXPECT_TRUE(R.Error.isBlame()) << R.Error.str();
   }
 }
 
@@ -229,6 +229,146 @@ TEST_F(FailureTest, CharRoundTripsThroughDyn) {
   RunResult R = run("(char->int (ann (ann #\\z Dyn) Char))");
   ASSERT_TRUE(R.OK);
   EXPECT_EQ(R.ResultText, "122");
+}
+
+//===----------------------------------------------------------------------===//
+// Resource governance: every ErrorKind is reachable, reported (never a
+// crash), and leaves the Grift instance reusable.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A divergent tail loop: runs forever in constant space on the VM.
+const char *DivergentLoop = "(letrec ([loop (lambda () (loop))]) (loop))";
+
+/// Unbounded non-tail recursion: each call pushes a real frame.
+const char *DeepRecursion =
+    "(letrec ([f : (Int -> Int)"
+    "           (lambda ([n : Int]) : Int (+ 1 (f n)))])"
+    "  (f 0))";
+
+/// A tail loop that retains an ever-growing chain of boxes, so live
+/// heap grows without bound while the stack stays flat.
+const char *HeapGrower =
+    "(letrec ([f : (Int Dyn -> Int)"
+    "           (lambda ([n : Int] [l : Dyn]) : Int"
+    "             (f (+ n 1) (ann (box l) Dyn)))])"
+    "  (f 0 (ann 0 Dyn)))";
+
+} // namespace
+
+class ResourceLimitTest : public FailureTest {
+protected:
+  RunResult runLimited(std::string_view Source, const RunLimits &Limits,
+                       FaultInjector *Injector = nullptr,
+                       CastMode Mode = CastMode::Coercions) {
+    std::string Errors;
+    auto Exe = G.compile(Source, Mode, Errors);
+    EXPECT_TRUE(Exe.has_value()) << Errors;
+    if (!Exe) {
+      RunResult R;
+      R.Error = {ErrorKind::Trap, "", "compile failed: " + Errors};
+      return R;
+    }
+    return Exe->run("", Limits, Injector);
+  }
+
+  /// The same Grift must compile and run a fresh program after any
+  /// failure — resource exhaustion must not poison shared state.
+  void expectStillUsable() {
+    RunResult R = run("(+ 1 2)");
+    ASSERT_TRUE(R.OK) << R.Error.str();
+    EXPECT_EQ(R.ResultText, "3");
+  }
+};
+
+TEST_F(ResourceLimitTest, BlameKindIsBlame) {
+  RunResult R = run("(ann (ann #t Dyn) Int)");
+  ASSERT_FALSE(R.OK);
+  EXPECT_EQ(R.Error.Kind, ErrorKind::Blame);
+  EXPECT_TRUE(R.Error.isBlame());
+  EXPECT_FALSE(R.Error.isResourceExhaustion());
+  expectStillUsable();
+}
+
+TEST_F(ResourceLimitTest, TrapKindIsTrap) {
+  RunResult R = run("(/ 1 0)");
+  ASSERT_FALSE(R.OK);
+  EXPECT_EQ(R.Error.Kind, ErrorKind::Trap);
+  EXPECT_FALSE(R.Error.isResourceExhaustion());
+  expectStillUsable();
+}
+
+TEST_F(ResourceLimitTest, FuelExhaustedOnDivergentLoop) {
+  RunLimits Limits;
+  Limits.MaxSteps = 200000;
+  for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased}) {
+    RunResult R = runLimited(DivergentLoop, Limits, nullptr, Mode);
+    ASSERT_FALSE(R.OK) << castModeName(Mode);
+    EXPECT_EQ(R.Error.Kind, ErrorKind::FuelExhausted) << R.Error.str();
+    EXPECT_TRUE(R.Error.isResourceExhaustion());
+  }
+  expectStillUsable();
+}
+
+TEST_F(ResourceLimitTest, StackOverflowOnDeepRecursion) {
+  RunLimits Limits;
+  Limits.MaxFrames = 1000;
+  RunResult R = runLimited(DeepRecursion, Limits);
+  ASSERT_FALSE(R.OK);
+  EXPECT_EQ(R.Error.Kind, ErrorKind::StackOverflow) << R.Error.str();
+  expectStillUsable();
+}
+
+TEST_F(ResourceLimitTest, OutOfMemoryOnGrowingHeap) {
+  RunLimits Limits;
+  Limits.MaxHeapBytes = 1 << 20; // 1 MiB of live data
+  Limits.MaxSteps = 100000000;   // backstop so a bug can't hang the test
+  RunResult R = runLimited(HeapGrower, Limits);
+  ASSERT_FALSE(R.OK);
+  EXPECT_EQ(R.Error.Kind, ErrorKind::OutOfMemory) << R.Error.str();
+  expectStillUsable();
+}
+
+TEST_F(ResourceLimitTest, OutOfMemoryOnHugeSingleAllocation) {
+  RunLimits Limits;
+  Limits.MaxHeapBytes = 1 << 20;
+  RunResult R = runLimited("(vector-ref (make-vector 100000000 0) 0)", Limits);
+  ASSERT_FALSE(R.OK);
+  EXPECT_EQ(R.Error.Kind, ErrorKind::OutOfMemory) << R.Error.str();
+  expectStillUsable();
+}
+
+TEST_F(ResourceLimitTest, TimeoutOnDivergentLoop) {
+  RunLimits Limits;
+  Limits.MaxWallNanos = 50 * 1000000ll; // 50 ms
+  RunResult R = runLimited(DivergentLoop, Limits);
+  ASSERT_FALSE(R.OK);
+  EXPECT_EQ(R.Error.Kind, ErrorKind::Timeout) << R.Error.str();
+  expectStillUsable();
+}
+
+TEST_F(ResourceLimitTest, InjectedAllocationFailureIsOutOfMemory) {
+  FaultInjector Injector;
+  Injector.FailAllocAt = 3;
+  RunResult R = runLimited("(box (box (box (box 1))))", RunLimits{}, &Injector);
+  ASSERT_FALSE(R.OK);
+  EXPECT_EQ(R.Error.Kind, ErrorKind::OutOfMemory) << R.Error.str();
+  EXPECT_NE(R.Error.Message.find("injected"), std::string::npos)
+      << R.Error.str();
+  expectStillUsable();
+}
+
+TEST_F(ResourceLimitTest, LimitsDoNotAffectCompletingPrograms) {
+  RunLimits Limits;
+  Limits.MaxSteps = 10000000;
+  Limits.MaxHeapBytes = 64 << 20;
+  Limits.MaxFrames = 100000;
+  Limits.MaxWallNanos = 10ll * 1000000000;
+  RunResult R = runLimited("(repeat (i 0 1000) (acc : Int 0) (+ acc i))",
+                           Limits);
+  ASSERT_TRUE(R.OK) << R.Error.str();
+  EXPECT_EQ(R.ResultText, "499500");
 }
 
 //===----------------------------------------------------------------------===//

@@ -291,3 +291,108 @@ TEST_P(FuzzDifferential, AllEnginesAgree) {
 
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, FuzzDifferential,
                          ::testing::Range(0, 8));
+
+//===----------------------------------------------------------------------===//
+// Differential execution under resource budgets: 8 seeds x 70 iterations
+// = 560 generated programs, each run on the coercions VM, the type-based
+// VM, and the reference interpreter with finite limits. Either every
+// engine completes and agrees exactly, or every engine fails with the
+// same ErrorKind — a budget must never change a program's meaning, and
+// exhaustion must never crash.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Outcome {
+  bool OK = false;
+  std::string Text;
+  ErrorKind Kind = ErrorKind::Trap;
+};
+
+} // namespace
+
+class FuzzLimited : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzLimited, EnginesAgreeUnderResourceBudgets) {
+  RunLimits Limits;
+  Limits.MaxSteps = 2000000; // generous: generated programs are small
+  Limits.MaxFrames = 5000;   // inside the refinterp's native-stack cap
+  Limits.MaxHeapBytes = 256u << 20;
+
+  for (int Iter = 0; Iter != 70; ++Iter) {
+    Grift G;
+    RNG Gen(0xB0D9E7 + GetParam() * 7919 + Iter);
+    ProgramGen PG(G.types(), Gen);
+    std::string Source = PG.program();
+
+    std::string Errors;
+    auto Ast = G.parse(Source, Errors);
+    ASSERT_TRUE(Ast.has_value()) << Errors << "\nprogram:\n" << Source;
+    auto Core = G.check(*Ast, Errors);
+    ASSERT_TRUE(Core.has_value()) << Errors << "\nprogram:\n" << Source;
+
+    auto runVM = [&](CastMode Mode) -> Outcome {
+      auto Exe = G.compileAst(*Ast, Mode, Errors);
+      EXPECT_TRUE(Exe.has_value()) << Errors << "\nprogram:\n" << Source;
+      if (!Exe)
+        return {};
+      RunResult R = Exe->run("", Limits);
+      if (!R.OK)
+        return {false, R.Error.str(), R.Error.Kind};
+      return {true, R.ResultText + "|" + R.Output, ErrorKind::Trap};
+    };
+
+    refinterp::RefResult Ref =
+        refinterp::interpret(G.types(), G.coercions(), *Core, "", Limits);
+    Outcome RefR{Ref.OK, Ref.OK ? Ref.ResultText + "|" + Ref.Output
+                                : Ref.Message,
+                 Ref.Kind};
+    Outcome Coerce = runVM(CastMode::Coercions);
+    Outcome TB = runVM(CastMode::TypeBased);
+
+    if (RefR.OK && Coerce.OK && TB.OK) {
+      EXPECT_EQ(Coerce.Text, RefR.Text) << "program:\n" << Source;
+      EXPECT_EQ(Coerce.Text, TB.Text) << "program:\n" << Source;
+    } else {
+      // Budgets are far above what any generated program needs, so a
+      // failure must be unanimous and of one kind to be believable.
+      EXPECT_FALSE(RefR.OK) << RefR.Text << "\nprogram:\n" << Source;
+      EXPECT_FALSE(Coerce.OK) << Coerce.Text << "\nprogram:\n" << Source;
+      EXPECT_FALSE(TB.OK) << TB.Text << "\nprogram:\n" << Source;
+      EXPECT_EQ(Coerce.Kind, RefR.Kind)
+          << Coerce.Text << " vs " << RefR.Text << "\nprogram:\n" << Source;
+      EXPECT_EQ(Coerce.Kind, TB.Kind)
+          << Coerce.Text << " vs " << TB.Text << "\nprogram:\n" << Source;
+    }
+  }
+}
+
+TEST_P(FuzzLimited, TinyFuelFailsGracefullyAndEngineStaysUsable) {
+  // Starve every engine: each run either completes inside the budget or
+  // reports resource exhaustion — never a trap, blame, or crash. The
+  // same executable must then complete untouched with the budget lifted.
+  RunLimits Tiny;
+  Tiny.MaxSteps = 100;
+  Tiny.MaxFrames = 16;
+
+  for (int Iter = 0; Iter != 20; ++Iter) {
+    Grift G;
+    RNG Gen(0x7E4B1 + GetParam() * 104729 + Iter);
+    ProgramGen PG(G.types(), Gen);
+    std::string Source = PG.program();
+
+    std::string Errors;
+    auto Exe = G.compile(Source, CastMode::Coercions, Errors);
+    ASSERT_TRUE(Exe.has_value()) << Errors << "\nprogram:\n" << Source;
+
+    RunResult Starved = Exe->run("", Tiny);
+    if (!Starved.OK)
+      EXPECT_TRUE(Starved.Error.isResourceExhaustion())
+          << Starved.Error.str() << "\nprogram:\n" << Source;
+
+    RunResult Full = Exe->run();
+    EXPECT_TRUE(Full.OK) << Full.Error.str() << "\nprogram:\n" << Source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, FuzzLimited, ::testing::Range(0, 8));

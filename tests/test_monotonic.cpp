@@ -29,7 +29,7 @@ protected:
     EXPECT_TRUE(Exe.has_value()) << Errors;
     if (!Exe) {
       RunResult R;
-      R.Error = {false, "", "compile failed"};
+      R.Error = {ErrorKind::Trap, "", "compile failed"};
       return R;
     }
     return Exe->run(std::move(Input));
@@ -81,7 +81,7 @@ TEST_F(MonotonicTest, StrengtheningIsSharedAcrossAliases) {
                        "(vector-set! v 0 (ann #t Dyn))";
   RunResult R = run(Source);
   ASSERT_FALSE(R.OK);
-  EXPECT_TRUE(R.Error.IsBlame);
+  EXPECT_TRUE(R.Error.isBlame());
 }
 
 TEST_F(MonotonicTest, WriteOfRightTypeThroughDynViewWorks) {
@@ -100,7 +100,7 @@ TEST_F(MonotonicTest, InconsistentStrengtheningBlamesEagerly) {
                        "(ann (ann v Dyn) (Vect Bool))";
   RunResult R = run(Source);
   ASSERT_FALSE(R.OK);
-  EXPECT_TRUE(R.Error.IsBlame);
+  EXPECT_TRUE(R.Error.isBlame());
 }
 
 TEST_F(MonotonicTest, HigherOrderFunctionsStillCompose) {

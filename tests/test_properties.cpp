@@ -256,7 +256,7 @@ TEST_P(BlameAgreementProperty, CoercionsAndTypeBasedBlameAlike) {
       } catch (RuntimeError &E) {
         Out.OK = false;
         Out.Observation = E.Label; // blame labels must agree too
-        EXPECT_TRUE(E.IsBlame);
+        EXPECT_TRUE(E.isBlame());
       }
       return Out;
     };

@@ -48,8 +48,8 @@ protected:
     if (VM.OK && Ref.OK) {
       EXPECT_EQ(VM.ResultText, Ref.ResultText);
     } else if (!VM.OK && !Ref.OK) {
-      EXPECT_EQ(VM.Error.IsBlame, Ref.IsBlame);
-      if (VM.Error.IsBlame)
+      EXPECT_EQ(VM.Error.isBlame(), Ref.isBlame());
+      if (VM.Error.isBlame())
         EXPECT_EQ(VM.Error.Label, Ref.Label);
     }
     return VM;

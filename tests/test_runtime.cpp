@@ -7,6 +7,9 @@
 //===----------------------------------------------------------------------===//
 #include "runtime/Runtime.h"
 
+#include "bench_programs/Benchmarks.h"
+#include "grift/Grift.h"
+
 #include <gtest/gtest.h>
 
 using namespace grift;
@@ -168,7 +171,7 @@ TEST_F(RuntimeTest, CoerceWrongProjectionBlames) {
     RT.applyCoercion(V, Down);
     FAIL() << "expected blame";
   } catch (RuntimeError &E) {
-    EXPECT_TRUE(E.IsBlame);
+    EXPECT_TRUE(E.isBlame());
     EXPECT_EQ(E.Label, "down-lbl");
   }
 }
@@ -264,3 +267,139 @@ TEST_F(RuntimeTest, VectorBoundsTrap) {
   EXPECT_THROW(RT.vectorSet(V, 5, Value::fromFixnum(1)), RuntimeError);
   EXPECT_EQ(RT.vectorLength(V), 2);
 }
+
+//===----------------------------------------------------------------------===//
+// Fault injection
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjection, CountsEveryAllocation) {
+  Heap H;
+  FaultInjector FI;
+  H.setFaultInjector(&FI);
+  for (int I = 0; I != 5; ++I)
+    H.allocBox(Value::fromFixnum(I));
+  EXPECT_EQ(FI.AllocCount, 5u);
+  EXPECT_EQ(FI.ForcedCollections, 0u);
+}
+
+TEST(FaultInjection, ScheduledFailureIsOneShot) {
+  Heap H;
+  FaultInjector FI;
+  FI.FailAllocAt = 3;
+  H.setFaultInjector(&FI);
+  H.allocBox(Value::unit());
+  H.allocBox(Value::unit());
+  try {
+    H.allocBox(Value::unit());
+    FAIL() << "allocation #3 should have failed";
+  } catch (const RuntimeError &E) {
+    EXPECT_EQ(E.Kind, ErrorKind::OutOfMemory);
+    EXPECT_NE(E.Message.find("injected"), std::string::npos) << E.str();
+  }
+  // One-shot: the counter has moved past the trigger.
+  Value After = H.allocBox(Value::fromFixnum(4));
+  EXPECT_EQ(After.object()->slot(0).asFixnum(), 4);
+  EXPECT_EQ(FI.AllocCount, 4u);
+}
+
+TEST(FaultInjection, TortureForcesCollectionEveryPeriod) {
+  Heap H;
+  FaultInjector FI;
+  FI.GCTorturePeriod = 3;
+  H.setFaultInjector(&FI);
+  for (int I = 0; I != 10; ++I)
+    H.allocTuple(2);
+  EXPECT_EQ(FI.ForcedCollections, 3u); // after allocations 3, 6, 9
+  EXPECT_GE(H.collections(), 3u);
+}
+
+TEST(FaultInjection, TorturedRootedValuesSurvive) {
+  Heap H;
+  FaultInjector FI;
+  FI.GCTorturePeriod = 1;
+  H.setFaultInjector(&FI);
+  Value Keep = H.allocVector(8, Value::fromFixnum(0));
+  Rooted Root(H, Keep);
+  for (int I = 0; I != 8; ++I) {
+    Value B = H.allocBox(Value::fromFixnum(I)); // forces a GC
+    Root.get().object()->slot(I) = B;
+  }
+  for (uint32_t I = 0; I != 8; ++I)
+    EXPECT_EQ(
+        Root.get().object()->slot(I).object()->slot(0).asFixnum(),
+        static_cast<int64_t>(I));
+}
+
+#ifndef NDEBUG
+TEST(HeapDeathTest, PopWithoutPushAsserts) {
+  EXPECT_DEATH(
+      {
+        Heap H;
+        H.popTempRoot();
+      },
+      "popTempRoot without a matching push");
+}
+
+TEST(HeapDeathTest, NullTempRootAsserts) {
+  EXPECT_DEATH(
+      {
+        Heap H;
+        H.pushTempRoot(nullptr);
+      },
+      "null temp root");
+}
+#endif
+
+//===----------------------------------------------------------------------===//
+// GC torture over whole programs: collecting on every allocation turns
+// any missing root in a runtime helper into a deterministic failure.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class GCTortureTest : public ::testing::TestWithParam<std::string> {};
+
+} // namespace
+
+TEST_P(GCTortureTest, BenchmarkSurvivesCollectEveryAllocation) {
+  const BenchProgram &B = getBenchmark(GetParam());
+  Grift G;
+  std::string Errors;
+  auto Exe = G.compile(B.Source, CastMode::Coercions, Errors);
+  ASSERT_TRUE(Exe.has_value()) << Errors;
+  FaultInjector Injector;
+  Injector.GCTorturePeriod = 1;
+  RunResult R = Exe->run(B.TestInput, {}, &Injector);
+  ASSERT_TRUE(R.OK) << B.Name << ": " << R.Error.str();
+  EXPECT_GT(Injector.ForcedCollections, 0u) << B.Name;
+  std::string Out = R.Output;
+  while (!Out.empty() && Out.back() == '\n')
+    Out.pop_back();
+  EXPECT_EQ(Out, B.TestOutput) << B.Name;
+}
+
+TEST_P(GCTortureTest, TypeBasedSurvivesFrequentCollections) {
+  // Proxy chains in type-based mode allocate aggressively; a coarser
+  // period keeps the quadratic torture cost affordable.
+  const BenchProgram &B = getBenchmark(GetParam());
+  Grift G;
+  std::string Errors;
+  auto Exe = G.compile(B.Source, CastMode::TypeBased, Errors);
+  ASSERT_TRUE(Exe.has_value()) << Errors;
+  FaultInjector Injector;
+  Injector.GCTorturePeriod = 13;
+  RunResult R = Exe->run(B.TestInput, {}, &Injector);
+  ASSERT_TRUE(R.OK) << B.Name << ": " << R.Error.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, GCTortureTest,
+    ::testing::Values("sieve", "n-body", "tak", "ray", "blackscholes",
+                      "matmult", "quicksort", "fft"),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      std::string Name = Info.param;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });

@@ -27,7 +27,7 @@ protected:
     EXPECT_TRUE(Exe.has_value()) << Errors;
     if (!Exe) {
       RunResult R;
-      R.Error = {false, "", "compile failed: " + Errors};
+      R.Error = {ErrorKind::Trap, "", "compile failed: " + Errors};
       return R;
     }
     return Exe->run(std::move(Input));
@@ -56,7 +56,7 @@ protected:
                    std::string_view Label = "") {
     RunResult R = runMode(Source, Mode);
     ASSERT_FALSE(R.OK) << "expected blame for " << Source;
-    EXPECT_TRUE(R.Error.IsBlame) << R.Error.str();
+    EXPECT_TRUE(R.Error.isBlame()) << R.Error.str();
     if (!Label.empty())
       EXPECT_EQ(R.Error.Label, Label) << Source;
   }
@@ -214,7 +214,7 @@ TEST_F(VMTest, VectorBoundsTrap) {
   RunResult R = runMode("(vector-ref (make-vector 2 0) 5)",
                         CastMode::Coercions);
   ASSERT_FALSE(R.OK);
-  EXPECT_FALSE(R.Error.IsBlame);
+  EXPECT_FALSE(R.Error.isBlame());
 }
 
 TEST_F(VMTest, PrintingAndInput) {
@@ -273,7 +273,7 @@ TEST_F(VMTest, ProjectionBlameCarriesLocation) {
   RunResult R = runMode("((lambda ([d : Dyn]) (ann d Bool)) 42)",
                         CastMode::Coercions);
   ASSERT_FALSE(R.OK);
-  EXPECT_TRUE(R.Error.IsBlame);
+  EXPECT_TRUE(R.Error.isBlame());
   EXPECT_EQ(R.Error.Label, "1:22");
   // Same blame in type-based mode.
   RunResult R2 = runMode("((lambda ([d : Dyn]) (ann d Bool)) 42)",

@@ -18,13 +18,27 @@
 ///   --benchmark NAME load a built-in benchmark program
 ///   --input 'WORDS'  input words for read-int / read-char
 ///
+/// Resource governance (untrusted / hostile input):
+///   --max-steps=N    fuel budget in interpreter steps (0 = unlimited)
+///   --max-heap=N     live-heap budget in bytes; k/m/g suffixes accepted
+///   --max-depth=N    call-depth budget in frames
+///   --max-wall-ms=N  wall-clock budget in milliseconds
+///   --gc-torture=N   force a full GC every Nth allocation (bug hunting)
+///   --fail-alloc=N   inject an allocation failure at allocation #N
+///
+/// A program stopped by a budget exits with status 3 and prints the
+/// machine-readable error kind (fuel-exhausted, out-of-memory, ...);
+/// program errors (blame, trap) still exit with status 1.
+///
 //===----------------------------------------------------------------------===//
 #include "bench_programs/Benchmarks.h"
 #include "grift/Grift.h"
 #include "lattice/Lattice.h"
 #include "refinterp/RefInterp.h"
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -40,8 +54,34 @@ void printUsage() {
       "usage: griftc [--mode=coercions|type-based|static|monotonic]\n"
       "              [--dynamic] [--optimize] [--ref-interp]\n"
       "              [--stats] [--dump-core] [--dump-bytecode]\n"
+      "              [--max-steps=N] [--max-heap=N[k|m|g]]\n"
+      "              [--max-depth=N] [--max-wall-ms=N]\n"
+      "              [--gc-torture=N] [--fail-alloc=N]\n"
       "              (file.grift | --expr 'SRC' | --benchmark NAME)\n"
       "              [--input 'WORDS']\n");
+}
+
+/// Parses "--opt=123" style values with an optional k/m/g size suffix.
+bool parseSize(const std::string &Arg, const char *Prefix, uint64_t &Out) {
+  size_t Len = std::strlen(Prefix);
+  if (Arg.compare(0, Len, Prefix) != 0)
+    return false;
+  const char *S = Arg.c_str() + Len;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (End == S)
+    return false;
+  uint64_t Scale = 1;
+  if (*End == 'k' || *End == 'K')
+    Scale = 1ull << 10, ++End;
+  else if (*End == 'm' || *End == 'M')
+    Scale = 1ull << 20, ++End;
+  else if (*End == 'g' || *End == 'G')
+    Scale = 1ull << 30, ++End;
+  if (*End != '\0')
+    return false;
+  Out = V * Scale;
+  return true;
 }
 
 } // namespace
@@ -57,10 +97,25 @@ int main(int Argc, char **Argv) {
   std::string Source;
   std::string Input;
   std::string File;
+  RunLimits Limits;
+  FaultInjector Injector;
+  uint64_t Tmp = 0;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg == "--mode=coercions") {
+    if (parseSize(Arg, "--max-steps=", Tmp)) {
+      Limits.MaxSteps = Tmp;
+    } else if (parseSize(Arg, "--max-heap=", Tmp)) {
+      Limits.MaxHeapBytes = static_cast<size_t>(Tmp);
+    } else if (parseSize(Arg, "--max-depth=", Tmp)) {
+      Limits.MaxFrames = static_cast<uint32_t>(Tmp);
+    } else if (parseSize(Arg, "--max-wall-ms=", Tmp)) {
+      Limits.MaxWallNanos = static_cast<int64_t>(Tmp) * 1000000;
+    } else if (parseSize(Arg, "--gc-torture=", Tmp)) {
+      Injector.GCTorturePeriod = Tmp;
+    } else if (parseSize(Arg, "--fail-alloc=", Tmp)) {
+      Injector.FailAllocAt = Tmp;
+    } else if (Arg == "--mode=coercions") {
       Mode = CastMode::Coercions;
     } else if (Arg == "--mode=type-based") {
       Mode = CastMode::TypeBased;
@@ -144,17 +199,18 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     refinterp::RefResult R =
-        refinterp::interpret(G.types(), G.coercions(), *Core, Input);
+        refinterp::interpret(G.types(), G.coercions(), *Core, Input, Limits);
     std::fputs(R.Output.c_str(), stdout);
     if (!R.Output.empty() && R.Output.back() != '\n')
       std::fputc('\n', stdout);
     if (!R.OK) {
-      if (R.IsBlame)
+      if (R.isBlame())
         std::fprintf(stderr, "blame %s: %s\n", R.Label.c_str(),
                      R.Message.c_str());
       else
-        std::fprintf(stderr, "trap: %s\n", R.Message.c_str());
-      return 1;
+        std::fprintf(stderr, "%s: %s\n", errorKindName(R.Kind),
+                     R.Message.c_str());
+      return R.Kind == ErrorKind::Blame || R.Kind == ErrorKind::Trap ? 1 : 3;
     }
     std::printf("=> %s\n", R.ResultText.c_str());
     return 0;
@@ -170,13 +226,13 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  RunResult R = Exe->run(Input);
+  RunResult R = Exe->run(Input, Limits, &Injector);
   std::fputs(R.Output.c_str(), stdout);
   if (!R.Output.empty() && R.Output.back() != '\n')
     std::fputc('\n', stdout);
   if (!R.OK) {
     std::fprintf(stderr, "%s\n", R.Error.str().c_str());
-    return 1;
+    return R.Error.isResourceExhaustion() ? 3 : 1;
   }
   std::printf("=> %s\n", R.ResultText.c_str());
   if (Stats) {
