@@ -15,7 +15,11 @@
 //===----------------------------------------------------------------------===//
 #include "BenchUtil.h"
 
+#include "service/ExecService.h"
+
 #include <benchmark/benchmark.h>
+
+#include <future>
 
 using namespace grift;
 using namespace grift::bench;
@@ -188,6 +192,70 @@ void gcAllocationThroughput(benchmark::State &State) {
 }
 BENCHMARK(gcAllocationThroughput)
     ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+//===----------------------------------------------------------------------===//
+// Service layer
+//===----------------------------------------------------------------------===//
+
+void servicePoolThroughput(benchmark::State &State) {
+  // Jobs/sec through an 8-thread pool: Arg(1) = warm per-slot compile
+  // caches (hot-program steady state), Arg(0) = caches disabled (every
+  // job pays a full compile — the cold / adversarial-traffic floor).
+  // items_per_second is the service-layer regression observable.
+  const bool Warm = State.range(0) != 0;
+  grift::service::ServiceConfig Config;
+  Config.Threads = 8;
+  Config.CompileCache = Warm;
+  grift::service::ExecService Service(Config);
+
+  std::vector<std::string> Sources;
+  for (int I = 0; I != 16; ++I)
+    Sources.push_back(
+        "(letrec ([fact : (Int -> Int) (lambda ([n : Int]) : Int"
+        "           (if (= n 0) 1 (* n (fact (- n 1)))))])"
+        "  (+ " +
+        std::to_string(I) + " (fact 12)))");
+
+  auto RunBatch = [&]() -> bool {
+    std::vector<std::future<grift::service::JobResult>> Futures;
+    Futures.reserve(Sources.size());
+    for (const std::string &S : Sources) {
+      grift::service::JobSpec Spec;
+      Spec.Source = S;
+      Futures.push_back(Service.submit(std::move(Spec)));
+    }
+    for (auto &F : Futures)
+      if (!F.get().ok())
+        return false;
+    return true;
+  };
+
+  if (Warm) {
+    // Populate every slot's cache (jobs land on arbitrary slots, so a
+    // few rounds make a cold hit in the timed region unlikely).
+    for (int Round = 0; Round != 8; ++Round)
+      if (!RunBatch()) {
+        State.SkipWithError("warmup job failed");
+        return;
+      }
+  }
+  for (auto _ : State) {
+    if (!RunBatch()) {
+      State.SkipWithError("job failed");
+      return;
+    }
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Sources.size()));
+}
+BENCHMARK(servicePoolThroughput)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"warm_cache"})
+    // Wall time, not submitter CPU time: the submitting thread mostly
+    // blocks on futures while the pool does the work.
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

@@ -5,10 +5,15 @@
 #include "frontend/TypeChecker.h"
 #include "vm/Compiler.h"
 
+#include <cassert>
+
 using namespace grift;
 
 RunResult Executable::run(std::string Input, const RunLimits &Limits,
                           FaultInjector *Injector) const {
+  assert(Owner->ownsCurrentThread() &&
+         "Executable run on a thread that does not own its engine "
+         "(see Grift.h affinity rules)");
   Runtime RT(Owner->Types, Owner->Coercions, Prog.Mode);
   RT.heap().setFaultInjector(Injector);
   VM Machine(RT, Prog);
@@ -40,6 +45,9 @@ std::optional<core::CoreProgram> Grift::check(const Program &Ast,
 std::optional<Executable> Grift::compile(std::string_view Source,
                                          CastMode Mode, std::string &Errors,
                                          bool Optimize) {
+  assert(ownsCurrentThread() &&
+         "Grift::compile on a thread that does not own this engine "
+         "(see Grift.h affinity rules)");
   std::optional<Program> Ast = parse(Source, Errors);
   if (!Ast)
     return std::nullopt;

@@ -14,7 +14,24 @@
 ///
 /// A Grift instance owns the type and coercion contexts shared by every
 /// program it compiles; Executables remain valid as long as their Grift
-/// lives. Instances are not thread-safe; use one per thread.
+/// lives.
+///
+/// Thread-safety / affinity rules:
+///
+///   * A Grift instance and every Executable it produced form one
+///     affinity group: the interned TypeContext and CoercionFactory are
+///     mutated by compilation *and* by runtime casts, with no internal
+///     locking. All compile() and run() calls of one group must happen
+///     on one thread at a time.
+///   * The supported concurrency model is engine-per-thread: either a
+///     plain "one Grift per thread", or a service::EnginePool slot that
+///     owns the engine and hands it to exactly one worker thread.
+///   * bindToCurrentThread() records the owning thread; from then on,
+///     debug builds assert that compile() and Executable::run() are
+///     called only from that thread, turning a silent data race into an
+///     immediate failure. The pool binds each slot's engine to the
+///     worker that leases it. Release builds keep the bookkeeping but
+///     skip the assert.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef GRIFT_GRIFT_GRIFT_H
@@ -30,10 +47,12 @@
 #include "vm/Bytecode.h"
 #include "vm/VM.h"
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 
 namespace grift {
 
@@ -96,10 +115,32 @@ public:
   TypeContext &types() { return Types; }
   CoercionFactory &coercions() { return Coercions; }
 
+  /// Binds this engine (and its Executables) to the calling thread; see
+  /// the affinity rules above. Rebinding is allowed — a pool slot rebinds
+  /// when a different worker leases it — but only between runs.
+  void bindToCurrentThread() {
+    OwnerThread.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  }
+
+  /// Releases the thread binding (engine usable from any single thread).
+  void unbindThread() {
+    OwnerThread.store(std::thread::id(), std::memory_order_relaxed);
+  }
+
+  /// True when unbound or bound to the calling thread. Debug builds
+  /// assert this on every compile() and Executable::run().
+  bool ownsCurrentThread() const {
+    std::thread::id Owner = OwnerThread.load(std::memory_order_relaxed);
+    return Owner == std::thread::id() || Owner == std::this_thread::get_id();
+  }
+
 private:
   friend class Executable;
   TypeContext Types;
   CoercionFactory Coercions;
+  /// Owning thread when bound (service::EnginePool slots bind their
+  /// engine to the leasing worker); default-constructed id = unbound.
+  std::atomic<std::thread::id> OwnerThread{};
 };
 
 } // namespace grift

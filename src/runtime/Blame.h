@@ -33,6 +33,7 @@ enum class ErrorKind : uint8_t {
   StackOverflow, ///< call-frame or value-stack budget exhausted
   FuelExhausted, ///< step budget (RunLimits::MaxSteps) exhausted
   Timeout,       ///< wall-clock budget (RunLimits::MaxWallNanos) exhausted
+  Cancelled,     ///< stopped from outside via RunLimits::Cancel
 };
 
 /// Stable machine-readable name ("blame", "trap", "out-of-memory", ...).
@@ -50,6 +51,8 @@ inline const char *errorKindName(ErrorKind Kind) {
     return "fuel-exhausted";
   case ErrorKind::Timeout:
     return "timeout";
+  case ErrorKind::Cancelled:
+    return "cancelled";
   }
   return "?";
 }

@@ -20,6 +20,7 @@
 #ifndef GRIFT_RUNTIME_LIMITS_H
 #define GRIFT_RUNTIME_LIMITS_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -45,6 +46,14 @@ struct RunLimits {
   /// Wall-clock budget in nanoseconds, checked at batch boundaries.
   /// 0 = unlimited.
   int64_t MaxWallNanos = 0;
+
+  /// Preemptive cancellation token. When non-null, the engines poll it
+  /// at the same cadence as the wall clock (VM dispatch-batch boundary /
+  /// refinterp recursion check); once another thread stores true the run
+  /// unwinds with ErrorKind::Cancelled. The token must outlive the run.
+  /// The engines only ever read it (relaxed loads); writers — watchdogs,
+  /// signal handlers, shutdown paths — own the store side.
+  const std::atomic<bool> *Cancel = nullptr;
 };
 
 } // namespace grift

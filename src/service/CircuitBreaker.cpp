@@ -1,0 +1,69 @@
+#include "service/CircuitBreaker.h"
+
+using namespace grift::service;
+
+bool CircuitBreaker::admit(uint64_t Key) {
+  if (Config.FailureThreshold == 0)
+    return true;
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return true; // no history: closed
+  Entry &E = It->second;
+  switch (E.S) {
+  case State::Closed:
+    return true;
+  case State::Open:
+    if (Clock::now() < E.OpenUntil) {
+      ++Rejections;
+      return false;
+    }
+    // Cooldown elapsed: this caller becomes the half-open probe.
+    E.S = State::HalfOpen;
+    E.ProbeInFlight = true;
+    return true;
+  case State::HalfOpen:
+    if (E.ProbeInFlight) {
+      // One probe at a time; everyone else keeps getting rejected.
+      ++Rejections;
+      return false;
+    }
+    E.ProbeInFlight = true;
+    return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::recordSuccess(uint64_t Key) {
+  if (Config.FailureThreshold == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return;
+  // Success closes the circuit and clears the failure streak; drop the
+  // entry so a long-running service doesn't accumulate one per program.
+  Entries.erase(It);
+}
+
+void CircuitBreaker::recordResourceFailure(uint64_t Key) {
+  if (Config.FailureThreshold == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(M);
+  Entry &E = Entries[Key];
+  E.ProbeInFlight = false;
+  ++E.Consecutive;
+  if (E.S == State::HalfOpen || E.Consecutive >= Config.FailureThreshold) {
+    E.S = State::Open;
+    E.OpenUntil = Clock::now() + std::chrono::nanoseconds(Config.CooldownNanos);
+  }
+}
+
+uint64_t CircuitBreaker::openCircuits() const {
+  std::lock_guard<std::mutex> Lock(M);
+  uint64_t N = 0;
+  for (const auto &[Key, E] : Entries)
+    if (E.S != State::Closed)
+      ++N;
+  return N;
+}

@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-program circuit breaker. The service keys each job by
+/// (source-hash, mode); after FailureThreshold *consecutive* resource
+/// failures (OOM, fuel, timeout, cancelled — all retries exhausted) the
+/// key's circuit opens and further submissions are rejected without
+/// running, so one poison program cannot monopolize the pool. After
+/// CooldownNanos the circuit goes half-open: exactly one probe job is
+/// admitted; success closes the circuit, another resource failure
+/// re-opens it for a fresh cooldown.
+///
+/// Program errors (Blame/Trap) never trip the breaker — they are the
+/// program behaving deterministically, cost one bounded run, and callers
+/// deserve the real answer every time.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_SERVICE_CIRCUITBREAKER_H
+#define GRIFT_SERVICE_CIRCUITBREAKER_H
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace grift::service {
+
+struct BreakerConfig {
+  /// Consecutive resource failures that open the circuit. 0 disables
+  /// the breaker entirely.
+  uint32_t FailureThreshold = 3;
+  /// How long an open circuit rejects before admitting a probe.
+  int64_t CooldownNanos = 5'000'000'000; // 5 s
+};
+
+class CircuitBreaker {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit CircuitBreaker(BreakerConfig Config = {}) : Config(Config) {}
+
+  /// True if a job with \p Key may run now. May transition the key to
+  /// half-open (admitting this caller as the single probe).
+  bool admit(uint64_t Key);
+
+  /// Record the outcome of an admitted run.
+  void recordSuccess(uint64_t Key);
+  void recordResourceFailure(uint64_t Key);
+
+  /// Number of admissions refused so far.
+  uint64_t rejections() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Rejections;
+  }
+
+  /// Number of currently open (or half-open) circuits.
+  uint64_t openCircuits() const;
+
+private:
+  enum class State : uint8_t { Closed, Open, HalfOpen };
+  struct Entry {
+    State S = State::Closed;
+    uint32_t Consecutive = 0;     ///< consecutive resource failures
+    Clock::time_point OpenUntil;  ///< when Open may go HalfOpen
+    bool ProbeInFlight = false;   ///< HalfOpen: the single probe is out
+  };
+
+  BreakerConfig Config;
+  mutable std::mutex M;
+  std::unordered_map<uint64_t, Entry> Entries;
+  uint64_t Rejections = 0;
+};
+
+} // namespace grift::service
+
+#endif // GRIFT_SERVICE_CIRCUITBREAKER_H

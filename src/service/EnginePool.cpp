@@ -1,0 +1,57 @@
+#include "service/EnginePool.h"
+
+using namespace grift::service;
+
+EnginePool::EnginePool(unsigned N) {
+  if (N == 0)
+    N = 1;
+  Slots.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Slots.push_back(std::make_unique<Slot>());
+}
+
+const EnginePool::CacheEntry &
+EnginePool::Slot::compileCached(const JobSpec &Spec, bool &WasHit,
+                                bool UseCache) {
+  // Key layout: one byte of mode, one of optimize, then the source —
+  // cheap to build and unambiguous (both prefixes are fixed-width).
+  std::string Key;
+  Key.reserve(Spec.Source.size() + 2);
+  Key.push_back(static_cast<char>('0' + static_cast<int>(Spec.Mode)));
+  Key.push_back(Spec.Optimize ? '1' : '0');
+  Key += Spec.Source;
+
+  if (UseCache) {
+    auto It = Cache.find(Key);
+    if (It != Cache.end()) {
+      CacheHits.fetch_add(1, std::memory_order_relaxed);
+      WasHit = true;
+      return It->second;
+    }
+  }
+  CacheMisses.fetch_add(1, std::memory_order_relaxed);
+  WasHit = false;
+  CacheEntry Entry;
+  Entry.Exe = Engine.compile(Spec.Source, Spec.Mode, Entry.Errors,
+                             Spec.Optimize);
+  if (!UseCache) {
+    // Still store (overwriting any stale entry) so the caller gets a
+    // stable reference; with the cache disabled every compile lands here.
+    return Cache[Key] = std::move(Entry);
+  }
+  return Cache.emplace(std::move(Key), std::move(Entry)).first->second;
+}
+
+uint64_t EnginePool::totalCacheHits() const {
+  uint64_t N = 0;
+  for (const auto &S : Slots)
+    N += S->CacheHits.load(std::memory_order_relaxed);
+  return N;
+}
+
+uint64_t EnginePool::totalCacheMisses() const {
+  uint64_t N = 0;
+  for (const auto &S : Slots)
+    N += S->CacheMisses.load(std::memory_order_relaxed);
+  return N;
+}

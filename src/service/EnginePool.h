@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A pool of per-thread Grift engines. Each slot owns one engine, one
+/// compile cache and one cancel token; the executor leases slot i to
+/// worker thread i for the thread's whole lifetime and binds the engine
+/// to it (Grift::bindToCurrentThread), so the engine-per-thread affinity
+/// rule in Grift.h is enforced by construction — and, in debug builds,
+/// by asserts on every compile and run.
+///
+/// The compile cache is keyed on (source, CastMode, optimize): hot
+/// programs resubmitted to the same slot skip parse/check/compile
+/// entirely. Compile *failures* are cached too (negative cache) — a
+/// malformed program resubmitted in a tight loop costs one map lookup,
+/// not a re-parse. Caches are per-slot and unsynchronized: a program
+/// compiles at most once per worker, never under a lock.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_SERVICE_ENGINEPOOL_H
+#define GRIFT_SERVICE_ENGINEPOOL_H
+
+#include "grift/Grift.h"
+#include "service/Job.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace grift::service {
+
+class EnginePool {
+public:
+  /// A cached compile outcome: either an Executable or the error text.
+  struct CacheEntry {
+    std::optional<Executable> Exe;
+    std::string Errors;
+  };
+
+  /// One engine slot. Leased to exactly one worker thread at a time.
+  struct Slot {
+    Grift Engine;
+    /// Cancel token threaded into every run on this slot. Reset by the
+    /// worker before each attempt, stored by the watchdog on kill.
+    std::atomic<bool> CancelToken{false};
+    /// (mode|optimize|source) -> compile outcome.
+    std::unordered_map<std::string, CacheEntry> Cache;
+    // Atomic so stats() can snapshot while the worker is mid-job.
+    std::atomic<uint64_t> CacheHits{0};
+    std::atomic<uint64_t> CacheMisses{0};
+
+    /// Compiles \p Spec through the cache. Returns the cached entry and
+    /// sets \p WasHit. The returned pointer is owned by the cache and
+    /// stays valid for the slot's lifetime (entries are never evicted;
+    /// the cache is bounded by the set of distinct programs submitted).
+    const CacheEntry &compileCached(const JobSpec &Spec, bool &WasHit,
+                                    bool UseCache = true);
+  };
+
+  /// Creates \p N slots (at least 1).
+  explicit EnginePool(unsigned N);
+
+  unsigned size() const { return static_cast<unsigned>(Slots.size()); }
+  Slot &slot(unsigned I) { return *Slots[I]; }
+
+  uint64_t totalCacheHits() const;
+  uint64_t totalCacheMisses() const;
+
+private:
+  // unique_ptr: Grift and std::atomic are immovable, and slots must not
+  // share cache lines' worth of false sharing across workers anyway.
+  std::vector<std::unique_ptr<Slot>> Slots;
+};
+
+} // namespace grift::service
+
+#endif // GRIFT_SERVICE_ENGINEPOOL_H

@@ -1,0 +1,161 @@
+#include "service/ExecService.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace grift;
+using namespace grift::service;
+
+ExecService::ExecService(ServiceConfig C)
+    : Config(C),
+      Pool(C.Threads ? C.Threads
+                     : std::max(1u, std::thread::hardware_concurrency())),
+      Breaker(C.Breaker) {
+  Workers.reserve(Pool.size());
+  for (unsigned I = 0; I != Pool.size(); ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ExecService::~ExecService() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueM);
+    Stopping = true;
+  }
+  QueueCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+std::future<JobResult> ExecService::submit(JobSpec Spec) {
+  Submitted.fetch_add(1, std::memory_order_relaxed);
+  Pending P;
+  P.Spec = std::move(Spec);
+  std::future<JobResult> F = P.Promise.get_future();
+  {
+    // Workers drain the queue before exiting, so a job enqueued any time
+    // before the destructor runs is guaranteed a result.
+    std::lock_guard<std::mutex> Lock(QueueM);
+    Queue.push_back(std::move(P));
+  }
+  QueueCV.notify_one();
+  return F;
+}
+
+void ExecService::workerLoop(unsigned SlotIdx) {
+  EnginePool::Slot &Slot = Pool.slot(SlotIdx);
+  // This thread owns the slot's engine for its whole lifetime; debug
+  // builds now assert every compile/run of this engine happens here.
+  Slot.Engine.bindToCurrentThread();
+  for (;;) {
+    Pending P;
+    {
+      std::unique_lock<std::mutex> Lock(QueueM);
+      QueueCV.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty()) {
+        if (Stopping)
+          return; // drained: stop only once no work is left
+        continue;
+      }
+      P = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    JobResult R = executeJob(Slot, P.Spec);
+    Completed.fetch_add(1, std::memory_order_relaxed);
+    P.Promise.set_value(std::move(R));
+  }
+}
+
+JobResult ExecService::executeJob(EnginePool::Slot &Slot, JobSpec &Spec) {
+  JobResult R;
+  R.Id = Spec.Id;
+  uint64_t Key = jobKey(Spec.Source, Spec.Mode, Spec.Optimize);
+
+  if (!Breaker.admit(Key)) {
+    R.Status = JobStatus::Rejected;
+    R.ErrorMessage = "circuit open: quarantined after repeated resource "
+                     "failures; retry after cooldown";
+    return R;
+  }
+
+  bool CacheHit = false;
+  const EnginePool::CacheEntry &Entry =
+      Slot.compileCached(Spec, CacheHit, Config.CompileCache);
+  R.CompileCacheHit = CacheHit;
+  if (!Entry.Exe) {
+    R.Status = JobStatus::CompileError;
+    R.ErrorMessage = Entry.Errors;
+    // Compile errors are deterministic program errors: they neither trip
+    // nor reset the breaker (and the negative cache makes them cheap).
+    return R;
+  }
+
+  RunLimits Limits = Spec.Limits;
+  Limits.Cancel = &Slot.CancelToken;
+
+  for (uint32_t Attempt = 0;; ++Attempt) {
+    Slot.CancelToken.store(false, std::memory_order_relaxed);
+    uint64_t WatchHandle = 0;
+    if (Spec.DeadlineNanos > 0)
+      WatchHandle = Dog.watch(Slot.CancelToken,
+                              Watchdog::Clock::now() +
+                                  std::chrono::nanoseconds(Spec.DeadlineNanos));
+    RunResult Run = Entry.Exe->run(Spec.Input, Limits);
+    if (WatchHandle)
+      Dog.unwatch(WatchHandle);
+
+    ++R.Attempts;
+    R.WallNanos += Run.WallNanos;
+    R.Output = std::move(Run.Output);
+    R.FuelUsed = Run.Steps;
+    R.PeakHeapBytes = Run.PeakHeapBytes;
+    R.Stats = Run.Stats;
+
+    if (Run.OK) {
+      R.Status = JobStatus::Done;
+      R.ResultText = std::move(Run.ResultText);
+      Breaker.recordSuccess(Key);
+      return R;
+    }
+
+    R.Status = JobStatus::Failed;
+    R.Kind = Run.Error.Kind;
+    R.ErrorMessage = Run.Error.str();
+
+    if (Config.Retry.isTransient(Run.Error.Kind) &&
+        Attempt < Config.Retry.MaxRetries) {
+      ++R.Retries;
+      RetryCount.fetch_add(1, std::memory_order_relaxed);
+      int64_t Backoff = Config.Retry.backoffNanos(R.Retries);
+      if (Backoff > 0)
+        std::this_thread::sleep_for(std::chrono::nanoseconds(Backoff));
+      // Fresh heap is automatic (each run() builds its own Runtime);
+      // optionally give the retry more room to make OOM genuinely
+      // transient when the original budget was finite.
+      if (Limits.MaxHeapBytes && Config.Retry.HeapGrowthFactor > 1.0)
+        Limits.MaxHeapBytes = static_cast<size_t>(
+            static_cast<double>(Limits.MaxHeapBytes) *
+            Config.Retry.HeapGrowthFactor);
+      continue;
+    }
+
+    if (Run.Error.isResourceExhaustion())
+      Breaker.recordResourceFailure(Key);
+    // Program errors (Blame/Trap) end the streak: the program is
+    // answering deterministically, not straining the pool.
+    else
+      Breaker.recordSuccess(Key);
+    return R;
+  }
+}
+
+ServiceStats ExecService::stats() const {
+  ServiceStats S;
+  S.JobsSubmitted = Submitted.load(std::memory_order_relaxed);
+  S.JobsCompleted = Completed.load(std::memory_order_relaxed);
+  S.JobsRejected = Breaker.rejections();
+  S.Retries = RetryCount.load(std::memory_order_relaxed);
+  S.WatchdogKills = Dog.kills();
+  S.CacheHits = Pool.totalCacheHits();
+  S.CacheMisses = Pool.totalCacheMisses();
+  return S;
+}

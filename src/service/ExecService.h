@@ -1,0 +1,112 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hardened concurrent execution service. Turns the single-shot
+/// engine into a multi-job executor:
+///
+///   submit(JobSpec) -> std::future<JobResult>
+///
+/// with, layered in this order per job:
+///
+///   1. circuit breaker — (source-hash, mode) pairs with a streak of
+///      resource failures are rejected before touching an engine;
+///   2. engine pool — one Grift per worker thread, per-slot compile
+///      cache, debug thread-affinity asserts;
+///   3. watchdog — jobs carrying a DeadlineNanos are preemptively
+///      cancelled from a separate thread via the RunLimits cancel token
+///      (ErrorKind::Cancelled) even if they never reach an in-band
+///      budget check;
+///   4. retry — transient OutOfMemory results are re-run on a fresh
+///      heap after capped exponential backoff, optionally with a raised
+///      heap budget.
+///
+/// Every failure mode ends in a JobResult; submit() never throws job
+/// errors and workers never die. The destructor drains queued jobs
+/// (running them, not dropping them) and joins all threads.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_SERVICE_EXECSERVICE_H
+#define GRIFT_SERVICE_EXECSERVICE_H
+
+#include "service/CircuitBreaker.h"
+#include "service/EnginePool.h"
+#include "service/Job.h"
+#include "service/RetryPolicy.h"
+#include "service/Watchdog.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace grift::service {
+
+struct ServiceConfig {
+  /// Worker threads (= engine slots). 0 = hardware concurrency.
+  unsigned Threads = 0;
+  RetryPolicy Retry;
+  BreakerConfig Breaker;
+  /// Per-slot compile cache on/off (benchmarking cold-compile paths).
+  bool CompileCache = true;
+};
+
+/// Monotonic counters, snapshot via ExecService::stats().
+struct ServiceStats {
+  uint64_t JobsSubmitted = 0;
+  uint64_t JobsCompleted = 0; ///< includes failed and rejected jobs
+  uint64_t JobsRejected = 0;  ///< circuit breaker refusals
+  uint64_t Retries = 0;       ///< extra attempts across all jobs
+  uint64_t WatchdogKills = 0; ///< deadline cancellations
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+};
+
+class ExecService {
+public:
+  explicit ExecService(ServiceConfig Config = {});
+  ~ExecService();
+  ExecService(const ExecService &) = delete;
+  ExecService &operator=(const ExecService &) = delete;
+
+  /// Enqueues a job; the future is fulfilled exactly once, with a
+  /// JobResult for every outcome (including rejection).
+  std::future<JobResult> submit(JobSpec Spec);
+
+  /// submit() + wait: runs \p Spec and blocks for its result.
+  JobResult run(JobSpec Spec) { return submit(std::move(Spec)).get(); }
+
+  unsigned threads() const { return Pool.size(); }
+  ServiceStats stats() const;
+
+private:
+  struct Pending {
+    JobSpec Spec;
+    std::promise<JobResult> Promise;
+  };
+
+  void workerLoop(unsigned SlotIdx);
+  JobResult executeJob(EnginePool::Slot &Slot, JobSpec &Spec);
+
+  ServiceConfig Config;
+  EnginePool Pool;
+  Watchdog Dog;
+  CircuitBreaker Breaker;
+
+  std::mutex QueueM;
+  std::condition_variable QueueCV;
+  std::deque<Pending> Queue;
+  bool Stopping = false;
+
+  std::atomic<uint64_t> Submitted{0};
+  std::atomic<uint64_t> Completed{0};
+  std::atomic<uint64_t> RetryCount{0};
+
+  std::vector<std::thread> Workers; ///< last member: started in ctor body
+};
+
+} // namespace grift::service
+
+#endif // GRIFT_SERVICE_EXECSERVICE_H

@@ -1,0 +1,106 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Job descriptions and results for the execution service. A JobSpec is
+/// everything needed to compile and run one program: source, cast mode,
+/// input, in-band resource budgets (RunLimits) and an out-of-band
+/// watchdog deadline. A JobResult is the structured outcome griftd
+/// serializes one line of: status, ErrorKind, retry count, and the
+/// wall/fuel/heap consumption snapshot from the run.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_SERVICE_JOB_H
+#define GRIFT_SERVICE_JOB_H
+
+#include "runtime/Blame.h"
+#include "runtime/Limits.h"
+#include "runtime/Mode.h"
+#include "runtime/Stats.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace grift::service {
+
+/// One program execution request.
+struct JobSpec {
+  std::string Id;     ///< caller-chosen identifier, echoed in the result
+  std::string Source; ///< GTLC+ source text
+  CastMode Mode = CastMode::Coercions;
+  bool Optimize = false;
+  std::string Input;  ///< words for read-int / read-char
+  /// In-band budgets enforced by the engine itself. The Cancel field is
+  /// owned by the service (each attempt gets the pool slot's token); any
+  /// caller-provided pointer is ignored.
+  RunLimits Limits;
+  /// Out-of-band watchdog deadline per attempt, in nanoseconds of wall
+  /// time; 0 = no watchdog. Unlike Limits.MaxWallNanos this needs no
+  /// cooperation from the budget checks being reached: the watchdog
+  /// thread stores the cancel token and the run dies at the next
+  /// dispatch-batch boundary with ErrorKind::Cancelled.
+  int64_t DeadlineNanos = 0;
+};
+
+/// How a job ended.
+enum class JobStatus : uint8_t {
+  Done,         ///< ran to completion; ResultText holds the value
+  CompileError, ///< parse/check/compile failed; ErrorMessage holds why
+  Failed,       ///< ran and failed; Kind/ErrorMessage describe the error
+  Rejected,     ///< circuit breaker open: not run at all
+};
+
+inline const char *jobStatusName(JobStatus S) {
+  switch (S) {
+  case JobStatus::Done:
+    return "ok";
+  case JobStatus::CompileError:
+    return "compile-error";
+  case JobStatus::Failed:
+    return "failed";
+  case JobStatus::Rejected:
+    return "rejected";
+  }
+  return "?";
+}
+
+/// Structured outcome of one job (all attempts included).
+struct JobResult {
+  std::string Id;
+  JobStatus Status = JobStatus::Failed;
+  std::string ResultText;       ///< final value (Status == Done)
+  std::string Output;           ///< program output of the final attempt
+  ErrorKind Kind = ErrorKind::Trap; ///< valid when Status == Failed
+  std::string ErrorMessage;     ///< human-readable failure description
+  uint32_t Attempts = 0;        ///< runs performed (0 when rejected)
+  uint32_t Retries = 0;         ///< Attempts - 1, capped at the policy
+  bool CompileCacheHit = false; ///< compiled program came from the cache
+  int64_t WallNanos = 0;        ///< execution wall time, summed over attempts
+  uint64_t FuelUsed = 0;        ///< interpreter steps of the final attempt
+  size_t PeakHeapBytes = 0;     ///< heap high-water mark, final attempt
+  RuntimeStats Stats;           ///< runtime counters, final attempt
+
+  bool ok() const { return Status == JobStatus::Done; }
+};
+
+/// Stable 64-bit key identifying (source, mode, optimize) — the unit the
+/// circuit breaker quarantines and the compile cache indexes. FNV-1a over
+/// the source with the mode/optimize folded in; a collision merely shares
+/// a breaker entry or cache slot with full-source verification at the
+/// cache, so it degrades accounting, never correctness.
+inline uint64_t jobKey(std::string_view Source, CastMode Mode,
+                       bool Optimize = false) {
+  uint64_t H = 1469598103934665603ull;
+  for (char C : Source) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  H ^= static_cast<uint64_t>(Mode) + 1;
+  H *= 1099511628211ull;
+  H ^= Optimize ? 0x9e3779b9ull : 0;
+  return H;
+}
+
+} // namespace grift::service
+
+#endif // GRIFT_SERVICE_JOB_H

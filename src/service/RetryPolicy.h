@@ -1,0 +1,60 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Retry policy for transient failures. Of the ErrorKind taxonomy only
+/// OutOfMemory is treated as transient: every attempt runs on a fresh
+/// heap, so an OOM caused by a tight budget (or an injected allocator
+/// fault) can genuinely succeed on retry, optionally with a raised heap
+/// budget. Program errors (Blame/Trap) are deterministic and never
+/// retried; Fuel/Timeout/Cancelled mean the budget or watchdog already
+/// decided this job had its chance.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_SERVICE_RETRYPOLICY_H
+#define GRIFT_SERVICE_RETRYPOLICY_H
+
+#include "runtime/Blame.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace grift::service {
+
+struct RetryPolicy {
+  /// Additional attempts after the first (0 disables retries).
+  uint32_t MaxRetries = 2;
+
+  /// Backoff before retry N (1-based) is
+  ///   min(InitialBackoffNanos * Multiplier^(N-1), MaxBackoffNanos).
+  int64_t InitialBackoffNanos = 1'000'000; // 1 ms
+  double BackoffMultiplier = 2.0;
+  int64_t MaxBackoffNanos = 100'000'000; // 100 ms
+
+  /// When retrying an OutOfMemory attempt whose RunLimits carried a
+  /// finite MaxHeapBytes, multiply that budget by this factor (1.0 =
+  /// keep the budget; the retry then only helps against injected or
+  /// external allocator faults). Unlimited budgets stay unlimited.
+  double HeapGrowthFactor = 2.0;
+
+  /// Whether \p Kind is worth another attempt at all.
+  bool isTransient(ErrorKind Kind) const {
+    return Kind == ErrorKind::OutOfMemory;
+  }
+
+  /// Capped exponential backoff before 1-based retry \p Retry.
+  int64_t backoffNanos(uint32_t Retry) const {
+    if (Retry == 0 || InitialBackoffNanos <= 0)
+      return 0;
+    double B = static_cast<double>(InitialBackoffNanos);
+    for (uint32_t I = 1; I < Retry; ++I) {
+      B *= BackoffMultiplier;
+      if (B >= static_cast<double>(MaxBackoffNanos))
+        break;
+    }
+    return std::min(static_cast<int64_t>(B), MaxBackoffNanos);
+  }
+};
+
+} // namespace grift::service
+
+#endif // GRIFT_SERVICE_RETRYPOLICY_H

@@ -1,0 +1,57 @@
+#include "service/Watchdog.h"
+
+using namespace grift::service;
+
+Watchdog::Watchdog() : Thread([this] { loop(); }) {}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stop = true;
+  }
+  CV.notify_all();
+  Thread.join();
+}
+
+uint64_t Watchdog::watch(std::atomic<bool> &Token, Clock::time_point Deadline) {
+  std::lock_guard<std::mutex> Lock(M);
+  uint64_t Handle = NextHandle++;
+  Active.emplace(Handle, Armed{&Token, Deadline});
+  // Wake the thread so it re-computes the nearest deadline; a new watch
+  // may be earlier than whatever it is currently sleeping towards.
+  CV.notify_all();
+  return Handle;
+}
+
+void Watchdog::unwatch(uint64_t Handle) {
+  std::lock_guard<std::mutex> Lock(M);
+  Active.erase(Handle);
+  // No notify needed: a spurious early wake-up just recomputes and
+  // sleeps again.
+}
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> Lock(M);
+  while (!Stop) {
+    // Fire every expired watch. Tokens are stored under the lock, so an
+    // unwatch() racing with a kill either removes the entry first (no
+    // store) or blocks until the store completed — the token is always
+    // valid when written.
+    Clock::time_point Now = Clock::now();
+    Clock::time_point Nearest = Clock::time_point::max();
+    for (auto It = Active.begin(); It != Active.end();) {
+      if (It->second.Deadline <= Now) {
+        It->second.Token->store(true, std::memory_order_relaxed);
+        Kills.fetch_add(1, std::memory_order_relaxed);
+        It = Active.erase(It);
+      } else {
+        Nearest = std::min(Nearest, It->second.Deadline);
+        ++It;
+      }
+    }
+    if (Nearest == Clock::time_point::max())
+      CV.wait(Lock, [this] { return Stop || !Active.empty(); });
+    else
+      CV.wait_until(Lock, Nearest);
+  }
+}

@@ -71,6 +71,10 @@ RunResult VM::run(std::string In, const RunLimits &L) {
                            .count();
     Result.Stats = RT.stats();
     Result.PeakHeapBytes = RT.heap().peakHeapBytes();
+    // Exact on normal completion (Halt charges its partial batch);
+    // error paths keep batch granularity — the same rounding the
+    // budget check itself uses.
+    Result.Steps = StepsUsed;
   };
   try {
     Value Final = execute();
@@ -101,6 +105,12 @@ RunResult VM::run(std::string In, const RunLimits &L) {
 
 void VM::checkBudgets(uint32_t BatchSteps) {
   StepsUsed += BatchSteps;
+  // Preemptive cancellation piggybacks on the batch boundary: one relaxed
+  // load per 1024 instructions, so an external watchdog can stop a wedged
+  // job within microseconds of storing the token with no hot-path cost.
+  if (Limits.Cancel && Limits.Cancel->load(std::memory_order_relaxed))
+    throw RuntimeError{ErrorKind::Cancelled, "",
+                       "run cancelled from outside (watchdog or shutdown)"};
   if (Limits.MaxSteps && StepsUsed >= Limits.MaxSteps)
     throw RuntimeError{ErrorKind::FuelExhausted, "",
                        "step budget of " + std::to_string(Limits.MaxSteps) +
@@ -296,6 +306,9 @@ Value VM::execute() {
       doReturn();
       break;
     case Op::Halt:
+      // Charge the partial batch so RunResult::Steps is exact on normal
+      // completion (error paths keep the batch-granular rounding).
+      StepsUsed += StepBatch - BatchLeft;
       return pop();
     case Op::MakeClosure: {
       uint32_t NumFree = static_cast<uint32_t>(I.B);

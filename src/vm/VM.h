@@ -31,6 +31,7 @@ struct RunResult {
   RuntimeStats Stats;     ///< runtime statistics snapshot
   int64_t WallNanos = 0;  ///< total execution wall time
   size_t PeakHeapBytes = 0; ///< heap high-water mark (space efficiency)
+  uint64_t Steps = 0;     ///< instructions dispatched (fuel consumed)
 };
 
 class VM final : public RootProvider {

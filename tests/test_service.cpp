@@ -1,0 +1,488 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hardened execution service: engine pool with per-slot compile
+/// caches, watchdog cancellation, retry/backoff, circuit breaker — and
+/// the concurrency guarantees they compose into: a wedged job can always
+/// be killed from outside, its pool thread is immediately reusable, and
+/// error outcomes are deterministic per (program, limits) even under an
+/// 8-thread mixed-soup load.
+///
+//===----------------------------------------------------------------------===//
+#include "service/ExecService.h"
+
+#include "refinterp/RefInterp.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace grift;
+using namespace grift::service;
+
+namespace {
+
+/// A divergent tail loop: runs forever in constant space on the VM, so
+/// only an out-of-band cancel (or an in-band budget) can stop it.
+const char *DivergentLoop = "(letrec ([loop (lambda () (loop))]) (loop))";
+
+/// A tail loop that retains an ever-growing chain of boxes (OOM bait).
+const char *HeapGrower =
+    "(letrec ([f : (Int Dyn -> Int)"
+    "           (lambda ([n : Int] [l : Dyn]) : Int"
+    "             (f (+ n 1) (ann (box l) Dyn)))])"
+    "  (f 0 (ann 0 Dyn)))";
+
+JobSpec simpleJob(std::string Source, std::string Id = "") {
+  JobSpec Spec;
+  Spec.Id = std::move(Id);
+  Spec.Source = std::move(Source);
+  return Spec;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Pool basics
+//===----------------------------------------------------------------------===//
+
+TEST(ServicePool, RunsManyJobsAcrossThreads) {
+  ServiceConfig Config;
+  Config.Threads = 8;
+  ExecService Service(Config);
+  std::vector<std::future<JobResult>> Futures;
+  for (int I = 0; I != 64; ++I)
+    Futures.push_back(
+        Service.submit(simpleJob("(+ " + std::to_string(I) + " 1)")));
+  for (int I = 0; I != 64; ++I) {
+    JobResult R = Futures[I].get();
+    ASSERT_EQ(R.Status, JobStatus::Done) << R.ErrorMessage;
+    EXPECT_EQ(R.ResultText, std::to_string(I + 1));
+    EXPECT_EQ(R.Attempts, 1u);
+  }
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.JobsSubmitted, 64u);
+  EXPECT_EQ(S.JobsCompleted, 64u);
+  EXPECT_EQ(S.JobsRejected, 0u);
+}
+
+TEST(ServicePool, CompileErrorsAreReportedNotCrashes) {
+  ServiceConfig Config;
+  Config.Threads = 2;
+  ExecService Service(Config);
+  JobResult R = Service.run(simpleJob("(+ 1"));
+  EXPECT_EQ(R.Status, JobStatus::CompileError);
+  EXPECT_FALSE(R.ErrorMessage.empty());
+  // The worker survives and runs the next job.
+  JobResult R2 = Service.run(simpleJob("(+ 1 2)"));
+  EXPECT_EQ(R2.Status, JobStatus::Done);
+  EXPECT_EQ(R2.ResultText, "3");
+}
+
+TEST(ServicePool, CompileCacheHitsOnResubmission) {
+  ServiceConfig Config;
+  Config.Threads = 1;
+  ExecService Service(Config);
+  JobResult First = Service.run(simpleJob("(* 6 7)"));
+  ASSERT_EQ(First.Status, JobStatus::Done);
+  EXPECT_FALSE(First.CompileCacheHit);
+  JobResult Second = Service.run(simpleJob("(* 6 7)"));
+  ASSERT_EQ(Second.Status, JobStatus::Done);
+  EXPECT_TRUE(Second.CompileCacheHit);
+  EXPECT_EQ(Second.ResultText, "42");
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.CacheHits, 1u);
+  EXPECT_EQ(S.CacheMisses, 1u);
+  // Different mode = different cache entry.
+  JobSpec TB = simpleJob("(* 6 7)");
+  TB.Mode = CastMode::TypeBased;
+  EXPECT_FALSE(Service.run(TB).CompileCacheHit);
+}
+
+TEST(ServicePool, NegativeCacheCoversCompileFailures) {
+  ServiceConfig Config;
+  Config.Threads = 1;
+  ExecService Service(Config);
+  EXPECT_EQ(Service.run(simpleJob("(+ 1")).Status, JobStatus::CompileError);
+  JobResult Again = Service.run(simpleJob("(+ 1"));
+  EXPECT_EQ(Again.Status, JobStatus::CompileError);
+  EXPECT_TRUE(Again.CompileCacheHit);
+}
+
+//===----------------------------------------------------------------------===//
+// Watchdog cancellation
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceWatchdog, CancelTokenStopsTheVMDirectly) {
+  // The engine-level contract the watchdog builds on: a pre-set token
+  // cancels at the first dispatch-batch boundary.
+  Grift G;
+  std::string Errors;
+  auto Exe = G.compile(DivergentLoop, CastMode::Coercions, Errors);
+  ASSERT_TRUE(Exe.has_value()) << Errors;
+  std::atomic<bool> Cancel{true};
+  RunLimits Limits;
+  Limits.Cancel = &Cancel;
+  RunResult R = Exe->run("", Limits);
+  ASSERT_FALSE(R.OK);
+  EXPECT_EQ(R.Error.Kind, ErrorKind::Cancelled) << R.Error.str();
+  EXPECT_TRUE(R.Error.isResourceExhaustion());
+  // The engine is immediately reusable.
+  auto Exe2 = G.compile("(+ 1 2)", CastMode::Coercions, Errors);
+  ASSERT_TRUE(Exe2.has_value());
+  EXPECT_TRUE(Exe2->run().OK);
+}
+
+TEST(ServiceWatchdog, CancelTokenStopsTheRefInterp) {
+  Grift G;
+  std::string Errors;
+  auto Ast = G.parse(DivergentLoop, Errors);
+  ASSERT_TRUE(Ast.has_value()) << Errors;
+  auto Core = G.check(*Ast, Errors);
+  ASSERT_TRUE(Core.has_value()) << Errors;
+  std::atomic<bool> Cancel{true};
+  RunLimits Limits;
+  Limits.Cancel = &Cancel;
+  refinterp::RefResult R =
+      refinterp::interpret(G.types(), G.coercions(), *Core, "", Limits);
+  ASSERT_FALSE(R.OK);
+  EXPECT_EQ(R.Kind, ErrorKind::Cancelled) << R.Message;
+}
+
+TEST(ServiceWatchdog, FiresAtDeadlineAndCountsKills) {
+  Watchdog Dog;
+  std::atomic<bool> Token{false};
+  Dog.watch(Token, Watchdog::Clock::now() + std::chrono::milliseconds(20));
+  auto Start = std::chrono::steady_clock::now();
+  while (!Token.load() &&
+         std::chrono::steady_clock::now() - Start < std::chrono::seconds(5))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(Token.load());
+  EXPECT_EQ(Dog.kills(), 1u);
+}
+
+TEST(ServiceWatchdog, UnwatchDisarms) {
+  Watchdog Dog;
+  std::atomic<bool> Token{false};
+  uint64_t H =
+      Dog.watch(Token, Watchdog::Clock::now() + std::chrono::milliseconds(50));
+  Dog.unwatch(H);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_FALSE(Token.load());
+  EXPECT_EQ(Dog.kills(), 0u);
+}
+
+/// The acceptance scenario: 20 deliberately divergent jobs with *no*
+/// in-band limits are killed by the watchdog, then the same 8 pool
+/// threads run 20 normal jobs — all 40 complete with the right kinds
+/// and every kill lands within 2x the configured deadline.
+TEST(ServiceWatchdog, KillsWedgedJobsAndPoolThreadsStayUsable) {
+  constexpr int64_t DeadlineNanos = 250 * 1000000ll; // 250 ms
+  ServiceConfig Config;
+  Config.Threads = 8;
+  ExecService Service(Config);
+
+  std::vector<std::future<JobResult>> Futures;
+  for (int I = 0; I != 20; ++I) {
+    // Distinct sources so the circuit breaker (keyed per program) never
+    // quarantines them into rejections mid-test.
+    JobSpec Spec = simpleJob("(letrec ([loop (lambda () (loop))]) (+ " +
+                                 std::to_string(I) + " (loop)))",
+                             "wedged-" + std::to_string(I));
+    Spec.DeadlineNanos = DeadlineNanos;
+    Futures.push_back(Service.submit(std::move(Spec)));
+  }
+  for (int I = 0; I != 20; ++I)
+    Futures.push_back(Service.submit(
+        simpleJob("(+ " + std::to_string(I) + " 100)",
+                  "normal-" + std::to_string(I))));
+
+  for (int I = 0; I != 20; ++I) {
+    JobResult R = Futures[I].get();
+    ASSERT_EQ(R.Status, JobStatus::Failed) << R.Id;
+    EXPECT_EQ(R.Kind, ErrorKind::Cancelled) << R.Id << ": " << R.ErrorMessage;
+    // Killed within 2x the deadline (the cancel lands one dispatch
+    // batch after the watchdog fires — microseconds, not a margin).
+    EXPECT_LT(R.WallNanos, 2 * DeadlineNanos) << R.Id;
+    EXPECT_EQ(R.Attempts, 1u) << "cancellation must not be retried";
+  }
+  for (int I = 20; I != 40; ++I) {
+    JobResult R = Futures[I].get();
+    ASSERT_EQ(R.Status, JobStatus::Done) << R.Id << ": " << R.ErrorMessage;
+    EXPECT_EQ(R.ResultText, std::to_string(I - 20 + 100));
+  }
+  EXPECT_EQ(Service.stats().WatchdogKills, 20u);
+}
+
+//===----------------------------------------------------------------------===//
+// Retry / backoff
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceRetry, BackoffIsCappedExponential) {
+  RetryPolicy P;
+  P.InitialBackoffNanos = 1000;
+  P.BackoffMultiplier = 4.0;
+  P.MaxBackoffNanos = 10000;
+  EXPECT_EQ(P.backoffNanos(1), 1000);
+  EXPECT_EQ(P.backoffNanos(2), 4000);
+  EXPECT_EQ(P.backoffNanos(3), 10000); // capped (16000 -> 10000)
+  EXPECT_EQ(P.backoffNanos(10), 10000);
+}
+
+TEST(ServiceRetry, TransientOOMRecoversWithRaisedBudget) {
+  // ~50k-entry vector needs ~400 KB live; a 256 KB budget OOMs, the
+  // retry doubles it to 512 KB and succeeds. Deterministic: heap
+  // accounting is exact and each attempt runs on a fresh heap.
+  ServiceConfig Config;
+  Config.Threads = 1;
+  Config.Retry.MaxRetries = 2;
+  Config.Retry.HeapGrowthFactor = 2.0;
+  Config.Retry.InitialBackoffNanos = 0; // keep the test fast
+  ExecService Service(Config);
+  JobSpec Spec = simpleJob("(vector-ref (make-vector 50000 7) 49999)");
+  Spec.Limits.MaxHeapBytes = 256 * 1024;
+  JobResult R = Service.run(std::move(Spec));
+  ASSERT_EQ(R.Status, JobStatus::Done) << R.ErrorMessage;
+  EXPECT_EQ(R.ResultText, "7");
+  EXPECT_EQ(R.Retries, 1u);
+  EXPECT_EQ(R.Attempts, 2u);
+  EXPECT_EQ(Service.stats().Retries, 1u);
+}
+
+TEST(ServiceRetry, PersistentOOMExhaustsRetriesAndStaysOOM) {
+  ServiceConfig Config;
+  Config.Threads = 1;
+  Config.Retry.MaxRetries = 2;
+  Config.Retry.HeapGrowthFactor = 1.0; // no extra room: still transient?  no
+  Config.Retry.InitialBackoffNanos = 0;
+  ExecService Service(Config);
+  JobSpec Spec = simpleJob(HeapGrower);
+  Spec.Limits.MaxHeapBytes = 1 << 20;
+  Spec.Limits.MaxSteps = 100000000; // backstop
+  JobResult R = Service.run(std::move(Spec));
+  ASSERT_EQ(R.Status, JobStatus::Failed);
+  EXPECT_EQ(R.Kind, ErrorKind::OutOfMemory);
+  EXPECT_EQ(R.Attempts, 3u); // 1 try + 2 retries
+  EXPECT_EQ(R.Retries, 2u);
+}
+
+TEST(ServiceRetry, ProgramErrorsAreNeverRetried) {
+  ServiceConfig Config;
+  Config.Threads = 1;
+  ExecService Service(Config);
+  JobResult Blame = Service.run(simpleJob("(ann (ann #t Dyn) Int)"));
+  ASSERT_EQ(Blame.Status, JobStatus::Failed);
+  EXPECT_EQ(Blame.Kind, ErrorKind::Blame);
+  EXPECT_EQ(Blame.Attempts, 1u);
+  JobResult Trap = Service.run(simpleJob("(/ 1 0)"));
+  ASSERT_EQ(Trap.Status, JobStatus::Failed);
+  EXPECT_EQ(Trap.Kind, ErrorKind::Trap);
+  EXPECT_EQ(Trap.Attempts, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Circuit breaker
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceBreaker, UnitOpenRejectHalfOpenClose) {
+  CircuitBreaker B({.FailureThreshold = 2, .CooldownNanos = 30'000'000});
+  const uint64_t Key = 42;
+  EXPECT_TRUE(B.admit(Key));
+  B.recordResourceFailure(Key);
+  EXPECT_TRUE(B.admit(Key));
+  B.recordResourceFailure(Key); // second consecutive: opens
+  EXPECT_FALSE(B.admit(Key));
+  EXPECT_EQ(B.rejections(), 1u);
+  EXPECT_EQ(B.openCircuits(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_TRUE(B.admit(Key)); // half-open probe
+  EXPECT_FALSE(B.admit(Key)); // only one probe at a time
+  B.recordSuccess(Key);       // probe succeeded: closed again
+  EXPECT_TRUE(B.admit(Key));
+  EXPECT_EQ(B.openCircuits(), 0u);
+}
+
+TEST(ServiceBreaker, QuarantinesPoisonProgram) {
+  ServiceConfig Config;
+  Config.Threads = 1; // sequential: the failure streak is deterministic
+  Config.Retry.MaxRetries = 0;
+  Config.Breaker.FailureThreshold = 3;
+  Config.Breaker.CooldownNanos = 60'000'000'000; // effectively forever
+  ExecService Service(Config);
+
+  JobSpec Poison = simpleJob(DivergentLoop);
+  Poison.Limits.MaxSteps = 100000; // deterministic FuelExhausted
+  for (int I = 0; I != 3; ++I) {
+    JobResult R = Service.run(Poison);
+    ASSERT_EQ(R.Status, JobStatus::Failed) << I;
+    EXPECT_EQ(R.Kind, ErrorKind::FuelExhausted);
+  }
+  // Circuit is now open: the same program is rejected without running...
+  JobResult Rejected = Service.run(Poison);
+  EXPECT_EQ(Rejected.Status, JobStatus::Rejected);
+  EXPECT_EQ(Rejected.Attempts, 0u);
+  EXPECT_GE(Service.stats().JobsRejected, 1u);
+  // ...while other programs are unaffected (no pool monopoly).
+  JobResult Fine = Service.run(simpleJob("(+ 2 2)"));
+  ASSERT_EQ(Fine.Status, JobStatus::Done);
+  EXPECT_EQ(Fine.ResultText, "4");
+}
+
+TEST(ServiceBreaker, HalfOpenProbeCanCloseTheCircuit) {
+  ServiceConfig Config;
+  Config.Threads = 1;
+  Config.Retry.MaxRetries = 0;
+  Config.Breaker.FailureThreshold = 2;
+  Config.Breaker.CooldownNanos = 50'000'000; // 50 ms
+  ExecService Service(Config);
+
+  // The breaker keys on (source, mode) — limits are not part of the
+  // key, so the same program with a healthier budget is the probe.
+  JobSpec Tight = simpleJob(DivergentLoop);
+  Tight.Limits.MaxSteps = 100000;
+  for (int I = 0; I != 2; ++I)
+    ASSERT_EQ(Service.run(Tight).Status, JobStatus::Failed);
+  EXPECT_EQ(Service.run(Tight).Status, JobStatus::Rejected);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Cooldown over: this submission is admitted as the half-open probe.
+  // It still diverges, so use fuel, but mark the *program error* path:
+  // a blame/trap-free completion closes the circuit. Use a program
+  // variant? No: same key requires same source. A bounded run is
+  // impossible for a divergent loop, so the probe fails and re-opens.
+  JobResult Probe = Service.run(Tight);
+  EXPECT_EQ(Probe.Status, JobStatus::Failed);
+  EXPECT_EQ(Probe.Kind, ErrorKind::FuelExhausted);
+  // Re-opened immediately (half-open failure), without needing a new
+  // streak of FailureThreshold.
+  EXPECT_EQ(Service.run(Tight).Status, JobStatus::Rejected);
+}
+
+//===----------------------------------------------------------------------===//
+// Error-path determinism (satellite): same program, same limits, same
+// ErrorKind — across reruns on a reused engine and across pool threads.
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceDeterminism, SameErrorKindAcross100RerunsOnReusedEngine) {
+  ServiceConfig Config;
+  Config.Threads = 1; // one engine, reused for every rerun
+  Config.Retry.MaxRetries = 0;
+  Config.Breaker.FailureThreshold = 0; // do not quarantine the reruns
+  ExecService Service(Config);
+
+  struct Case {
+    const char *Source;
+    ErrorKind Expected;
+    RunLimits Limits;
+  };
+  RunLimits Fuel;
+  Fuel.MaxSteps = 100000;
+  RunLimits Heap;
+  Heap.MaxHeapBytes = 1 << 20;
+  Heap.MaxSteps = 100000000;
+  RunLimits Depth;
+  Depth.MaxFrames = 1000;
+  const Case Cases[] = {
+      {"(ann (ann #t Dyn) Int)", ErrorKind::Blame, {}},
+      {"(/ 1 0)", ErrorKind::Trap, {}},
+      {DivergentLoop, ErrorKind::FuelExhausted, Fuel},
+      {HeapGrower, ErrorKind::OutOfMemory, Heap},
+      {"(letrec ([f : (Int -> Int) (lambda ([n : Int]) : Int (+ 1 (f n)))])"
+       "  (f 0))",
+       ErrorKind::StackOverflow, Depth},
+  };
+  for (const Case &C : Cases) {
+    for (int Rerun = 0; Rerun != 100; ++Rerun) {
+      JobSpec Spec = simpleJob(C.Source);
+      Spec.Limits = C.Limits;
+      JobResult R = Service.run(std::move(Spec));
+      ASSERT_EQ(R.Status, JobStatus::Failed) << C.Source;
+      ASSERT_EQ(R.Kind, C.Expected)
+          << C.Source << " rerun " << Rerun << ": " << R.ErrorMessage;
+    }
+  }
+  // Every rerun after the first hit the compile cache.
+  EXPECT_EQ(Service.stats().CacheMisses, 5u);
+}
+
+TEST(ServiceDeterminism, MixedJobSoupOn8ThreadsHasNoCrossJobInterference) {
+  ServiceConfig Config;
+  Config.Threads = 8;
+  Config.Retry.MaxRetries = 0;
+  Config.Breaker.FailureThreshold = 0; // outcomes must not depend on order
+  ExecService Service(Config);
+
+  struct Expect {
+    JobStatus Status;
+    ErrorKind Kind;
+    std::string Result;
+  };
+  std::vector<std::future<JobResult>> Futures;
+  std::vector<Expect> Expected;
+  for (int Round = 0; Round != 25; ++Round) {
+    { // good
+      JobSpec S = simpleJob("(* " + std::to_string(Round) + " 2)");
+      Futures.push_back(Service.submit(std::move(S)));
+      Expected.push_back(
+          {JobStatus::Done, ErrorKind::Trap, std::to_string(Round * 2)});
+    }
+    { // divergent, fuel-limited
+      JobSpec S = simpleJob(DivergentLoop);
+      S.Limits.MaxSteps = 50000;
+      Futures.push_back(Service.submit(std::move(S)));
+      Expected.push_back({JobStatus::Failed, ErrorKind::FuelExhausted, ""});
+    }
+    { // OOM
+      JobSpec S = simpleJob(HeapGrower);
+      S.Limits.MaxHeapBytes = 1 << 20;
+      S.Limits.MaxSteps = 100000000;
+      Futures.push_back(Service.submit(std::move(S)));
+      Expected.push_back({JobStatus::Failed, ErrorKind::OutOfMemory, ""});
+    }
+    { // blame
+      JobSpec S = simpleJob("(ann (ann #t Dyn) Int)");
+      Futures.push_back(Service.submit(std::move(S)));
+      Expected.push_back({JobStatus::Failed, ErrorKind::Blame, ""});
+    }
+  }
+  for (size_t I = 0; I != Futures.size(); ++I) {
+    JobResult R = Futures[I].get();
+    ASSERT_EQ(R.Status, Expected[I].Status) << "job " << I;
+    if (R.Status == JobStatus::Done)
+      EXPECT_EQ(R.ResultText, Expected[I].Result) << "job " << I;
+    else
+      EXPECT_EQ(R.Kind, Expected[I].Kind)
+          << "job " << I << ": " << R.ErrorMessage;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Thread affinity
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceAffinity, BindingTracksOwnership) {
+  Grift G;
+  EXPECT_TRUE(G.ownsCurrentThread()); // unbound: any thread may use it
+  G.bindToCurrentThread();
+  EXPECT_TRUE(G.ownsCurrentThread());
+  bool OwnedElsewhere = true;
+  std::thread([&] { OwnedElsewhere = G.ownsCurrentThread(); }).join();
+  EXPECT_FALSE(OwnedElsewhere);
+  G.unbindThread();
+  std::thread([&] { OwnedElsewhere = G.ownsCurrentThread(); }).join();
+  EXPECT_TRUE(OwnedElsewhere);
+}
+
+TEST(ServiceAffinity, FuelAndHeapObservablesAreReported) {
+  // The service surfaces per-job consumption for griftd's result lines.
+  ServiceConfig Config;
+  Config.Threads = 1;
+  ExecService Service(Config);
+  JobSpec Spec = simpleJob(DivergentLoop);
+  Spec.Limits.MaxSteps = 100000;
+  JobResult R = Service.run(std::move(Spec));
+  ASSERT_EQ(R.Status, JobStatus::Failed);
+  EXPECT_GE(R.FuelUsed, 100000u - 1024u); // batched accounting
+  EXPECT_GT(R.WallNanos, 0);
+}

@@ -23,11 +23,14 @@
 ///   --max-heap=N     live-heap budget in bytes; k/m/g suffixes accepted
 ///   --max-depth=N    call-depth budget in frames
 ///   --max-wall-ms=N  wall-clock budget in milliseconds
+///   --deadline-ms=N  watchdog deadline: a separate thread preemptively
+///                    cancels the run this long after it starts
 ///   --gc-torture=N   force a full GC every Nth allocation (bug hunting)
 ///   --fail-alloc=N   inject an allocation failure at allocation #N
 ///
 /// A program stopped by a budget exits with status 3 and prints the
 /// machine-readable error kind (fuel-exhausted, out-of-memory, ...);
+/// a run killed by the watchdog exits with status 4 (cancelled);
 /// program errors (blame, trap) still exit with status 1.
 ///
 //===----------------------------------------------------------------------===//
@@ -35,12 +38,16 @@
 #include "grift/Grift.h"
 #include "lattice/Lattice.h"
 #include "refinterp/RefInterp.h"
+#include "service/Watchdog.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -55,10 +62,18 @@ void printUsage() {
       "              [--dynamic] [--optimize] [--ref-interp]\n"
       "              [--stats] [--dump-core] [--dump-bytecode]\n"
       "              [--max-steps=N] [--max-heap=N[k|m|g]]\n"
-      "              [--max-depth=N] [--max-wall-ms=N]\n"
+      "              [--max-depth=N] [--max-wall-ms=N] [--deadline-ms=N]\n"
       "              [--gc-torture=N] [--fail-alloc=N]\n"
       "              (file.grift | --expr 'SRC' | --benchmark NAME)\n"
       "              [--input 'WORDS']\n");
+}
+
+/// Exit status for a failed run: program errors 1, resource exhaustion
+/// 3, watchdog cancellation 4 (see docs/INTERNALS.md exit-code table).
+int exitForError(grift::ErrorKind Kind) {
+  if (Kind == grift::ErrorKind::Blame || Kind == grift::ErrorKind::Trap)
+    return 1;
+  return Kind == grift::ErrorKind::Cancelled ? 4 : 3;
 }
 
 /// Parses "--opt=123" style values with an optional k/m/g size suffix.
@@ -99,12 +114,15 @@ int main(int Argc, char **Argv) {
   std::string File;
   RunLimits Limits;
   FaultInjector Injector;
+  int64_t DeadlineNanos = 0;
   uint64_t Tmp = 0;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (parseSize(Arg, "--max-steps=", Tmp)) {
       Limits.MaxSteps = Tmp;
+    } else if (parseSize(Arg, "--deadline-ms=", Tmp)) {
+      DeadlineNanos = static_cast<int64_t>(Tmp) * 1000000;
     } else if (parseSize(Arg, "--max-heap=", Tmp)) {
       Limits.MaxHeapBytes = static_cast<size_t>(Tmp);
     } else if (parseSize(Arg, "--max-depth=", Tmp)) {
@@ -191,6 +209,19 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  // Watchdog state shared by both run paths; armed immediately before
+  // the run so compilation time does not count against the deadline.
+  std::atomic<bool> CancelToken{false};
+  std::optional<service::Watchdog> Dog;
+  auto armWatchdog = [&] {
+    if (DeadlineNanos <= 0)
+      return;
+    Dog.emplace();
+    Dog->watch(CancelToken, service::Watchdog::Clock::now() +
+                                std::chrono::nanoseconds(DeadlineNanos));
+    Limits.Cancel = &CancelToken;
+  };
+
   if (RefInterp) {
     // Run on the Appendix-B definitional interpreter instead of the VM.
     auto Core = G.check(*Ast, Errors);
@@ -198,6 +229,7 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "%s", Errors.c_str());
       return 1;
     }
+    armWatchdog();
     refinterp::RefResult R =
         refinterp::interpret(G.types(), G.coercions(), *Core, Input, Limits);
     std::fputs(R.Output.c_str(), stdout);
@@ -210,7 +242,7 @@ int main(int Argc, char **Argv) {
       else
         std::fprintf(stderr, "%s: %s\n", errorKindName(R.Kind),
                      R.Message.c_str());
-      return R.Kind == ErrorKind::Blame || R.Kind == ErrorKind::Trap ? 1 : 3;
+      return exitForError(R.Kind);
     }
     std::printf("=> %s\n", R.ResultText.c_str());
     return 0;
@@ -226,13 +258,14 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  armWatchdog();
   RunResult R = Exe->run(Input, Limits, &Injector);
   std::fputs(R.Output.c_str(), stdout);
   if (!R.Output.empty() && R.Output.back() != '\n')
     std::fputc('\n', stdout);
   if (!R.OK) {
     std::fprintf(stderr, "%s\n", R.Error.str().c_str());
-    return R.Error.isResourceExhaustion() ? 3 : 1;
+    return exitForError(R.Error.Kind);
   }
   std::printf("=> %s\n", R.ResultText.c_str());
   if (Stats) {

@@ -1,0 +1,461 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// griftd — batch job executor over the hardened execution service.
+///
+///   griftd [options] (manifest.jsonl | -)
+///
+/// Reads one JSON job object per input line and fans the jobs across an
+/// EnginePool, emitting one structured JSON result line per job in
+/// manifest order. Job fields (all but "source" optional):
+///
+///   {"id": "j1", "source": "(+ 1 2)", "mode": "coercions",
+///    "input": "", "optimize": false,
+///    "max_steps": 0, "max_heap": 0, "max_depth": 0, "max_wall_ms": 0,
+///    "deadline_ms": 0}
+///
+/// Options:
+///   --threads=N              worker threads (default: hardware)
+///   --retries=N              max retries for transient OOM (default 2)
+///   --breaker-threshold=N    consecutive resource failures that open a
+///                            circuit (default 3; 0 disables)
+///   --breaker-cooldown-ms=N  circuit cooldown (default 5000)
+///   --no-cache               disable the per-engine compile cache
+///   --summary                append ErrorKind counts after the results
+///   --summary-only           print only the summary (golden-file tests)
+///
+/// Exit status is the worst outcome across jobs: 0 all ok, 1 program
+/// error (blame/trap/compile error), 3 resource exhaustion or circuit
+/// rejection, 4 watchdog cancellation.
+///
+//===----------------------------------------------------------------------===//
+#include "service/ExecService.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace grift;
+using namespace grift::service;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON (flat objects of string/number/bool — exactly the job
+// manifest shape; no arrays, no nesting).
+//===----------------------------------------------------------------------===//
+
+struct JsonValue {
+  enum Kind { Str, Num, Bool } K = Str;
+  std::string S;
+  double N = 0;
+  bool B = false;
+};
+
+class JsonLineParser {
+public:
+  explicit JsonLineParser(const std::string &Text) : Text(Text) {}
+
+  /// Parses {"key": value, ...} into \p Out; false + Error on malformed
+  /// input.
+  bool parse(std::map<std::string, JsonValue> &Out) {
+    skipWS();
+    if (!eat('{'))
+      return fail("expected '{'");
+    skipWS();
+    if (eat('}'))
+      return true;
+    for (;;) {
+      skipWS();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWS();
+      if (!eat(':'))
+        return fail("expected ':'");
+      skipWS();
+      JsonValue V;
+      if (!parseValue(V))
+        return false;
+      Out[Key] = std::move(V);
+      skipWS();
+      if (eat(','))
+        continue;
+      if (eat('}'))
+        return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  std::string Error;
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+
+  bool fail(const char *Why) {
+    Error = std::string(Why) + " at offset " + std::to_string(Pos);
+    return false;
+  }
+  void skipWS() {
+    while (Pos < Text.size() && std::isspace(static_cast<unsigned char>(
+                                    Text[Pos])))
+      ++Pos;
+  }
+  bool eat(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseValue(JsonValue &V) {
+    if (Pos >= Text.size())
+      return fail("unexpected end");
+    char C = Text[Pos];
+    if (C == '"') {
+      V.K = JsonValue::Str;
+      return parseString(V.S);
+    }
+    if (Text.compare(Pos, 4, "true") == 0) {
+      V.K = JsonValue::Bool;
+      V.B = true;
+      Pos += 4;
+      return true;
+    }
+    if (Text.compare(Pos, 5, "false") == 0) {
+      V.K = JsonValue::Bool;
+      V.B = false;
+      Pos += 5;
+      return true;
+    }
+    if (Text.compare(Pos, 4, "null") == 0) {
+      V.K = JsonValue::Str; // null reads as the empty string
+      Pos += 4;
+      return true;
+    }
+    // Number.
+    size_t Start = Pos;
+    if (C == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected a JSON value");
+    V.K = JsonValue::Num;
+    V.N = std::strtod(Text.c_str() + Start, nullptr);
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!eat('"'))
+      return fail("expected '\"'");
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("dangling escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"': Out.push_back('"'); break;
+      case '\\': Out.push_back('\\'); break;
+      case '/': Out.push_back('/'); break;
+      case 'n': Out.push_back('\n'); break;
+      case 't': Out.push_back('\t'); break;
+      case 'r': Out.push_back('\r'); break;
+      case 'b': Out.push_back('\b'); break;
+      case 'f': Out.push_back('\f'); break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("short \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= H - '0';
+          else if (H >= 'a' && H <= 'f')
+            Code |= H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code |= H - 'A' + 10;
+          else
+            return fail("bad \\u escape");
+        }
+        // Manifest sources are ASCII; encode anything else as UTF-8.
+        if (Code < 0x80) {
+          Out.push_back(static_cast<char>(Code));
+        } else if (Code < 0x800) {
+          Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else {
+          Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+};
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\t': Out += "\\t"; break;
+    case '\r': Out += "\\r"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof Buf, "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  return Out;
+}
+
+bool parseMode(const std::string &Name, CastMode &Mode) {
+  if (Name == "coercions")
+    Mode = CastMode::Coercions;
+  else if (Name == "type-based")
+    Mode = CastMode::TypeBased;
+  else if (Name == "static")
+    Mode = CastMode::Static;
+  else if (Name == "monotonic")
+    Mode = CastMode::Monotonic;
+  else
+    return false;
+  return true;
+}
+
+/// The one-word outcome class used for the summary and the exit status.
+std::string outcomeClass(const JobResult &R) {
+  switch (R.Status) {
+  case JobStatus::Done:
+    return "ok";
+  case JobStatus::CompileError:
+    return "compile-error";
+  case JobStatus::Rejected:
+    return "rejected";
+  case JobStatus::Failed:
+    return errorKindName(R.Kind);
+  }
+  return "?";
+}
+
+int severity(const JobResult &R) {
+  if (R.Status == JobStatus::Done)
+    return 0;
+  if (R.Status == JobStatus::CompileError)
+    return 1;
+  if (R.Status == JobStatus::Rejected)
+    return 3;
+  if (R.Kind == ErrorKind::Cancelled)
+    return 4;
+  return R.Kind == ErrorKind::Blame || R.Kind == ErrorKind::Trap ? 1 : 3;
+}
+
+int exitCodeFor(int Severity) {
+  // 0 ok < 1 program error < 3 resource < 4 cancelled: the "worst"
+  // outcome wins, and 4 outranks 3 because a cancellation means the
+  // watchdog had to step in — the strongest signal of a hostile job.
+  return Severity;
+}
+
+void printUsage() {
+  std::fprintf(stderr,
+               "usage: griftd [--threads=N] [--retries=N]\n"
+               "              [--breaker-threshold=N] "
+               "[--breaker-cooldown-ms=N]\n"
+               "              [--no-cache] [--summary] [--summary-only]\n"
+               "              (manifest.jsonl | -)\n");
+}
+
+bool parseUint(const std::string &Arg, const char *Prefix, uint64_t &Out) {
+  size_t Len = std::strlen(Prefix);
+  if (Arg.compare(0, Len, Prefix) != 0)
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(Arg.c_str() + Len, &End, 10);
+  return End != Arg.c_str() + Len && *End == '\0';
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServiceConfig Config;
+  bool Summary = false;
+  bool SummaryOnly = false;
+  std::string ManifestPath;
+  uint64_t Tmp = 0;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (parseUint(Arg, "--threads=", Tmp)) {
+      Config.Threads = static_cast<unsigned>(Tmp);
+    } else if (parseUint(Arg, "--retries=", Tmp)) {
+      Config.Retry.MaxRetries = static_cast<uint32_t>(Tmp);
+    } else if (parseUint(Arg, "--breaker-threshold=", Tmp)) {
+      Config.Breaker.FailureThreshold = static_cast<uint32_t>(Tmp);
+    } else if (parseUint(Arg, "--breaker-cooldown-ms=", Tmp)) {
+      Config.Breaker.CooldownNanos = static_cast<int64_t>(Tmp) * 1000000;
+    } else if (Arg == "--no-cache") {
+      Config.CompileCache = false;
+    } else if (Arg == "--summary") {
+      Summary = true;
+    } else if (Arg == "--summary-only") {
+      Summary = SummaryOnly = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else if (Arg.size() > 1 && Arg[0] == '-') {
+      std::fprintf(stderr, "griftd: unknown option '%s'\n", Arg.c_str());
+      printUsage();
+      return 2;
+    } else {
+      ManifestPath = Arg;
+    }
+  }
+  if (ManifestPath.empty()) {
+    printUsage();
+    return 2;
+  }
+
+  std::ifstream FileIn;
+  std::istream *In = &std::cin;
+  if (ManifestPath != "-") {
+    FileIn.open(ManifestPath);
+    if (!FileIn) {
+      std::fprintf(stderr, "griftd: cannot open '%s'\n", ManifestPath.c_str());
+      return 2;
+    }
+    In = &FileIn;
+  }
+
+  // Parse the whole manifest before starting: a malformed line is a
+  // usage error, not a job failure, and should stop the batch cold.
+  std::vector<JobSpec> Jobs;
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(*In, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    JsonLineParser P(Line);
+    std::map<std::string, JsonValue> Obj;
+    if (!P.parse(Obj)) {
+      std::fprintf(stderr, "griftd: manifest line %zu: %s\n", LineNo,
+                   P.Error.c_str());
+      return 2;
+    }
+    JobSpec Spec;
+    Spec.Id = "job-" + std::to_string(LineNo);
+    for (const auto &[Key, V] : Obj) {
+      if (Key == "id")
+        Spec.Id = V.S;
+      else if (Key == "source")
+        Spec.Source = V.S;
+      else if (Key == "input")
+        Spec.Input = V.S;
+      else if (Key == "mode") {
+        if (!parseMode(V.S, Spec.Mode)) {
+          std::fprintf(stderr, "griftd: manifest line %zu: unknown mode '%s'\n",
+                       LineNo, V.S.c_str());
+          return 2;
+        }
+      } else if (Key == "optimize")
+        Spec.Optimize = V.B;
+      else if (Key == "max_steps")
+        Spec.Limits.MaxSteps = static_cast<uint64_t>(V.N);
+      else if (Key == "max_heap")
+        Spec.Limits.MaxHeapBytes = static_cast<size_t>(V.N);
+      else if (Key == "max_depth")
+        Spec.Limits.MaxFrames = static_cast<uint32_t>(V.N);
+      else if (Key == "max_wall_ms")
+        Spec.Limits.MaxWallNanos = static_cast<int64_t>(V.N * 1e6);
+      else if (Key == "deadline_ms")
+        Spec.DeadlineNanos = static_cast<int64_t>(V.N * 1e6);
+      else {
+        std::fprintf(stderr, "griftd: manifest line %zu: unknown key '%s'\n",
+                     LineNo, Key.c_str());
+        return 2;
+      }
+    }
+    if (Spec.Source.empty()) {
+      std::fprintf(stderr, "griftd: manifest line %zu: missing \"source\"\n",
+                   LineNo);
+      return 2;
+    }
+    Jobs.push_back(std::move(Spec));
+  }
+
+  // Fan out, then collect futures in manifest order so the output is
+  // deterministic regardless of completion order.
+  ExecService Service(Config);
+  std::vector<std::future<JobResult>> Futures;
+  Futures.reserve(Jobs.size());
+  for (JobSpec &Spec : Jobs)
+    Futures.push_back(Service.submit(std::move(Spec)));
+
+  std::map<std::string, uint64_t> Counts;
+  int Worst = 0;
+  for (std::future<JobResult> &F : Futures) {
+    JobResult R = F.get();
+    ++Counts[outcomeClass(R)];
+    Worst = std::max(Worst, severity(R));
+    if (SummaryOnly)
+      continue;
+    std::ostringstream Out;
+    Out << "{\"id\":\"" << jsonEscape(R.Id) << "\",\"status\":\""
+        << jobStatusName(R.Status) << '"';
+    if (R.Status == JobStatus::Done)
+      Out << ",\"result\":\"" << jsonEscape(R.ResultText) << '"';
+    if (R.Status == JobStatus::Failed)
+      Out << ",\"error_kind\":\"" << errorKindName(R.Kind) << '"';
+    if (R.Status != JobStatus::Done)
+      Out << ",\"error\":\"" << jsonEscape(R.ErrorMessage) << '"';
+    Out << ",\"attempts\":" << R.Attempts << ",\"retries\":" << R.Retries
+        << ",\"cache_hit\":" << (R.CompileCacheHit ? "true" : "false")
+        << ",\"wall_ms\":" << R.WallNanos / 1e6 << ",\"fuel\":" << R.FuelUsed
+        << ",\"peak_heap\":" << R.PeakHeapBytes << ",\"casts\":"
+        << R.Stats.CastsApplied << "}";
+    std::printf("%s\n", Out.str().c_str());
+  }
+
+  if (Summary) {
+    // Lexicographically sorted "class: count" lines — the deterministic
+    // shape the CI smoke test diffs against its golden file.
+    for (const auto &[Class, N] : Counts)
+      std::printf("%s: %llu\n", Class.c_str(),
+                  static_cast<unsigned long long>(N));
+  }
+  return exitCodeFor(Worst);
+}
