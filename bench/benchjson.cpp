@@ -1,0 +1,242 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable perf harness for regression tracking. Runs a fixed
+/// suite — the Figure 4 even/odd and quicksort programs, a mid-lattice
+/// Figure 7 configuration, the Figure 8 benchmarks (typed and fully
+/// dynamic), and a cast-heavy microloop — across cast modes, and emits
+/// one JSON document of median-of-N timings plus the deterministic
+/// runtime counters (casts, chain, compositions, inline-cache hits).
+///
+///   benchjson [--out FILE]
+///
+/// Repeats come from GRIFT_BENCH_REPEATS (default 5). Timing is the
+/// program's internal (time ...) region when present, wall time
+/// otherwise, following paper Section 4.1. Counters are taken from the
+/// last run; they are deterministic across runs.
+///
+/// tools/bench_compare.py diffs two of these documents (tolerance-based,
+/// counters exact) and enforces the paper's shape invariants; CI runs it
+/// against the checked-in BENCH_PR3.json.
+///
+//===----------------------------------------------------------------------===//
+#include "bench_programs/Benchmarks.h"
+#include "grift/Grift.h"
+#include "lattice/Lattice.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace grift;
+
+namespace {
+
+struct Spec {
+  std::string Name;   ///< stable benchmark id, e.g. "fig8/sieve/typed"
+  std::string Source; ///< program text (already configured/erased)
+  std::string Input;
+  std::vector<CastMode> Modes;
+};
+
+const char *modeName(CastMode Mode) {
+  switch (Mode) {
+  case CastMode::Coercions:
+    return "coercions";
+  case CastMode::TypeBased:
+    return "type-based";
+  case CastMode::Monotonic:
+    return "monotonic";
+  case CastMode::Static:
+    return "static";
+  }
+  return "?";
+}
+
+/// Cast-heavy microloop: one Cast instruction site executed 200k times —
+/// the inline-cache best case (and the type-based MakeCache worst case).
+const char *CastLoop =
+    "(time (repeat (i 0 200000) (acc : Int 0)"
+    "  (+ acc (ann (ann i Dyn) Int))))";
+
+std::vector<Spec> buildSuite(Grift &G) {
+  std::vector<Spec> Suite;
+  const std::vector<CastMode> All3 = {CastMode::Coercions,
+                                      CastMode::TypeBased,
+                                      CastMode::Monotonic};
+  const std::vector<CastMode> CoerceVsType = {CastMode::Coercions,
+                                              CastMode::TypeBased};
+
+  // Figure 4: the partially-typed even/odd (Figure 2) and quicksort
+  // (Figure 3). Type-based even/odd builds Θ(n) proxy chains, so the
+  // large size runs only where chains stay flat.
+  Suite.push_back({"fig4/evenodd/20000", evenOddSource(), "20000", All3});
+  Suite.push_back({"fig4/evenodd/100000", evenOddSource(), "100000",
+                   {CastMode::Coercions, CastMode::Monotonic}});
+  Suite.push_back(
+      {"fig4/quicksort-fig3/256", quicksortFig3Source(), "256", All3});
+
+  // Figure 7: one deterministic mid-precision fine-grained configuration
+  // of quicksort (casts scattered through the hot loop).
+  {
+    const BenchProgram &B = getBenchmark("quicksort");
+    std::string Errors;
+    auto Ast = G.parse(B.Source, Errors);
+    if (!Ast) {
+      std::fprintf(stderr, "benchjson: parse failed: %s\n", Errors.c_str());
+      std::exit(1);
+    }
+    auto Configs = sampleFineGrained(*Ast, G.types(), /*Bins=*/4,
+                                     /*PerBin=*/1, 0x51C7);
+    const Configuration *Mid = nullptr;
+    for (const Configuration &C : Configs)
+      if (!Mid || std::abs(C.Precision - 0.5) <
+                      std::abs(Mid->Precision - 0.5))
+        Mid = &C;
+    if (Mid)
+      Suite.push_back({"fig7/quicksort-mid/128", Mid->Prog.str(), "128",
+                       CoerceVsType});
+  }
+
+  // Figure 8: every suite benchmark, fully typed and fully dynamic.
+  struct Row {
+    const char *Name;
+    const char *Input;
+  };
+  constexpr Row Rows[] = {
+      {"sieve", "100"},      {"n-body", "500"},    {"tak", "16 12 6"},
+      {"ray", "20"},         {"quicksort", "128"}, {"blackscholes", "4000"},
+      {"matmult", "20"},     {"fft", "1024"},
+  };
+  for (const Row &R : Rows) {
+    const BenchProgram &B = getBenchmark(R.Name);
+    Suite.push_back({std::string("fig8/") + R.Name + "/typed", B.Source,
+                     R.Input, CoerceVsType});
+    std::string Errors;
+    auto Ast = G.parse(B.Source, Errors);
+    if (!Ast) {
+      std::fprintf(stderr, "benchjson: parse failed: %s\n", Errors.c_str());
+      std::exit(1);
+    }
+    Program Erased = eraseTypes(*Ast, G.types());
+    Suite.push_back({std::string("fig8/") + R.Name + "/dynamic",
+                     Erased.str(), R.Input, CoerceVsType});
+  }
+
+  // Microbench: single-site cast loop.
+  Suite.push_back({"micro/castloop/200000", CastLoop, "", All3});
+  return Suite;
+}
+
+unsigned repeatsFromEnv() {
+  if (const char *Env = std::getenv("GRIFT_BENCH_REPEATS")) {
+    int N = std::atoi(Env);
+    if (N > 0)
+      return static_cast<unsigned>(N);
+  }
+  return 5;
+}
+
+int64_t median(std::vector<int64_t> Xs) {
+  std::sort(Xs.begin(), Xs.end());
+  size_t N = Xs.size();
+  return (Xs[(N - 1) / 2] + Xs[N / 2]) / 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string OutPath;
+  std::string Filter;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc) {
+      OutPath = argv[++I];
+    } else if (std::strcmp(argv[I], "--filter") == 0 && I + 1 < argc) {
+      Filter = argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: benchjson [--out FILE] [--filter SUBSTR]\n");
+      return 2;
+    }
+  }
+
+  unsigned Repeats = repeatsFromEnv();
+  Grift Setup; // for lattice sampling / erasure during suite construction
+  std::vector<Spec> Suite = buildSuite(Setup);
+
+  std::string Json;
+  Json += "{\n  \"schema\": \"grift-bench-v1\",\n";
+  Json += "  \"repeats\": " + std::to_string(Repeats) + ",\n";
+  Json += "  \"results\": [\n";
+  bool First = true;
+
+  for (const Spec &S : Suite) {
+    if (!Filter.empty() && S.Name.find(Filter) == std::string::npos)
+      continue;
+    for (CastMode Mode : S.Modes) {
+      Grift G;
+      std::string Errors;
+      auto Exe = G.compile(S.Source, Mode, Errors);
+      if (!Exe) {
+        std::fprintf(stderr, "benchjson: compile failed for %s [%s]: %s\n",
+                     S.Name.c_str(), modeName(Mode), Errors.c_str());
+        return 1;
+      }
+      std::vector<int64_t> Nanos;
+      RunResult Last;
+      for (unsigned R = 0; R != Repeats; ++R) {
+        Last = Exe->run(S.Input);
+        if (!Last.OK) {
+          std::fprintf(stderr, "benchjson: run failed for %s [%s]: %s\n",
+                       S.Name.c_str(), modeName(Mode),
+                       Last.Error.str().c_str());
+          return 1;
+        }
+        Nanos.push_back(Last.Stats.TimedNanos >= 0 ? Last.Stats.TimedNanos
+                                                   : Last.WallNanos);
+      }
+      if (!First)
+        Json += ",\n";
+      First = false;
+      Json += "    {\"name\": \"" + S.Name + "\", \"mode\": \"" +
+              modeName(Mode) + "\"";
+      Json += ", \"median_ns\": " + std::to_string(median(Nanos));
+      Json += ", \"casts\": " + std::to_string(Last.Stats.CastsApplied);
+      Json += ", \"longest_chain\": " +
+              std::to_string(Last.Stats.LongestProxyChain);
+      Json +=
+          ", \"compositions\": " + std::to_string(Last.Stats.Compositions);
+      Json += ", \"cache_hits\": " + std::to_string(Last.Stats.CacheHits);
+      Json +=
+          ", \"cache_misses\": " + std::to_string(Last.Stats.CacheMisses);
+      Json += ", \"peak_heap\": " + std::to_string(Last.PeakHeapBytes);
+      Json += "}";
+      std::fprintf(stderr, "%-28s %-11s %8.3f ms  casts=%llu chain=%llu "
+                           "ic=%llu/%llu\n",
+                   S.Name.c_str(), modeName(Mode), median(Nanos) / 1e6,
+                   static_cast<unsigned long long>(Last.Stats.CastsApplied),
+                   static_cast<unsigned long long>(
+                       Last.Stats.LongestProxyChain),
+                   static_cast<unsigned long long>(Last.Stats.CacheHits),
+                   static_cast<unsigned long long>(Last.Stats.CacheMisses));
+    }
+  }
+  Json += "\n  ]\n}\n";
+
+  if (OutPath.empty()) {
+    std::fputs(Json.c_str(), stdout);
+  } else {
+    std::ofstream Out(OutPath);
+    if (!Out) {
+      std::fprintf(stderr, "benchjson: cannot open %s\n", OutPath.c_str());
+      return 1;
+    }
+    Out << Json;
+  }
+  return 0;
+}

@@ -40,6 +40,17 @@ CoercionFactory::CoercionFactory(TypeContext &Types) : Types(Types) {
   IdC = intern(CoercionKind::Id, nullptr, nullptr, {});
 }
 
+void CoercionFactory::reset() {
+  Arena.clear();
+  LabelArena.clear();
+  LabelInterner.clear();
+  Interner.clear();
+  MakeCache.clear();
+  ComposeCache.clear();
+  ProjectCache.clear();
+  IdC = intern(CoercionKind::Id, nullptr, nullptr, {});
+}
+
 Coercion *CoercionFactory::allocate() {
   Arena.push_back(std::unique_ptr<Coercion>(new Coercion()));
   return Arena.back().get();
@@ -212,21 +223,21 @@ const Coercion *CoercionFactory::makeImpl(const Type *S, const Type *T,
     std::vector<const Coercion *> Parts;
     Parts.reserve(S->arity() + 1);
     for (size_t I = 0; I != S->arity(); ++I)
-      Parts.push_back(makeImpl(T->param(I), S->param(I), Label, Stack));
-    Parts.push_back(makeImpl(S->result(), T->result(), Label, Stack));
+      Parts.push_back(makeSub(T->param(I), S->param(I), Label, Stack));
+    Parts.push_back(makeSub(S->result(), T->result(), Label, Stack));
     return fun(std::move(Parts));
   }
   case TypeKind::Tuple: {
     std::vector<const Coercion *> Parts;
     Parts.reserve(S->tupleSize());
     for (size_t I = 0; I != S->tupleSize(); ++I)
-      Parts.push_back(makeImpl(S->element(I), T->element(I), Label, Stack));
+      Parts.push_back(makeSub(S->element(I), T->element(I), Label, Stack));
     return tup(std::move(Parts));
   }
   case TypeKind::Box:
   case TypeKind::Vect: {
-    const Coercion *Write = makeImpl(T->inner(), S->inner(), Label, Stack);
-    const Coercion *Read = makeImpl(S->inner(), T->inner(), Label, Stack);
+    const Coercion *Write = makeSub(T->inner(), S->inner(), Label, Stack);
+    const Coercion *Read = makeSub(S->inner(), T->inner(), Label, Stack);
     return refc(Write, Read, T, Label);
   }
   default:
@@ -234,6 +245,16 @@ const Coercion *CoercionFactory::makeImpl(const Type *S, const Type *T,
     assert(false && "makeImpl: unexpected type kind");
     return fail(*Label);
   }
+}
+
+const Coercion *CoercionFactory::makeSub(const Type *S, const Type *T,
+                                         const std::string *Label,
+                                         std::vector<MakeFrame> &Stack) {
+  // Inside a μ derivation the subpair may close over an outer frame, so
+  // it must share the association stack; see makeImpl's Rec case.
+  if (Stack.empty())
+    return makeInterned(S, T, Label);
+  return makeImpl(S, T, Label, Stack);
 }
 
 //===----------------------------------------------------------------------===//

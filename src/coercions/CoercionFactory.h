@@ -77,6 +77,14 @@ public:
   /// Number of coercion nodes allocated so far (space-bound tests).
   size_t allocatedNodes() const { return Arena.size(); }
 
+  /// Drops every coercion, label, and memo table and starts a fresh
+  /// epoch. All `const Coercion *` and interned-label pointers handed
+  /// out before the call dangle afterwards, so callers must discard
+  /// every Executable compiled against this factory in the same epoch
+  /// (EnginePool does exactly that when a long-lived slot's arena grows
+  /// past its cap).
+  void reset();
+
 private:
   friend class Composer;
 
@@ -153,6 +161,15 @@ private:
   const Coercion *makeImpl(const Type *S, const Type *T,
                            const std::string *Label,
                            std::vector<MakeFrame> &Stack);
+
+  /// Structural subderivation of makeImpl. With no μ frames on \p Stack
+  /// the subpair is self-contained, so the derivation is routed through
+  /// makeInterned — consulting (and seeding) MakeCache for every nested
+  /// subpair instead of re-deriving identical sub-coercions on each
+  /// outer make.
+  const Coercion *makeSub(const Type *S, const Type *T,
+                          const std::string *Label,
+                          std::vector<MakeFrame> &Stack);
 };
 
 } // namespace grift

@@ -44,19 +44,19 @@ std::optional<core::CoreProgram> Grift::check(const Program &Ast,
 
 std::optional<Executable> Grift::compile(std::string_view Source,
                                          CastMode Mode, std::string &Errors,
-                                         bool Optimize) {
+                                         bool Optimize, bool Fuse) {
   assert(ownsCurrentThread() &&
          "Grift::compile on a thread that does not own this engine "
          "(see Grift.h affinity rules)");
   std::optional<Program> Ast = parse(Source, Errors);
   if (!Ast)
     return std::nullopt;
-  return compileAst(*Ast, Mode, Errors, Optimize);
+  return compileAst(*Ast, Mode, Errors, Optimize, Fuse);
 }
 
 std::optional<Executable> Grift::compileAst(const Program &Ast, CastMode Mode,
                                             std::string &Errors,
-                                            bool Optimize) {
+                                            bool Optimize, bool Fuse) {
   std::optional<core::CoreProgram> Core = check(Ast, Errors);
   if (!Core)
     return std::nullopt;
@@ -69,7 +69,7 @@ std::optional<Executable> Grift::compileAst(const Program &Ast, CastMode Mode,
   }
   std::string CompileError;
   std::optional<VMProgram> Prog =
-      compileProgram(*Core, Types, Coercions, Mode, CompileError);
+      compileProgram(*Core, Types, Coercions, Mode, CompileError, Fuse);
   if (!Prog) {
     Errors += CompileError;
     return std::nullopt;

@@ -102,15 +102,19 @@ public:
 
   /// Compiles source text end to end for \p Mode. \p Optimize enables
   /// the optional core-IR optimizer (OFF by default, matching the
-  /// paper's "no general-purpose optimizations" baseline).
+  /// paper's "no general-purpose optimizations" baseline). \p Fuse
+  /// controls the bytecode superinstruction pass (ON by default;
+  /// disabling it produces the unfused expansion the differential tests
+  /// compare against).
   std::optional<Executable> compile(std::string_view Source, CastMode Mode,
                                     std::string &Errors,
-                                    bool Optimize = false);
+                                    bool Optimize = false, bool Fuse = true);
 
   /// Compiles an already-parsed AST for \p Mode.
   std::optional<Executable> compileAst(const Program &Ast, CastMode Mode,
                                        std::string &Errors,
-                                       bool Optimize = false);
+                                       bool Optimize = false,
+                                       bool Fuse = true);
 
   TypeContext &types() { return Types; }
   CoercionFactory &coercions() { return Coercions; }

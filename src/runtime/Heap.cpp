@@ -209,6 +209,10 @@ void Heap::collect() {
   LiveBytesAtGC = LiveBytes;
   PeakHeapBytes = std::max(PeakHeapBytes, LiveBytes);
   ++Collections;
-  // Grow the threshold with the live set so GC stays amortized-linear.
+  // Grow the threshold with the live set so GC stays amortized-linear —
+  // but never past a fraction of the hard heap limit, or maybeCollect
+  // would stop firing and every allocation near the limit would take the
+  // full-collect path in allocateObject.
   GCThreshold = std::max<size_t>(LiveBytes * 2, 8u << 20);
+  clampThresholdToLimit();
 }

@@ -21,6 +21,7 @@
 #include "runtime/FaultInjector.h"
 #include "runtime/Value.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -162,7 +163,10 @@ public:
   /// push the live estimate past the cap, the heap collects once; if
   /// still over, the allocation throws ErrorKind::OutOfMemory instead of
   /// aborting the process. Malloc failure degrades the same way.
-  void setHeapLimit(size_t Bytes) { HeapLimit = Bytes; }
+  void setHeapLimit(size_t Bytes) {
+    HeapLimit = Bytes;
+    clampThresholdToLimit();
+  }
   size_t heapLimit() const { return HeapLimit; }
 
   /// Attaches a caller-owned fault injector (nullptr detaches). See
@@ -173,6 +177,19 @@ private:
   HeapObject *allocateObject(ObjectKind Kind, uint32_t NumSlots);
   void mark(Value V);
   void maybeCollect(size_t UpcomingBytes);
+
+  /// Keeps the amortized-collection threshold meaningful under a hard
+  /// heap limit: without this, a limit below the threshold floor means
+  /// maybeCollect never fires and every allocation near the limit pays a
+  /// full collection on the hard-limit path in allocateObject. A quarter
+  /// of the limit keeps several amortized collections between limit hits
+  /// while the 64 KiB floor avoids degenerate per-allocation collections
+  /// under tiny limits.
+  void clampThresholdToLimit() {
+    if (HeapLimit)
+      GCThreshold = std::min(GCThreshold,
+                             std::max<size_t>(HeapLimit / 4, 64u * 1024));
+  }
 
   HeapObject *AllObjects = nullptr;
   size_t LiveObjects = 0;

@@ -76,10 +76,11 @@ Value Runtime::inject(Value V, const Type *S) {
 // Cast application entry points
 //===----------------------------------------------------------------------===//
 
-Value Runtime::applyCast(Value V, const CastDescriptor &Desc) {
+Value Runtime::applyCast(Value V, const CastDescriptor &Desc,
+                         CoercionCache *IC) {
   switch (Mode) {
   case CastMode::Coercions:
-    return applyCoercion(V, Desc.C);
+    return applyCoercion(V, Desc.C, IC);
   case CastMode::TypeBased:
     return applyTypeBased(V, Desc.Src, Desc.Tgt, Desc.Label);
   case CastMode::Monotonic:
@@ -97,9 +98,9 @@ Value Runtime::applyMonotonic(Value V, const Type *S, const Type *T,
   return castMono(V, S, T, Label);
 }
 
-Value Runtime::applyCoercion(Value V, const Coercion *C) {
+Value Runtime::applyCoercion(Value V, const Coercion *C, CoercionCache *IC) {
   ++Stats.CastsApplied;
-  return coerce(V, C);
+  return coerce(V, C, IC);
 }
 
 Value Runtime::applyTypeBased(Value V, const Type *S, const Type *T,
@@ -109,9 +110,13 @@ Value Runtime::applyTypeBased(Value V, const Type *S, const Type *T,
 }
 
 Value Runtime::castRuntime(Value V, const Type *S, const Type *T,
-                           const std::string *Label) {
-  if (Mode == CastMode::Coercions)
-    return applyCoercion(V, Coercions.makeInterned(S, T, Label));
+                           const std::string *Label, CoercionCache *IC) {
+  if (Mode == CastMode::Coercions) {
+    const Coercion *C =
+        cachedCoercion(IC ? *IC : DynCastIC, S, T, Label,
+                       [&] { return Coercions.makeInterned(S, T, Label); });
+    return applyCoercion(V, C, IC);
+  }
   if (Mode == CastMode::Monotonic)
     return applyMonotonic(V, S, T, Label);
   return applyTypeBased(V, S, T, Label);
@@ -125,24 +130,28 @@ Value Runtime::castRuntime(Value V, const Type *S, const Type *T,
 // the values it still needs across its own allocations (alloc* helpers
 // root their value arguments; the tuple branch keeps explicit roots), so
 // a blanket root would only add overhead to the hot Id/Project paths.
-Value Runtime::coerce(Value V, const Coercion *C) {
+Value Runtime::coerce(Value V, const Coercion *C, CoercionCache *IC) {
   switch (C->kind()) {
   case CoercionKind::Id:
     return V;
 
   case CoercionKind::Sequence:
-    return coerce(coerce(V, C->first()), C->second());
+    return coerce(coerce(V, C->first(), IC), C->second(), IC);
 
   case CoercionKind::Project: {
     // Build the coercion from the value's runtime type to the target and
     // apply it to the untagged value (lazy-D). The exact-match fast path
     // (types are interned, so equality is pointer equality) covers the
-    // overwhelmingly common case of a projection that succeeds outright.
+    // overwhelmingly common case of a projection that succeeds outright
+    // and is not a cache probe — only the mismatch path consults the
+    // inline cache before falling back to the ProjectCache hash.
     const Type *S = runtimeTypeOf(V);
     if (S == C->type())
       return dynUnwrap(V);
-    const Coercion *C2 = Coercions.makeForProjection(C, S);
-    return coerce(dynUnwrap(V), C2);
+    const Coercion *C2 =
+        cachedCoercion(IC ? *IC : ProjectIC, C, S, nullptr,
+                       [&] { return Coercions.makeForProjection(C, S); });
+    return coerce(dynUnwrap(V), C2, IC);
   }
 
   case CoercionKind::Inject:
@@ -160,7 +169,9 @@ Value Runtime::coerce(Value V, const Coercion *C) {
       HeapObject *P = V.object();
       assert(P->kind() == ObjectKind::ProxyClosure && "expected fun proxy");
       const Coercion *Old = static_cast<const Coercion *>(P->meta(0));
-      const Coercion *New = Coercions.compose(Old, C);
+      const Coercion *New =
+          cachedCoercion(IC ? *IC : FunComposeIC, Old, C, nullptr,
+                         [&] { return Coercions.compose(Old, C); });
       ++Stats.Compositions;
       Value Wrapped = P->slot(0);
       if (New->isId())
@@ -185,7 +196,9 @@ Value Runtime::coerce(Value V, const Coercion *C) {
       HeapObject *P = V.object();
       assert(P->kind() == ObjectKind::RefProxy && "expected ref proxy");
       const Coercion *Old = static_cast<const Coercion *>(P->meta(0));
-      const Coercion *New = Coercions.compose(Old, C);
+      const Coercion *New =
+          cachedCoercion(IC ? *IC : RefComposeIC, Old, C, nullptr,
+                         [&] { return Coercions.compose(Old, C); });
       ++Stats.Compositions;
       Value Wrapped = P->slot(0);
       if (New->isId())
@@ -303,7 +316,9 @@ Value Runtime::castMono(Value V, const Type *S, const Type *T,
     // Functions still use space-efficient coercions; their reference
     // components are interpreted monotonically when applied (see the
     // RefC branch of coerce).
-    const Coercion *C = Coercions.makeInterned(S, T, Label);
+    const Coercion *C =
+        cachedCoercion(DynCastIC, S, T, Label,
+                       [&] { return Coercions.makeInterned(S, T, Label); });
     if (C->isId())
       return V;
     return coerce(V, C);

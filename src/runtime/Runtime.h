@@ -32,6 +32,41 @@ struct CastDescriptor {
   const Coercion *C = nullptr; // coercion mode only
 };
 
+/// A small inline cache for runtime-resolved coercions. Types, coercions
+/// and blame labels are interned, so a cache key is up to three raw
+/// pointers and a probe is a handful of pointer compares — the
+/// steady-state replacement for a MakeCache / ComposeCache /
+/// ProjectCache hash lookup at a hot cast site. Four entries with
+/// round-robin replacement: one entry thrashes on sites that alternate
+/// between two operands (the fig4 even/odd pair), and the fully-dynamic
+/// Figure 8 programs funnel several value types through one Dyn
+/// elimination site; beyond four the probe stops being cheaper than the
+/// hash it replaces.
+struct CoercionCache {
+  struct Entry {
+    const void *K0 = nullptr;
+    const void *K1 = nullptr;
+    const void *K2 = nullptr;
+    const Coercion *R = nullptr;
+  };
+  Entry E[4];
+  uint8_t Next = 0;
+
+  const Coercion *lookup(const void *K0, const void *K1,
+                         const void *K2) const {
+    for (const Entry &En : E)
+      if (En.R && En.K0 == K0 && En.K1 == K1 && En.K2 == K2)
+        return En.R;
+    return nullptr;
+  }
+
+  void insert(const void *K0, const void *K1, const void *K2,
+              const Coercion *R) {
+    E[Next] = {K0, K1, K2, R};
+    Next = (Next + 1) & 3;
+  }
+};
+
 class Runtime {
 public:
   Runtime(TypeContext &Types, CoercionFactory &Coercions, CastMode Mode)
@@ -48,10 +83,14 @@ public:
   //===--------------------------------------------------------------------===//
 
   /// Applies a compiled cast site to a value. Counts one runtime cast.
-  Value applyCast(Value V, const CastDescriptor &Desc);
+  /// \p IC, when given, is the call site's inline cache (the VM passes
+  /// one per Cast instruction); without one the runtime falls back to
+  /// its own shared per-operation caches.
+  Value applyCast(Value V, const CastDescriptor &Desc,
+                  CoercionCache *IC = nullptr);
 
   /// Applies a coercion (coercion mode). Counts one runtime cast.
-  Value applyCoercion(Value V, const Coercion *C);
+  Value applyCoercion(Value V, const Coercion *C, CoercionCache *IC = nullptr);
 
   /// Applies a type-based cast (type-based mode). Counts one runtime cast.
   Value applyTypeBased(Value V, const Type *S, const Type *T,
@@ -61,7 +100,7 @@ public:
   /// by the Dyn elimination forms whose target types are only known at
   /// run time. Counts one runtime cast.
   Value castRuntime(Value V, const Type *S, const Type *T,
-                    const std::string *Label);
+                    const std::string *Label, CoercionCache *IC = nullptr);
 
   //===--------------------------------------------------------------------===//
   // Dyn introspection (lazy-D)
@@ -135,9 +174,32 @@ private:
   Heap TheHeap;
   RuntimeStats Stats;
 
-  Value coerce(Value V, const Coercion *C);
+  Value coerce(Value V, const Coercion *C, CoercionCache *IC = nullptr);
   Value castTB(Value V, const Type *S, const Type *T,
                const std::string *Label);
+
+  /// Probes \p IC for (K0, K1, K2); on a miss runs \p Make, fills the
+  /// cache and returns the result. Counts the probe in the stats either
+  /// way (a site's first visit is the miss that seeds its cache).
+  template <class MakeFn>
+  const Coercion *cachedCoercion(CoercionCache &IC, const void *K0,
+                                 const void *K1, const void *K2,
+                                 MakeFn Make) {
+    if (const Coercion *C = IC.lookup(K0, K1, K2)) {
+      ++Stats.CacheHits;
+      return C;
+    }
+    ++Stats.CacheMisses;
+    const Coercion *C = Make();
+    IC.insert(K0, K1, K2, C);
+    return C;
+  }
+
+  /// Shared fallback caches for conversion sites that have no per-site
+  /// slot in the VM: proxy-apply composition (function and reference),
+  /// projection of a Dyn payload, and runtime-typed make (doReturn's
+  /// pending Dyn result casts, monotonic function casts).
+  CoercionCache FunComposeIC, RefComposeIC, ProjectIC, DynCastIC;
   Value castMono(Value V, const Type *S, const Type *T,
                  const std::string *Label);
   void strengthenCell(HeapObject *Cell, const Type *TargetElem,

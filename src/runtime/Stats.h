@@ -25,8 +25,21 @@ struct RuntimeStats {
   uint64_t LongestProxyChain = 0;
   /// Function/reference proxies allocated.
   uint64_t ProxiesAllocated = 0;
+  /// Cast-site inline-cache hits: a repeated cast resolved its coercion
+  /// with a pointer compare instead of a MakeCache/ComposeCache hash
+  /// lookup.
+  uint64_t CacheHits = 0;
+  /// Cast-site inline-cache misses (the slow factory path ran and the
+  /// cache was refilled).
+  uint64_t CacheMisses = 0;
   /// Nanoseconds measured by the innermost (time ...) form, if any.
   int64_t TimedNanos = -1;
+
+  /// Inline-cache hit rate in [0, 1]; 0 when no cached site was reached.
+  double cacheHitRate() const {
+    uint64_t Total = CacheHits + CacheMisses;
+    return Total ? static_cast<double>(CacheHits) / Total : 0.0;
+  }
 
   void noteChain(uint64_t Length) {
     LongestProxyChain = std::max(LongestProxyChain, Length);

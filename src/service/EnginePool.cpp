@@ -42,6 +42,15 @@ EnginePool::Slot::compileCached(const JobSpec &Spec, bool &WasHit,
   return Cache.emplace(std::move(Key), std::move(Entry)).first->second;
 }
 
+bool EnginePool::Slot::maybeResetEpoch(size_t MaxNodes) {
+  if (MaxNodes == 0 || Engine.coercions().allocatedNodes() <= MaxNodes)
+    return false;
+  Cache.clear();
+  Engine.coercions().reset();
+  EpochResets.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 uint64_t EnginePool::totalCacheHits() const {
   uint64_t N = 0;
   for (const auto &S : Slots)
@@ -53,5 +62,12 @@ uint64_t EnginePool::totalCacheMisses() const {
   uint64_t N = 0;
   for (const auto &S : Slots)
     N += S->CacheMisses.load(std::memory_order_relaxed);
+  return N;
+}
+
+uint64_t EnginePool::totalEpochResets() const {
+  uint64_t N = 0;
+  for (const auto &S : Slots)
+    N += S->EpochResets.load(std::memory_order_relaxed);
   return N;
 }

@@ -51,12 +51,25 @@ public:
     std::atomic<uint64_t> CacheHits{0};
     std::atomic<uint64_t> CacheMisses{0};
 
+    // Atomic so stats() can snapshot while the worker is mid-job.
+    std::atomic<uint64_t> EpochResets{0};
+
     /// Compiles \p Spec through the cache. Returns the cached entry and
-    /// sets \p WasHit. The returned pointer is owned by the cache and
-    /// stays valid for the slot's lifetime (entries are never evicted;
-    /// the cache is bounded by the set of distinct programs submitted).
+    /// sets \p WasHit. The returned reference is owned by the cache and
+    /// stays valid until the next epoch reset (or forever when
+    /// MaxCoercionNodes is 0 — the cache is then bounded only by the set
+    /// of distinct programs submitted).
     const CacheEntry &compileCached(const JobSpec &Spec, bool &WasHit,
                                     bool UseCache = true);
+
+    /// Epoch reset: when the engine's coercion arena has grown past
+    /// \p MaxNodes, drops the compile cache and resets the coercion
+    /// factory *together* — cached Executables hold `const Coercion *`
+    /// into the arena, so neither may outlive the other. Bounds slot
+    /// memory across long job streams with many distinct casts.
+    /// \p MaxNodes == 0 disables the reset. Returns true if it fired.
+    /// Must only be called between jobs (no Executable in flight).
+    bool maybeResetEpoch(size_t MaxNodes);
   };
 
   /// Creates \p N slots (at least 1).
@@ -67,6 +80,7 @@ public:
 
   uint64_t totalCacheHits() const;
   uint64_t totalCacheMisses() const;
+  uint64_t totalEpochResets() const;
 
 private:
   // unique_ptr: Grift and std::atomic are immovable, and slots must not

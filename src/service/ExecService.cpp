@@ -60,6 +60,9 @@ void ExecService::workerLoop(unsigned SlotIdx) {
       Queue.pop_front();
     }
     JobResult R = executeJob(Slot, P.Spec);
+    // Between jobs nothing on this slot holds coercion pointers, so this
+    // is the one safe point to bound the arena.
+    Slot.maybeResetEpoch(Config.MaxCoercionNodes);
     Completed.fetch_add(1, std::memory_order_relaxed);
     P.Promise.set_value(std::move(R));
   }
@@ -157,5 +160,6 @@ ServiceStats ExecService::stats() const {
   S.WatchdogKills = Dog.kills();
   S.CacheHits = Pool.totalCacheHits();
   S.CacheMisses = Pool.totalCacheMisses();
+  S.EpochResets = Pool.totalEpochResets();
   return S;
 }

@@ -51,6 +51,11 @@ struct ServiceConfig {
   BreakerConfig Breaker;
   /// Per-slot compile cache on/off (benchmarking cold-compile paths).
   bool CompileCache = true;
+  /// Epoch cap on each slot's coercion arena: after a job, a slot whose
+  /// engine has allocated more coercion nodes than this drops its
+  /// compile cache and coercion factory together (see
+  /// EnginePool::Slot::maybeResetEpoch). 0 disables epoch resets.
+  size_t MaxCoercionNodes = 1u << 16;
 };
 
 /// Monotonic counters, snapshot via ExecService::stats().
@@ -62,6 +67,7 @@ struct ServiceStats {
   uint64_t WatchdogKills = 0; ///< deadline cancellations
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
+  uint64_t EpochResets = 0; ///< coercion-arena epoch resets across slots
 };
 
 class ExecService {

@@ -108,6 +108,16 @@ const char *grift::opName(Op Code) {
     return "time-start";
   case Op::TimeEnd:
     return "time-end";
+  case Op::LocalGetGet:
+    return "local-get-get";
+  case Op::LocalGetCall:
+    return "local-get-call";
+  case Op::LocalGetTailCall:
+    return "local-get-tail-call";
+  case Op::PushIntPrim:
+    return "push-int-prim";
+  case Op::PrimJumpIfFalse:
+    return "prim-jump-if-false";
   }
   return "?";
 }

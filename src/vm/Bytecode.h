@@ -105,7 +105,26 @@ enum class Op : uint8_t {
   // (time E) support.
   TimeStart,
   TimeEnd,
+
+  // Fused superinstructions (peephole pass in the bytecode compiler,
+  // see fuseFunction in vm/Compiler.cpp). Each one replaces the FIRST
+  // instruction of an adjacent pair; the second instruction stays in its
+  // slot as a never-executed placeholder (the handler skips it with
+  // ++PC), so jump targets never need remapping. Handlers charge fuel
+  // for both component steps so batch/cancel-poll boundaries land
+  // exactly where the unfused expansion would put them.
+  LocalGetGet,      ///< A, B = slots; push local A, then local B
+  LocalGetCall,     ///< A = slot, B = argc; push local A, then call
+  LocalGetTailCall, ///< A = slot, B = argc; push local A, then tail call
+  PushIntPrim,      ///< A = signed immediate, B = PrimOp
+  PrimJumpIfFalse,  ///< A = PrimOp (bool-valued), B = jump target
 };
+
+/// First fused opcode; everything from here on is a superinstruction.
+constexpr uint8_t FirstFusedOp = static_cast<uint8_t>(Op::LocalGetGet);
+
+/// Number of opcodes (computed-goto jump tables are sized against this).
+constexpr size_t NumOpcodes = static_cast<size_t>(Op::PrimJumpIfFalse) + 1;
 
 /// One fixed-width instruction.
 struct Instr {

@@ -8,6 +8,70 @@ using namespace grift::core;
 
 namespace {
 
+/// True when the primitive leaves a boolean on the stack — the only
+/// primitives PrimJumpIfFalse may fuse over (its handler pops the
+/// result as a condition).
+bool isBoolValuedPrim(PrimOp P) {
+  switch (P) {
+  case PrimOp::LtI:
+  case PrimOp::LeI:
+  case PrimOp::EqI:
+  case PrimOp::GeI:
+  case PrimOp::GtI:
+  case PrimOp::LtF:
+  case PrimOp::LeF:
+  case PrimOp::EqF:
+  case PrimOp::GeF:
+  case PrimOp::GtF:
+  case PrimOp::Not:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Peephole superinstruction fusion over one compiled function.
+///
+/// A recognized adjacent pair is fused by overwriting its FIRST
+/// instruction with the superinstruction; the second instruction stays
+/// in its slot as a dead placeholder (the fused handler skips it with
+/// ++PC). Jump targets are absolute instruction indices, so leaving the
+/// placeholder in place means no target ever needs remapping — a pair is
+/// simply not fused when some jump lands on its second slot, because the
+/// jump must still be able to execute that instruction unfused.
+///
+/// Fuel equivalence: each fused handler charges two dispatch steps (one
+/// at fetch, one mid-handler via VM_FUSED_STEP), so the 1024-step budget
+/// and cancel-poll boundaries land exactly where the unfused expansion
+/// would put them.
+void fuseFunction(VMFunction &Fn) {
+  std::vector<Instr> &Code = Fn.Code;
+  std::vector<bool> IsTarget(Code.size() + 1, false);
+  for (const Instr &I : Code)
+    if (I.Code == Op::Jump || I.Code == Op::JumpIfFalse)
+      IsTarget[static_cast<uint32_t>(I.A)] = true;
+  for (size_t I = 0; I + 1 < Code.size(); ++I) {
+    if (IsTarget[I + 1])
+      continue;
+    Instr &A = Code[I];
+    const Instr &B = Code[I + 1];
+    if (A.Code == Op::Prim && B.Code == Op::JumpIfFalse &&
+        isBoolValuedPrim(static_cast<PrimOp>(A.A)))
+      A = {Op::PrimJumpIfFalse, A.A, B.A};
+    else if (A.Code == Op::PushInt && B.Code == Op::Prim)
+      A = {Op::PushIntPrim, A.A, B.A};
+    else if (A.Code == Op::LocalGet && B.Code == Op::Call)
+      A = {Op::LocalGetCall, A.A, B.A};
+    else if (A.Code == Op::LocalGet && B.Code == Op::TailCall)
+      A = {Op::LocalGetTailCall, A.A, B.A};
+    else if (A.Code == Op::LocalGet && B.Code == Op::LocalGet)
+      A = {Op::LocalGetGet, A.A, B.A};
+    else
+      continue;
+    ++I; // the placeholder slot can head no further pair
+  }
+}
+
 /// Per-function compilation state. Tracks lexical scopes, local slot
 /// allocation (watermark), and the free variables this function captures
 /// from its parent.
@@ -58,8 +122,9 @@ struct FnCtx {
 class Compiler {
 public:
   Compiler(const CoreProgram &Core, TypeContext &Types,
-           CoercionFactory &Coercions, CastMode Mode)
-      : Core(Core), Types(Types), Coercions(Coercions), Mode(Mode) {
+           CoercionFactory &Coercions, CastMode Mode, bool Fuse)
+      : Core(Core), Types(Types), Coercions(Coercions), Mode(Mode),
+        Fuse(Fuse) {
     Prog.Mode = Mode;
   }
 
@@ -117,6 +182,9 @@ public:
       Error = CompileError;
       return std::nullopt;
     }
+    if (Fuse)
+      for (VMFunction &Fn : Prog.Functions)
+        fuseFunction(Fn);
     return std::move(Prog);
   }
 
@@ -125,6 +193,7 @@ private:
   TypeContext &Types;
   CoercionFactory &Coercions;
   CastMode Mode;
+  bool Fuse;
   VMProgram Prog;
   std::unordered_map<std::string, int> GlobalIndex;
   FnCtx *CurrentFn = nullptr;
@@ -637,6 +706,7 @@ std::optional<VMProgram> grift::compileProgram(const CoreProgram &Prog,
                                                TypeContext &Types,
                                                CoercionFactory &Coercions,
                                                CastMode Mode,
-                                               std::string &Error) {
-  return Compiler(Prog, Types, Coercions, Mode).run(Error);
+                                               std::string &Error,
+                                               bool Fuse) {
+  return Compiler(Prog, Types, Coercions, Mode, Fuse).run(Error);
 }

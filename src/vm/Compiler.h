@@ -22,11 +22,14 @@ namespace grift {
 
 /// Compiles \p Prog for \p Mode. Returns nullopt with \p Error set when
 /// the program cannot be compiled for the mode (e.g. Static mode on a
-/// program that still contains casts or Dyn operations).
+/// program that still contains casts or Dyn operations). \p Fuse
+/// controls the superinstruction peephole pass; disabling it yields the
+/// one-op-per-instruction expansion (used by the differential tests).
 std::optional<VMProgram> compileProgram(const core::CoreProgram &Prog,
                                         TypeContext &Types,
                                         CoercionFactory &Coercions,
-                                        CastMode Mode, std::string &Error);
+                                        CastMode Mode, std::string &Error,
+                                        bool Fuse = true);
 
 } // namespace grift
 

@@ -61,6 +61,8 @@ RunResult VM::run(std::string In, const RunLimits &L) {
   Limits = L;
   FrameCap = Limits.MaxFrames ? Limits.MaxFrames : DefaultMaxFrames;
   StepsUsed = 0;
+  CastIC.assign(Prog.Casts.size(), CoercionCache());
+  SiteIC.assign(Prog.Sites.size(), CoercionCache());
   RT.heap().setHeapLimit(Limits.MaxHeapBytes);
   size_t RootDepthAtEntry = RT.heap().tempRootDepth();
 
@@ -227,6 +229,57 @@ void VM::doReturn() {
 // Main loop
 //===----------------------------------------------------------------------===//
 
+// Dispatch plumbing. VM_FETCH charges one step against the batch budget,
+// re-acquires the frame pointer (frames may have been pushed/popped) and
+// loads the next instruction. VM_FUSED_STEP is the identical mid-
+// superinstruction charge: a fused pair decrements the batch counter
+// twice, so fuel accounting and the 1024-step cancel-poll boundary land
+// exactly where the unfused expansion would put them.
+//
+// With GRIFT_COMPUTED_GOTO (CMake feature check) each handler ends by
+// jumping through a per-opcode label table — token-threaded dispatch,
+// one indirect branch per handler so the predictor can learn opcode
+// successor patterns. Otherwise the same handler bodies compile into a
+// portable for(;;)/switch loop.
+#define VM_FETCH()                                                             \
+  do {                                                                         \
+    if (--BatchLeft == 0) {                                                    \
+      checkBudgets(StepBatch);                                                 \
+      BatchLeft = StepBatch;                                                   \
+    }                                                                          \
+    FP = &Frames.back();                                                       \
+    I = Prog.Functions[FP->Func].Code[FP->PC++];                               \
+  } while (0)
+
+#define VM_FUSED_STEP()                                                        \
+  do {                                                                         \
+    if (--BatchLeft == 0) {                                                    \
+      checkBudgets(StepBatch);                                                 \
+      BatchLeft = StepBatch;                                                   \
+    }                                                                          \
+  } while (0)
+
+#ifdef GRIFT_COMPUTED_GOTO
+#define VM_DISPATCH_BEGIN() VM_NEXT();
+#define VM_CASE(Name) Lbl_##Name:
+#define VM_NEXT()                                                              \
+  do {                                                                         \
+    VM_FETCH();                                                                \
+    goto *JumpTable[static_cast<uint8_t>(I.Code)];                             \
+  } while (0)
+#define VM_DISPATCH_END()
+#else
+#define VM_DISPATCH_BEGIN()                                                    \
+  for (;;) {                                                                   \
+    VM_FETCH();                                                                \
+    switch (I.Code) {
+#define VM_CASE(Name) case Op::Name:
+#define VM_NEXT() break
+#define VM_DISPATCH_END()                                                      \
+    }                                                                          \
+  }
+#endif
+
 Value VM::execute() {
   Frame Main;
   Main.Func = Prog.MainFunction;
@@ -239,414 +292,555 @@ Value VM::execute() {
     push(Value::unit());
 
   uint32_t BatchLeft = StepBatch;
-  for (;;) {
-    if (--BatchLeft == 0) {
-      checkBudgets(StepBatch);
-      BatchLeft = StepBatch;
-    }
-    Frame &F = Frames.back();
-    const Instr I = Prog.Functions[F.Func].Code[F.PC++];
-    switch (I.Code) {
-    case Op::PushUnit:
-      push(Value::unit());
-      break;
-    case Op::PushTrue:
-      push(Value::fromBool(true));
-      break;
-    case Op::PushFalse:
-      push(Value::fromBool(false));
-      break;
-    case Op::PushInt:
-      push(Value::fromFixnum(I.A));
-      break;
-    case Op::PushIntBig:
-      push(Value::fromFixnum(Prog.IntPool[I.A]));
-      break;
-    case Op::PushChar:
-      push(Value::fromChar(static_cast<char>(I.A)));
-      break;
-    case Op::PushFloat:
-      push(RT.heap().allocFloat(Prog.FloatPool[I.A]));
-      break;
-    case Op::LocalGet:
-      push(Stack[F.Base + I.A]);
-      break;
-    case Op::LocalSet:
-      Stack[F.Base + I.A] = pop();
-      break;
-    case Op::GlobalGet:
-      push(Globals[I.A]);
-      break;
-    case Op::GlobalSet:
-      Globals[I.A] = pop();
-      break;
-    case Op::FreeGet:
-      push(F.Clos.object()->slot(I.A));
-      break;
-    case Op::Pop:
-      --Top;
-      break;
-    case Op::Jump:
-      F.PC = static_cast<uint32_t>(I.A);
-      break;
-    case Op::JumpIfFalse: {
-      Value Cond = pop();
-      assert(Cond.isBool() && "condition must be a boolean");
-      if (!Cond.asBool())
-        F.PC = static_cast<uint32_t>(I.A);
-      break;
-    }
-    case Op::Call:
-      doCall(static_cast<uint32_t>(I.A), /*Tail=*/false, {});
-      break;
-    case Op::TailCall:
-      doCall(static_cast<uint32_t>(I.A), /*Tail=*/true, {});
-      break;
-    case Op::Return:
-      doReturn();
-      break;
-    case Op::Halt:
-      // Charge the partial batch so RunResult::Steps is exact on normal
-      // completion (error paths keep the batch-granular rounding).
-      StepsUsed += StepBatch - BatchLeft;
-      return pop();
-    case Op::MakeClosure: {
-      uint32_t NumFree = static_cast<uint32_t>(I.B);
-      Value Clos = RT.heap().allocClosure(static_cast<uint32_t>(I.A), NumFree);
-      HeapObject *Object = Clos.object();
-      for (uint32_t J = 0; J != NumFree; ++J)
-        Object->slot(J) = Stack[Top - NumFree + J];
-      Top -= NumFree;
-      push(Clos);
-      break;
-    }
-    case Op::ClosureInitFree: {
-      Value V = Stack[Top - 1];
-      Value Clos = Stack[Top - 2];
-      // Letrec backpatch: reach the underlying closure through any cast
-      // wrappers (DynBox from an injection, proxy from a function cast).
-      HeapObject *Object = Clos.object();
-      while (Object->kind() == ObjectKind::DynBox ||
-             Object->kind() == ObjectKind::ProxyClosure)
-        Object = Object->slot(0).object();
-      assert(Object->kind() == ObjectKind::Closure &&
-             "letrec initializer did not produce a closure");
-      Object->slot(static_cast<uint32_t>(I.A)) = V;
-      Top -= 2;
-      break;
-    }
-    case Op::Cast: {
-      Value V = Stack[Top - 1];
-      Stack[Top - 1] = RT.applyCast(V, Prog.Casts[I.A]);
-      break;
-    }
-    case Op::Prim:
-      doPrim(static_cast<PrimOp>(I.A));
-      break;
-    case Op::MakeTuple: {
-      uint32_t Size = static_cast<uint32_t>(I.A);
-      Value Tup = RT.heap().allocTuple(Size);
-      HeapObject *Object = Tup.object();
-      for (uint32_t J = 0; J != Size; ++J)
-        Object->slot(J) = Stack[Top - Size + J];
-      Top -= Size;
-      push(Tup);
-      break;
-    }
-    case Op::TupleProj: {
-      Value V = Stack[Top - 1];
-      assert(V.isHeap() && V.object()->kind() == ObjectKind::Tuple);
-      Stack[Top - 1] = V.object()->slot(static_cast<uint32_t>(I.A));
-      break;
-    }
-    case Op::TupleProjDyn: {
-      const DynSite &Site = Prog.Sites[I.B];
-      Value V = Stack[Top - 1];
-      const Type *T = RT.runtimeTypeOf(V);
-      if (T->isRec())
-        T = RT.typeContext().unfold(T);
-      uint32_t Index = static_cast<uint32_t>(I.A);
-      if (!T->isTuple() || Index >= T->tupleSize())
-        RT.blame(Site.Label, "tuple projection from a value of type " +
-                                 T->str());
-      Value Tup = RT.dynUnwrap(V);
-      Value Element = Tup.object()->slot(Index);
-      Stack[Top - 1] = RT.castRuntime(Element, T->element(Index),
-                                      RT.typeContext().dyn(), Site.Label);
-      break;
-    }
-    case Op::BoxNew: {
-      Value V = Stack[Top - 1];
-      Stack[Top - 1] = RT.heap().allocBox(V);
-      break;
-    }
-    case Op::BoxNewMono: {
-      Value V = Stack[Top - 1];
-      Value Box = RT.heap().allocBox(V);
-      Box.object()->setMeta(0, Prog.TypePool[I.A]);
-      Stack[Top - 1] = Box;
-      break;
-    }
-    case Op::BoxGetMono:
-      Stack[Top - 1] = RT.monoBoxRead(Stack[Top - 1], Prog.TypePool[I.A],
-                                      Prog.Sites[I.B].Label);
-      break;
-    case Op::BoxSetMono: {
-      RT.monoBoxWrite(Stack[Top - 2], Stack[Top - 1], Prog.TypePool[I.A],
-                      Prog.Sites[I.B].Label);
-      Top -= 2;
-      push(Value::unit());
-      break;
-    }
-    case Op::BoxGetFast: {
-      Value V = Stack[Top - 1];
-      assert(V.isHeap() && V.object()->kind() == ObjectKind::Box);
-      Stack[Top - 1] = V.object()->slot(0);
-      break;
-    }
-    case Op::BoxGet:
-      Stack[Top - 1] = RT.boxRead(Stack[Top - 1]);
-      break;
-    case Op::BoxSetFast: {
-      Value V = Stack[Top - 1];
-      Value Box = Stack[Top - 2];
-      assert(Box.isHeap() && Box.object()->kind() == ObjectKind::Box);
-      Box.object()->slot(0) = V;
-      Top -= 2;
-      push(Value::unit());
-      break;
-    }
-    case Op::BoxSet: {
-      RT.boxWrite(Stack[Top - 2], Stack[Top - 1]);
-      Top -= 2;
-      push(Value::unit());
-      break;
-    }
-    case Op::UnboxDyn: {
-      const DynSite &Site = Prog.Sites[I.A];
-      Value V = Stack[Top - 1];
-      const Type *T = RT.runtimeTypeOf(V);
-      if (T->isRec())
-        T = RT.typeContext().unfold(T);
-      if (!T->isBox())
-        RT.blame(Site.Label, "unbox of a value of type " + T->str());
-      Value Inner = RT.dynUnwrap(V);
-      Stack[Top - 1] = Inner; // keep rooted during the read + cast
-      if (RT.mode() == CastMode::Monotonic) {
-        // Monotonic cells may be more precise than the DynBox's view
-        // type; read against the cell's own runtime type.
-        Stack[Top - 1] =
-            RT.monoBoxRead(Inner, RT.typeContext().dyn(), Site.Label);
-        break;
-      }
-      Value Content = RT.boxRead(Inner);
-      Stack[Top - 1] = RT.castRuntime(Content, T->inner(),
-                                      RT.typeContext().dyn(), Site.Label);
-      break;
-    }
-    case Op::BoxSetDyn: {
-      const DynSite &Site = Prog.Sites[I.A];
-      Value V = Stack[Top - 2];
-      Value Content = Stack[Top - 1];
-      const Type *T = RT.runtimeTypeOf(V);
-      if (T->isRec())
-        T = RT.typeContext().unfold(T);
-      if (!T->isBox())
-        RT.blame(Site.Label, "box-set! of a value of type " + T->str());
-      Value Inner = RT.dynUnwrap(V);
-      Stack[Top - 2] = Inner;
-      if (RT.mode() == CastMode::Monotonic) {
-        RT.monoBoxWrite(Inner, Content, RT.typeContext().dyn(), Site.Label);
-      } else {
-        Value Converted = RT.castRuntime(Content, RT.typeContext().dyn(),
-                                         T->inner(), Site.Label);
-        RT.boxWrite(Inner, Converted);
-      }
-      Top -= 2;
-      push(Value::unit());
-      break;
-    }
-    case Op::MakeVector: {
-      Value Init = Stack[Top - 1];
-      Value Size = Stack[Top - 2];
-      assert(Size.isFixnum() && "vector size must be an integer");
-      int64_t N = Size.asFixnum();
-      if (N < 0 || N > (INT64_C(1) << 32))
-        trap("invalid vector size " + std::to_string(N));
-      Value Vect = RT.heap().allocVector(static_cast<uint32_t>(N), Init);
-      Top -= 2;
-      push(Vect);
-      break;
-    }
-    case Op::MakeVectorMono: {
-      Value Init = Stack[Top - 1];
-      Value Size = Stack[Top - 2];
-      int64_t N = Size.asFixnum();
-      if (N < 0 || N > (INT64_C(1) << 32))
-        trap("invalid vector size " + std::to_string(N));
-      Value Vect = RT.heap().allocVector(static_cast<uint32_t>(N), Init);
-      Vect.object()->setMeta(0, Prog.TypePool[I.A]);
-      Top -= 2;
-      push(Vect);
-      break;
-    }
-    case Op::VecRefMono: {
-      Value Result =
-          RT.monoVectorRef(Stack[Top - 2], Stack[Top - 1].asFixnum(),
-                           Prog.TypePool[I.A], Prog.Sites[I.B].Label);
-      Top -= 2;
-      push(Result);
-      break;
-    }
-    case Op::VecSetMono: {
-      RT.monoVectorSet(Stack[Top - 3], Stack[Top - 2].asFixnum(),
-                       Stack[Top - 1], Prog.TypePool[I.A],
-                       Prog.Sites[I.B].Label);
-      Top -= 3;
-      push(Value::unit());
-      break;
-    }
-    case Op::VecRefFast: {
-      Value Index = Stack[Top - 1];
-      Value Vect = Stack[Top - 2];
-      HeapObject *Object = Vect.object();
-      int64_t Idx = Index.asFixnum();
-      if (Idx < 0 || Idx >= Object->slotCount())
-        trap("vector index " + std::to_string(Idx) + " out of bounds");
-      Top -= 2;
-      push(Object->slot(static_cast<uint32_t>(Idx)));
-      break;
-    }
-    case Op::VecRef: {
-      Value Result = RT.vectorRef(Stack[Top - 2], Stack[Top - 1].asFixnum());
-      Top -= 2;
-      push(Result);
-      break;
-    }
-    case Op::VecRefDyn: {
-      const DynSite &Site = Prog.Sites[I.A];
-      Value V = Stack[Top - 2];
-      const Type *T = RT.runtimeTypeOf(V);
-      if (T->isRec())
-        T = RT.typeContext().unfold(T);
-      if (!T->isVect())
-        RT.blame(Site.Label, "vector-ref of a value of type " + T->str());
-      Value Inner = RT.dynUnwrap(V);
-      Stack[Top - 2] = Inner;
-      Value Result;
-      if (RT.mode() == CastMode::Monotonic) {
-        Result = RT.monoVectorRef(Inner, Stack[Top - 1].asFixnum(),
-                                  RT.typeContext().dyn(), Site.Label);
-      } else {
-        Value Element = RT.vectorRef(Inner, Stack[Top - 1].asFixnum());
-        Result = RT.castRuntime(Element, T->inner(),
-                                RT.typeContext().dyn(), Site.Label);
-      }
-      Top -= 2;
-      push(Result);
-      break;
-    }
-    case Op::VecSetFast: {
-      Value Content = Stack[Top - 1];
-      Value Index = Stack[Top - 2];
-      Value Vect = Stack[Top - 3];
-      HeapObject *Object = Vect.object();
-      int64_t Idx = Index.asFixnum();
-      if (Idx < 0 || Idx >= Object->slotCount())
-        trap("vector index " + std::to_string(Idx) + " out of bounds");
-      Object->slot(static_cast<uint32_t>(Idx)) = Content;
-      Top -= 3;
-      push(Value::unit());
-      break;
-    }
-    case Op::VecSet: {
-      RT.vectorSet(Stack[Top - 3], Stack[Top - 2].asFixnum(),
-                   Stack[Top - 1]);
-      Top -= 3;
-      push(Value::unit());
-      break;
-    }
-    case Op::VecSetDyn: {
-      const DynSite &Site = Prog.Sites[I.A];
-      Value V = Stack[Top - 3];
-      const Type *T = RT.runtimeTypeOf(V);
-      if (T->isRec())
-        T = RT.typeContext().unfold(T);
-      if (!T->isVect())
-        RT.blame(Site.Label, "vector-set! of a value of type " + T->str());
-      Value Inner = RT.dynUnwrap(V);
-      Stack[Top - 3] = Inner;
-      if (RT.mode() == CastMode::Monotonic) {
-        RT.monoVectorSet(Inner, Stack[Top - 2].asFixnum(), Stack[Top - 1],
-                         RT.typeContext().dyn(), Site.Label);
-      } else {
-        Value Converted = RT.castRuntime(
-            Stack[Top - 1], RT.typeContext().dyn(), T->inner(), Site.Label);
-        RT.vectorSet(Inner, Stack[Top - 2].asFixnum(), Converted);
-      }
-      Top -= 3;
-      push(Value::unit());
-      break;
-    }
-    case Op::VecLenFast: {
-      Value Vect = Stack[Top - 1];
-      Stack[Top - 1] = Value::fromFixnum(Vect.object()->slotCount());
-      break;
-    }
-    case Op::VecLen:
-      Stack[Top - 1] = Value::fromFixnum(RT.vectorLength(Stack[Top - 1]));
-      break;
-    case Op::VecLenDyn: {
-      const DynSite &Site = Prog.Sites[I.A];
-      Value V = Stack[Top - 1];
-      const Type *T = RT.runtimeTypeOf(V);
-      if (T->isRec())
-        T = RT.typeContext().unfold(T);
-      if (!T->isVect())
-        RT.blame(Site.Label, "vector-length of a value of type " + T->str());
-      Stack[Top - 1] = Value::fromFixnum(RT.vectorLength(RT.dynUnwrap(V)));
-      break;
-    }
-    case Op::AppDyn: {
-      uint32_t Argc = static_cast<uint32_t>(I.A);
-      const DynSite &Site = Prog.Sites[I.B];
-      size_t CalleeIdx = Top - Argc - 1;
-      Value Dv = Stack[CalleeIdx];
-      const Type *FT = RT.runtimeTypeOf(Dv);
-      if (FT->isRec())
-        FT = RT.typeContext().unfold(FT);
-      if (!FT->isFunction())
-        RT.blame(Site.Label, "application of a value of type " + FT->str());
-      if (FT->arity() != Argc)
-        RT.blame(Site.Label,
-                 "arity mismatch: function expects " +
-                     std::to_string(FT->arity()) + " arguments, got " +
-                     std::to_string(Argc));
-      Stack[CalleeIdx] = RT.dynUnwrap(Dv);
-      const Type *Dyn = RT.typeContext().dyn();
-      for (uint32_t J = 0; J != Argc; ++J)
-        Stack[CalleeIdx + 1 + J] = RT.castRuntime(
-            Stack[CalleeIdx + 1 + J], Dyn, FT->param(J), Site.Label);
-      std::vector<RetCast> Pending;
-      Pending.push_back({nullptr, FT->result(), Dyn, Site.Label});
-      doCall(Argc, /*Tail=*/false, std::move(Pending));
-      break;
-    }
-    case Op::TimeStart:
-      TimeStack.push_back(std::chrono::steady_clock::now());
-      break;
-    case Op::TimeEnd: {
-      auto End = std::chrono::steady_clock::now();
-      RT.stats().TimedNanos =
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              End - TimeStack.back())
-              .count();
-      TimeStack.pop_back();
-      break;
-    }
-    }
+  Frame *FP = nullptr;
+  Instr I;
+
+#ifdef GRIFT_COMPUTED_GOTO
+  // One entry per opcode, in exact enum order (checked by the
+  // static_assert below — extend both together).
+  static const void *const JumpTable[] = {
+      &&Lbl_PushUnit,
+      &&Lbl_PushTrue,
+      &&Lbl_PushFalse,
+      &&Lbl_PushInt,
+      &&Lbl_PushIntBig,
+      &&Lbl_PushChar,
+      &&Lbl_PushFloat,
+      &&Lbl_LocalGet,
+      &&Lbl_LocalSet,
+      &&Lbl_GlobalGet,
+      &&Lbl_GlobalSet,
+      &&Lbl_FreeGet,
+      &&Lbl_Pop,
+      &&Lbl_Jump,
+      &&Lbl_JumpIfFalse,
+      &&Lbl_Call,
+      &&Lbl_TailCall,
+      &&Lbl_Return,
+      &&Lbl_Halt,
+      &&Lbl_MakeClosure,
+      &&Lbl_ClosureInitFree,
+      &&Lbl_Cast,
+      &&Lbl_Prim,
+      &&Lbl_MakeTuple,
+      &&Lbl_TupleProj,
+      &&Lbl_TupleProjDyn,
+      &&Lbl_BoxNew,
+      &&Lbl_BoxNewMono,
+      &&Lbl_BoxGet,
+      &&Lbl_BoxGetFast,
+      &&Lbl_BoxGetMono,
+      &&Lbl_BoxSet,
+      &&Lbl_BoxSetFast,
+      &&Lbl_BoxSetMono,
+      &&Lbl_UnboxDyn,
+      &&Lbl_BoxSetDyn,
+      &&Lbl_MakeVector,
+      &&Lbl_MakeVectorMono,
+      &&Lbl_VecRef,
+      &&Lbl_VecRefFast,
+      &&Lbl_VecRefMono,
+      &&Lbl_VecRefDyn,
+      &&Lbl_VecSet,
+      &&Lbl_VecSetFast,
+      &&Lbl_VecSetMono,
+      &&Lbl_VecSetDyn,
+      &&Lbl_VecLen,
+      &&Lbl_VecLenFast,
+      &&Lbl_VecLenDyn,
+      &&Lbl_AppDyn,
+      &&Lbl_TimeStart,
+      &&Lbl_TimeEnd,
+      &&Lbl_LocalGetGet,
+      &&Lbl_LocalGetCall,
+      &&Lbl_LocalGetTailCall,
+      &&Lbl_PushIntPrim,
+      &&Lbl_PrimJumpIfFalse,
+  };
+  static_assert(sizeof(JumpTable) / sizeof(JumpTable[0]) == NumOpcodes,
+                "jump table out of sync with enum Op");
+#endif
+
+  VM_DISPATCH_BEGIN()
+  VM_CASE(PushUnit) {
+    push(Value::unit());
+    VM_NEXT();
   }
+  VM_CASE(PushTrue) {
+    push(Value::fromBool(true));
+    VM_NEXT();
+  }
+  VM_CASE(PushFalse) {
+    push(Value::fromBool(false));
+    VM_NEXT();
+  }
+  VM_CASE(PushInt) {
+    push(Value::fromFixnum(I.A));
+    VM_NEXT();
+  }
+  VM_CASE(PushIntBig) {
+    push(Value::fromFixnum(Prog.IntPool[I.A]));
+    VM_NEXT();
+  }
+  VM_CASE(PushChar) {
+    push(Value::fromChar(static_cast<char>(I.A)));
+    VM_NEXT();
+  }
+  VM_CASE(PushFloat) {
+    push(RT.heap().allocFloat(Prog.FloatPool[I.A]));
+    VM_NEXT();
+  }
+  VM_CASE(LocalGet) {
+    push(Stack[FP->Base + I.A]);
+    VM_NEXT();
+  }
+  VM_CASE(LocalSet) {
+    Stack[FP->Base + I.A] = pop();
+    VM_NEXT();
+  }
+  VM_CASE(GlobalGet) {
+    push(Globals[I.A]);
+    VM_NEXT();
+  }
+  VM_CASE(GlobalSet) {
+    Globals[I.A] = pop();
+    VM_NEXT();
+  }
+  VM_CASE(FreeGet) {
+    push(FP->Clos.object()->slot(I.A));
+    VM_NEXT();
+  }
+  VM_CASE(Pop) {
+    --Top;
+    VM_NEXT();
+  }
+  VM_CASE(Jump) {
+    FP->PC = static_cast<uint32_t>(I.A);
+    VM_NEXT();
+  }
+  VM_CASE(JumpIfFalse) {
+    Value Cond = pop();
+    assert(Cond.isBool() && "condition must be a boolean");
+    if (!Cond.asBool())
+      FP->PC = static_cast<uint32_t>(I.A);
+    VM_NEXT();
+  }
+  VM_CASE(Call) {
+    doCall(static_cast<uint32_t>(I.A), /*Tail=*/false, {});
+    VM_NEXT();
+  }
+  VM_CASE(TailCall) {
+    doCall(static_cast<uint32_t>(I.A), /*Tail=*/true, {});
+    VM_NEXT();
+  }
+  VM_CASE(Return) {
+    doReturn();
+    VM_NEXT();
+  }
+  VM_CASE(Halt) {
+    // Charge the partial batch so RunResult::Steps is exact on normal
+    // completion (error paths keep the batch-granular rounding).
+    StepsUsed += StepBatch - BatchLeft;
+    return pop();
+  }
+  VM_CASE(MakeClosure) {
+    uint32_t NumFree = static_cast<uint32_t>(I.B);
+    Value Clos = RT.heap().allocClosure(static_cast<uint32_t>(I.A), NumFree);
+    HeapObject *Object = Clos.object();
+    for (uint32_t J = 0; J != NumFree; ++J)
+      Object->slot(J) = Stack[Top - NumFree + J];
+    Top -= NumFree;
+    push(Clos);
+    VM_NEXT();
+  }
+  VM_CASE(ClosureInitFree) {
+    Value V = Stack[Top - 1];
+    Value Clos = Stack[Top - 2];
+    // Letrec backpatch: reach the underlying closure through any cast
+    // wrappers (DynBox from an injection, proxy from a function cast).
+    HeapObject *Object = Clos.object();
+    while (Object->kind() == ObjectKind::DynBox ||
+           Object->kind() == ObjectKind::ProxyClosure)
+      Object = Object->slot(0).object();
+    assert(Object->kind() == ObjectKind::Closure &&
+           "letrec initializer did not produce a closure");
+    Object->slot(static_cast<uint32_t>(I.A)) = V;
+    Top -= 2;
+    VM_NEXT();
+  }
+  VM_CASE(Cast) {
+    Value V = Stack[Top - 1];
+    Stack[Top - 1] = RT.applyCast(V, Prog.Casts[I.A], &CastIC[I.A]);
+    VM_NEXT();
+  }
+  VM_CASE(Prim) {
+    doPrim(static_cast<PrimOp>(I.A));
+    VM_NEXT();
+  }
+  VM_CASE(MakeTuple) {
+    uint32_t Size = static_cast<uint32_t>(I.A);
+    Value Tup = RT.heap().allocTuple(Size);
+    HeapObject *Object = Tup.object();
+    for (uint32_t J = 0; J != Size; ++J)
+      Object->slot(J) = Stack[Top - Size + J];
+    Top -= Size;
+    push(Tup);
+    VM_NEXT();
+  }
+  VM_CASE(TupleProj) {
+    Value V = Stack[Top - 1];
+    assert(V.isHeap() && V.object()->kind() == ObjectKind::Tuple);
+    Stack[Top - 1] = V.object()->slot(static_cast<uint32_t>(I.A));
+    VM_NEXT();
+  }
+  VM_CASE(TupleProjDyn) {
+    const DynSite &Site = Prog.Sites[I.B];
+    Value V = Stack[Top - 1];
+    const Type *T = RT.runtimeTypeOf(V);
+    if (T->isRec())
+      T = RT.typeContext().unfold(T);
+    uint32_t Index = static_cast<uint32_t>(I.A);
+    if (!T->isTuple() || Index >= T->tupleSize())
+      RT.blame(Site.Label, "tuple projection from a value of type " +
+                               T->str());
+    Value Tup = RT.dynUnwrap(V);
+    Value Element = Tup.object()->slot(Index);
+    Stack[Top - 1] = RT.castRuntime(Element, T->element(Index),
+                                    RT.typeContext().dyn(), Site.Label,
+                                    &SiteIC[I.B]);
+    VM_NEXT();
+  }
+  VM_CASE(BoxNew) {
+    Value V = Stack[Top - 1];
+    Stack[Top - 1] = RT.heap().allocBox(V);
+    VM_NEXT();
+  }
+  VM_CASE(BoxNewMono) {
+    Value V = Stack[Top - 1];
+    Value Box = RT.heap().allocBox(V);
+    Box.object()->setMeta(0, Prog.TypePool[I.A]);
+    Stack[Top - 1] = Box;
+    VM_NEXT();
+  }
+  VM_CASE(BoxGetMono) {
+    Stack[Top - 1] = RT.monoBoxRead(Stack[Top - 1], Prog.TypePool[I.A],
+                                    Prog.Sites[I.B].Label);
+    VM_NEXT();
+  }
+  VM_CASE(BoxSetMono) {
+    RT.monoBoxWrite(Stack[Top - 2], Stack[Top - 1], Prog.TypePool[I.A],
+                    Prog.Sites[I.B].Label);
+    Top -= 2;
+    push(Value::unit());
+    VM_NEXT();
+  }
+  VM_CASE(BoxGetFast) {
+    Value V = Stack[Top - 1];
+    assert(V.isHeap() && V.object()->kind() == ObjectKind::Box);
+    Stack[Top - 1] = V.object()->slot(0);
+    VM_NEXT();
+  }
+  VM_CASE(BoxGet) {
+    Stack[Top - 1] = RT.boxRead(Stack[Top - 1]);
+    VM_NEXT();
+  }
+  VM_CASE(BoxSetFast) {
+    Value V = Stack[Top - 1];
+    Value Box = Stack[Top - 2];
+    assert(Box.isHeap() && Box.object()->kind() == ObjectKind::Box);
+    Box.object()->slot(0) = V;
+    Top -= 2;
+    push(Value::unit());
+    VM_NEXT();
+  }
+  VM_CASE(BoxSet) {
+    RT.boxWrite(Stack[Top - 2], Stack[Top - 1]);
+    Top -= 2;
+    push(Value::unit());
+    VM_NEXT();
+  }
+  VM_CASE(UnboxDyn) {
+    const DynSite &Site = Prog.Sites[I.A];
+    Value V = Stack[Top - 1];
+    const Type *T = RT.runtimeTypeOf(V);
+    if (T->isRec())
+      T = RT.typeContext().unfold(T);
+    if (!T->isBox())
+      RT.blame(Site.Label, "unbox of a value of type " + T->str());
+    Value Inner = RT.dynUnwrap(V);
+    Stack[Top - 1] = Inner; // keep rooted during the read + cast
+    if (RT.mode() == CastMode::Monotonic) {
+      // Monotonic cells may be more precise than the DynBox's view
+      // type; read against the cell's own runtime type.
+      Stack[Top - 1] =
+          RT.monoBoxRead(Inner, RT.typeContext().dyn(), Site.Label);
+      VM_NEXT();
+    }
+    Value Content = RT.boxRead(Inner);
+    Stack[Top - 1] = RT.castRuntime(Content, T->inner(),
+                                    RT.typeContext().dyn(), Site.Label,
+                                    &SiteIC[I.A]);
+    VM_NEXT();
+  }
+  VM_CASE(BoxSetDyn) {
+    const DynSite &Site = Prog.Sites[I.A];
+    Value V = Stack[Top - 2];
+    Value Content = Stack[Top - 1];
+    const Type *T = RT.runtimeTypeOf(V);
+    if (T->isRec())
+      T = RT.typeContext().unfold(T);
+    if (!T->isBox())
+      RT.blame(Site.Label, "box-set! of a value of type " + T->str());
+    Value Inner = RT.dynUnwrap(V);
+    Stack[Top - 2] = Inner;
+    if (RT.mode() == CastMode::Monotonic) {
+      RT.monoBoxWrite(Inner, Content, RT.typeContext().dyn(), Site.Label);
+    } else {
+      Value Converted = RT.castRuntime(Content, RT.typeContext().dyn(),
+                                       T->inner(), Site.Label, &SiteIC[I.A]);
+      RT.boxWrite(Inner, Converted);
+    }
+    Top -= 2;
+    push(Value::unit());
+    VM_NEXT();
+  }
+  VM_CASE(MakeVector) {
+    Value Init = Stack[Top - 1];
+    Value Size = Stack[Top - 2];
+    assert(Size.isFixnum() && "vector size must be an integer");
+    int64_t N = Size.asFixnum();
+    if (N < 0 || N > (INT64_C(1) << 32))
+      trap("invalid vector size " + std::to_string(N));
+    Value Vect = RT.heap().allocVector(static_cast<uint32_t>(N), Init);
+    Top -= 2;
+    push(Vect);
+    VM_NEXT();
+  }
+  VM_CASE(MakeVectorMono) {
+    Value Init = Stack[Top - 1];
+    Value Size = Stack[Top - 2];
+    int64_t N = Size.asFixnum();
+    if (N < 0 || N > (INT64_C(1) << 32))
+      trap("invalid vector size " + std::to_string(N));
+    Value Vect = RT.heap().allocVector(static_cast<uint32_t>(N), Init);
+    Vect.object()->setMeta(0, Prog.TypePool[I.A]);
+    Top -= 2;
+    push(Vect);
+    VM_NEXT();
+  }
+  VM_CASE(VecRefMono) {
+    Value Result =
+        RT.monoVectorRef(Stack[Top - 2], Stack[Top - 1].asFixnum(),
+                         Prog.TypePool[I.A], Prog.Sites[I.B].Label);
+    Top -= 2;
+    push(Result);
+    VM_NEXT();
+  }
+  VM_CASE(VecSetMono) {
+    RT.monoVectorSet(Stack[Top - 3], Stack[Top - 2].asFixnum(),
+                     Stack[Top - 1], Prog.TypePool[I.A],
+                     Prog.Sites[I.B].Label);
+    Top -= 3;
+    push(Value::unit());
+    VM_NEXT();
+  }
+  VM_CASE(VecRefFast) {
+    Value Index = Stack[Top - 1];
+    Value Vect = Stack[Top - 2];
+    HeapObject *Object = Vect.object();
+    int64_t Idx = Index.asFixnum();
+    if (Idx < 0 || Idx >= Object->slotCount())
+      trap("vector index " + std::to_string(Idx) + " out of bounds");
+    Top -= 2;
+    push(Object->slot(static_cast<uint32_t>(Idx)));
+    VM_NEXT();
+  }
+  VM_CASE(VecRef) {
+    Value Result = RT.vectorRef(Stack[Top - 2], Stack[Top - 1].asFixnum());
+    Top -= 2;
+    push(Result);
+    VM_NEXT();
+  }
+  VM_CASE(VecRefDyn) {
+    const DynSite &Site = Prog.Sites[I.A];
+    Value V = Stack[Top - 2];
+    const Type *T = RT.runtimeTypeOf(V);
+    if (T->isRec())
+      T = RT.typeContext().unfold(T);
+    if (!T->isVect())
+      RT.blame(Site.Label, "vector-ref of a value of type " + T->str());
+    Value Inner = RT.dynUnwrap(V);
+    Stack[Top - 2] = Inner;
+    Value Result;
+    if (RT.mode() == CastMode::Monotonic) {
+      Result = RT.monoVectorRef(Inner, Stack[Top - 1].asFixnum(),
+                                RT.typeContext().dyn(), Site.Label);
+    } else {
+      Value Element = RT.vectorRef(Inner, Stack[Top - 1].asFixnum());
+      Result = RT.castRuntime(Element, T->inner(), RT.typeContext().dyn(),
+                              Site.Label, &SiteIC[I.A]);
+    }
+    Top -= 2;
+    push(Result);
+    VM_NEXT();
+  }
+  VM_CASE(VecSetFast) {
+    Value Content = Stack[Top - 1];
+    Value Index = Stack[Top - 2];
+    Value Vect = Stack[Top - 3];
+    HeapObject *Object = Vect.object();
+    int64_t Idx = Index.asFixnum();
+    if (Idx < 0 || Idx >= Object->slotCount())
+      trap("vector index " + std::to_string(Idx) + " out of bounds");
+    Object->slot(static_cast<uint32_t>(Idx)) = Content;
+    Top -= 3;
+    push(Value::unit());
+    VM_NEXT();
+  }
+  VM_CASE(VecSet) {
+    RT.vectorSet(Stack[Top - 3], Stack[Top - 2].asFixnum(),
+                 Stack[Top - 1]);
+    Top -= 3;
+    push(Value::unit());
+    VM_NEXT();
+  }
+  VM_CASE(VecSetDyn) {
+    const DynSite &Site = Prog.Sites[I.A];
+    Value V = Stack[Top - 3];
+    const Type *T = RT.runtimeTypeOf(V);
+    if (T->isRec())
+      T = RT.typeContext().unfold(T);
+    if (!T->isVect())
+      RT.blame(Site.Label, "vector-set! of a value of type " + T->str());
+    Value Inner = RT.dynUnwrap(V);
+    Stack[Top - 3] = Inner;
+    if (RT.mode() == CastMode::Monotonic) {
+      RT.monoVectorSet(Inner, Stack[Top - 2].asFixnum(), Stack[Top - 1],
+                       RT.typeContext().dyn(), Site.Label);
+    } else {
+      Value Converted =
+          RT.castRuntime(Stack[Top - 1], RT.typeContext().dyn(), T->inner(),
+                         Site.Label, &SiteIC[I.A]);
+      RT.vectorSet(Inner, Stack[Top - 2].asFixnum(), Converted);
+    }
+    Top -= 3;
+    push(Value::unit());
+    VM_NEXT();
+  }
+  VM_CASE(VecLenFast) {
+    Value Vect = Stack[Top - 1];
+    Stack[Top - 1] = Value::fromFixnum(Vect.object()->slotCount());
+    VM_NEXT();
+  }
+  VM_CASE(VecLen) {
+    Stack[Top - 1] = Value::fromFixnum(RT.vectorLength(Stack[Top - 1]));
+    VM_NEXT();
+  }
+  VM_CASE(VecLenDyn) {
+    const DynSite &Site = Prog.Sites[I.A];
+    Value V = Stack[Top - 1];
+    const Type *T = RT.runtimeTypeOf(V);
+    if (T->isRec())
+      T = RT.typeContext().unfold(T);
+    if (!T->isVect())
+      RT.blame(Site.Label, "vector-length of a value of type " + T->str());
+    Stack[Top - 1] = Value::fromFixnum(RT.vectorLength(RT.dynUnwrap(V)));
+    VM_NEXT();
+  }
+  VM_CASE(AppDyn) {
+    uint32_t Argc = static_cast<uint32_t>(I.A);
+    const DynSite &Site = Prog.Sites[I.B];
+    size_t CalleeIdx = Top - Argc - 1;
+    Value Dv = Stack[CalleeIdx];
+    const Type *FT = RT.runtimeTypeOf(Dv);
+    if (FT->isRec())
+      FT = RT.typeContext().unfold(FT);
+    if (!FT->isFunction())
+      RT.blame(Site.Label, "application of a value of type " + FT->str());
+    if (FT->arity() != Argc)
+      RT.blame(Site.Label,
+               "arity mismatch: function expects " +
+                   std::to_string(FT->arity()) + " arguments, got " +
+                   std::to_string(Argc));
+    Stack[CalleeIdx] = RT.dynUnwrap(Dv);
+    const Type *Dyn = RT.typeContext().dyn();
+    for (uint32_t J = 0; J != Argc; ++J)
+      Stack[CalleeIdx + 1 + J] =
+          RT.castRuntime(Stack[CalleeIdx + 1 + J], Dyn, FT->param(J),
+                         Site.Label, &SiteIC[I.B]);
+    std::vector<RetCast> Pending;
+    Pending.push_back({nullptr, FT->result(), Dyn, Site.Label});
+    doCall(Argc, /*Tail=*/false, std::move(Pending));
+    VM_NEXT();
+  }
+  VM_CASE(TimeStart) {
+    TimeStack.push_back(std::chrono::steady_clock::now());
+    VM_NEXT();
+  }
+  VM_CASE(TimeEnd) {
+    auto End = std::chrono::steady_clock::now();
+    RT.stats().TimedNanos =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            End - TimeStack.back())
+            .count();
+    TimeStack.pop_back();
+    VM_NEXT();
+  }
+
+  // Superinstructions. Each fuses an adjacent pair; the pair's second
+  // instruction is still in the slot after this one (a placeholder the
+  // compiler left in place so jump targets stay valid) and is skipped
+  // with ++FP->PC. The skip happens BEFORE any call that may push a
+  // frame: doCall can reallocate the Frames vector, which would
+  // invalidate FP.
+  VM_CASE(LocalGetGet) {
+    push(Stack[FP->Base + I.A]);
+    VM_FUSED_STEP();
+    ++FP->PC;
+    push(Stack[FP->Base + I.B]);
+    VM_NEXT();
+  }
+  VM_CASE(LocalGetCall) {
+    push(Stack[FP->Base + I.A]);
+    VM_FUSED_STEP();
+    ++FP->PC;
+    doCall(static_cast<uint32_t>(I.B), /*Tail=*/false, {});
+    VM_NEXT();
+  }
+  VM_CASE(LocalGetTailCall) {
+    push(Stack[FP->Base + I.A]);
+    VM_FUSED_STEP();
+    ++FP->PC;
+    doCall(static_cast<uint32_t>(I.B), /*Tail=*/true, {});
+    VM_NEXT();
+  }
+  VM_CASE(PushIntPrim) {
+    push(Value::fromFixnum(I.A));
+    VM_FUSED_STEP();
+    ++FP->PC;
+    doPrim(static_cast<PrimOp>(I.B));
+    VM_NEXT();
+  }
+  VM_CASE(PrimJumpIfFalse) {
+    doPrim(static_cast<PrimOp>(I.A));
+    VM_FUSED_STEP();
+    Value Cond = pop();
+    assert(Cond.isBool() && "condition must be a boolean");
+    if (!Cond.asBool())
+      FP->PC = static_cast<uint32_t>(I.B);
+    else
+      ++FP->PC; // over the placeholder JumpIfFalse
+    VM_NEXT();
+  }
+  VM_DISPATCH_END()
 }
+
+#undef VM_FETCH
+#undef VM_FUSED_STEP
+#undef VM_DISPATCH_BEGIN
+#undef VM_CASE
+#undef VM_NEXT
+#undef VM_DISPATCH_END
 
 //===----------------------------------------------------------------------===//
 // Primitives

@@ -82,6 +82,11 @@ private:
   size_t FrameCap = 0; ///< resolved from Limits (or the built-in cap)
   uint64_t StepsUsed = 0;
   std::chrono::steady_clock::time_point StartTime;
+  /// Per-site inline caches: one per Cast instruction and one per Dyn
+  /// elimination site, indexed by the instruction's cast/site table
+  /// index. Reset at the start of every run.
+  std::vector<CoercionCache> CastIC;
+  std::vector<CoercionCache> SiteIC;
 
   Value execute();
 

@@ -368,3 +368,44 @@ TEST_P(CoercionLawsTest, ComposeAssociativeStructurally) {
 
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, CoercionLawsTest,
                          ::testing::Range(0, 8));
+
+TEST_F(CoercionTest, NestedSubCoercionsAreInternedAcrossMakes) {
+  // makeImpl routes μ-free structural subpairs through makeInterned, so
+  // deriving an outer coercion seeds MakeCache with every nested
+  // subderivation: re-making any of those subpairs afterwards must
+  // allocate zero new nodes.
+  const Coercion *Outer = mk("(Tuple (Tuple Int Bool) (Int -> Bool))",
+                             "(Tuple (Tuple Dyn Bool) (Dyn -> Bool))");
+  ASSERT_FALSE(Outer->isId());
+  size_t Nodes = F.allocatedNodes();
+  mk("(Tuple Int Bool)", "(Tuple Dyn Bool)");
+  mk("(Int -> Bool)", "(Dyn -> Bool)");
+  mk("Int", "Dyn");
+  EXPECT_EQ(F.allocatedNodes(), Nodes);
+}
+
+TEST_F(CoercionTest, RecursiveSubderivationsStillTieKnots) {
+  // μ-typed pairs keep the frame-stack path (their subderivations are
+  // not self-contained), and the result is unchanged by the caching of
+  // μ-free subpairs around them.
+  const Coercion *C = mk("(Rec s (Tuple Int (-> s)))",
+                         "(Rec s (Tuple Dyn (-> s)))");
+  EXPECT_TRUE(CoercionFactory::isNormalForm(C));
+  EXPECT_TRUE(C->hasRec());
+}
+
+TEST_F(CoercionTest, ResetStartsAFreshEpoch) {
+  const Coercion *C = mk("Int", "Dyn");
+  ASSERT_TRUE(C->isInjectSeq());
+  EXPECT_GT(F.allocatedNodes(), 1u);
+  F.reset();
+  EXPECT_EQ(F.allocatedNodes(), 1u); // ι only
+  EXPECT_TRUE(F.id()->isId());
+  // The factory is fully usable in the new epoch.
+  const Coercion *C2 = mk("Int", "Dyn");
+  ASSERT_TRUE(C2->isInjectSeq());
+  EXPECT_TRUE(CoercionFactory::isNormalForm(C2));
+  const Coercion *Mu = mk("(Rec s (Tuple Int (-> s)))",
+                          "(Rec s (Tuple Dyn (-> s)))");
+  EXPECT_TRUE(CoercionFactory::isNormalForm(Mu));
+}

@@ -9,6 +9,7 @@
 /// checker are fuzzed along with the back ends.
 ///
 //===----------------------------------------------------------------------===//
+#include "FuzzGen.h"
 #include "grift/Grift.h"
 #include "refinterp/RefInterp.h"
 #include "support/RNG.h"
@@ -16,222 +17,10 @@
 #include <gtest/gtest.h>
 
 using namespace grift;
+using grift::fuzz::ProgramGen;
 
 namespace {
 
-/// Generates expressions of a requested type, tracking variables in
-/// scope. Emits concrete syntax directly.
-class ProgramGen {
-public:
-  ProgramGen(TypeContext &Types, RNG &Gen) : Types(Types), Gen(Gen) {}
-
-  /// A whole program: a couple of definitions plus a final expression of
-  /// printable type.
-  std::string program() {
-    std::string Out;
-    unsigned NumDefs = 1 + Gen.below(3);
-    for (unsigned I = 0; I != NumDefs; ++I) {
-      const Type *Ret = scalarType();
-      std::vector<const Type *> Params;
-      unsigned Arity = 1 + Gen.below(2);
-      for (unsigned P = 0; P != Arity; ++P)
-        Params.push_back(scalarType());
-      std::string Name = "g" + std::to_string(I);
-      Out += "(define (" + Name;
-      std::vector<Binding> Saved = Scope;
-      for (unsigned P = 0; P != Arity; ++P) {
-        std::string PName = Name + "p" + std::to_string(P);
-        Out += " [" + PName + " : " + Params[P]->str() + "]";
-        Scope.push_back({PName, Params[P]});
-      }
-      Out += ") : " + Ret->str() + " " + expr(Ret, 3) + ")\n";
-      Scope = Saved;
-      Funcs.push_back({Name, Types.function(std::move(Params), Ret)});
-    }
-    const Type *Final = scalarType();
-    Out += expr(Final, 4) + "\n";
-    return Out;
-  }
-
-private:
-  struct Binding {
-    std::string Name;
-    const Type *Ty;
-  };
-
-  TypeContext &Types;
-  RNG &Gen;
-  std::vector<Binding> Scope;
-  std::vector<Binding> Funcs;
-  unsigned NextVar = 0;
-
-  /// Scalar-ish result types keep final values printable/comparable.
-  const Type *scalarType() {
-    switch (Gen.below(4)) {
-    case 0:
-      return Types.integer();
-    case 1:
-      return Types.boolean();
-    case 2:
-      return Types.floating();
-    default:
-      return Types.tuple({Types.integer(), Types.boolean()});
-    }
-  }
-
-  std::string literal(const Type *T) {
-    switch (T->kind()) {
-    case TypeKind::Int:
-      return std::to_string(static_cast<int64_t>(Gen.below(200)) - 100);
-    case TypeKind::Bool:
-      return Gen.flip(0.5) ? "#t" : "#f";
-    case TypeKind::Float:
-      return std::to_string(static_cast<int64_t>(Gen.below(64))) + "." +
-             std::to_string(Gen.below(100));
-    case TypeKind::Unit:
-      return "()";
-    case TypeKind::Char:
-      return std::string("#\\") + static_cast<char>('a' + Gen.below(26));
-    case TypeKind::Tuple: {
-      std::string Out = "(tuple";
-      for (size_t I = 0; I != T->tupleSize(); ++I)
-        Out += " " + literal(T->element(I));
-      return Out + ")";
-    }
-    case TypeKind::Box:
-      return "(box " + literal(T->inner()) + ")";
-    case TypeKind::Vect:
-      return "(make-vector 2 " + literal(T->inner()) + ")";
-    case TypeKind::Function: {
-      std::string Out = "(lambda (";
-      std::vector<std::string> Params;
-      for (size_t I = 0; I != T->arity(); ++I) {
-        std::string Name = "v" + std::to_string(NextVar++);
-        Out += (I ? " [" : "[") + Name + " : " + T->param(I)->str() + "]";
-        Params.push_back(Name);
-      }
-      Out += ") : " + T->result()->str() + " ";
-      // Body: a literal of the result type (params unused is fine).
-      Out += literal(T->result());
-      return Out + ")";
-    }
-    default:
-      return "0";
-    }
-  }
-
-  /// Variables of exactly type \p T currently in scope.
-  std::string varOfType(const Type *T) {
-    std::vector<const Binding *> Matches;
-    for (const Binding &B : Scope)
-      if (B.Ty == T)
-        Matches.push_back(&B);
-    if (Matches.empty())
-      return "";
-    return Matches[Gen.below(Matches.size())]->Name;
-  }
-
-  std::string expr(const Type *T, unsigned Depth) {
-    if (Depth == 0) {
-      std::string Var = varOfType(T);
-      return Var.empty() ? literal(T) : Var;
-    }
-    switch (Gen.below(10)) {
-    case 0: { // literal / variable
-      std::string Var = varOfType(T);
-      return Var.empty() || Gen.flip(0.3) ? literal(T) : Var;
-    }
-    case 1: // if
-      return "(if " + expr(Types.boolean(), Depth - 1) + " " +
-             expr(T, Depth - 1) + " " + expr(T, Depth - 1) + ")";
-    case 2: { // let
-      std::string Name = "v" + std::to_string(NextVar++);
-      const Type *BindTy = scalarType();
-      std::string Init = expr(BindTy, Depth - 1);
-      Scope.push_back({Name, BindTy});
-      std::string Body = expr(T, Depth - 1);
-      Scope.pop_back();
-      return "(let ([" + Name + " : " + BindTy->str() + " " + Init + "]) " +
-             Body + ")";
-    }
-    case 3: // Dyn round trip: the gradual-typing stressor
-      return "(ann (ann " + expr(T, Depth - 1) + " Dyn) " + T->str() + ")";
-    case 4: { // call a generated top-level function (possibly via Dyn)
-      if (Funcs.empty() || !typeEq(T))
-        return expr(T, 0);
-      std::vector<const Binding *> Usable;
-      for (const Binding &F : Funcs)
-        if (F.Ty->result() == T)
-          Usable.push_back(&F);
-      if (Usable.empty())
-        return expr(T, 0);
-      const Binding &F = *Usable[Gen.below(Usable.size())];
-      bool ViaDyn = Gen.flip(0.3);
-      std::string Out =
-          ViaDyn ? "((ann (ann " + F.Name + " Dyn) " + F.Ty->str() + ")"
-                 : "(" + F.Name;
-      for (size_t I = 0; I != F.Ty->arity(); ++I)
-        Out += " " + expr(F.Ty->param(I), Depth - 1);
-      return Out + ")";
-    }
-    case 5: { // arithmetic, when T is Int/Bool/Float
-      if (T == Types.integer()) {
-        const char *Ops[] = {"+", "-", "*"};
-        return std::string("(") + Ops[Gen.below(3)] + " " +
-               expr(Types.integer(), Depth - 1) + " " +
-               expr(Types.integer(), Depth - 1) + ")";
-      }
-      if (T == Types.boolean()) {
-        const char *Ops[] = {"<", "<=", "=", "not"};
-        unsigned Pick = Gen.below(4);
-        if (Pick == 3)
-          return "(not " + expr(Types.boolean(), Depth - 1) + ")";
-        return std::string("(") + Ops[Pick] + " " +
-               expr(Types.integer(), Depth - 1) + " " +
-               expr(Types.integer(), Depth - 1) + ")";
-      }
-      if (T == Types.floating()) {
-        const char *Ops[] = {"fl+", "fl-", "fl*", "flmin", "flmax"};
-        return std::string("(") + Ops[Gen.below(5)] + " " +
-               expr(Types.floating(), Depth - 1) + " " +
-               expr(Types.floating(), Depth - 1) + ")";
-      }
-      return expr(T, 0);
-    }
-    case 6: { // tuple projection from a wider tuple
-      const Type *Other =
-          Gen.flip(0.5) ? Types.integer() : Types.boolean();
-      const Type *TupTy = Gen.flip(0.5) ? Types.tuple({T, Other})
-                                        : Types.tuple({Other, T});
-      unsigned Index = TupTy->element(0) == T && !Gen.flip(0.1) ? 0 : 1;
-      if (TupTy->element(Index) != T)
-        Index = 1 - Index;
-      return "(tuple-proj " + expr(TupTy, Depth - 1) + " " +
-             std::to_string(Index) + ")";
-    }
-    case 7: // box round trip
-      return "(unbox (box " + expr(T, Depth - 1) + "))";
-    case 8: { // vector round trip (possibly through a Dyn view)
-      std::string Vec = "(make-vector 2 " + expr(T, Depth - 1) + ")";
-      if (Gen.flip(0.4))
-        return "(vector-ref (ann (ann " + Vec + " Dyn) (Vect " + T->str() +
-               ")) " + std::to_string(Gen.below(2)) + ")";
-      return "(vector-ref " + Vec + " " + std::to_string(Gen.below(2)) +
-             ")";
-    }
-    default: { // begin with a side-effecting print of an int
-      return "(begin (print-int " + expr(Types.integer(), Depth - 1) +
-             ") " + expr(T, Depth - 1) + ")";
-    }
-    }
-  }
-
-  bool typeEq(const Type *T) {
-    return T == Types.integer() || T == Types.boolean() ||
-           T == Types.floating() ||
-           T == Types.tuple({Types.integer(), Types.boolean()});
-  }
-};
 
 struct EngineResult {
   bool OK = false;

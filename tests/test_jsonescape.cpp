@@ -1,0 +1,107 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RFC 8259 conformance of griftd's JSON string escaping. Hostile job
+/// ids and program output flow through jsonEscape into response
+/// documents, so every byte sequence — including invalid UTF-8 — must
+/// produce a string a conforming JSON parser accepts.
+///
+//===----------------------------------------------------------------------===//
+#include "../tools/JsonEscape.h"
+
+#include <gtest/gtest.h>
+
+using griftd::jsonEscape;
+
+TEST(JsonEscape, PlainAsciiPassesThrough) {
+  EXPECT_EQ(jsonEscape("hello world 42!"), "hello world 42!");
+  EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(JsonEscape, QuotesAndBackslashes) {
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscape, NamedControlEscapes) {
+  EXPECT_EQ(jsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+}
+
+TEST(JsonEscape, NumericControlEscapesCoverAllOfC0AndDel) {
+  // RFC 8259 §7: all of U+0000..U+001F must be escaped.
+  for (unsigned C = 0; C != 0x20; ++C) {
+    std::string In(1, static_cast<char>(C));
+    std::string Out = jsonEscape(In);
+    EXPECT_EQ(Out.substr(0, 1), "\\") << "control byte " << C;
+    for (char B : Out)
+      EXPECT_TRUE(static_cast<unsigned char>(B) >= 0x20)
+          << "raw control byte leaked for " << C;
+  }
+  EXPECT_EQ(jsonEscape("\x7f"), "\\u007f");
+  EXPECT_EQ(jsonEscape(std::string(1, '\0')), "\\u0000");
+}
+
+TEST(JsonEscape, ValidUtf8PassesThrough) {
+  EXPECT_EQ(jsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");         // U+00E9
+  EXPECT_EQ(jsonEscape("\xe2\x82\xac"), "\xe2\x82\xac");       // U+20AC
+  EXPECT_EQ(jsonEscape("\xf0\x9f\x98\x80"), "\xf0\x9f\x98\x80"); // U+1F600
+}
+
+TEST(JsonEscape, InvalidUtf8IsEscapedNotLeaked) {
+  // Lone continuation byte.
+  EXPECT_EQ(jsonEscape("\x80"), "\\u0080");
+  // Overlong 2-byte lead bytes.
+  EXPECT_EQ(jsonEscape("\xc0\xaf"), "\\u00c0\\u00af");
+  EXPECT_EQ(jsonEscape("\xc1\xbf"), "\\u00c1\\u00bf");
+  // Truncated sequences (end of string and mid-string).
+  EXPECT_EQ(jsonEscape("\xc3"), "\\u00c3");
+  EXPECT_EQ(jsonEscape("\xe2\x82"), "\\u00e2\\u0082");
+  // Overlong 3-byte (would decode below U+0800).
+  EXPECT_EQ(jsonEscape("\xe0\x9f\xbf"), "\\u00e0\\u009f\\u00bf");
+  // UTF-16 surrogate half encoded as UTF-8.
+  EXPECT_EQ(jsonEscape("\xed\xa0\x80"), "\\u00ed\\u00a0\\u0080");
+  // Above U+10FFFF and impossible lead bytes.
+  EXPECT_EQ(jsonEscape("\xf4\x90\x80\x80"),
+            "\\u00f4\\u0090\\u0080\\u0080");
+  EXPECT_EQ(jsonEscape("\xfe"), "\\u00fe");
+  EXPECT_EQ(jsonEscape("\xff"), "\\u00ff");
+}
+
+TEST(JsonEscape, OutputIsAlwaysValidUtf8AndQuoteSafe) {
+  // Exhaustive single bytes plus a hostile grab-bag: the escaped form
+  // must never contain a raw quote, backslash pair misuse, control
+  // byte, or invalid UTF-8 sequence.
+  auto validUtf8 = [](const std::string &S) {
+    for (size_t I = 0; I < S.size();) {
+      unsigned char C = static_cast<unsigned char>(S[I]);
+      size_t Len = C < 0x80 ? 1 : C >= 0xF0 ? 4 : C >= 0xE0 ? 3
+                   : C >= 0xC2              ? 2
+                                            : 0;
+      if (Len == 0 || I + Len > S.size())
+        return false;
+      for (size_t J = 1; J != Len; ++J)
+        if ((static_cast<unsigned char>(S[I + J]) & 0xC0) != 0x80)
+          return false;
+      I += Len;
+    }
+    return true;
+  };
+  std::string Hostile = "id\"\\\n\x01\x7f\x80\xc0\xc3\xa9\xed\xa0\x80"
+                        "\xf0\x9f\x98\x80\xff tail";
+  for (int C = 0; C != 256; ++C)
+    Hostile.push_back(static_cast<char>(C));
+  std::string Out = jsonEscape(Hostile);
+  EXPECT_TRUE(validUtf8(Out));
+  for (size_t I = 0; I != Out.size(); ++I) {
+    unsigned char B = static_cast<unsigned char>(Out[I]);
+    EXPECT_GE(B, 0x20u) << "raw control byte at " << I;
+    if (Out[I] == '"') {
+      // A quote is escaped iff preceded by an odd run of backslashes.
+      size_t Slashes = 0;
+      while (Slashes < I && Out[I - 1 - Slashes] == '\\')
+        ++Slashes;
+      EXPECT_EQ(Slashes % 2, 1u) << "unescaped quote at " << I;
+    }
+  }
+}

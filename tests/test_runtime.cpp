@@ -120,6 +120,36 @@ TEST(Heap, StressWithTinyThreshold) {
   }
 }
 
+TEST(Heap, ThresholdIsClampedUnderHeapLimit) {
+  // Regression: collect() grew GCThreshold to max(2*live, 8 MiB) even
+  // under a hard HeapLimit far below that, so maybeCollect never fired
+  // again and every allocation near the limit took the emergency
+  // collect-and-retry path in allocateObject — one full collection per
+  // ~limit bytes instead of per ~threshold bytes. With the threshold
+  // clamped to limit/4, amortized collections keep firing: churning
+  // ~19 MiB of garbage under a 2 MiB limit must collect at (at least)
+  // the limit/4 cadence, i.e. well over the ~10 collections the
+  // emergency path alone would produce.
+  Heap H;
+  H.setHeapLimit(2u << 20);
+  for (int I = 0; I != 100000; ++I)
+    H.allocTuple(16); // unrooted: garbage by the next collection
+  EXPECT_GE(H.collections(), 20u);
+  EXPECT_LE(H.peakHeapBytes(), 2u << 20);
+}
+
+TEST(Heap, SetHeapLimitClampsImmediately) {
+  // The clamp must apply at setHeapLimit time too, not only after the
+  // first collection — otherwise the first ~8 MiB of allocations under
+  // a small limit would all take the emergency path.
+  Heap H;
+  H.setHeapLimit(1u << 20);
+  uint64_t Before = H.collections();
+  for (int I = 0; I != 4000; ++I) // ~0.75 MiB of garbage
+    H.allocTuple(16);
+  EXPECT_GT(H.collections(), Before); // threshold (256 KiB) fired
+}
+
 //===----------------------------------------------------------------------===//
 // Runtime casts on raw values
 //===----------------------------------------------------------------------===//

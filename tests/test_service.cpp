@@ -486,3 +486,82 @@ TEST(ServiceAffinity, FuelAndHeapObservablesAreReported) {
   EXPECT_GE(R.FuelUsed, 100000u - 1024u); // batched accounting
   EXPECT_GT(R.WallNanos, 0);
 }
+
+//===----------------------------------------------------------------------===//
+// Coercion-arena epochs: long job streams with many distinct casts must
+// not grow a slot's CoercionFactory (or its compile cache) without
+// bound. The epoch reset drops both together once the arena passes the
+// configured cap.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A job whose cast allocates coercions for a (Tuple ...) type whose
+/// element kinds are the low 10 bits of \p J — 1024 distinct types, so
+/// a stream of these keeps minting fresh coercion nodes.
+JobSpec variedCastJob(int J) {
+  std::string Lit = "(tuple", Ty = "(Tuple";
+  for (int B = 0; B != 10; ++B) {
+    bool Bit = (J >> B) & 1;
+    Lit += Bit ? " #t" : " 1";
+    Ty += Bit ? " Bool" : " Int";
+  }
+  Lit += ")";
+  Ty += ")";
+  return simpleJob("(tuple-proj (ann (ann " + Lit + " Dyn) " + Ty + ") 0)",
+                   "j" + std::to_string(J));
+}
+
+} // namespace
+
+TEST(ServiceEpoch, CoercionArenaStaysBoundedAcrossManyVariedJobs) {
+  constexpr size_t Cap = 512;
+  EnginePool Pool(1);
+  EnginePool::Slot &S = Pool.slot(0);
+  uint64_t Resets = 0;
+  for (int J = 0; J != 1200; ++J) {
+    JobSpec Spec = variedCastJob(J);
+    bool Hit = false;
+    const EnginePool::CacheEntry &Entry = S.compileCached(Spec, Hit);
+    ASSERT_TRUE(Entry.Exe.has_value()) << Entry.Errors;
+    RunResult R = Entry.Exe->run();
+    ASSERT_TRUE(R.OK) << R.Error.str() << "\njob " << J;
+    EXPECT_EQ(R.ResultText, (J & 1) ? "#t" : "1");
+    if (S.maybeResetEpoch(Cap))
+      ++Resets;
+    // The between-jobs invariant: a reset brings the arena back to just
+    // ι, so right after maybeResetEpoch it can never exceed the cap.
+    ASSERT_LE(S.Engine.coercions().allocatedNodes(), Cap) << "job " << J;
+  }
+  EXPECT_GT(Resets, 0u);
+  EXPECT_EQ(S.EpochResets.load(), Resets);
+}
+
+TEST(ServiceEpoch, ResetsSurfaceInStatsAndResubmittedJobsStillRun) {
+  ServiceConfig Config;
+  Config.Threads = 2;
+  Config.MaxCoercionNodes = 256;
+  ExecService Service(Config);
+  // Two passes over the same job set: epoch resets in between drop the
+  // compile caches, so the second pass recompiles — and must still be
+  // correct.
+  for (int Pass = 0; Pass != 2; ++Pass)
+    for (int J = 0; J != 300; ++J) {
+      JobResult R = Service.run(variedCastJob(J));
+      ASSERT_EQ(R.Status, JobStatus::Done) << R.ErrorMessage;
+      EXPECT_EQ(R.ResultText, (J & 1) ? "#t" : "1");
+    }
+  EXPECT_GT(Service.stats().EpochResets, 0u);
+}
+
+TEST(ServiceEpoch, ZeroCapDisablesResets) {
+  ServiceConfig Config;
+  Config.Threads = 1;
+  Config.MaxCoercionNodes = 0;
+  ExecService Service(Config);
+  for (int J = 0; J != 50; ++J) {
+    JobResult R = Service.run(variedCastJob(J));
+    ASSERT_EQ(R.Status, JobStatus::Done) << R.ErrorMessage;
+  }
+  EXPECT_EQ(Service.stats().EpochResets, 0u);
+}

@@ -543,3 +543,64 @@ TEST_F(VMTest, UntypedProgramsRun) {
                              "(vector-ref (map2 (lambda (x) (* x 2)) v) 3)"),
             "6");
 }
+
+//===----------------------------------------------------------------------===//
+// Superinstruction fusion is a pure dispatch optimization. Over a corpus
+// of generated programs, the fused and unfused compilations of the same
+// AST must agree exactly — result, output, error, fuel, and every
+// runtime counter — in every cast mode. Fuel equality is the sharp
+// check: each fused op must charge one unit per component instruction,
+// hitting the same cancel-poll boundaries as the unfused expansion.
+//===----------------------------------------------------------------------===//
+
+#include "FuzzGen.h"
+#include "support/RNG.h"
+
+class FusionDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusionDifferential, FusedAndUnfusedAgreeExactly) {
+  for (int Iter = 0; Iter != 40; ++Iter) {
+    Grift G;
+    RNG Gen(0xF5ED + GetParam() * 31337 + Iter);
+    fuzz::ProgramGen PG(G.types(), Gen);
+    std::string Source = PG.program();
+
+    std::string Errors;
+    auto Ast = G.parse(Source, Errors);
+    ASSERT_TRUE(Ast.has_value()) << Errors << "\nprogram:\n" << Source;
+
+    for (CastMode Mode :
+         {CastMode::Coercions, CastMode::TypeBased, CastMode::Monotonic}) {
+      auto Fused = G.compileAst(*Ast, Mode, Errors,
+                                /*Optimize=*/false, /*Fuse=*/true);
+      ASSERT_TRUE(Fused.has_value()) << Errors << "\nprogram:\n" << Source;
+      auto Unfused = G.compileAst(*Ast, Mode, Errors,
+                                  /*Optimize=*/false, /*Fuse=*/false);
+      ASSERT_TRUE(Unfused.has_value()) << Errors << "\nprogram:\n" << Source;
+
+      RunResult RF = Fused->run();
+      RunResult RU = Unfused->run();
+      EXPECT_EQ(RF.OK, RU.OK) << "program:\n" << Source;
+      EXPECT_EQ(RF.ResultText, RU.ResultText) << "program:\n" << Source;
+      EXPECT_EQ(RF.Output, RU.Output) << "program:\n" << Source;
+      if (!RF.OK)
+        EXPECT_EQ(RF.Error.str(), RU.Error.str()) << "program:\n" << Source;
+      EXPECT_EQ(RF.Steps, RU.Steps) << "program:\n" << Source;
+      EXPECT_EQ(RF.Stats.CastsApplied, RU.Stats.CastsApplied)
+          << "program:\n" << Source;
+      EXPECT_EQ(RF.Stats.Compositions, RU.Stats.Compositions)
+          << "program:\n" << Source;
+      EXPECT_EQ(RF.Stats.LongestProxyChain, RU.Stats.LongestProxyChain)
+          << "program:\n" << Source;
+      EXPECT_EQ(RF.Stats.ProxiesAllocated, RU.Stats.ProxiesAllocated)
+          << "program:\n" << Source;
+      EXPECT_EQ(RF.Stats.CacheHits, RU.Stats.CacheHits)
+          << "program:\n" << Source;
+      EXPECT_EQ(RF.Stats.CacheMisses, RU.Stats.CacheMisses)
+          << "program:\n" << Source;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, FusionDifferential,
+                         ::testing::Range(0, 6));

@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RFC 8259 JSON string escaping shared by griftd's response writer and
+/// its unit tests (tests/test_jsonescape.cpp).
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_TOOLS_JSONESCAPE_H
+#define GRIFT_TOOLS_JSONESCAPE_H
+
+#include <cstdio>
+#include <string>
+
+namespace griftd {
+
+/// RFC 8259 string escaping. Controls and DEL are \u-escaped, and the
+/// output is always valid UTF-8: well-formed multi-byte sequences pass
+/// through unchanged, while stray bytes (lone continuation bytes,
+/// overlong or truncated sequences, surrogates — hostile ids and
+/// program output can contain any of them) are escaped as \u00XX
+/// instead of being copied raw into the response document.
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  auto escapeByte = [&Out](unsigned char B) {
+    char Buf[8];
+    std::snprintf(Buf, sizeof Buf, "\\u%04x", B);
+    Out += Buf;
+  };
+  for (size_t I = 0; I < S.size(); ++I) {
+    unsigned char C = static_cast<unsigned char>(S[I]);
+    switch (C) {
+    case '"': Out += "\\\""; continue;
+    case '\\': Out += "\\\\"; continue;
+    case '\n': Out += "\\n"; continue;
+    case '\t': Out += "\\t"; continue;
+    case '\r': Out += "\\r"; continue;
+    default: break;
+    }
+    if (C < 0x20 || C == 0x7F) {
+      escapeByte(C);
+      continue;
+    }
+    if (C < 0x80) {
+      Out.push_back(static_cast<char>(C));
+      continue;
+    }
+    // Multi-byte lead: validate the whole sequence before passing it on.
+    // 0x80–0xC1 (continuations and overlong 2-byte leads) get Len 0.
+    size_t Len = C >= 0xF0 ? 4 : C >= 0xE0 ? 3 : C >= 0xC2 ? 2 : 0;
+    bool OK = Len != 0 && I + Len <= S.size();
+    for (size_t J = 1; OK && J < Len; ++J)
+      OK = (static_cast<unsigned char>(S[I + J]) & 0xC0) == 0x80;
+    if (OK && Len > 2) {
+      unsigned char C1 = static_cast<unsigned char>(S[I + 1]);
+      if (C == 0xE0)
+        OK = C1 >= 0xA0; // overlong 3-byte
+      else if (C == 0xED)
+        OK = C1 < 0xA0; // UTF-16 surrogates
+      else if (C == 0xF0)
+        OK = C1 >= 0x90; // overlong 4-byte
+      else if (C == 0xF4)
+        OK = C1 < 0x90; // above U+10FFFF
+      else if (C > 0xF4)
+        OK = false; // no such code point
+    }
+    if (OK) {
+      Out.append(S, I, Len);
+      I += Len - 1;
+    } else {
+      escapeByte(C);
+    }
+  }
+  return Out;
+}
+
+} // namespace griftd
+
+#endif // GRIFT_TOOLS_JSONESCAPE_H

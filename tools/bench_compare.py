@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare two benchjson documents (schema grift-bench-v1).
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.5]
+
+Exit status is non-zero when
+
+  * a benchmark's median_ns regressed by more than the tolerance
+    (default 50% — generous because CI machines are noisy; the point is
+    to catch the order-of-magnitude regressions that dropping an inline
+    cache or un-threading the dispatch loop would cause),
+  * a deterministic counter (casts, longest_chain, compositions,
+    cache_hits, cache_misses) changed at all — counters do not depend
+    on machine speed, so any drift means the cast semantics changed and
+    the baseline must be regenerated deliberately, or
+  * the CURRENT file violates a paper shape invariant (see below).
+
+Shape invariants checked on CURRENT (paper Section 4.2 / Figure 4):
+
+  * fig4/evenodd coercions: longest proxy chain stays at 1 — space
+    efficiency means composition keeps chains flat.
+  * fig4/evenodd/20000 type-based: longest chain is Theta(n) (>= 1000)
+    — the baseline semantics really does build the bad chains.
+  * fig4/evenodd coercions: inline-cache hit rate >= 90% — the per-site
+    caches are doing their job on the monomorphic hot path.
+
+Speedups and peak-heap changes are reported but never fail the run.
+"""
+
+import argparse
+import json
+import sys
+
+COUNTERS = ("casts", "longest_chain", "compositions", "cache_hits",
+            "cache_misses")
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "grift-bench-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {(r["name"], r["mode"]): r for r in doc["results"]}
+
+
+def check_shapes(current):
+    """Paper shape invariants on the CURRENT results."""
+    errors = []
+    for (name, mode), row in sorted(current.items()):
+        if name.startswith("fig4/evenodd") and mode == "coercions":
+            if row["longest_chain"] != 1:
+                errors.append(
+                    f"{name} [{mode}]: longest_chain = {row['longest_chain']}"
+                    ", expected 1 (coercions must keep proxy chains flat)")
+            probes = row["cache_hits"] + row["cache_misses"]
+            if probes:
+                rate = row["cache_hits"] / probes
+                if rate < 0.9:
+                    errors.append(
+                        f"{name} [{mode}]: inline-cache hit rate "
+                        f"{rate:.2%} < 90%")
+    tb = current.get(("fig4/evenodd/20000", "type-based"))
+    if tb is not None and tb["longest_chain"] < 1000:
+        errors.append(
+            f"fig4/evenodd/20000 [type-based]: longest_chain = "
+            f"{tb['longest_chain']}, expected Theta(n) chain (>= 1000)")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.5,
+                    help="allowed fractional median_ns regression "
+                         "(default 0.5 = 50%%)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    errors = []
+    for key in sorted(base):
+        name, mode = key
+        tag = f"{name} [{mode}]"
+        if key not in cur:
+            errors.append(f"{tag}: missing from {args.current}")
+            continue
+        b, c = base[key], cur[key]
+        for counter in COUNTERS:
+            if b[counter] != c[counter]:
+                errors.append(f"{tag}: {counter} changed "
+                              f"{b[counter]} -> {c[counter]} (deterministic "
+                              "counter; regenerate the baseline if this is "
+                              "intentional)")
+        ratio = c["median_ns"] / b["median_ns"] if b["median_ns"] else 1.0
+        note = ""
+        if ratio > 1.0 + args.tolerance:
+            errors.append(f"{tag}: median {b['median_ns']/1e6:.3f} ms -> "
+                          f"{c['median_ns']/1e6:.3f} ms "
+                          f"({ratio:.2f}x, tolerance {1 + args.tolerance:.2f}x)")
+            note = "  REGRESSION"
+        print(f"{tag:46s} {b['median_ns']/1e6:9.3f} -> "
+              f"{c['median_ns']/1e6:9.3f} ms  ({ratio:5.2f}x){note}")
+    for key in sorted(cur):
+        if key not in base:
+            print(f"{key[0]} [{key[1]}]: new benchmark (no baseline)")
+
+    errors += check_shapes(cur)
+
+    if errors:
+        print(f"\n{len(errors)} problem(s):", file=sys.stderr)
+        for e in errors:
+            print(f"  * {e}", file=sys.stderr)
+        return 1
+    print("\nOK: within tolerance, counters stable, shape invariants hold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,8 @@
 //===----------------------------------------------------------------------===//
 #include "service/ExecService.h"
 
+#include "JsonEscape.h"
+
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
@@ -44,6 +46,7 @@
 
 using namespace grift;
 using namespace grift::service;
+using griftd::jsonEscape;
 
 namespace {
 
@@ -218,29 +221,6 @@ private:
     return fail("unterminated string");
   }
 };
-
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size() + 2);
-  for (char C : S) {
-    switch (C) {
-    case '"': Out += "\\\""; break;
-    case '\\': Out += "\\\\"; break;
-    case '\n': Out += "\\n"; break;
-    case '\t': Out += "\\t"; break;
-    case '\r': Out += "\\r"; break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof Buf, "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out.push_back(C);
-      }
-    }
-  }
-  return Out;
-}
 
 bool parseMode(const std::string &Name, CastMode &Mode) {
   if (Name == "coercions")
