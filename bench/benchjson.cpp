@@ -6,7 +6,9 @@
 /// Figure 7 configuration, the Figure 8 benchmarks (typed and fully
 /// dynamic), and a cast-heavy microloop — across cast modes, and emits
 /// one JSON document of median-of-N timings plus the deterministic
-/// runtime counters (casts, chain, compositions, inline-cache hits).
+/// runtime counters (casts, chain, compositions, inline-cache hits,
+/// allocation bytes/objects, collections) and the machine-dependent GC
+/// pause times.
 ///
 ///   benchjson [--out FILE]
 ///
@@ -16,8 +18,9 @@
 /// last run; they are deterministic across runs.
 ///
 /// tools/bench_compare.py diffs two of these documents (tolerance-based,
-/// counters exact) and enforces the paper's shape invariants; CI runs it
-/// against the checked-in BENCH_PR3.json.
+/// counters exact, pauses reported but never failing) and enforces the
+/// paper's shape invariants; CI runs it against the checked-in
+/// BENCH_PR4.json.
 ///
 //===----------------------------------------------------------------------===//
 #include "bench_programs/Benchmarks.h"
@@ -112,7 +115,7 @@ std::vector<Spec> buildSuite(Grift &G) {
   constexpr Row Rows[] = {
       {"sieve", "100"},      {"n-body", "500"},    {"tak", "16 12 6"},
       {"ray", "20"},         {"quicksort", "128"}, {"blackscholes", "4000"},
-      {"matmult", "20"},     {"fft", "1024"},
+      {"matmult", "20"},     {"matmult-float", "20"}, {"fft", "1024"},
   };
   for (const Row &R : Rows) {
     const BenchProgram &B = getBenchmark(R.Name);
@@ -215,6 +218,22 @@ int main(int argc, char **argv) {
       Json +=
           ", \"cache_misses\": " + std::to_string(Last.Stats.CacheMisses);
       Json += ", \"peak_heap\": " + std::to_string(Last.PeakHeapBytes);
+      // Allocator observability: byte/object counters are deterministic
+      // (bench_compare checks them exactly); pause times are wall-clock
+      // and only ever reported.
+      Json += ", \"alloc_bytes\": " + std::to_string(Last.Stats.AllocBytes);
+      Json += ", \"alloc_objects\": " +
+              std::to_string(Last.Stats.allocObjects());
+      Json += ", \"alloc_by_class\": [";
+      for (unsigned C = 0; C != RuntimeStats::NumAllocClasses; ++C)
+        Json += (C ? ", " : "") +
+                std::to_string(Last.Stats.AllocObjectsByClass[C]);
+      Json += "]";
+      Json += ", \"collections\": " + std::to_string(Last.Stats.Collections);
+      Json += ", \"gc_pause_total_ns\": " +
+              std::to_string(Last.Stats.GCPauseTotalNs);
+      Json += ", \"gc_pause_max_ns\": " +
+              std::to_string(Last.Stats.GCPauseMaxNs);
       Json += "}";
       std::fprintf(stderr, "%-28s %-11s %8.3f ms  casts=%llu chain=%llu "
                            "ic=%llu/%llu\n",

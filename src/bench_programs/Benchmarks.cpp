@@ -420,6 +420,34 @@ const char *Matmult = R"(
 )";
 
 //===----------------------------------------------------------------------===//
+// matmult-float (the same textbook kernel over Float matrices — every
+// inner-loop value is a double, so this isolates float representation
+// cost the way the Int version isolates fixnum arithmetic)
+//===----------------------------------------------------------------------===//
+
+const char *MatmultFloat = R"(
+(define n : Int (read-int))
+(define a : (Vect Float) (make-vector (* n n) 0.0))
+(define b : (Vect Float) (make-vector (* n n) 0.0))
+(define c : (Vect Float) (make-vector (* n n) 0.0))
+(repeat (i 0 n)
+  (repeat (j 0 n)
+    (begin
+      (vector-set! a (+ (* i n) j) (int->float (+ i j)))
+      (vector-set! b (+ (* i n) j) (fl* 0.5 (int->float (- i j)))))))
+(time
+  (repeat (i 0 n)
+    (repeat (j 0 n)
+      (vector-set! c (+ (* i n) j)
+        (repeat (k 0 n) (acc : Float 0.0)
+          (fl+ acc (fl* (vector-ref a (+ (* i n) k))
+                        (vector-ref b (+ (* k n) j)))))))))
+(print-float
+  (repeat (j 0 n) (acc : Float 0.0)
+    (fl+ acc (vector-ref c j))))
+)";
+
+//===----------------------------------------------------------------------===//
 // fft (R6RS-style, iterative radix-2 Cooley-Tukey)
 //===----------------------------------------------------------------------===//
 
@@ -509,6 +537,7 @@ const std::vector<BenchProgram> &grift::allBenchmarks() {
     Out.push_back({"blackscholes", BlackScholes, "20000", "64",
                    "812.4453088247459"});
     Out.push_back({"matmult", Matmult, "36", "8", "336"});
+    Out.push_back({"matmult-float", MatmultFloat, "36", "8", "168.0"});
     Out.push_back({"quicksort", quicksortWithParam("(Vect Int)"), "448", "64",
                    "#t"});
     Out.push_back({"fft", FFT, "8192", "64",

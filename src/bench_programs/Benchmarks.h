@@ -35,7 +35,7 @@ struct BenchProgram {
   std::string TestOutput;   ///< expected program output on TestInput
 };
 
-/// All eight suite benchmarks (everything except even/odd, which is a
+/// All nine suite benchmarks (everything except even/odd, which is a
 /// microbenchmark with its own driver).
 const std::vector<BenchProgram> &allBenchmarks();
 

@@ -1,5 +1,6 @@
 #include "frontend/Parser.h"
 
+#include "runtime/Value.h"
 #include "sexp/Reader.h"
 #include "types/TypeParser.h"
 
@@ -51,6 +52,13 @@ public:
   ExprPtr parse(const Sexp &Datum) {
     switch (Datum.kind()) {
     case Sexp::Kind::Int:
+      // Fixnums are 48-bit payloads under NaN-boxing; reject literals the
+      // runtime cannot represent rather than silently truncating them.
+      if (Datum.intValue() > Value::FixnumMax ||
+          Datum.intValue() < Value::FixnumMin)
+        return error(Datum.loc(),
+                     "integer literal " + std::to_string(Datum.intValue()) +
+                         " is outside the fixnum range [-2^47, 2^47)");
       return makeLitInt(Datum.intValue(), Datum.loc());
     case Sexp::Kind::Float:
       return makeLitFloat(Datum.floatValue(), Datum.loc());

@@ -3,24 +3,140 @@
 #include "runtime/Blame.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
 using namespace grift;
 
+namespace {
+
+/// Per-thread cache of retired pool blocks. Executables build a fresh
+/// Heap per run, so without recycling every run would re-malloc its
+/// blocks; with it, steady-state runs allocate no block memory at all.
+/// Capped so an occasional huge run cannot pin memory forever; engine
+/// pools additionally purge the cache at epoch resets. The wrapper's
+/// destructor frees whatever is still cached at thread exit — the
+/// blocks are raw malloc'd memory the vector does not own.
+constexpr size_t BlockCacheCap = 64;
+
+struct BlockCache {
+  std::vector<void *> Blocks;
+  ~BlockCache() {
+    for (void *Block : Blocks)
+      std::free(Block);
+  }
+};
+thread_local BlockCache ThreadCache;
+
+} // namespace
+
 Heap::Heap() = default;
 
 Heap::~Heap() {
-  HeapObject *Object = AllObjects;
+  HeapObject *Object = LargeObjects;
   while (Object) {
     HeapObject *Next = Object->Next;
     std::free(Object);
     Object = Next;
   }
+  for (SizeClass &C : Classes) {
+    for (PoolBlock *Block : C.Blocks) {
+      GRIFT_UNPOISON(Block, BlockBytes);
+      if (ThreadCache.Blocks.size() < BlockCacheCap)
+        ThreadCache.Blocks.push_back(Block);
+      else
+        std::free(Block);
+    }
+  }
+}
+
+void Heap::purgeThreadBlockCache() {
+  for (void *Block : ThreadCache.Blocks)
+    std::free(Block);
+  ThreadCache.Blocks.clear();
+  ThreadCache.Blocks.shrink_to_fit();
+}
+
+PoolBlock *Heap::refillBlock(unsigned Class) {
+  void *Memory;
+  if (!ThreadCache.Blocks.empty()) {
+    Memory = ThreadCache.Blocks.back();
+    ThreadCache.Blocks.pop_back();
+  } else {
+    Memory = std::malloc(BlockBytes);
+    if (!Memory)
+      return nullptr;
+  }
+  GRIFT_UNPOISON(Memory, BlockBytes);
+  PoolBlock *Block = new (Memory) PoolBlock();
+  Block->CellSize = ClassCellSizes[Class];
+  Block->Capacity =
+      static_cast<uint32_t>((BlockBytes - sizeof(PoolBlock)) / Block->CellSize);
+  Block->Bump = 0;
+  Block->SweepBound = 0;
+  SizeClass &C = Classes[Class];
+  // Appending while a lazy sweep is pending is fine: the new block's
+  // SweepBound is 0, so the sweep passes over it without touching cells.
+  C.Blocks.push_back(Block);
+  return Block;
+}
+
+void Heap::sweepBlock(PoolBlock *Block, SizeClass &C) {
+  for (uint32_t I = 0; I != Block->SweepBound; ++I) {
+    HeapObject *Object = Block->cell(I);
+    if (Object->Marked) {
+      Object->Marked = false;
+      continue;
+    }
+    // Dead since the last mark phase, or already free from an earlier
+    // cycle (free lists are rebuilt from scratch each cycle).
+    Object->Free = true;
+    Object->Next = C.FreeList;
+    C.FreeList = Object;
+    GRIFT_POISON(reinterpret_cast<char *>(Object) + sizeof(HeapObject),
+                 Block->CellSize - sizeof(HeapObject));
+  }
+}
+
+bool Heap::sweepForFreeCells(SizeClass &C) {
+  while (C.SweepCursor < C.Blocks.size()) {
+    sweepBlock(C.Blocks[C.SweepCursor++], C);
+    if (C.FreeList)
+      return true;
+  }
+  return false;
+}
+
+void Heap::finishSweep() {
+  for (SizeClass &C : Classes)
+    while (C.SweepCursor < C.Blocks.size())
+      sweepBlock(C.Blocks[C.SweepCursor++], C);
+}
+
+HeapObject *Heap::acquireSmallCell(unsigned Class) {
+  SizeClass &C = Classes[Class];
+  for (;;) {
+    if (HeapObject *Object = C.FreeList) {
+      C.FreeList = Object->Next;
+      GRIFT_UNPOISON(reinterpret_cast<char *>(Object) + sizeof(HeapObject),
+                     ClassCellSizes[Class] - sizeof(HeapObject));
+      return Object;
+    }
+    if (!C.Blocks.empty()) {
+      PoolBlock *Block = C.Blocks.back();
+      if (Block->Bump < Block->Capacity)
+        return Block->cell(Block->Bump++);
+    }
+    if (sweepForFreeCells(C))
+      continue;
+    if (!refillBlock(Class))
+      return nullptr;
+  }
 }
 
 HeapObject *Heap::allocateObject(ObjectKind Kind, uint32_t NumSlots) {
-  size_t Bytes = sizeof(HeapObject) + NumSlots * sizeof(Value);
+  size_t Bytes = cellBytesFor(NumSlots);
   if (Injector) {
     ++Injector->AllocCount;
     if (Injector->FailAllocAt &&
@@ -34,39 +150,63 @@ HeapObject *Heap::allocateObject(ObjectKind Kind, uint32_t NumSlots) {
       collect();
     }
   }
-  maybeCollect(Bytes);
+  bool Collected = false;
+  if (BytesSinceGC + Bytes >= GCThreshold) {
+    collect();
+    Collected = true;
+  }
   if (HeapLimit && LiveBytesAtGC + BytesSinceGC + Bytes > HeapLimit) {
     // Floating garbage must not count against the budget: collect once,
-    // then re-measure before declaring defeat.
-    collect();
+    // then re-measure before declaring defeat — but when the threshold
+    // path just collected, nothing has been allocated since, so a second
+    // back-to-back collection could not reclaim anything more.
+    if (Collected)
+      ++DoubleCollectionsAvoided;
+    else
+      collect();
     if (LiveBytesAtGC + BytesSinceGC + Bytes > HeapLimit)
       throw RuntimeError{ErrorKind::OutOfMemory, "",
                          "heap limit of " + std::to_string(HeapLimit) +
                              " bytes exceeded allocating " +
                              std::to_string(Bytes) + " bytes"};
   }
-  void *Memory = std::malloc(Bytes);
-  if (!Memory) {
-    // The allocator itself failed; reclaim garbage and retry once, then
-    // degrade to a reportable OutOfMemory instead of crashing.
-    collect();
+
+  void *Memory;
+  if (NumSlots > MaxSmallSlots) {
     Memory = std::malloc(Bytes);
-    if (!Memory)
-      throw RuntimeError{ErrorKind::OutOfMemory, "",
-                         "allocator failed for a " + std::to_string(Bytes) +
-                             "-byte object"};
+    if (!Memory) {
+      // The allocator itself failed; reclaim garbage and retry once,
+      // then degrade to a reportable OutOfMemory instead of crashing.
+      collect();
+      Memory = std::malloc(Bytes);
+      if (!Memory)
+        throw RuntimeError{ErrorKind::OutOfMemory, "",
+                           "allocator failed for a " + std::to_string(Bytes) +
+                               "-byte object"};
+    }
+    ++LargeAllocated;
+  } else {
+    unsigned Class = classForSlots(NumSlots);
+    Memory = acquireSmallCell(Class);
+    if (!Memory) {
+      // Block mapping failed; a collection refills the lazy-sweep queue,
+      // so retry the acquire before giving up.
+      collect();
+      Memory = acquireSmallCell(Class);
+      if (!Memory)
+        throw RuntimeError{ErrorKind::OutOfMemory, "",
+                           "allocator failed for a " + std::to_string(Bytes) +
+                               "-byte object"};
+    }
+    ++Classes[Class].ObjectsAllocated;
   }
-  assert((reinterpret_cast<uintptr_t>(Memory) & Value::TagMask) == 0 &&
+  assert((reinterpret_cast<uintptr_t>(Memory) & 7) == 0 &&
          "heap objects must be 8-byte aligned");
-  HeapObject *Object = new (Memory) HeapObject();
-  Object->Kind = Kind;
-  Object->NumSlots = NumSlots;
-  Object->SlotArray = reinterpret_cast<Value *>(
-      static_cast<char *>(Memory) + sizeof(HeapObject));
-  for (uint32_t I = 0; I != NumSlots; ++I)
-    Object->SlotArray[I] = Value::unit();
-  Object->Next = AllObjects;
-  AllObjects = Object;
+  HeapObject *Object = initObject(Memory, Kind, NumSlots);
+  if (NumSlots > MaxSmallSlots) {
+    Object->Next = LargeObjects;
+    LargeObjects = Object;
+  }
   ++LiveObjects;
   BytesAllocated += Bytes;
   BytesSinceGC += Bytes;
@@ -74,26 +214,14 @@ HeapObject *Heap::allocateObject(ObjectKind Kind, uint32_t NumSlots) {
   return Object;
 }
 
-Value Heap::allocFloat(double D) {
-  HeapObject *Object = allocateObject(ObjectKind::Float, 0);
-  uint64_t Bits;
-  std::memcpy(&Bits, &D, sizeof(Bits));
-  Object->Raw = Bits;
-  return Value::fromHeap(Object);
-}
-
-Value Heap::allocTuple(uint32_t Size) {
-  return Value::fromHeap(allocateObject(ObjectKind::Tuple, Size));
-}
-
-Value Heap::allocBox(Value Content) {
+Value Heap::allocBoxSlow(Value Content) {
   Rooted Root(*this, Content);
   HeapObject *Object = allocateObject(ObjectKind::Box, 1);
   Object->slot(0) = Root.get();
   return Value::fromHeap(Object);
 }
 
-Value Heap::allocVector(uint32_t Size, Value Fill) {
+Value Heap::allocVectorSlow(uint32_t Size, Value Fill) {
   Rooted Root(*this, Fill);
   HeapObject *Object = allocateObject(ObjectKind::Vector, Size);
   for (uint32_t I = 0; I != Size; ++I)
@@ -101,7 +229,7 @@ Value Heap::allocVector(uint32_t Size, Value Fill) {
   return Value::fromHeap(Object);
 }
 
-Value Heap::allocClosure(uint32_t FunctionIndex, uint32_t NumFree) {
+Value Heap::allocClosureSlow(uint32_t FunctionIndex, uint32_t NumFree) {
   HeapObject *Object = allocateObject(ObjectKind::Closure, NumFree);
   Object->Raw = FunctionIndex;
   return Value::fromHeap(Object);
@@ -109,7 +237,11 @@ Value Heap::allocClosure(uint32_t FunctionIndex, uint32_t NumFree) {
 
 Value Heap::allocDynBox(Value Wrapped, const Type *SourceType) {
   Rooted Root(*this, Wrapped);
-  HeapObject *Object = allocateObject(ObjectKind::DynBox, 1);
+  HeapObject *Object;
+  if (HeapObject *Fast = tryFastAlloc(ObjectKind::DynBox, 1))
+    Object = Fast;
+  else
+    Object = allocateObject(ObjectKind::DynBox, 1);
   Object->slot(0) = Root.get();
   Object->setMeta(0, SourceType);
   return Value::fromHeap(Object);
@@ -118,7 +250,11 @@ Value Heap::allocDynBox(Value Wrapped, const Type *SourceType) {
 Value Heap::allocProxyClosure(Value Wrapped, const void *M0, const void *M1,
                               const void *M2) {
   Rooted Root(*this, Wrapped);
-  HeapObject *Object = allocateObject(ObjectKind::ProxyClosure, 1);
+  HeapObject *Object;
+  if (HeapObject *Fast = tryFastAlloc(ObjectKind::ProxyClosure, 1))
+    Object = Fast;
+  else
+    Object = allocateObject(ObjectKind::ProxyClosure, 1);
   Object->slot(0) = Root.get();
   Object->setMeta(0, M0);
   Object->setMeta(1, M1);
@@ -129,7 +265,11 @@ Value Heap::allocProxyClosure(Value Wrapped, const void *M0, const void *M1,
 Value Heap::allocRefProxy(Value Wrapped, const void *M0, const void *M1,
                           const void *M2) {
   Rooted Root(*this, Wrapped);
-  HeapObject *Object = allocateObject(ObjectKind::RefProxy, 1);
+  HeapObject *Object;
+  if (HeapObject *Fast = tryFastAlloc(ObjectKind::RefProxy, 1))
+    Object = Fast;
+  else
+    Object = allocateObject(ObjectKind::RefProxy, 1);
   Object->slot(0) = Root.get();
   Object->setMeta(0, M0);
   Object->setMeta(1, M1);
@@ -154,6 +294,8 @@ void Heap::mark(Value V) {
   if (Object->Marked)
     return;
   Object->Marked = true;
+  ++MarkedObjects;
+  MarkedBytes += cellBytesFor(Object->NumSlots);
   MarkStack.push_back(Object);
   while (!MarkStack.empty()) {
     HeapObject *Current = MarkStack.back();
@@ -165,19 +307,25 @@ void Heap::mark(Value V) {
       HeapObject *Child = Slot.object();
       if (!Child->Marked) {
         Child->Marked = true;
+        ++MarkedObjects;
+        MarkedBytes += cellBytesFor(Child->NumSlots);
         MarkStack.push_back(Child);
       }
     }
   }
 }
 
-void Heap::maybeCollect(size_t UpcomingBytes) {
-  if (BytesSinceGC + UpcomingBytes >= GCThreshold)
-    collect();
-}
-
 void Heap::collect() {
-  // Mark.
+  auto Start = std::chrono::steady_clock::now();
+
+  // Finish the previous cycle's lazy sweep first: unswept blocks still
+  // carry last cycle's mark bits, which would corrupt this mark phase.
+  finishSweep();
+
+  // Mark. Live object/byte counts are taken here so the accounting is
+  // exact the moment collect() returns, before any lazy sweeping.
+  MarkedObjects = 0;
+  MarkedBytes = 0;
   for (RootProvider *Provider : RootProviders)
     Provider->visitRoots(
         [](Value &Slot, void *Ctx) { static_cast<Heap *>(Ctx)->mark(Slot); },
@@ -188,31 +336,49 @@ void Heap::collect() {
     mark(*Slot);
   }
 
-  // Sweep.
-  HeapObject **Link = &AllObjects;
-  size_t Live = 0;
-  size_t LiveBytes = 0;
+  // Sweep the large-object list eagerly: it is short (big vectors only)
+  // and each entry returns real memory to malloc.
+  HeapObject **Link = &LargeObjects;
   while (*Link) {
     HeapObject *Object = *Link;
     if (Object->Marked) {
       Object->Marked = false;
-      ++Live;
-      LiveBytes += sizeof(HeapObject) + Object->NumSlots * sizeof(Value);
       Link = &Object->Next;
     } else {
       *Link = Object->Next;
       std::free(Object);
     }
   }
-  LiveObjects = Live;
+
+  // Schedule the lazy sweep of every pool block. Free lists are rebuilt
+  // from scratch by the sweep — clearing them here is what makes cells
+  // allocated *after* this point (bump or swept-list pops) safe from
+  // being treated as dead by the pending sweep: pops only ever return
+  // cells a sweep has already visited, and bump cells sit at or above
+  // SweepBound.
+  for (SizeClass &C : Classes) {
+    C.FreeList = nullptr;
+    C.SweepCursor = 0;
+    for (PoolBlock *Block : C.Blocks)
+      Block->SweepBound = Block->Bump;
+  }
+
+  LiveObjects = MarkedObjects;
   BytesSinceGC = 0;
-  LiveBytesAtGC = LiveBytes;
-  PeakHeapBytes = std::max(PeakHeapBytes, LiveBytes);
+  LiveBytesAtGC = MarkedBytes;
+  PeakHeapBytes = std::max(PeakHeapBytes, MarkedBytes);
   ++Collections;
   // Grow the threshold with the live set so GC stays amortized-linear —
   // but never past a fraction of the hard heap limit, or maybeCollect
   // would stop firing and every allocation near the limit would take the
   // full-collect path in allocateObject.
-  GCThreshold = std::max<size_t>(LiveBytes * 2, 8u << 20);
+  GCThreshold = std::max<size_t>(MarkedBytes * 2, 8u << 20);
   clampThresholdToLimit();
+
+  uint64_t Nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+  GCPauseTotalNs += Nanos;
+  GCPauseMaxNs = std::max(GCPauseMaxNs, Nanos);
 }

@@ -3,16 +3,33 @@
 /// \file
 /// Heap objects and the garbage collector.
 ///
-/// Objects carry an 8-byte header (kind, mark bit, slot count) followed by
-/// Value slots and up to four metadata pointer slots (types, coercions,
-/// blame labels — all immortal, never traced).
+/// Objects carry an 8-byte header (kind, mark/free bits, slot count)
+/// followed by Value slots and up to four metadata pointer slots (types,
+/// coercions, blame labels — all immortal, never traced).
 ///
-/// Collection is precise stop-the-world mark-sweep. The paper's Grift uses
-/// the Boehm-Demers-Weiser conservative collector; we substitute a precise
+/// Allocation is served by a size-class segregated pool: small objects
+/// (cell size ≤ 512 bytes) come from per-class free lists threaded
+/// through 64 KiB bump-allocated blocks; larger objects (big vectors)
+/// fall back to one malloc each on an intrusive list. The hot path —
+/// free-list pop + header init — is inlined here so the VM's alloc
+/// opcodes never leave the header when a cell is ready.
+///
+/// Collection is precise stop-the-world mark, with *lazy* per-block
+/// sweeping: the pause covers only the mark phase (live counts are taken
+/// during the traversal) plus the eager sweep of the short large-object
+/// list; dead small cells are reclaimed incrementally, one block at a
+/// time, as allocation demands. Any blocks still unswept when the next
+/// collection starts are finished first, so mark bits are always
+/// consistent. The paper's Grift uses the Boehm-Demers-Weiser
+/// conservative collector; we substitute a precise block-structured
 /// collector (DESIGN.md §5) — both are non-moving stop-the-world
 /// collectors, which is what the experiments depend on. Roots come from
 /// registered RootProviders (the VM stack, globals) and from Rooted<>
 /// RAII handles used inside runtime helpers that allocate.
+///
+/// Under GRIFT_SANITIZE=address the slot payload of every swept-free
+/// cell is poisoned until it is reallocated, so a use-after-sweep trips
+/// ASan even though the memory is never returned to malloc.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef GRIFT_RUNTIME_HEAP_H
@@ -24,7 +41,30 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <vector>
+
+#ifndef GRIFT_ASAN
+#if defined(__SANITIZE_ADDRESS__)
+#define GRIFT_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GRIFT_ASAN 1
+#endif
+#endif
+#endif
+#ifndef GRIFT_ASAN
+#define GRIFT_ASAN 0
+#endif
+
+#if GRIFT_ASAN
+#include <sanitizer/asan_interface.h>
+#define GRIFT_POISON(Addr, Size) ASAN_POISON_MEMORY_REGION(Addr, Size)
+#define GRIFT_UNPOISON(Addr, Size) ASAN_UNPOISON_MEMORY_REGION(Addr, Size)
+#else
+#define GRIFT_POISON(Addr, Size) ((void)0)
+#define GRIFT_UNPOISON(Addr, Size) ((void)0)
+#endif
 
 namespace grift {
 
@@ -33,8 +73,8 @@ class Coercion;
 
 /// What a heap object is. Proxy objects are referenced through
 /// Proxy-tagged Values; everything else through Heap-tagged Values.
+/// Floats are immediates (NaN-boxed in Value) and never hit the heap.
 enum class ObjectKind : uint8_t {
-  Float,        ///< boxed double; Raw = bits of the double
   Tuple,        ///< Slots = elements
   Box,          ///< Slots = [content]
   Vector,       ///< Slots = elements
@@ -57,16 +97,9 @@ public:
     return SlotArray[Index];
   }
 
-  /// Raw payload: function index for closures, double bits for floats.
+  /// Raw payload: function index for closures.
   uint64_t raw() const { return Raw; }
   void setRaw(uint64_t Value) { Raw = Value; }
-
-  double floatValue() const {
-    assert(Kind == ObjectKind::Float && "not a float");
-    double D;
-    __builtin_memcpy(&D, &Raw, sizeof(D));
-    return D;
-  }
 
   /// Immortal metadata (types, coercions, labels) — never traced.
   const void *meta(unsigned Index) const {
@@ -82,14 +115,34 @@ private:
   friend class Heap;
   HeapObject() = default;
 
-  ObjectKind Kind = ObjectKind::Float;
+  ObjectKind Kind = ObjectKind::Tuple;
   bool Marked = false;
+  bool Free = false; // swept onto a free list, awaiting reallocation
   uint32_t NumSlots = 0;
   uint64_t Raw = 0;
   const void *Meta[4] = {nullptr, nullptr, nullptr, nullptr};
-  HeapObject *Next = nullptr; // intrusive all-objects list for sweeping
+  HeapObject *Next = nullptr; // free-list / large-object-list link
   Value *SlotArray = nullptr; // points just past this header
 };
+
+/// A 64 KiB bump-allocated block carved into equal-size cells of one
+/// size class. Non-moving: a cell's address is stable for the lifetime
+/// of the heap. The header is padded to 64 bytes so cells start
+/// cache-line aligned.
+struct alignas(64) PoolBlock {
+  uint32_t CellSize = 0;   ///< bytes per cell (a size-class constant)
+  uint32_t Capacity = 0;   ///< total cells in this block
+  uint32_t Bump = 0;       ///< cells handed out by bump allocation
+  uint32_t SweepBound = 0; ///< cells the pending lazy sweep must examine
+
+  char *cells() { return reinterpret_cast<char *>(this + 1); }
+  HeapObject *cell(uint32_t Index) {
+    return reinterpret_cast<HeapObject *>(cells() +
+                                          static_cast<size_t>(Index) *
+                                              CellSize);
+  }
+};
+static_assert(sizeof(PoolBlock) == 64, "block header must stay one line");
 
 /// Enumerates GC roots; the VM implements this over its stack and globals.
 class RootProvider {
@@ -103,6 +156,16 @@ public:
 /// The garbage-collected heap.
 class Heap {
 public:
+  /// Size classes by cell size (header + slots, 8-byte slots). 512 bytes
+  /// covers 56 slots; anything bigger is a large object.
+  static constexpr unsigned NumSizeClasses = 7;
+  static constexpr uint32_t ClassCellSizes[NumSizeClasses] = {
+      64, 96, 128, 192, 256, 384, 512};
+  static constexpr uint32_t MaxSmallCell = 512;
+  static constexpr uint32_t MaxSmallSlots =
+      (MaxSmallCell - sizeof(HeapObject)) / sizeof(Value); // 56
+  static constexpr size_t BlockBytes = 64u * 1024;
+
   Heap();
   ~Heap();
   Heap(const Heap &) = delete;
@@ -112,11 +175,33 @@ public:
   // Allocation
   //===--------------------------------------------------------------------===//
 
-  Value allocFloat(double D);
-  Value allocTuple(uint32_t Size);
-  Value allocBox(Value Content);
-  Value allocVector(uint32_t Size, Value Fill);
-  Value allocClosure(uint32_t FunctionIndex, uint32_t NumFree);
+  Value allocTuple(uint32_t Size) {
+    if (HeapObject *O = tryFastAlloc(ObjectKind::Tuple, Size))
+      return Value::fromHeap(O);
+    return Value::fromHeap(allocateObject(ObjectKind::Tuple, Size));
+  }
+  Value allocBox(Value Content) {
+    if (HeapObject *O = tryFastAlloc(ObjectKind::Box, 1)) {
+      O->slot(0) = Content;
+      return Value::fromHeap(O);
+    }
+    return allocBoxSlow(Content);
+  }
+  Value allocVector(uint32_t Size, Value Fill) {
+    if (HeapObject *O = tryFastAlloc(ObjectKind::Vector, Size)) {
+      for (uint32_t I = 0; I != Size; ++I)
+        O->slot(I) = Fill;
+      return Value::fromHeap(O);
+    }
+    return allocVectorSlow(Size, Fill);
+  }
+  Value allocClosure(uint32_t FunctionIndex, uint32_t NumFree) {
+    if (HeapObject *O = tryFastAlloc(ObjectKind::Closure, NumFree)) {
+      O->Raw = FunctionIndex;
+      return Value::fromHeap(O);
+    }
+    return allocClosureSlow(FunctionIndex, NumFree);
+  }
   Value allocDynBox(Value Wrapped, const Type *SourceType);
   /// Proxy closure over \p Wrapped; metadata is mode-specific.
   Value allocProxyClosure(Value Wrapped, const void *M0, const void *M1,
@@ -144,7 +229,9 @@ public:
   /// push/pop pairs (prefer the RAII Rooted helper, which cannot leak).
   size_t tempRootDepth() const { return TempRoots.size(); }
 
-  /// Forces a full collection (tests).
+  /// Forces a full collection (tests). Finishes any pending lazy sweep,
+  /// marks, then schedules the next lazy sweep — live counts are exact
+  /// when this returns.
   void collect();
 
   size_t liveObjects() const { return LiveObjects; }
@@ -154,6 +241,33 @@ public:
   /// bytes allocated since. This is the space-efficiency observable —
   /// proxy chains show up here.
   size_t peakHeapBytes() const { return PeakHeapBytes; }
+
+  //===--------------------------------------------------------------------===//
+  // Allocation / GC observability (RuntimeStats, benchjson)
+  //===--------------------------------------------------------------------===//
+
+  /// Cumulative objects served from size class \p Class (never reset).
+  uint64_t objectsAllocatedInClass(unsigned Class) const {
+    assert(Class < NumSizeClasses);
+    return Classes[Class].ObjectsAllocated;
+  }
+  /// Cumulative large (malloc-backed) objects.
+  uint64_t largeObjectsAllocated() const { return LargeAllocated; }
+  /// Pool blocks currently owned across all size classes (boundedness
+  /// observable: an allocate–collect loop must hold this steady).
+  size_t poolBlocks() const {
+    size_t N = 0;
+    for (const SizeClass &C : Classes)
+      N += C.Blocks.size();
+    return N;
+  }
+  uint64_t gcPauseTotalNs() const { return GCPauseTotalNs; }
+  uint64_t gcPauseMaxNs() const { return GCPauseMaxNs; }
+  /// Back-to-back collect() calls skipped on the heap-limit path because
+  /// nothing was allocated since the threshold-triggered collection.
+  uint64_t doubleCollectionsAvoided() const {
+    return DoubleCollectionsAvoided;
+  }
 
   /// Sets the allocation threshold that triggers collection (tests use a
   /// tiny threshold to stress the collector).
@@ -171,12 +285,109 @@ public:
 
   /// Attaches a caller-owned fault injector (nullptr detaches). See
   /// runtime/FaultInjector.h; injected failures throw OutOfMemory.
+  /// While attached, every allocation takes the out-of-line slow path so
+  /// the injector observes an exact per-allocation count.
   void setFaultInjector(FaultInjector *Injector) { this->Injector = Injector; }
 
+  /// Frees this thread's cached pool blocks. Engine pools call this at
+  /// epoch resets so block memory does not accumulate across jobs.
+  static void purgeThreadBlockCache();
+
 private:
+  struct SizeClass {
+    HeapObject *FreeList = nullptr;
+    std::vector<PoolBlock *> Blocks;
+    size_t SweepCursor = 0; ///< first block the lazy sweep has not visited
+    uint64_t ObjectsAllocated = 0;
+  };
+
+  static constexpr unsigned classForSlots(uint32_t NumSlots) {
+    uint32_t Bytes = sizeof(HeapObject) + NumSlots * sizeof(Value);
+    if (Bytes <= 64)
+      return 0;
+    if (Bytes <= 96)
+      return 1;
+    if (Bytes <= 128)
+      return 2;
+    if (Bytes <= 192)
+      return 3;
+    if (Bytes <= 256)
+      return 4;
+    if (Bytes <= 384)
+      return 5;
+    return 6;
+  }
+
+  /// Accounting size of an object: its size-class cell, or the exact
+  /// malloc size for large objects. Deterministic from the slot count.
+  static constexpr size_t cellBytesFor(uint32_t NumSlots) {
+    return NumSlots > MaxSmallSlots
+               ? sizeof(HeapObject) + NumSlots * sizeof(Value)
+               : ClassCellSizes[classForSlots(NumSlots)];
+  }
+
+  /// Re-initializes a cell as a fresh object. Shared by the inline fast
+  /// path and the out-of-line allocator.
+  HeapObject *initObject(void *Memory, ObjectKind Kind, uint32_t NumSlots) {
+    HeapObject *Object = new (Memory) HeapObject();
+    Object->Kind = Kind;
+    Object->NumSlots = NumSlots;
+    Object->SlotArray =
+        reinterpret_cast<Value *>(static_cast<char *>(Memory) +
+                                  sizeof(HeapObject));
+    for (uint32_t I = 0; I != NumSlots; ++I)
+      Object->SlotArray[I] = Value::unit();
+    return Object;
+  }
+
+  /// The inline allocation fast path: pop a ready free cell. Returns
+  /// nullptr — deferring to allocateObject — whenever anything
+  /// interesting must happen: fault injection, GC threshold or heap
+  /// limit reached, large object, or an empty free list (bump, lazy
+  /// sweep and block refill are all out of line).
+  HeapObject *tryFastAlloc(ObjectKind Kind, uint32_t NumSlots) {
+    if (Injector || NumSlots > MaxSmallSlots)
+      return nullptr;
+    unsigned Class = classForSlots(NumSlots);
+    SizeClass &C = Classes[Class];
+    HeapObject *Object = C.FreeList;
+    if (!Object)
+      return nullptr;
+    size_t Bytes = ClassCellSizes[Class];
+    if (BytesSinceGC + Bytes >= GCThreshold)
+      return nullptr;
+    if (HeapLimit && LiveBytesAtGC + BytesSinceGC + Bytes > HeapLimit)
+      return nullptr;
+    C.FreeList = Object->Next;
+    GRIFT_UNPOISON(reinterpret_cast<char *>(Object) + sizeof(HeapObject),
+                   Bytes - sizeof(HeapObject));
+    ++C.ObjectsAllocated;
+    ++LiveObjects;
+    BytesAllocated += Bytes;
+    BytesSinceGC += Bytes;
+    PeakHeapBytes = std::max(PeakHeapBytes, LiveBytesAtGC + BytesSinceGC);
+    return initObject(Object, Kind, NumSlots);
+  }
+
   HeapObject *allocateObject(ObjectKind Kind, uint32_t NumSlots);
+  Value allocBoxSlow(Value Content);
+  Value allocVectorSlow(uint32_t Size, Value Fill);
+  Value allocClosureSlow(uint32_t FunctionIndex, uint32_t NumFree);
+
+  /// Obtains a raw small cell: free list, bump, lazy sweep, then block
+  /// refill. Returns nullptr only when a new block cannot be mapped.
+  HeapObject *acquireSmallCell(unsigned Class);
+  /// Sweeps pending blocks of \p Class until its free list is non-empty
+  /// or every block has been swept. Returns true if cells were found.
+  bool sweepForFreeCells(SizeClass &C);
+  void sweepBlock(PoolBlock *Block, SizeClass &C);
+  /// Finishes every pending lazy sweep (all classes). Must run before a
+  /// new mark phase: unswept blocks still carry last cycle's mark bits.
+  void finishSweep();
+  /// Installs a new (or thread-cached) block for \p Class.
+  PoolBlock *refillBlock(unsigned Class);
+
   void mark(Value V);
-  void maybeCollect(size_t UpcomingBytes);
 
   /// Keeps the amortized-collection threshold meaningful under a hard
   /// heap limit: without this, a limit below the threshold floor means
@@ -191,7 +402,8 @@ private:
                              std::max<size_t>(HeapLimit / 4, 64u * 1024));
   }
 
-  HeapObject *AllObjects = nullptr;
+  SizeClass Classes[NumSizeClasses];
+  HeapObject *LargeObjects = nullptr; ///< intrusive list, swept eagerly
   size_t LiveObjects = 0;
   size_t BytesAllocated = 0;
   size_t BytesSinceGC = 0;
@@ -201,6 +413,12 @@ private:
   size_t HeapLimit = 0;
   FaultInjector *Injector = nullptr;
   uint64_t Collections = 0;
+  uint64_t LargeAllocated = 0;
+  uint64_t GCPauseTotalNs = 0;
+  uint64_t GCPauseMaxNs = 0;
+  uint64_t DoubleCollectionsAvoided = 0;
+  size_t MarkedObjects = 0; ///< live count taken during the mark phase
+  size_t MarkedBytes = 0;
   std::vector<RootProvider *> RootProviders;
   std::vector<Value *> TempRoots;
   std::vector<HeapObject *> MarkStack;

@@ -25,6 +25,8 @@ void Runtime::trap(std::string Message) {
 //===----------------------------------------------------------------------===//
 
 const Type *Runtime::runtimeTypeOf(Value V) const {
+  if (V.isFloat()) // NaN-boxed doubles are self-describing
+    return Types.floating();
   switch (V.tag()) {
   case ValueTag::Fixnum:
     return Types.integer();
@@ -41,8 +43,6 @@ const Type *Runtime::runtimeTypeOf(Value V) const {
     return Types.unit();
   case ValueTag::Heap: {
     const HeapObject *Object = V.object();
-    if (Object->kind() == ObjectKind::Float)
-      return Types.floating();
     if (Object->kind() == ObjectKind::DynBox)
       return static_cast<const Type *>(Object->meta(0));
     // A bare tuple/closure/reference can only reach a Dyn context through
@@ -65,8 +65,9 @@ Value Runtime::dynUnwrap(Value V) const {
 
 Value Runtime::inject(Value V, const Type *S) {
   assert(!S->isDyn() && "cannot inject Dyn");
-  // Self-describing representations stay inline (paper: values fitting in
-  // 61 bits are stored inline; our boxed floats are also self-describing).
+  // Self-describing representations stay inline (paper: atomic values are
+  // stored inline; NaN-boxed floats carry their type in the encoding, so
+  // float injection is a no-op and never allocates).
   if (S->isAtomic())
     return V;
   return TheHeap.allocDynBox(V, S);
@@ -587,6 +588,8 @@ unsigned Runtime::proxyDepth(Value Callee) {
 std::string Runtime::valueToString(Value V, unsigned Depth) {
   if (Depth == 0)
     return "...";
+  if (V.isFloat())
+    return formatDouble(V.asFloat());
   switch (V.tag()) {
   case ValueTag::Fixnum:
     return std::to_string(V.asFixnum());
@@ -605,8 +608,6 @@ std::string Runtime::valueToString(Value V, unsigned Depth) {
   case ValueTag::Heap: {
     HeapObject *Object = V.object();
     switch (Object->kind()) {
-    case ObjectKind::Float:
-      return formatDouble(Object->floatValue());
     case ObjectKind::Tuple: {
       std::string Out = "#(";
       for (uint32_t I = 0; I != Object->slotCount(); ++I) {

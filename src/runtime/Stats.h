@@ -35,6 +35,39 @@ struct RuntimeStats {
   /// Nanoseconds measured by the innermost (time ...) form, if any.
   int64_t TimedNanos = -1;
 
+  //===------------------------------------------------------------------===//
+  // Allocation / GC observability. Copied from the Heap at the end of a
+  // run (VM::run), so a RunResult carries the whole allocation profile.
+  // Byte and object counters are deterministic for a deterministic
+  // program; pause times are machine-dependent (benchjson emits both,
+  // bench_compare.py checks counters exactly and bands the pauses).
+  //===------------------------------------------------------------------===//
+
+  /// Size classes (same table as Heap::ClassCellSizes) plus one trailing
+  /// bucket for large malloc-backed objects.
+  static constexpr unsigned NumAllocClasses = 8;
+  /// Total bytes allocated (size-class cell bytes + exact large sizes).
+  uint64_t AllocBytes = 0;
+  /// Objects allocated per size class; index NumAllocClasses-1 counts
+  /// large objects.
+  uint64_t AllocObjectsByClass[NumAllocClasses] = {};
+  /// Collections performed during the run.
+  uint64_t Collections = 0;
+  /// Total / worst-case GC pause (mark + eager large sweep; lazy block
+  /// sweeping is mutator time and deliberately not counted).
+  uint64_t GCPauseTotalNs = 0;
+  uint64_t GCPauseMaxNs = 0;
+  /// Redundant back-to-back collections skipped on the heap-limit path.
+  uint64_t DoubleCollectionsAvoided = 0;
+
+  /// Objects allocated across all size classes (large included).
+  uint64_t allocObjects() const {
+    uint64_t Total = 0;
+    for (uint64_t N : AllocObjectsByClass)
+      Total += N;
+    return Total;
+  }
+
   /// Inline-cache hit rate in [0, 1]; 0 when no cached site was reached.
   double cacheHitRate() const {
     uint64_t Total = CacheHits + CacheMisses;

@@ -47,6 +47,10 @@ bool EnginePool::Slot::maybeResetEpoch(size_t MaxNodes) {
     return false;
   Cache.clear();
   Engine.coercions().reset();
+  // Each run's Heap retires its pool blocks to a per-thread cache; drop
+  // them at the same boundary that bounds the coercion arena, so a slot's
+  // memory footprint cannot ratchet across long job streams.
+  Heap::purgeThreadBlockCache();
   EpochResets.fetch_add(1, std::memory_order_relaxed);
   return true;
 }

@@ -28,7 +28,12 @@ bool grift::parseDouble(std::string_view Text, double &Out) {
   errno = 0;
   char *End = nullptr;
   double Value = std::strtod(Buf.c_str(), &End);
-  if (errno == ERANGE || End != Buf.c_str() + Buf.size())
+  if (End != Buf.c_str() + Buf.size())
+    return false;
+  // ERANGE covers both overflow (result is ±HUGE_VAL) and underflow
+  // (result is a representable denormal, or zero). Denormals like
+  // 5e-324 are perfectly good doubles — only reject overflow.
+  if (errno == ERANGE && std::isinf(Value))
     return false;
   Out = Value;
   return true;

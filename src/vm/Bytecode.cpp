@@ -118,6 +118,8 @@ const char *grift::opName(Op Code) {
     return "push-int-prim";
   case Op::PrimJumpIfFalse:
     return "prim-jump-if-false";
+  case Op::PushFloatPrim:
+    return "push-float-prim";
   }
   return "?";
 }

@@ -32,7 +32,7 @@ enum class Op : uint8_t {
   PushInt,   ///< push fixnum; A = signed 32-bit immediate
   PushIntBig,///< push fixnum; A = index into IntPool
   PushChar,  ///< push char; A = code point
-  PushFloat, ///< push boxed float; A = index into FloatPool
+  PushFloat, ///< push immediate (NaN-boxed) float; A = index into FloatPool
 
   // Variables. Locals are frame slots; free variables live in the
   // current closure; globals are program-wide.
@@ -118,13 +118,14 @@ enum class Op : uint8_t {
   LocalGetTailCall, ///< A = slot, B = argc; push local A, then tail call
   PushIntPrim,      ///< A = signed immediate, B = PrimOp
   PrimJumpIfFalse,  ///< A = PrimOp (bool-valued), B = jump target
+  PushFloatPrim,    ///< A = FloatPool index, B = PrimOp
 };
 
 /// First fused opcode; everything from here on is a superinstruction.
 constexpr uint8_t FirstFusedOp = static_cast<uint8_t>(Op::LocalGetGet);
 
 /// Number of opcodes (computed-goto jump tables are sized against this).
-constexpr size_t NumOpcodes = static_cast<size_t>(Op::PrimJumpIfFalse) + 1;
+constexpr size_t NumOpcodes = static_cast<size_t>(Op::PushFloatPrim) + 1;
 
 /// One fixed-width instruction.
 struct Instr {

@@ -60,6 +60,8 @@ void fuseFunction(VMFunction &Fn) {
       A = {Op::PrimJumpIfFalse, A.A, B.A};
     else if (A.Code == Op::PushInt && B.Code == Op::Prim)
       A = {Op::PushIntPrim, A.A, B.A};
+    else if (A.Code == Op::PushFloat && B.Code == Op::Prim)
+      A = {Op::PushFloatPrim, A.A, B.A};
     else if (A.Code == Op::LocalGet && B.Code == Op::Call)
       A = {Op::LocalGetCall, A.A, B.A};
     else if (A.Code == Op::LocalGet && B.Code == Op::TailCall)

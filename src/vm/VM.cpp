@@ -72,6 +72,16 @@ RunResult VM::run(std::string In, const RunLimits &L) {
                            std::chrono::steady_clock::now() - StartTime)
                            .count();
     Result.Stats = RT.stats();
+    const Heap &H = RT.heap();
+    Result.Stats.AllocBytes = H.bytesAllocated();
+    for (unsigned C = 0; C != Heap::NumSizeClasses; ++C)
+      Result.Stats.AllocObjectsByClass[C] = H.objectsAllocatedInClass(C);
+    Result.Stats.AllocObjectsByClass[RuntimeStats::NumAllocClasses - 1] =
+        H.largeObjectsAllocated();
+    Result.Stats.Collections = H.collections();
+    Result.Stats.GCPauseTotalNs = H.gcPauseTotalNs();
+    Result.Stats.GCPauseMaxNs = H.gcPauseMaxNs();
+    Result.Stats.DoubleCollectionsAvoided = H.doubleCollectionsAvoided();
     Result.PeakHeapBytes = RT.heap().peakHeapBytes();
     // Exact on normal completion (Halt charges its partial batch);
     // error paths keep batch granularity — the same rounding the
@@ -356,6 +366,7 @@ Value VM::execute() {
       &&Lbl_LocalGetTailCall,
       &&Lbl_PushIntPrim,
       &&Lbl_PrimJumpIfFalse,
+      &&Lbl_PushFloatPrim,
   };
   static_assert(sizeof(JumpTable) / sizeof(JumpTable[0]) == NumOpcodes,
                 "jump table out of sync with enum Op");
@@ -387,7 +398,8 @@ Value VM::execute() {
     VM_NEXT();
   }
   VM_CASE(PushFloat) {
-    push(RT.heap().allocFloat(Prog.FloatPool[I.A]));
+    // NaN-boxed: a float literal is one stack store, no allocation.
+    push(Value::fromFloat(Prog.FloatPool[I.A]));
     VM_NEXT();
   }
   VM_CASE(LocalGet) {
@@ -832,6 +844,13 @@ Value VM::execute() {
       ++FP->PC; // over the placeholder JumpIfFalse
     VM_NEXT();
   }
+  VM_CASE(PushFloatPrim) {
+    push(Value::fromFloat(Prog.FloatPool[I.A]));
+    VM_FUSED_STEP();
+    ++FP->PC;
+    doPrim(static_cast<PrimOp>(I.B));
+    VM_NEXT();
+  }
   VM_DISPATCH_END()
 }
 
@@ -854,12 +873,11 @@ void VM::doPrim(PrimOp Op) {
   };
   auto popFloat = [&]() {
     Value V = pop();
-    assert(V.isHeap() && V.object()->kind() == ObjectKind::Float &&
-           "float primitive on non-float");
-    return V.object()->floatValue();
+    assert(V.isFloat() && "float primitive on non-float");
+    return V.asFloat();
   };
   auto pushInt = [&](int64_t I) { push(Value::fromFixnum(I)); };
-  auto pushF = [&](double D) { push(RT.heap().allocFloat(D)); };
+  auto pushF = [&](double D) { push(Value::fromFloat(D)); };
   auto pushBool = [&](bool B) { push(Value::fromBool(B)); };
 
   switch (Op) {

@@ -25,7 +25,13 @@ namespace grift::fuzz {
 /// scope. Emits concrete syntax directly.
 class ProgramGen {
 public:
-  ProgramGen(TypeContext &Types, RNG &Gen) : Types(Types), Gen(Gen) {}
+  /// \p FloatBias skews generation toward Float-typed expressions and
+  /// mixes IEEE edge values (±0.0, huge/tiny magnitudes, and NaN/inf
+  /// producers like fl/ by zero) into the float grammar — the stressor
+  /// for the NaN-boxed value representation, where every double bit
+  /// pattern must survive arithmetic, casts, and Dyn round trips.
+  ProgramGen(TypeContext &Types, RNG &Gen, bool FloatBias = false)
+      : Types(Types), Gen(Gen), FloatBias(FloatBias) {}
 
   /// A whole program: a couple of definitions plus a final expression of
   /// printable type.
@@ -63,12 +69,15 @@ private:
 
   TypeContext &Types;
   RNG &Gen;
+  bool FloatBias = false;
   std::vector<Binding> Scope;
   std::vector<Binding> Funcs;
   unsigned NextVar = 0;
 
   /// Scalar-ish result types keep final values printable/comparable.
   const Type *scalarType() {
+    if (FloatBias && Gen.flip(0.5))
+      return Types.floating();
     switch (Gen.below(4)) {
     case 0:
       return Types.integer();
@@ -87,9 +96,18 @@ private:
       return std::to_string(static_cast<int64_t>(Gen.below(200)) - 100);
     case TypeKind::Bool:
       return Gen.flip(0.5) ? "#t" : "#f";
-    case TypeKind::Float:
+    case TypeKind::Float: {
+      if (FloatBias && Gen.flip(0.25)) {
+        // IEEE edge values: signed zeros, extremes of the exponent
+        // range, and values whose sums/products overflow to infinity.
+        static const char *Edges[] = {"-0.0",    "0.0",    "1e308",
+                                      "-1e308",  "5e-324", "-5e-324",
+                                      "1.5e300", "-2.5e300"};
+        return Edges[Gen.below(sizeof(Edges) / sizeof(Edges[0]))];
+      }
       return std::to_string(static_cast<int64_t>(Gen.below(64))) + "." +
              std::to_string(Gen.below(100));
+    }
     case TypeKind::Unit:
       return "()";
     case TypeKind::Char:
@@ -184,6 +202,14 @@ private:
                expr(Types.integer(), Depth - 1) + ")";
       }
       if (T == Types.boolean()) {
+        if (FloatBias && Gen.flip(0.5)) {
+          // Float comparisons: NaN makes every one of these false, and
+          // fl= treats -0.0 and 0.0 as equal — both engines must agree.
+          const char *Ops[] = {"fl<", "fl<=", "fl=", "fl>=", "fl>"};
+          return std::string("(") + Ops[Gen.below(5)] + " " +
+                 expr(Types.floating(), Depth - 1) + " " +
+                 expr(Types.floating(), Depth - 1) + ")";
+        }
         const char *Ops[] = {"<", "<=", "=", "not"};
         unsigned Pick = Gen.below(4);
         if (Pick == 3)
@@ -193,6 +219,16 @@ private:
                expr(Types.integer(), Depth - 1) + ")";
       }
       if (T == Types.floating()) {
+        if (FloatBias && Gen.flip(0.3)) {
+          // fl/ reaches ±inf and NaN (x/0.0, 0.0/0.0); the unary rail
+          // covers sign and NaN propagation through libm.
+          const char *Unary[] = {"flnegate", "flabs", "flsqrt", "flfloor"};
+          if (Gen.flip(0.4))
+            return std::string("(") + Unary[Gen.below(4)] + " " +
+                   expr(Types.floating(), Depth - 1) + ")";
+          return "(fl/ " + expr(Types.floating(), Depth - 1) + " " +
+                 expr(Types.floating(), Depth - 1) + ")";
+        }
         const char *Ops[] = {"fl+", "fl-", "fl*", "flmin", "flmax"};
         return std::string("(") + Ops[Gen.below(5)] + " " +
                expr(Types.floating(), Depth - 1) + " " +

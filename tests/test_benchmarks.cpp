@@ -55,7 +55,7 @@ TEST_P(BenchmarkModes, GoldenOutput) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllBenchmarks, BenchmarkModes,
-    ::testing::Combine(::testing::Range(0, 8),
+    ::testing::Combine(::testing::Range(0, 9),
                        ::testing::Values(CastMode::Static,
                                          CastMode::Coercions,
                                          CastMode::TypeBased)),
@@ -88,7 +88,7 @@ TEST_P(BenchmarkDynamic, ErasedProgramMatchesGolden) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkDynamic,
-                         ::testing::Range(0, 8), [](const auto &Info) {
+                         ::testing::Range(0, 9), [](const auto &Info) {
                            return sanitize(allBenchmarks()[Info.param].Name);
                          });
 
@@ -124,7 +124,7 @@ TEST_P(BenchmarkLattice, SampledConfigurationsAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkLattice,
-                         ::testing::Range(0, 8), [](const auto &Info) {
+                         ::testing::Range(0, 9), [](const auto &Info) {
                            return sanitize(allBenchmarks()[Info.param].Name);
                          });
 

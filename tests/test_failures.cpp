@@ -206,14 +206,21 @@ TEST_F(FailureTest, LetrecSiblingCapturesWork) {
 // Numeric representation corners
 //===----------------------------------------------------------------------===//
 
-TEST_F(FailureTest, SixtyOneBitFixnumsSurvive) {
-  // Values near the 61-bit boundary round-trip through Dyn.
-  RunResult R = run("(ann (ann 1152921504606846975 Dyn) Int)");
+TEST_F(FailureTest, FortyEightBitFixnumsSurvive) {
+  // Values at the NaN-boxed 48-bit fixnum boundary round-trip through
+  // Dyn; literals past it are a parse error, not a silent truncation.
+  RunResult R = run("(ann (ann 140737488355327 Dyn) Int)");
   ASSERT_TRUE(R.OK);
-  EXPECT_EQ(R.ResultText, "1152921504606846975"); // 2^60 - 1
-  RunResult R2 = run("(ann (ann -1152921504606846976 Dyn) Int)");
+  EXPECT_EQ(R.ResultText, "140737488355327"); // 2^47 - 1
+  RunResult R2 = run("(ann (ann -140737488355328 Dyn) Int)");
   ASSERT_TRUE(R2.OK);
-  EXPECT_EQ(R2.ResultText, "-1152921504606846976"); // -2^60
+  EXPECT_EQ(R2.ResultText, "-140737488355328"); // -2^47
+  Grift G;
+  std::string Errors;
+  EXPECT_FALSE(
+      G.compile("(+ 1152921504606846975 0)", CastMode::Coercions, Errors)
+          .has_value());
+  EXPECT_NE(Errors.find("fixnum range"), std::string::npos) << Errors;
 }
 
 TEST_F(FailureTest, NegativeZeroAndPrecisionSurvive) {

@@ -82,6 +82,65 @@ INSTANTIATE_TEST_SUITE_P(RandomSeeds, FuzzDifferential,
                          ::testing::Range(0, 8));
 
 //===----------------------------------------------------------------------===//
+// Float-biased differential fuzzing: the same four-way agreement check,
+// but with the generator skewed toward Float expressions seeded with
+// IEEE edge values (signed zeros, exponent extremes, fl/-produced NaN
+// and infinities). Every double bit pattern must survive the NaN-boxed
+// representation — arithmetic, comparisons, Dyn round trips, printing —
+// identically in the reference interpreter and the VM.
+//===----------------------------------------------------------------------===//
+
+class FuzzFloatDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzFloatDifferential, AllEnginesAgreeOnFloatPrograms) {
+  for (int Iter = 0; Iter != 60; ++Iter) {
+    Grift G;
+    RNG Gen(0xF10A7 + GetParam() * 10007 + Iter);
+    ProgramGen PG(G.types(), Gen, /*FloatBias=*/true);
+    std::string Source = PG.program();
+
+    std::string Errors;
+    auto Ast = G.parse(Source, Errors);
+    ASSERT_TRUE(Ast.has_value()) << Errors << "\nprogram:\n" << Source;
+    auto Core = G.check(*Ast, Errors);
+    ASSERT_TRUE(Core.has_value()) << Errors << "\nprogram:\n" << Source;
+
+    auto runVM = [&](CastMode Mode, bool Optimize = false) -> EngineResult {
+      auto Exe = G.compileAst(*Ast, Mode, Errors, Optimize);
+      EXPECT_TRUE(Exe.has_value()) << Errors << "\nprogram:\n" << Source;
+      if (!Exe)
+        return {};
+      RunResult R = Exe->run();
+      if (!R.OK)
+        return {false, R.Error.str()};
+      return {true, R.ResultText + "|" + R.Output};
+    };
+
+    refinterp::RefResult Ref =
+        refinterp::interpret(G.types(), G.coercions(), *Core);
+    EngineResult RefR{Ref.OK, Ref.OK ? Ref.ResultText + "|" + Ref.Output
+                                     : Ref.Message};
+    EngineResult Coerce = runVM(CastMode::Coercions);
+    EngineResult TB = runVM(CastMode::TypeBased);
+    EngineResult Mono = runVM(CastMode::Monotonic);
+    EngineResult Optimized = runVM(CastMode::Coercions, /*Optimize=*/true);
+
+    EXPECT_TRUE(RefR.OK) << RefR.Text << "\nprogram:\n" << Source;
+    EXPECT_TRUE(Coerce.OK) << Coerce.Text << "\nprogram:\n" << Source;
+    EXPECT_TRUE(TB.OK) << TB.Text << "\nprogram:\n" << Source;
+    EXPECT_TRUE(Mono.OK) << Mono.Text << "\nprogram:\n" << Source;
+    EXPECT_EQ(Coerce.Text, RefR.Text) << "program:\n" << Source;
+    EXPECT_EQ(Coerce.Text, TB.Text) << "program:\n" << Source;
+    EXPECT_EQ(Coerce.Text, Mono.Text) << "program:\n" << Source;
+    EXPECT_TRUE(Optimized.OK) << Optimized.Text << "\nprogram:\n" << Source;
+    EXPECT_EQ(Coerce.Text, Optimized.Text) << "program:\n" << Source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, FuzzFloatDifferential,
+                         ::testing::Range(0, 8));
+
+//===----------------------------------------------------------------------===//
 // Differential execution under resource budgets: 8 seeds x 70 iterations
 // = 560 generated programs, each run on the coercions VM, the type-based
 // VM, and the reference interpreter with finite limits. Either every

@@ -1,0 +1,270 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Edge-case tests for the NaN-boxed value representation
+/// (runtime/Value.h). Floats are stored as raw IEEE-754 doubles in the
+/// 64-bit value word; everything else lives in the negative quiet-NaN
+/// space above 0xFFF8... — so the representation is only sound if
+///
+///   * every non-NaN double round-trips bit-exactly,
+///   * every NaN the hardware can produce (including the x86 default
+///     0xFFF8000000000000, which IS the tag base) is canonicalized into
+///     a float that cannot be mistaken for a pointer or fixnum, and
+///   * the VM's float paths (arithmetic, comparison, printing, Dyn
+///     injection/projection in all three cast modes) preserve these
+///     values end to end with IEEE semantics.
+///
+//===----------------------------------------------------------------------===//
+#include "grift/Grift.h"
+#include "runtime/Value.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+using namespace grift;
+
+namespace {
+
+uint64_t bitsOf(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  return Bits;
+}
+
+double doubleFromBits(uint64_t Bits) {
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+
+/// Compiles and runs \p Source under \p Mode; returns printed output
+/// (empty on failure, with a gtest failure recorded).
+std::string runProgram(const std::string &Source, CastMode Mode) {
+  Grift G;
+  std::string Errors;
+  auto Exe = G.compile(Source, Mode, Errors);
+  EXPECT_TRUE(Exe.has_value()) << Errors << "\nprogram:\n" << Source;
+  if (!Exe)
+    return "";
+  RunResult R = Exe->run();
+  EXPECT_TRUE(R.OK) << R.Error.str() << "\nprogram:\n" << Source;
+  return R.Output;
+}
+
+const CastMode AllModes[] = {CastMode::Coercions, CastMode::TypeBased,
+                             CastMode::Monotonic};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Value-level encoding
+//===----------------------------------------------------------------------===//
+
+TEST(NanBox, NonNaNDoublesRoundTripBitExactly) {
+  const double Cases[] = {0.0,
+                          -0.0,
+                          1.0,
+                          -1.0,
+                          0.1,
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::lowest(),
+                          std::numeric_limits<double>::min(),
+                          std::numeric_limits<double>::denorm_min(),
+                          -std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity(),
+                          6.02214076e23};
+  for (double D : Cases) {
+    Value V = Value::fromFloat(D);
+    EXPECT_TRUE(V.isFloat()) << D;
+    EXPECT_FALSE(V.isFixnum()) << D;
+    EXPECT_FALSE(V.isHeap()) << D;
+    EXPECT_EQ(bitsOf(V.asFloat()), bitsOf(D)) << D;
+  }
+  // Signed zero keeps its sign bit through the encoding.
+  EXPECT_TRUE(std::signbit(Value::fromFloat(-0.0).asFloat()));
+  EXPECT_FALSE(std::signbit(Value::fromFloat(0.0).asFloat()));
+}
+
+TEST(NanBox, EveryNaNPatternCanonicalizesIntoFloatSpace) {
+  // The dangerous patterns: the x86 hardware default quiet NaN
+  // 0xFFF8000000000000 is exactly the tag base, and NaNs with arbitrary
+  // payloads can land anywhere in the pointer/fixnum tag space.
+  const uint64_t NaNBits[] = {
+      0xFFF8000000000000ull, // x86 default QNaN == Value tag base
+      0xFFF8000000000001ull, // would alias a fixnum payload
+      0xFFF9000000001234ull, // would alias a heap pointer
+      0xFFFFFFFFFFFFFFFFull, // all ones
+      0x7FF8000000000000ull, // positive quiet NaN (the canonical one)
+      0x7FF0000000000001ull, // positive signaling NaN
+      0xFFF0000000000001ull, // negative signaling NaN
+  };
+  for (uint64_t Bits : NaNBits) {
+    double D = doubleFromBits(Bits);
+    ASSERT_TRUE(std::isnan(D));
+    Value V = Value::fromFloat(D);
+    EXPECT_TRUE(V.isFloat()) << std::hex << Bits;
+    EXPECT_FALSE(V.isHeap()) << std::hex << Bits;
+    EXPECT_FALSE(V.isProxy()) << std::hex << Bits;
+    EXPECT_FALSE(V.isFixnum()) << std::hex << Bits;
+    EXPECT_FALSE(V.isImm()) << std::hex << Bits;
+    EXPECT_TRUE(std::isnan(V.asFloat())) << std::hex << Bits;
+  }
+  // Canonicalization makes NaN == NaN at the Value level (bitwise
+  // equality is sound because only one NaN representation survives).
+  EXPECT_EQ(Value::fromFloat(doubleFromBits(0xFFF8000000000000ull)),
+            Value::fromFloat(doubleFromBits(0x7FF8000000000001ull)));
+}
+
+TEST(NanBox, ComputedHardwareNaNIsSafe) {
+  // 0.0/0.0 produces the hardware's own quiet NaN — on x86-64 the
+  // negative pattern that collides with the tag base. This must go
+  // through fromFloat's canonicalization, not around it.
+  double Zero = 0.0;
+  double HwNaN = Zero / Zero;
+  Value V = Value::fromFloat(HwNaN);
+  EXPECT_TRUE(V.isFloat());
+  EXPECT_TRUE(std::isnan(V.asFloat()));
+  Value W = Value::fromFloat(std::sqrt(-1.0));
+  EXPECT_TRUE(W.isFloat());
+  EXPECT_EQ(V, W); // both canonicalized
+}
+
+TEST(NanBox, FixnumBoundariesDoNotLeakIntoFloatSpace) {
+  const int64_t Cases[] = {0, 1, -1, Value::FixnumMax, Value::FixnumMin,
+                           Value::FixnumMax - 1, Value::FixnumMin + 1};
+  for (int64_t I : Cases) {
+    Value V = Value::fromFixnum(I);
+    EXPECT_TRUE(V.isFixnum()) << I;
+    EXPECT_FALSE(V.isFloat()) << I;
+    EXPECT_EQ(V.asFixnum(), I);
+  }
+}
+
+TEST(NanBox, ImmediatesAreDistinctAndTyped) {
+  Value Unit = Value::unit();
+  Value True = Value::fromBool(true);
+  Value False = Value::fromBool(false);
+  Value A = Value::fromChar('a');
+  EXPECT_TRUE(Unit.isImm());
+  EXPECT_FALSE(Unit.isFloat());
+  EXPECT_FALSE(Unit == True);
+  EXPECT_FALSE(True == False);
+  EXPECT_FALSE(Unit == A);
+  EXPECT_TRUE(True.asBool());
+  EXPECT_FALSE(False.asBool());
+  EXPECT_EQ(A.asChar(), 'a');
+  // Default-constructed Value is unit: the GC-safe initial slot fill.
+  EXPECT_TRUE(Value() == Unit);
+}
+
+//===----------------------------------------------------------------------===//
+// Program-level: literals, arithmetic, printing
+//===----------------------------------------------------------------------===//
+
+TEST(NanBox, SpecialValueLiteralsAndPrinting) {
+  for (CastMode Mode : AllModes) {
+    EXPECT_EQ(runProgram("(print-float (fl/ 1.0 0.0))", Mode), "+inf.0");
+    EXPECT_EQ(runProgram("(print-float (fl/ -1.0 0.0))", Mode), "-inf.0");
+    EXPECT_EQ(runProgram("(print-float (fl/ 0.0 0.0))", Mode), "+nan.0");
+    EXPECT_EQ(runProgram("(print-float -0.0)", Mode), "-0.0");
+    EXPECT_EQ(runProgram("(print-float 1e308)", Mode), "1e+308");
+    EXPECT_EQ(runProgram("(print-float 5e-324)", Mode), "5e-324");
+  }
+}
+
+TEST(NanBox, NaNPropagatesThroughArithmetic) {
+  for (CastMode Mode : AllModes) {
+    // NaN is sticky through every arithmetic path, including the fused
+    // PushFloatPrim superinstruction.
+    EXPECT_EQ(runProgram("(print-float (fl+ (fl/ 0.0 0.0) 1.0))", Mode),
+              "+nan.0");
+    EXPECT_EQ(runProgram("(print-float (fl* (fl/ 0.0 0.0) 0.0))", Mode),
+              "+nan.0");
+    EXPECT_EQ(runProgram("(print-float (flsqrt -1.0))", Mode), "+nan.0");
+    // Infinity arithmetic: inf - inf is NaN, inf + 1 stays inf.
+    EXPECT_EQ(
+        runProgram("(print-float (fl- (fl/ 1.0 0.0) (fl/ 1.0 0.0)))", Mode),
+        "+nan.0");
+    EXPECT_EQ(runProgram("(print-float (fl+ (fl/ 1.0 0.0) 1.0))", Mode),
+              "+inf.0");
+  }
+}
+
+TEST(NanBox, FloatComparisonsFollowIEEENotBitwise) {
+  for (CastMode Mode : AllModes) {
+    // NaN compares unequal to everything, including itself — even
+    // though canonicalized NaNs are bitwise identical in the Value.
+    EXPECT_EQ(runProgram("(print-bool (let ([n : Float (fl/ 0.0 0.0)])"
+                         " (fl= n n)))",
+                         Mode),
+              "#f");
+    EXPECT_EQ(runProgram("(print-bool (fl< (fl/ 0.0 0.0) 1.0))", Mode),
+              "#f");
+    EXPECT_EQ(runProgram("(print-bool (fl>= (fl/ 0.0 0.0) 1.0))", Mode),
+              "#f");
+    // Signed zeros are IEEE-equal but bitwise distinct.
+    EXPECT_EQ(runProgram("(print-bool (fl= -0.0 0.0))", Mode), "#t");
+    EXPECT_EQ(runProgram("(print-bool (fl< -0.0 0.0))", Mode), "#f");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Float <-> Dyn round trips in every cast mode
+//===----------------------------------------------------------------------===//
+
+TEST(NanBox, FloatDynRoundTripsPreserveEveryEdgeValue) {
+  const char *Producers[] = {
+      "(fl/ 0.0 0.0)",  // NaN
+      "(fl/ 1.0 0.0)",  // +inf
+      "(fl/ -1.0 0.0)", // -inf
+      "-0.0", "1e308", "5e-324", "3.25",
+  };
+  for (CastMode Mode : AllModes) {
+    for (const char *P : Producers) {
+      std::string Direct =
+          runProgram(std::string("(print-float ") + P + ")", Mode);
+      std::string Tripped = runProgram(
+          std::string("(print-float (ann (ann ") + P + " Dyn) Float))",
+          Mode);
+      EXPECT_EQ(Direct, Tripped)
+          << P << " under mode " << static_cast<int>(Mode);
+    }
+  }
+}
+
+TEST(NanBox, FloatsThroughDynVectorsAndTuples) {
+  // Structured casts: a float stored in a (Vect Dyn) viewed as
+  // (Vect Float), and a tuple field crossing Dyn — exercises the
+  // coercion projection path on immediates in every mode.
+  for (CastMode Mode : AllModes) {
+    EXPECT_EQ(runProgram("(print-float (vector-ref (ann (ann"
+                         " (make-vector 2 (fl/ 0.0 0.0)) Dyn)"
+                         " (Vect Float)) 1))",
+                         Mode),
+              "+nan.0");
+    EXPECT_EQ(runProgram("(print-float (tuple-proj (ann (ann"
+                         " (tuple -0.0 1) Dyn) (Tuple Float Int)) 0))",
+                         Mode),
+              "-0.0");
+  }
+}
+
+TEST(NanBox, ProjectingNonFloatFromDynStillBlames) {
+  // Self-describing float tags must not make projection lax: an Int in
+  // Dyn projected at Float is still a cast error in every mode.
+  for (CastMode Mode : AllModes) {
+    Grift G;
+    std::string Errors;
+    auto Exe =
+        G.compile("(print-float (ann (ann 7 Dyn) Float))", Mode, Errors);
+    ASSERT_TRUE(Exe.has_value()) << Errors;
+    RunResult R = Exe->run();
+    EXPECT_FALSE(R.OK) << "mode " << static_cast<int>(Mode);
+    EXPECT_TRUE(R.Error.isBlame()) << R.Error.str();
+  }
+}

@@ -92,9 +92,8 @@ Value genValue(Runtime &RT, const Type *T, RNG &Gen) {
   case TypeKind::Bool:
     return Value::fromBool(Gen.flip(0.5));
   case TypeKind::Float:
-    return RT.heap().allocFloat((static_cast<double>(Gen.below(4000)) -
-                                 2000.0) /
-                                16.0);
+    return Value::fromFloat(
+        (static_cast<double>(Gen.below(4000)) - 2000.0) / 16.0);
   case TypeKind::Unit:
     return Value::unit();
   case TypeKind::Char:

@@ -10,10 +10,17 @@ Exit status is non-zero when
     to catch the order-of-magnitude regressions that dropping an inline
     cache or un-threading the dispatch loop would cause),
   * a deterministic counter (casts, longest_chain, compositions,
-    cache_hits, cache_misses) changed at all — counters do not depend
-    on machine speed, so any drift means the cast semantics changed and
-    the baseline must be regenerated deliberately, or
+    cache_hits, cache_misses, alloc_bytes, alloc_objects, alloc_by_class,
+    collections) changed at all — counters do not depend on machine
+    speed, so any drift means the cast semantics or the allocation
+    behaviour changed and the baseline must be regenerated deliberately,
+    or
   * the CURRENT file violates a paper shape invariant (see below).
+
+GC pause times (gc_pause_total_ns / gc_pause_max_ns) are wall-clock and
+machine-dependent: they are reported alongside the medians but never
+fail the run. Counters absent from one side (older baselines) are
+skipped rather than treated as drift.
 
 Shape invariants checked on CURRENT (paper Section 4.2 / Figure 4):
 
@@ -32,7 +39,11 @@ import json
 import sys
 
 COUNTERS = ("casts", "longest_chain", "compositions", "cache_hits",
-            "cache_misses")
+            "cache_misses", "alloc_bytes", "alloc_objects",
+            "alloc_by_class", "collections")
+
+# Wall-clock observability: reported, never enforced.
+REPORTED = ("gc_pause_total_ns", "gc_pause_max_ns")
 
 
 def load(path):
@@ -88,11 +99,17 @@ def main():
             continue
         b, c = base[key], cur[key]
         for counter in COUNTERS:
+            if counter not in b or counter not in c:
+                continue  # older schema on one side: not drift
             if b[counter] != c[counter]:
                 errors.append(f"{tag}: {counter} changed "
                               f"{b[counter]} -> {c[counter]} (deterministic "
                               "counter; regenerate the baseline if this is "
                               "intentional)")
+        for field in REPORTED:
+            if field in b and field in c and b[field] != c[field]:
+                print(f"{tag}: {field} {b[field]} -> {c[field]} "
+                      "(wall-clock; informational only)")
         ratio = c["median_ns"] / b["median_ns"] if b["median_ns"] else 1.0
         note = ""
         if ratio > 1.0 + args.tolerance:
