@@ -1,0 +1,417 @@
+#include "fuzz/FuzzGen.h"
+
+#include <cstdlib>
+
+using namespace grift;
+using namespace grift::fuzz;
+
+ProgramGen::ProgramGen(TypeContext &Types, RNG &Gen, const GenOptions &Opts)
+    : Types(Types), Gen(Gen), Opts(Opts) {
+  if (this->Opts.PlantFailure) {
+    // A planted cast must be the only ascription in the program so its
+    // position (and therefore the blame label) is recoverable by search.
+    this->Opts.AllowDyn = false;
+    PlantCountdown = static_cast<unsigned>(Gen.below(10));
+  }
+}
+
+std::string ProgramGen::program() {
+  std::string Out;
+  unsigned NumDefs = 1 + Gen.below(3);
+  for (unsigned I = 0; I != NumDefs; ++I) {
+    const Type *Ret = scalarType();
+    std::vector<const Type *> Params;
+    unsigned Arity = 1 + Gen.below(2);
+    for (unsigned P = 0; P != Arity; ++P)
+      Params.push_back(bindingType());
+    std::string Name = "g" + std::to_string(I);
+    Out += "(define (" + Name;
+    std::vector<Binding> Saved = Scope;
+    for (unsigned P = 0; P != Arity; ++P) {
+      std::string PName = Name + "p" + std::to_string(P);
+      Out += " [" + PName + " : " + Params[P]->str() + "]";
+      Scope.push_back({PName, Params[P]});
+    }
+    // A define's body only runs if some evaluated call reaches it, so it
+    // is not a reliable home for the planted failure (MustEval = false).
+    Out += ") : " + Ret->str() + " " + expr(Ret, 3, /*MustEval=*/false) + ")\n";
+    Scope = Saved;
+    Funcs.push_back({Name, Types.function(std::move(Params), Ret)});
+  }
+  const Type *Final = scalarType();
+  if (Opts.PlantFailure) {
+    // Keep the final type ground so the fallback plant below always has
+    // an incompatible partner type.
+    switch (Gen.below(3)) {
+    case 0:
+      Final = Types.integer();
+      break;
+    case 1:
+      Final = Types.boolean();
+      break;
+    default:
+      Final = Types.floating();
+      break;
+    }
+  }
+  std::string FinalExpr = expr(Final, 4, /*MustEval=*/true);
+  if (Opts.PlantFailure && !Planted)
+    FinalExpr = plant(Final); // countdown outlived the program: plant on top
+  Out += FinalExpr + "\n";
+  if (Opts.PlantFailure)
+    PlantSite = findPlantedCast(Out);
+  return Out;
+}
+
+/// Scalar-ish result types keep final values printable/comparable.
+const Type *ProgramGen::scalarType() {
+  if (Opts.FloatBias && Gen.flip(0.5))
+    return Types.floating();
+  switch (Gen.below(4)) {
+  case 0:
+    return Types.integer();
+  case 1:
+    return Types.boolean();
+  case 2:
+    return Types.floating();
+  default:
+    return Types.tuple({Types.integer(), Types.boolean()});
+  }
+}
+
+/// Types for parameters and let bindings. The structural profile widens
+/// these beyond scalars: boxes, vectors, nested tuples, and first-class
+/// function types (higher-order functions as arguments).
+const Type *ProgramGen::bindingType() {
+  if (!Opts.Structural || Gen.flip(0.55))
+    return scalarType();
+  switch (Gen.below(6)) {
+  case 0:
+    return Types.box(scalarType());
+  case 1:
+    return Types.vect(scalarType());
+  case 2:
+    return Types.tuple({scalarType(), scalarType(), scalarType()});
+  case 3: {
+    std::vector<const Type *> Params;
+    unsigned Arity = 1 + Gen.below(2);
+    for (unsigned I = 0; I != Arity; ++I)
+      Params.push_back(scalarType());
+    return Types.function(std::move(Params), scalarType());
+  }
+  case 4:
+    return Types.box(Types.tuple({scalarType(), scalarType()}));
+  default:
+    return Types.tuple({Types.box(scalarType()), scalarType()});
+  }
+}
+
+std::string ProgramGen::literal(const Type *T) {
+  switch (T->kind()) {
+  case TypeKind::Int:
+    return std::to_string(static_cast<int64_t>(Gen.below(200)) - 100);
+  case TypeKind::Bool:
+    return Gen.flip(0.5) ? "#t" : "#f";
+  case TypeKind::Float: {
+    if (Opts.FloatBias && Gen.flip(0.25)) {
+      // IEEE edge values: signed zeros, extremes of the exponent
+      // range, and values whose sums/products overflow to infinity.
+      static const char *Edges[] = {"-0.0",    "0.0",    "1e308",
+                                    "-1e308",  "5e-324", "-5e-324",
+                                    "1.5e300", "-2.5e300"};
+      return Edges[Gen.below(sizeof(Edges) / sizeof(Edges[0]))];
+    }
+    return std::to_string(static_cast<int64_t>(Gen.below(64))) + "." +
+           std::to_string(Gen.below(100));
+  }
+  case TypeKind::Unit:
+    return "()";
+  case TypeKind::Char:
+    return std::string("#\\") + static_cast<char>('a' + Gen.below(26));
+  case TypeKind::Tuple: {
+    std::string Out = "(tuple";
+    for (size_t I = 0; I != T->tupleSize(); ++I)
+      Out += " " + literal(T->element(I));
+    return Out + ")";
+  }
+  case TypeKind::Box:
+    return "(box " + literal(T->inner()) + ")";
+  case TypeKind::Vect:
+    return "(make-vector 2 " + literal(T->inner()) + ")";
+  case TypeKind::Function: {
+    std::string Out = "(lambda (";
+    std::vector<std::string> Params;
+    for (size_t I = 0; I != T->arity(); ++I) {
+      std::string Name = std::string("v") + std::to_string(NextVar++);
+      Out += std::string(I ? " [" : "[") + Name + " : " +
+             T->param(I)->str() + "]";
+      Params.push_back(Name);
+    }
+    Out += ") : " + T->result()->str() + " ";
+    // Body: a literal of the result type (params unused is fine).
+    Out += literal(T->result());
+    return Out + ")";
+  }
+  default:
+    return "0";
+  }
+}
+
+/// Variables of exactly type \p T currently in scope.
+std::string ProgramGen::varOfType(const Type *T) {
+  std::vector<const Binding *> Matches;
+  for (const Binding &B : Scope)
+    if (B.Ty == T)
+      Matches.push_back(&B);
+  if (Matches.empty())
+    return "";
+  return Matches[Gen.below(Matches.size())]->Name;
+}
+
+/// Derives a \p T from a structural variable in scope via one
+/// eliminator: unbox, vector-ref, tuple-proj, or application (calling a
+/// function-typed parameter — the higher-order case). Returns "" when no
+/// binding can produce \p T.
+std::string ProgramGen::structuralUse(const Type *T, unsigned Depth,
+                                      bool MustEval) {
+  enum class UseKind { Unbox, VectRef, TupleProj, Call };
+  struct Use {
+    const Binding *B;
+    UseKind Kind;
+    size_t Index;
+  };
+  std::vector<Use> Uses;
+  for (const Binding &B : Scope) {
+    switch (B.Ty->kind()) {
+    case TypeKind::Box:
+      if (B.Ty->inner() == T)
+        Uses.push_back({&B, UseKind::Unbox, 0});
+      break;
+    case TypeKind::Vect:
+      // Every vector the generator constructs has length 2, so indices
+      // 0 and 1 are always in bounds.
+      if (B.Ty->inner() == T)
+        Uses.push_back({&B, UseKind::VectRef, 0});
+      break;
+    case TypeKind::Tuple:
+      for (size_t I = 0; I != B.Ty->tupleSize(); ++I)
+        if (B.Ty->element(I) == T)
+          Uses.push_back({&B, UseKind::TupleProj, I});
+      break;
+    case TypeKind::Function:
+      if (B.Ty->result() == T)
+        Uses.push_back({&B, UseKind::Call, 0});
+      break;
+    default:
+      break;
+    }
+  }
+  if (Uses.empty())
+    return "";
+  const Use &U = Uses[Gen.below(Uses.size())];
+  switch (U.Kind) {
+  case UseKind::Unbox:
+    return "(unbox " + U.B->Name + ")";
+  case UseKind::VectRef:
+    return "(vector-ref " + U.B->Name + " " + std::to_string(Gen.below(2)) +
+           ")";
+  case UseKind::TupleProj:
+    return "(tuple-proj " + U.B->Name + " " + std::to_string(U.Index) + ")";
+  case UseKind::Call: {
+    std::string Out = std::string("(") + U.B->Name;
+    const Type *FnTy = U.B->Ty;
+    unsigned SubDepth = Depth ? Depth - 1 : 0;
+    for (size_t I = 0; I != FnTy->arity(); ++I)
+      Out += std::string(" ") + expr(FnTy->param(I), SubDepth, MustEval);
+    return Out + ")";
+  }
+  }
+  return "";
+}
+
+/// The deliberately inconsistent cast: a literal of some ground type
+/// U ≠ T injected into Dyn and projected out at T. Every engine must
+/// blame the outer ascription's line:col.
+std::string ProgramGen::plant(const Type *T) {
+  const Type *Candidates[] = {Types.integer(), Types.boolean(),
+                              Types.floating(), Types.character()};
+  const Type *U = T;
+  while (U == T)
+    U = Candidates[Gen.below(4)];
+  Planted = true;
+  return "(ann (ann " + literal(U) + " Dyn) " + T->str() + ")";
+}
+
+bool ProgramGen::callableResult(const Type *T) {
+  return T == Types.integer() || T == Types.boolean() ||
+         T == Types.floating() ||
+         T == Types.tuple({Types.integer(), Types.boolean()});
+}
+
+/// \p MustEval is true when this expression is guaranteed to be
+/// evaluated whenever the whole program runs (it is not under an if
+/// branch or inside a function body) — the precondition for planting
+/// the failure here.
+std::string ProgramGen::expr(const Type *T, unsigned Depth, bool MustEval) {
+  if (Opts.PlantFailure && !Planted && MustEval &&
+      (T == Types.integer() || T == Types.boolean() ||
+       T == Types.floating())) {
+    if (PlantCountdown == 0)
+      return plant(T);
+    --PlantCountdown;
+  }
+  if (Depth == 0) {
+    std::string Var = varOfType(T);
+    return Var.empty() ? literal(T) : Var;
+  }
+  if (Opts.Structural && Gen.flip(0.25)) {
+    std::string Use = structuralUse(T, Depth, MustEval);
+    if (!Use.empty())
+      return Use;
+  }
+  switch (Gen.below(10)) {
+  case 0: { // literal / variable
+    std::string Var = varOfType(T);
+    return Var.empty() || Gen.flip(0.3) ? literal(T) : Var;
+  }
+  case 1: // if: only the condition is guaranteed to evaluate
+    return "(if " + expr(Types.boolean(), Depth - 1, MustEval) + " " +
+           expr(T, Depth - 1, /*MustEval=*/false) + " " +
+           expr(T, Depth - 1, /*MustEval=*/false) + ")";
+  case 2: { // let
+    std::string Name = "v" + std::to_string(NextVar++);
+    const Type *BindTy = bindingType();
+    std::string Init = expr(BindTy, Depth - 1, MustEval);
+    Scope.push_back({Name, BindTy});
+    std::string Body = expr(T, Depth - 1, MustEval);
+    Scope.pop_back();
+    return "(let ([" + Name + " : " + BindTy->str() + " " + Init + "]) " +
+           Body + ")";
+  }
+  case 3: // Dyn round trip: the gradual-typing stressor
+    if (!Opts.AllowDyn)
+      return expr(T, Depth - 1, MustEval);
+    return "(ann (ann " + expr(T, Depth - 1, MustEval) + " Dyn) " +
+           T->str() + ")";
+  case 4: { // call a generated top-level function (possibly via Dyn)
+    if (Funcs.empty() || !callableResult(T))
+      return expr(T, 0, MustEval);
+    std::vector<const Binding *> Usable;
+    for (const Binding &F : Funcs)
+      if (F.Ty->result() == T)
+        Usable.push_back(&F);
+    if (Usable.empty())
+      return expr(T, 0, MustEval);
+    const Binding &F = *Usable[Gen.below(Usable.size())];
+    bool ViaDyn = Opts.AllowDyn && Gen.flip(0.3);
+    std::string Out =
+        ViaDyn ? "((ann (ann " + F.Name + " Dyn) " + F.Ty->str() + ")"
+               : "(" + F.Name;
+    for (size_t I = 0; I != F.Ty->arity(); ++I)
+      Out += " " + expr(F.Ty->param(I), Depth - 1, MustEval);
+    return Out + ")";
+  }
+  case 5: { // arithmetic, when T is Int/Bool/Float
+    if (T == Types.integer()) {
+      const char *Ops[] = {"+", "-", "*"};
+      return std::string("(") + Ops[Gen.below(3)] + " " +
+             expr(Types.integer(), Depth - 1, MustEval) + " " +
+             expr(Types.integer(), Depth - 1, MustEval) + ")";
+    }
+    if (T == Types.boolean()) {
+      if (Opts.FloatBias && Gen.flip(0.5)) {
+        // Float comparisons: NaN makes every one of these false, and
+        // fl= treats -0.0 and 0.0 as equal — both engines must agree.
+        const char *Ops[] = {"fl<", "fl<=", "fl=", "fl>=", "fl>"};
+        return std::string("(") + Ops[Gen.below(5)] + " " +
+               expr(Types.floating(), Depth - 1, MustEval) + " " +
+               expr(Types.floating(), Depth - 1, MustEval) + ")";
+      }
+      const char *Ops[] = {"<", "<=", "=", "not"};
+      unsigned Pick = Gen.below(4);
+      if (Pick == 3)
+        return "(not " + expr(Types.boolean(), Depth - 1, MustEval) + ")";
+      return std::string("(") + Ops[Pick] + " " +
+             expr(Types.integer(), Depth - 1, MustEval) + " " +
+             expr(Types.integer(), Depth - 1, MustEval) + ")";
+    }
+    if (T == Types.floating()) {
+      if (Opts.FloatBias && Gen.flip(0.3)) {
+        // fl/ reaches ±inf and NaN (x/0.0, 0.0/0.0); the unary rail
+        // covers sign and NaN propagation through libm.
+        const char *Unary[] = {"flnegate", "flabs", "flsqrt", "flfloor"};
+        if (Gen.flip(0.4))
+          return std::string("(") + Unary[Gen.below(4)] + " " +
+                 expr(Types.floating(), Depth - 1, MustEval) + ")";
+        return "(fl/ " + expr(Types.floating(), Depth - 1, MustEval) + " " +
+               expr(Types.floating(), Depth - 1, MustEval) + ")";
+      }
+      const char *Ops[] = {"fl+", "fl-", "fl*", "flmin", "flmax"};
+      return std::string("(") + Ops[Gen.below(5)] + " " +
+             expr(Types.floating(), Depth - 1, MustEval) + " " +
+             expr(Types.floating(), Depth - 1, MustEval) + ")";
+    }
+    return expr(T, 0, MustEval);
+  }
+  case 6: { // tuple projection from a wider tuple
+    const Type *Other = Gen.flip(0.5) ? Types.integer() : Types.boolean();
+    const Type *TupTy = Gen.flip(0.5) ? Types.tuple({T, Other})
+                                      : Types.tuple({Other, T});
+    unsigned Index = TupTy->element(0) == T && !Gen.flip(0.1) ? 0 : 1;
+    if (TupTy->element(Index) != T)
+      Index = 1 - Index;
+    return "(tuple-proj " + expr(TupTy, Depth - 1, MustEval) + " " +
+           std::to_string(Index) + ")";
+  }
+  case 7: // box round trip
+    return "(unbox (box " + expr(T, Depth - 1, MustEval) + "))";
+  case 8: { // vector round trip (possibly through a Dyn view)
+    std::string Vec = "(make-vector 2 " + expr(T, Depth - 1, MustEval) + ")";
+    if (Opts.AllowDyn && Gen.flip(0.4))
+      return "(vector-ref (ann (ann " + Vec + " Dyn) (Vect " + T->str() +
+             ")) " + std::to_string(Gen.below(2)) + ")";
+    return "(vector-ref " + Vec + " " + std::to_string(Gen.below(2)) + ")";
+  }
+  default: { // begin with a side-effecting print of an int
+    return "(begin (print-int " + expr(Types.integer(), Depth - 1, MustEval) +
+           ") " + expr(T, Depth - 1, MustEval) + ")";
+  }
+  }
+}
+
+SourceLoc grift::fuzz::findPlantedCast(const std::string &Source) {
+  // The planted cast renders as "(ann (ann <lit> Dyn) T)": two adjacent
+  // "(ann " markers and no others anywhere in a pure-typed program.
+  size_t Outer = Source.find("(ann (ann ");
+  if (Outer == std::string::npos)
+    return {};
+  if (Source.find("(ann (ann ", Outer + 1) != std::string::npos)
+    return {};
+  size_t Count = 0;
+  for (size_t P = Source.find("(ann "); P != std::string::npos;
+       P = Source.find("(ann ", P + 1))
+    ++Count;
+  if (Count != 2)
+    return {};
+  uint32_t Line = 1, Col = 1;
+  for (size_t I = 0; I != Outer; ++I) {
+    if (Source[I] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+  }
+  return SourceLoc(Line, Col);
+}
+
+unsigned grift::fuzz::iterationCount(unsigned Default) {
+  const char *Env = std::getenv("GRIFT_FUZZ_ITERS");
+  if (!Env || !*Env)
+    return Default;
+  char *End = nullptr;
+  unsigned long Value = std::strtoul(Env, &End, 10);
+  if (End == Env || *End != '\0' || Value == 0 || Value > 1000000)
+    return Default;
+  return static_cast<unsigned>(Value);
+}

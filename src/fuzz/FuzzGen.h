@@ -1,0 +1,126 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type-directed random program generation shared by the griftfuzz
+/// correctness harness (tools/griftfuzz) and the gtest differential
+/// suites (tests/test_fuzz.cpp, tests/test_vm.cpp). Produces well-typed
+/// gradual programs emitted as *source text*, so the reader, parser, and
+/// checker are exercised along with the back ends.
+///
+/// Three grammar profiles, selected via GenOptions:
+///
+///   * the default profile matches the historical tests/FuzzGen.h
+///     generator: casts only move along precision ladders, so every
+///     program runs successfully in every engine and cast mode;
+///   * the *pure typed* profile (AllowDyn = false) never mentions Dyn at
+///     all — every annotation is a full static type, so the program also
+///     compiles under CastMode::Static and is a valid top element for
+///     the configuration lattice (src/lattice) to erase downward from;
+///   * the *failure planting* profile (PlantFailure = true, implies
+///     pure typed) deliberately emits exactly one inconsistent cast
+///     `(ann (ann <lit-of-U> Dyn) T)` with U ≠ T at a site that is
+///     guaranteed to be evaluated, so the blame-differential oracle can
+///     predict the precise `line:col` blame label every engine must
+///     report. Because the pure profile emits no other `ann`, the
+///     planted cast is the unique occurrence of "(ann " in the source
+///     and its position is recoverable by search (see plantedSite).
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_FUZZ_FUZZGEN_H
+#define GRIFT_FUZZ_FUZZGEN_H
+
+#include "support/RNG.h"
+#include "support/SourceLoc.h"
+#include "types/TypeContext.h"
+
+#include <string>
+#include <vector>
+
+namespace grift::fuzz {
+
+/// Knobs for the generator grammar.
+struct GenOptions {
+  /// Skews generation toward Float-typed expressions and mixes IEEE edge
+  /// values (±0.0, huge/tiny magnitudes, NaN/inf producers like fl/ by
+  /// zero) into the float grammar — the stressor for the NaN-boxed value
+  /// representation, where every double bit pattern must survive
+  /// arithmetic, casts, and Dyn round trips.
+  bool FloatBias = false;
+
+  /// Emit Dyn round trips `(ann (ann e Dyn) T)` and calls through Dyn
+  /// views. Disabled, the program never mentions Dyn: fully typed,
+  /// Static-mode compatible, and a valid lattice top.
+  bool AllowDyn = true;
+
+  /// Widen binding/parameter types beyond scalars: boxes, vectors,
+  /// nested tuples, and first-class function types (higher-order
+  /// functions as arguments — the paper's structural types), plus the
+  /// eliminators (unbox, vector-ref, tuple-proj, application) that
+  /// consume them.
+  bool Structural = false;
+
+  /// Plant exactly one deliberately inconsistent cast at a
+  /// guaranteed-evaluated site (forces AllowDyn = false).
+  bool PlantFailure = false;
+};
+
+/// Generates expressions of a requested type, tracking variables in
+/// scope. Emits concrete syntax directly.
+class ProgramGen {
+public:
+  /// Historical two-knob constructor kept for the differential suites.
+  ProgramGen(TypeContext &Types, RNG &Gen, bool FloatBias = false)
+      : ProgramGen(Types, Gen, GenOptions{FloatBias, true, false, false}) {}
+
+  ProgramGen(TypeContext &Types, RNG &Gen, const GenOptions &Opts);
+
+  /// A whole program: a couple of definitions plus a final expression of
+  /// printable type. With Opts.PlantFailure, the program additionally
+  /// contains exactly one inconsistent cast that is reached when the
+  /// final expression is evaluated.
+  std::string program();
+
+  /// After program() with Opts.PlantFailure: the 1-based line:col of the
+  /// planted cast's outer `(ann` — the blame label every engine must
+  /// report. Invalid when nothing was planted.
+  SourceLoc plantedSite() const { return PlantSite; }
+
+private:
+  struct Binding {
+    std::string Name;
+    const Type *Ty;
+  };
+
+  TypeContext &Types;
+  RNG &Gen;
+  GenOptions Opts;
+  std::vector<Binding> Scope;
+  std::vector<Binding> Funcs;
+  unsigned NextVar = 0;
+  bool Planted = false;
+  unsigned PlantCountdown = 0;
+  SourceLoc PlantSite;
+
+  const Type *scalarType();
+  const Type *bindingType();
+  std::string literal(const Type *T);
+  std::string varOfType(const Type *T);
+  std::string structuralUse(const Type *T, unsigned Depth, bool MustEval);
+  std::string plant(const Type *T);
+  std::string expr(const Type *T, unsigned Depth, bool MustEval);
+  bool callableResult(const Type *T);
+};
+
+/// Locates the planted cast in \p Source: the unique occurrence of
+/// "(ann " (pure-typed programs emit no other ascription). Returns the
+/// invalid SourceLoc when the marker is absent or ambiguous.
+SourceLoc findPlantedCast(const std::string &Source);
+
+/// Iteration count for fuzz loops: the GRIFT_FUZZ_ITERS environment
+/// variable when set to a positive integer, \p Default otherwise. Lets
+/// CI and local runs crank budgets up or down without recompiling.
+unsigned iterationCount(unsigned Default);
+
+} // namespace grift::fuzz
+
+#endif // GRIFT_FUZZ_FUZZGEN_H

@@ -1,0 +1,111 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The griftfuzz correctness oracles. The paper's claim is that the
+/// cast-implementation strategies are observationally interchangeable —
+/// same answers, same blame labels, at every point of the configuration
+/// lattice, only different speed. These oracles test that claim
+/// mechanically on generated programs:
+///
+///   * the *lattice gradual-guarantee oracle* generates a fully typed
+///     program (no Dyn anywhere), samples fine-grained and module-level
+///     configurations via src/lattice, and asserts that every
+///     configuration produces the identical result text across the
+///     reference interpreter and the VM in coercion, type-based, and
+///     monotonic modes — and, for the fully typed top element, static
+///     mode as well;
+///
+///   * the *blame-differential oracle* plants exactly one deliberately
+///     inconsistent cast at a guaranteed-evaluated site, predicts its
+///     `line:col` blame label from the source text, and asserts that
+///     every engine reports ErrorKind::Blame with exactly that label —
+///     and that less-precise configurations of the same program either
+///     succeed or blame the same site, never a different ErrorKind.
+///
+/// A detected failure carries enough state (seeds, sources, expected vs
+/// actual) to re-manifest deterministically; shrinkFailure() minimizes
+/// it with the AST-aware delta debugger before the harness dumps a
+/// self-contained repro artifact.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_FUZZ_ORACLE_H
+#define GRIFT_FUZZ_ORACLE_H
+
+#include "fuzz/Shrink.h"
+#include "runtime/Limits.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace grift::fuzz {
+
+struct OracleOptions {
+  unsigned Bins = 4;      ///< fine-grained precision bins per program
+  unsigned PerBin = 2;    ///< configurations sampled per bin
+  unsigned CoarseMax = 8; ///< module-lattice configurations per program
+  unsigned ShrinkAttempts = 1200; ///< delta-debugging budget per failure
+  /// Guard budgets for every engine run. Generated programs are tiny, so
+  /// these never fire on a healthy build; when they do, the run shows up
+  /// as a resource-kind outcome and the oracle reports it.
+  RunLimits Limits;
+
+  OracleOptions();
+};
+
+enum class OracleKind { Lattice, Blame };
+
+inline const char *oracleKindName(OracleKind Kind) {
+  return Kind == OracleKind::Lattice ? "lattice" : "blame";
+}
+
+/// How a failure re-manifests on candidate sources during shrinking.
+enum class RecheckKind {
+  /// Engines disagree pairwise on the program itself.
+  EnginesDisagree,
+  /// Some sampled configuration of the program changes the answer.
+  LatticeGuarantee,
+  /// The planted cast's contract is broken: an engine misses blame, or
+  /// blames a label other than the one derived from the source.
+  BlameContract,
+};
+
+struct OracleFailure {
+  OracleKind Oracle = OracleKind::Lattice;
+  RecheckKind Recheck = RecheckKind::EnginesDisagree;
+  uint64_t Seed = 0;       ///< generator seed (reproduces the program)
+  uint64_t SampleSeed = 0; ///< lattice sampling seed for this program
+  std::string Source;      ///< source to shrink (failing config or baseline)
+  std::string Baseline;    ///< the fully typed generated program
+  std::string What;        ///< one-line description
+  std::string Expected;
+  std::string Actual;
+};
+
+/// One iteration of the respective oracle, deterministic in \p Seed.
+/// Returns nullopt when every check passed.
+std::optional<OracleFailure> checkLattice(uint64_t Seed,
+                                          const OracleOptions &Opts);
+std::optional<OracleFailure> checkBlame(uint64_t Seed,
+                                        const OracleOptions &Opts);
+
+/// The shrinking predicate for \p Failure evaluated on \p Source:
+/// true when the failure class still reproduces. Exposed for tests.
+bool recheckFails(const OracleFailure &Failure, const std::string &Source,
+                  const OracleOptions &Opts);
+
+/// Minimizes Failure.Source with the AST-aware delta debugger while
+/// recheckFails holds.
+std::string shrinkFailure(const OracleFailure &Failure,
+                          const OracleOptions &Opts,
+                          ShrinkStats *Stats = nullptr);
+
+/// Renders a self-contained repro artifact: seeds, oracle, expectation,
+/// observed behaviour, original and shrunk sources, and the one-command
+/// reproduction line.
+std::string reproText(const OracleFailure &Failure,
+                      const std::string &Shrunk);
+
+} // namespace grift::fuzz
+
+#endif // GRIFT_FUZZ_ORACLE_H

@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sexp/AST-aware delta debugging for failing fuzz cases. Rather than
+/// chopping bytes, the shrinker parses the program, applies structured
+/// reductions — drop a top-level define, hoist a subexpression over its
+/// parent (which inlines lets, flattens begins, and picks an if branch),
+/// replace a subtree with a scalar literal — re-renders the candidate
+/// via the AST printer, and keeps it only when the caller's predicate
+/// says the failure still reproduces from the *re-rendered source*.
+/// Testing the rendered text (not the mutated in-memory AST) guarantees
+/// the final repro is self-contained: anyone can paste it into griftc
+/// and observe the same failure, including position-derived blame
+/// labels, because the predicate always saw the same bytes.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_FUZZ_SHRINK_H
+#define GRIFT_FUZZ_SHRINK_H
+
+#include <functional>
+#include <string>
+
+namespace grift::fuzz {
+
+/// Returns true when \p Source still exhibits the failure being
+/// minimized. Called on rendered candidate programs; expected to treat
+/// non-compiling candidates as "does not fail" (reject them).
+using SourcePredicate = std::function<bool(const std::string &Source)>;
+
+struct ShrinkStats {
+  unsigned Attempts = 0; ///< candidates generated and tested
+  unsigned Accepted = 0; ///< candidates that kept the failure
+  unsigned Rounds = 0;   ///< greedy passes over the program
+};
+
+/// Minimizes \p Source while \p StillFails holds. Greedy fixed point:
+/// each accepted reduction strictly shrinks the rendered text, so the
+/// loop terminates; \p MaxAttempts caps total predicate evaluations.
+/// Returns \p Source unchanged if it does not satisfy the predicate.
+std::string shrinkSource(const std::string &Source,
+                         const SourcePredicate &StillFails,
+                         unsigned MaxAttempts = 1500,
+                         ShrinkStats *Stats = nullptr);
+
+} // namespace grift::fuzz
+
+#endif // GRIFT_FUZZ_SHRINK_H

@@ -170,8 +170,9 @@ std::vector<Configuration> grift::sampleFineGrained(const Program &Prog,
                                                     unsigned Bins,
                                                     unsigned PerBin,
                                                     uint64_t Seed) {
-  assert(Bins > 0 && "need at least one bin");
   std::vector<Configuration> Out;
+  if (Bins == 0 || PerBin == 0)
+    return Out;
   RNG Gen(Seed);
   for (unsigned Bin = 0; Bin != Bins; ++Bin) {
     double Lo = static_cast<double>(Bin) / Bins;
@@ -234,14 +235,18 @@ std::vector<Configuration> grift::coarseConfigs(const Program &Prog,
   };
 
   std::vector<Configuration> Out;
+  if (MaxConfigs == 0)
+    return Out;
   if (M < 64 && (UINT64_C(1) << M) <= MaxConfigs) {
     for (uint64_t Mask = 0; Mask != (UINT64_C(1) << M); ++Mask)
       Out.push_back(buildConfig(Mask));
     return Out;
   }
-  // Sample: always include all-typed and all-dynamic.
+  // Sample: always include all-typed and (budget permitting) all-dynamic.
   RNG Gen(Seed);
   Out.push_back(buildConfig(0));
+  if (MaxConfigs == 1)
+    return Out;
   uint64_t Full = M >= 64 ? ~UINT64_C(0) : (UINT64_C(1) << M) - 1;
   Out.push_back(buildConfig(Full));
   for (unsigned I = 2; I < MaxConfigs; ++I)

@@ -45,7 +45,8 @@ double programPrecision(const Program &Prog);
 Program eraseTypes(const Program &Prog, TypeContext &Ctx);
 
 /// Draws ≈ \p PerBin configurations in each of \p Bins precision bins
-/// from the fully typed \p Prog. Deterministic in \p Seed.
+/// from the fully typed \p Prog. Deterministic in \p Seed. Returns an
+/// empty vector when \p Bins or \p PerBin is zero.
 std::vector<Configuration> sampleFineGrained(const Program &Prog,
                                              TypeContext &Ctx, unsigned Bins,
                                              unsigned PerBin, uint64_t Seed);
@@ -53,7 +54,7 @@ std::vector<Configuration> sampleFineGrained(const Program &Prog,
 /// Module-level (per-define) configurations: every subset of defines
 /// erased, enumerated exhaustively up to \p MaxConfigs and sampled
 /// beyond that. The all-typed and all-dynamic configurations are always
-/// included.
+/// included when the budget allows; \p MaxConfigs of zero yields none.
 std::vector<Configuration> coarseConfigs(const Program &Prog,
                                          TypeContext &Ctx,
                                          unsigned MaxConfigs, uint64_t Seed);

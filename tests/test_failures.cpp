@@ -8,6 +8,7 @@
 ///
 //===----------------------------------------------------------------------===//
 #include "grift/Grift.h"
+#include "refinterp/RefInterp.h"
 
 #include <gtest/gtest.h>
 
@@ -153,6 +154,100 @@ TEST_F(FailureTest, SuccessfulDeepFlowsStillWork) {
     ASSERT_TRUE(R.OK) << castModeName(Mode) << ": " << R.Error.str();
     EXPECT_EQ(R.ResultText, "42");
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Blame labels, pinned. The lazy-D contract is that the *label* — the
+// 1-based line:col of the cast the type checker charged — is part of
+// the observable behaviour, identical across the reference interpreter
+// and every VM cast strategy even though the prose of the message
+// differs per runtime. These tests pin the exact label text for the
+// scenarios above so a refactor that shifts attribution (to the value's
+// use site, to an inner cast, off by a column) fails loudly.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Per-engine blame expectation; monotonic references legitimately
+/// charge the write site rather than the reference-view cast, so it
+/// gets its own slot.
+struct BlameLabels {
+  std::string RefAndCoercions; ///< refinterp, coercions, type-based
+  std::string Monotonic;
+};
+
+} // namespace
+
+class BlameLabelTest : public FailureTest {
+protected:
+  void expectLabels(std::string_view Source, const BlameLabels &Expected) {
+    std::string Errors;
+    auto Ast = G.parse(Source, Errors);
+    ASSERT_TRUE(Ast.has_value()) << Errors;
+    auto Core = G.check(*Ast, Errors);
+    ASSERT_TRUE(Core.has_value()) << Errors;
+
+    refinterp::RefResult Ref =
+        refinterp::interpret(G.types(), G.coercions(), *Core);
+    ASSERT_FALSE(Ref.OK) << Source;
+    EXPECT_EQ(Ref.Kind, ErrorKind::Blame) << Ref.Message;
+    EXPECT_EQ(Ref.Label, Expected.RefAndCoercions) << Ref.Message;
+
+    for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased,
+                          CastMode::Monotonic}) {
+      RunResult R = run(Source, Mode);
+      ASSERT_FALSE(R.OK) << castModeName(Mode) << "\n" << Source;
+      EXPECT_EQ(R.Error.Kind, ErrorKind::Blame)
+          << castModeName(Mode) << ": " << R.Error.str();
+      const std::string &Want = Mode == CastMode::Monotonic
+                                    ? Expected.Monotonic
+                                    : Expected.RefAndCoercions;
+      EXPECT_EQ(R.Error.Label, Want)
+          << castModeName(Mode) << ": " << R.Error.str();
+    }
+  }
+};
+
+TEST_F(BlameLabelTest, AscriptionBlamesTheOuterAnn) {
+  // The label is the opening paren of the *outer* (ann ...), even when
+  // the annotation itself sits on the next line.
+  expectLabels("(ann (ann #t Dyn)\n"
+               "     Int)",
+               {"1:1", "1:1"});
+}
+
+TEST_F(BlameLabelTest, NestedTupleProjectionBlamesTheAscription) {
+  // The lie travels through two tuple layers; the charge lands on the
+  // ascription that demanded Int, not on either projection.
+  expectLabels(
+      "(let ([p : (Tuple (Tuple Int Dyn) Int) (tuple (tuple 1 #t) 2)])\n"
+      "  (ann (tuple-proj (tuple-proj p 0) 1) Int))",
+      {"2:3", "2:3"});
+}
+
+TEST_F(BlameLabelTest, FunctionResultBlamesTheTighteningDefine) {
+  // f honestly returns Dyn; the define that retyped it (Int -> Int)
+  // made the promise, so its location is charged — lazily, only when
+  // the call actually yields a non-Int.
+  expectLabels(
+      "(define f : (Int -> Dyn) (lambda ([x : Int]) : Dyn (ann #t Dyn)))\n"
+      "(define g : (Int -> Int) f)\n"
+      "(g 1)",
+      {"2:1", "2:1"});
+}
+
+TEST_F(BlameLabelTest, ProxiedBoxWriteSplitsByStrategy) {
+  // Guarded references (refinterp, coercions, type-based) charge the
+  // (Ref Dyn) view that wrapped the Int box — line 2. The monotonic
+  // strategy has no proxy to charge: the heap cell itself holds the
+  // strongest type, so the offending write — line 5 — is blamed. Both
+  // labels are pinned; a strategy drifting to any third site fails.
+  expectLabels("(define b : (Ref Int) (box 1))\n"
+               "(define d1 : (Ref Dyn) b)\n"
+               "(define d2 : Dyn d1)\n"
+               "(define d3 : (Ref Dyn) (ann d2 (Ref Dyn)))\n"
+               "(box-set! d3 (ann #f Dyn))",
+               {"2:1", "5:1"});
 }
 
 //===----------------------------------------------------------------------===//

@@ -8,8 +8,12 @@
 /// Programs are generated as *source text* so the reader, parser, and
 /// checker are fuzzed along with the back ends.
 ///
+/// Iteration counts honour GRIFT_FUZZ_ITERS; every failure message
+/// carries the generator seed and the full program so it can be replayed
+/// standalone.
+///
 //===----------------------------------------------------------------------===//
-#include "FuzzGen.h"
+#include "fuzz/FuzzGen.h"
 #include "grift/Grift.h"
 #include "refinterp/RefInterp.h"
 #include "support/RNG.h"
@@ -21,32 +25,40 @@ using grift::fuzz::ProgramGen;
 
 namespace {
 
-
 struct EngineResult {
   bool OK = false;
   std::string Text; // result + output, or the error
 };
+
+/// Replay context appended to every assertion: seed first, so a failing
+/// run can be reproduced without scraping the program text.
+std::string replay(uint64_t Seed, const std::string &Source) {
+  return "\nseed: " + std::to_string(Seed) + "\nprogram:\n" + Source;
+}
 
 } // namespace
 
 class FuzzDifferential : public ::testing::TestWithParam<int> {};
 
 TEST_P(FuzzDifferential, AllEnginesAgree) {
-  for (int Iter = 0; Iter != 60; ++Iter) {
+  const unsigned Iters = fuzz::iterationCount(60);
+  for (unsigned Iter = 0; Iter != Iters; ++Iter) {
     Grift G;
-    RNG Gen(0xF0220 + GetParam() * 10007 + Iter);
+    const uint64_t Seed = 0xF0220 + GetParam() * 10007 + Iter;
+    RNG Gen(Seed);
     ProgramGen PG(G.types(), Gen);
     std::string Source = PG.program();
+    const std::string Ctx = replay(Seed, Source);
 
     std::string Errors;
     auto Ast = G.parse(Source, Errors);
-    ASSERT_TRUE(Ast.has_value()) << Errors << "\nprogram:\n" << Source;
+    ASSERT_TRUE(Ast.has_value()) << Errors << Ctx;
     auto Core = G.check(*Ast, Errors);
-    ASSERT_TRUE(Core.has_value()) << Errors << "\nprogram:\n" << Source;
+    ASSERT_TRUE(Core.has_value()) << Errors << Ctx;
 
     auto runVM = [&](CastMode Mode, bool Optimize = false) -> EngineResult {
       auto Exe = G.compileAst(*Ast, Mode, Errors, Optimize);
-      EXPECT_TRUE(Exe.has_value()) << Errors << "\nprogram:\n" << Source;
+      EXPECT_TRUE(Exe.has_value()) << Errors << Ctx;
       if (!Exe)
         return {};
       RunResult R = Exe->run();
@@ -66,15 +78,15 @@ TEST_P(FuzzDifferential, AllEnginesAgree) {
 
     // Generated programs only cast along precision ladders: every
     // engine must succeed and agree exactly.
-    EXPECT_TRUE(RefR.OK) << RefR.Text << "\nprogram:\n" << Source;
-    EXPECT_TRUE(Coerce.OK) << Coerce.Text << "\nprogram:\n" << Source;
-    EXPECT_TRUE(TB.OK) << TB.Text << "\nprogram:\n" << Source;
-    EXPECT_TRUE(Mono.OK) << Mono.Text << "\nprogram:\n" << Source;
-    EXPECT_EQ(Coerce.Text, RefR.Text) << "program:\n" << Source;
-    EXPECT_EQ(Coerce.Text, TB.Text) << "program:\n" << Source;
-    EXPECT_EQ(Coerce.Text, Mono.Text) << "program:\n" << Source;
-    EXPECT_TRUE(Optimized.OK) << Optimized.Text << "\nprogram:\n" << Source;
-    EXPECT_EQ(Coerce.Text, Optimized.Text) << "program:\n" << Source;
+    EXPECT_TRUE(RefR.OK) << RefR.Text << Ctx;
+    EXPECT_TRUE(Coerce.OK) << Coerce.Text << Ctx;
+    EXPECT_TRUE(TB.OK) << TB.Text << Ctx;
+    EXPECT_TRUE(Mono.OK) << Mono.Text << Ctx;
+    EXPECT_EQ(Coerce.Text, RefR.Text) << Ctx;
+    EXPECT_EQ(Coerce.Text, TB.Text) << Ctx;
+    EXPECT_EQ(Coerce.Text, Mono.Text) << Ctx;
+    EXPECT_TRUE(Optimized.OK) << Optimized.Text << Ctx;
+    EXPECT_EQ(Coerce.Text, Optimized.Text) << Ctx;
   }
 }
 
@@ -93,21 +105,24 @@ INSTANTIATE_TEST_SUITE_P(RandomSeeds, FuzzDifferential,
 class FuzzFloatDifferential : public ::testing::TestWithParam<int> {};
 
 TEST_P(FuzzFloatDifferential, AllEnginesAgreeOnFloatPrograms) {
-  for (int Iter = 0; Iter != 60; ++Iter) {
+  const unsigned Iters = fuzz::iterationCount(60);
+  for (unsigned Iter = 0; Iter != Iters; ++Iter) {
     Grift G;
-    RNG Gen(0xF10A7 + GetParam() * 10007 + Iter);
+    const uint64_t Seed = 0xF10A7 + GetParam() * 10007 + Iter;
+    RNG Gen(Seed);
     ProgramGen PG(G.types(), Gen, /*FloatBias=*/true);
     std::string Source = PG.program();
+    const std::string Ctx = replay(Seed, Source);
 
     std::string Errors;
     auto Ast = G.parse(Source, Errors);
-    ASSERT_TRUE(Ast.has_value()) << Errors << "\nprogram:\n" << Source;
+    ASSERT_TRUE(Ast.has_value()) << Errors << Ctx;
     auto Core = G.check(*Ast, Errors);
-    ASSERT_TRUE(Core.has_value()) << Errors << "\nprogram:\n" << Source;
+    ASSERT_TRUE(Core.has_value()) << Errors << Ctx;
 
     auto runVM = [&](CastMode Mode, bool Optimize = false) -> EngineResult {
       auto Exe = G.compileAst(*Ast, Mode, Errors, Optimize);
-      EXPECT_TRUE(Exe.has_value()) << Errors << "\nprogram:\n" << Source;
+      EXPECT_TRUE(Exe.has_value()) << Errors << Ctx;
       if (!Exe)
         return {};
       RunResult R = Exe->run();
@@ -125,15 +140,15 @@ TEST_P(FuzzFloatDifferential, AllEnginesAgreeOnFloatPrograms) {
     EngineResult Mono = runVM(CastMode::Monotonic);
     EngineResult Optimized = runVM(CastMode::Coercions, /*Optimize=*/true);
 
-    EXPECT_TRUE(RefR.OK) << RefR.Text << "\nprogram:\n" << Source;
-    EXPECT_TRUE(Coerce.OK) << Coerce.Text << "\nprogram:\n" << Source;
-    EXPECT_TRUE(TB.OK) << TB.Text << "\nprogram:\n" << Source;
-    EXPECT_TRUE(Mono.OK) << Mono.Text << "\nprogram:\n" << Source;
-    EXPECT_EQ(Coerce.Text, RefR.Text) << "program:\n" << Source;
-    EXPECT_EQ(Coerce.Text, TB.Text) << "program:\n" << Source;
-    EXPECT_EQ(Coerce.Text, Mono.Text) << "program:\n" << Source;
-    EXPECT_TRUE(Optimized.OK) << Optimized.Text << "\nprogram:\n" << Source;
-    EXPECT_EQ(Coerce.Text, Optimized.Text) << "program:\n" << Source;
+    EXPECT_TRUE(RefR.OK) << RefR.Text << Ctx;
+    EXPECT_TRUE(Coerce.OK) << Coerce.Text << Ctx;
+    EXPECT_TRUE(TB.OK) << TB.Text << Ctx;
+    EXPECT_TRUE(Mono.OK) << Mono.Text << Ctx;
+    EXPECT_EQ(Coerce.Text, RefR.Text) << Ctx;
+    EXPECT_EQ(Coerce.Text, TB.Text) << Ctx;
+    EXPECT_EQ(Coerce.Text, Mono.Text) << Ctx;
+    EXPECT_TRUE(Optimized.OK) << Optimized.Text << Ctx;
+    EXPECT_EQ(Coerce.Text, Optimized.Text) << Ctx;
   }
 }
 
@@ -167,21 +182,24 @@ TEST_P(FuzzLimited, EnginesAgreeUnderResourceBudgets) {
   Limits.MaxFrames = 5000;   // inside the refinterp's native-stack cap
   Limits.MaxHeapBytes = 256u << 20;
 
-  for (int Iter = 0; Iter != 70; ++Iter) {
+  const unsigned Iters = fuzz::iterationCount(70);
+  for (unsigned Iter = 0; Iter != Iters; ++Iter) {
     Grift G;
-    RNG Gen(0xB0D9E7 + GetParam() * 7919 + Iter);
+    const uint64_t Seed = 0xB0D9E7 + GetParam() * 7919 + Iter;
+    RNG Gen(Seed);
     ProgramGen PG(G.types(), Gen);
     std::string Source = PG.program();
+    const std::string Ctx = replay(Seed, Source);
 
     std::string Errors;
     auto Ast = G.parse(Source, Errors);
-    ASSERT_TRUE(Ast.has_value()) << Errors << "\nprogram:\n" << Source;
+    ASSERT_TRUE(Ast.has_value()) << Errors << Ctx;
     auto Core = G.check(*Ast, Errors);
-    ASSERT_TRUE(Core.has_value()) << Errors << "\nprogram:\n" << Source;
+    ASSERT_TRUE(Core.has_value()) << Errors << Ctx;
 
     auto runVM = [&](CastMode Mode) -> Outcome {
       auto Exe = G.compileAst(*Ast, Mode, Errors);
-      EXPECT_TRUE(Exe.has_value()) << Errors << "\nprogram:\n" << Source;
+      EXPECT_TRUE(Exe.has_value()) << Errors << Ctx;
       if (!Exe)
         return {};
       RunResult R = Exe->run("", Limits);
@@ -199,18 +217,18 @@ TEST_P(FuzzLimited, EnginesAgreeUnderResourceBudgets) {
     Outcome TB = runVM(CastMode::TypeBased);
 
     if (RefR.OK && Coerce.OK && TB.OK) {
-      EXPECT_EQ(Coerce.Text, RefR.Text) << "program:\n" << Source;
-      EXPECT_EQ(Coerce.Text, TB.Text) << "program:\n" << Source;
+      EXPECT_EQ(Coerce.Text, RefR.Text) << Ctx;
+      EXPECT_EQ(Coerce.Text, TB.Text) << Ctx;
     } else {
       // Budgets are far above what any generated program needs, so a
       // failure must be unanimous and of one kind to be believable.
-      EXPECT_FALSE(RefR.OK) << RefR.Text << "\nprogram:\n" << Source;
-      EXPECT_FALSE(Coerce.OK) << Coerce.Text << "\nprogram:\n" << Source;
-      EXPECT_FALSE(TB.OK) << TB.Text << "\nprogram:\n" << Source;
+      EXPECT_FALSE(RefR.OK) << RefR.Text << Ctx;
+      EXPECT_FALSE(Coerce.OK) << Coerce.Text << Ctx;
+      EXPECT_FALSE(TB.OK) << TB.Text << Ctx;
       EXPECT_EQ(Coerce.Kind, RefR.Kind)
-          << Coerce.Text << " vs " << RefR.Text << "\nprogram:\n" << Source;
+          << Coerce.Text << " vs " << RefR.Text << Ctx;
       EXPECT_EQ(Coerce.Kind, TB.Kind)
-          << Coerce.Text << " vs " << TB.Text << "\nprogram:\n" << Source;
+          << Coerce.Text << " vs " << TB.Text << Ctx;
     }
   }
 }
@@ -223,23 +241,26 @@ TEST_P(FuzzLimited, TinyFuelFailsGracefullyAndEngineStaysUsable) {
   Tiny.MaxSteps = 100;
   Tiny.MaxFrames = 16;
 
-  for (int Iter = 0; Iter != 20; ++Iter) {
+  const unsigned Iters = fuzz::iterationCount(20);
+  for (unsigned Iter = 0; Iter != Iters; ++Iter) {
     Grift G;
-    RNG Gen(0x7E4B1 + GetParam() * 104729 + Iter);
+    const uint64_t Seed = 0x7E4B1 + GetParam() * 104729 + Iter;
+    RNG Gen(Seed);
     ProgramGen PG(G.types(), Gen);
     std::string Source = PG.program();
+    const std::string Ctx = replay(Seed, Source);
 
     std::string Errors;
     auto Exe = G.compile(Source, CastMode::Coercions, Errors);
-    ASSERT_TRUE(Exe.has_value()) << Errors << "\nprogram:\n" << Source;
+    ASSERT_TRUE(Exe.has_value()) << Errors << Ctx;
 
     RunResult Starved = Exe->run("", Tiny);
     if (!Starved.OK)
       EXPECT_TRUE(Starved.Error.isResourceExhaustion())
-          << Starved.Error.str() << "\nprogram:\n" << Source;
+          << Starved.Error.str() << Ctx;
 
     RunResult Full = Exe->run();
-    EXPECT_TRUE(Full.OK) << Full.Error.str() << "\nprogram:\n" << Source;
+    EXPECT_TRUE(Full.OK) << Full.Error.str() << Ctx;
   }
 }
 

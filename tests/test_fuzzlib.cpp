@@ -1,0 +1,241 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the src/fuzz library behind griftfuzz: the extended
+/// generator profiles (pure typed, structural, failure planting), the
+/// planted-cast locator, the iteration-count override, the AST-aware
+/// shrinker, and end-to-end smoke runs of both oracles — every seed
+/// must come back clean on a healthy build.
+///
+//===----------------------------------------------------------------------===//
+#include "fuzz/FuzzGen.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/Shrink.h"
+#include "grift/Grift.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace grift;
+using namespace grift::fuzz;
+
+namespace {
+
+std::string generate(uint64_t Seed, const GenOptions &Opts,
+                     SourceLoc *Site = nullptr) {
+  Grift G;
+  RNG Gen(Seed);
+  ProgramGen PG(G.types(), Gen, Opts);
+  std::string Source = PG.program();
+  if (Site)
+    *Site = PG.plantedSite();
+  return Source;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Generator profiles
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzGenProfiles, PureTypedStructuralProgramsCompileUnderStatic) {
+  // AllowDyn = false must mean what it says: no Dyn anywhere, so the
+  // program is accepted by the static-mode compiler, which rejects any
+  // residual cast.
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    GenOptions GO;
+    GO.Structural = true;
+    GO.AllowDyn = false;
+    std::string Source = generate(Seed, GO);
+    EXPECT_EQ(Source.find("Dyn"), std::string::npos)
+        << "seed " << Seed << "\n" << Source;
+
+    Grift G;
+    std::string Errors;
+    auto Exe = G.compile(Source, CastMode::Static, Errors);
+    ASSERT_TRUE(Exe.has_value())
+        << Errors << "\nseed " << Seed << "\n" << Source;
+    RunResult R = Exe->run();
+    EXPECT_TRUE(R.OK) << R.Error.str() << "\nseed " << Seed << "\n" << Source;
+  }
+}
+
+TEST(FuzzGenProfiles, GenerationIsDeterministicInTheSeed) {
+  GenOptions GO;
+  GO.Structural = true;
+  EXPECT_EQ(generate(99, GO), generate(99, GO));
+  EXPECT_NE(generate(99, GO), generate(100, GO));
+}
+
+TEST(FuzzGenProfiles, PlantedProgramsBlameThePredictedLabelEverywhere) {
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    GenOptions GO;
+    GO.Structural = true;
+    GO.PlantFailure = true;
+    SourceLoc Site;
+    std::string Source = generate(Seed, GO, &Site);
+    ASSERT_TRUE(Site.isValid()) << "seed " << Seed << "\n" << Source;
+    // The locator re-derives the same position from the text alone.
+    EXPECT_EQ(findPlantedCast(Source).str(), Site.str())
+        << "seed " << Seed << "\n" << Source;
+
+    Grift G;
+    std::string Errors;
+    for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased,
+                          CastMode::Monotonic}) {
+      auto Exe = G.compile(Source, Mode, Errors);
+      ASSERT_TRUE(Exe.has_value())
+          << Errors << "\nseed " << Seed << "\n" << Source;
+      RunResult R = Exe->run();
+      ASSERT_FALSE(R.OK) << "seed " << Seed << "\n" << Source;
+      EXPECT_EQ(R.Error.Kind, ErrorKind::Blame)
+          << "seed " << Seed << "\n" << Source;
+      EXPECT_EQ(R.Error.Label, Site.str())
+          << "seed " << Seed << "\n" << Source;
+    }
+  }
+}
+
+TEST(FuzzGenProfiles, FindPlantedCastRejectsAbsentOrAmbiguousMarkers) {
+  EXPECT_FALSE(findPlantedCast("(+ 1 2)").isValid());
+  // Two planted-looking casts: ambiguous, so no prediction.
+  EXPECT_FALSE(findPlantedCast("(+ (ann (ann 1 Dyn) Int) "
+                               "(ann (ann 2 Dyn) Int))")
+                   .isValid());
+  SourceLoc Site = findPlantedCast("(+ 1 (ann (ann 2 Dyn) Int))");
+  ASSERT_TRUE(Site.isValid());
+  EXPECT_EQ(Site.str(), "1:6");
+}
+
+//===----------------------------------------------------------------------===//
+// Iteration-count override
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzIterationCount, DefaultsWhenUnsetAndHonoursTheEnvironment) {
+  unsetenv("GRIFT_FUZZ_ITERS");
+  EXPECT_EQ(iterationCount(60), 60u);
+  setenv("GRIFT_FUZZ_ITERS", "250", 1);
+  EXPECT_EQ(iterationCount(60), 250u);
+  // Garbage and non-positive values fall back to the default.
+  setenv("GRIFT_FUZZ_ITERS", "banana", 1);
+  EXPECT_EQ(iterationCount(60), 60u);
+  setenv("GRIFT_FUZZ_ITERS", "0", 1);
+  EXPECT_EQ(iterationCount(60), 60u);
+  unsetenv("GRIFT_FUZZ_ITERS");
+}
+
+//===----------------------------------------------------------------------===//
+// Shrinker
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzShrink, MinimizesToTheInterestingSubtree) {
+  const std::string Source =
+      "(define (f [x : Int]) : Int (+ x 1))\n"
+      "(define (g [y : Int]) : Int (f (f y)))\n"
+      "(let ([a : Int (g 3)])\n"
+      "  (+ a (tuple-proj (tuple 1 2) 0)))\n";
+  ShrinkStats Stats;
+  std::string Shrunk = shrinkSource(
+      Source,
+      [](const std::string &S) {
+        return S.find("tuple-proj") != std::string::npos;
+      },
+      1500, &Stats);
+  EXPECT_LT(Shrunk.size(), Source.size() / 2) << Shrunk;
+  EXPECT_NE(Shrunk.find("tuple-proj"), std::string::npos) << Shrunk;
+  // The unrelated defines must be gone.
+  EXPECT_EQ(Shrunk.find("define"), std::string::npos) << Shrunk;
+  EXPECT_GT(Stats.Attempts, 0u);
+  EXPECT_GT(Stats.Accepted, 0u);
+
+  // The repro is self-contained: the rendered text parses on its own.
+  Grift G;
+  std::string Errors;
+  EXPECT_TRUE(G.parse(Shrunk, Errors).has_value()) << Errors << "\n" << Shrunk;
+}
+
+TEST(FuzzShrink, ReturnsSourceUnchangedWhenPredicateNeverHolds) {
+  const std::string Source = "(print-int (+ 1 2))";
+  std::string Shrunk =
+      shrinkSource(Source, [](const std::string &) { return false; });
+  EXPECT_EQ(Shrunk, Source);
+}
+
+TEST(FuzzShrink, RejectsUnparseableInputGracefully) {
+  std::string Shrunk =
+      shrinkSource("(((", [](const std::string &) { return true; });
+  EXPECT_EQ(Shrunk, "(((");
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle smoke: a healthy build passes every seed in a deterministic
+// sweep of both oracles. Budgets are trimmed to keep the suite fast —
+// the long-haul coverage lives in tools/griftfuzz and the nightly job.
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzOracles, LatticeOracleIsCleanOnHealthyBuild) {
+  OracleOptions Opts;
+  Opts.Bins = 3;
+  Opts.PerBin = 1;
+  Opts.CoarseMax = 4;
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    auto Failure = checkLattice(Seed, Opts);
+    EXPECT_FALSE(Failure.has_value())
+        << Failure->What << "\nexpected: " << Failure->Expected
+        << "\nactual: " << Failure->Actual << "\nsource:\n"
+        << Failure->Source;
+  }
+}
+
+TEST(FuzzOracles, BlameOracleIsCleanOnHealthyBuild) {
+  OracleOptions Opts;
+  Opts.Bins = 3;
+  Opts.PerBin = 1;
+  Opts.CoarseMax = 4;
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    auto Failure = checkBlame(Seed, Opts);
+    EXPECT_FALSE(Failure.has_value())
+        << Failure->What << "\nexpected: " << Failure->Expected
+        << "\nactual: " << Failure->Actual << "\nsource:\n"
+        << Failure->Source;
+  }
+}
+
+TEST(FuzzOracles, RecheckDismissesHealthyPlantedPrograms) {
+  // recheckFails is the shrinking predicate; on a healthy build a
+  // planted program is NOT a failure (every engine blames the predicted
+  // label), and a candidate that lost the planted cast is uninteresting.
+  GenOptions GO;
+  GO.Structural = true;
+  GO.PlantFailure = true;
+  std::string Source = generate(3, GO);
+
+  OracleFailure F;
+  F.Oracle = OracleKind::Blame;
+  F.Recheck = RecheckKind::BlameContract;
+  F.Source = Source;
+  OracleOptions Opts;
+  EXPECT_FALSE(recheckFails(F, Source, Opts));
+  EXPECT_FALSE(recheckFails(F, "(+ 1 2)", Opts));
+  EXPECT_FALSE(recheckFails(F, "not a program", Opts));
+}
+
+TEST(FuzzOracles, ReproTextCarriesEverythingNeededToReplay) {
+  OracleFailure F;
+  F.Oracle = OracleKind::Blame;
+  F.Seed = 42;
+  F.SampleSeed = 7;
+  F.Source = "(ann (ann 0 Dyn) Bool)";
+  F.Baseline = F.Source;
+  F.What = "engine missed the planted blame";
+  F.Expected = "blame@1:1";
+  F.Actual = "ok";
+  std::string Text = reproText(F, "(ann (ann 0 Dyn) Bool)");
+  EXPECT_NE(Text.find("seed: 42"), std::string::npos);
+  EXPECT_NE(Text.find("--oracle=blame --seed=42 --iters=1"),
+            std::string::npos);
+  EXPECT_NE(Text.find("blame@1:1"), std::string::npos);
+  EXPECT_NE(Text.find("(ann (ann 0 Dyn) Bool)"), std::string::npos);
+}

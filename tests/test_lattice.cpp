@@ -126,6 +126,76 @@ TEST_F(LatticeTest, CoarseConfigsEnumerate) {
   EXPECT_LT(Min, 0.5);
 }
 
+//===----------------------------------------------------------------------===//
+// Degenerate inputs: the samplers are library API for harnesses like
+// griftfuzz, so zero budgets and annotation-free programs must yield
+// well-defined (empty or trivial) results instead of asserting.
+//===----------------------------------------------------------------------===//
+
+TEST_F(LatticeTest, ZeroBinsOrZeroPerBinYieldNoConfigs) {
+  Program Ast = parse(TypedProgram);
+  EXPECT_TRUE(sampleFineGrained(Ast, G.types(), 0, 2, 11).empty());
+  EXPECT_TRUE(sampleFineGrained(Ast, G.types(), 4, 0, 11).empty());
+  EXPECT_TRUE(sampleFineGrained(Ast, G.types(), 0, 0, 11).empty());
+}
+
+TEST_F(LatticeTest, ZeroMaxConfigsYieldsNoCoarseConfigs) {
+  Program Ast = parse(TypedProgram);
+  EXPECT_TRUE(coarseConfigs(Ast, G.types(), 0, 11).empty());
+}
+
+TEST_F(LatticeTest, MaxConfigsOfOneYieldsOnlyTheTypedTop) {
+  // 3 named defines -> 8 possible configs; a budget of 1 must not
+  // overshoot, and the one config kept is the fully typed original.
+  Program Ast = parse(TypedProgram);
+  auto Configs = coarseConfigs(Ast, G.types(), 1, 11);
+  ASSERT_EQ(Configs.size(), 1u);
+  EXPECT_DOUBLE_EQ(Configs[0].Precision, 1.0);
+}
+
+TEST_F(LatticeTest, SamplingAFullyDynamicProgramIsClosed) {
+  // The bottom element has nothing left to erase: every sampled
+  // configuration is (semantically) the program itself, precision 0.
+  Program Ast = parse(TypedProgram);
+  Program Erased = eraseTypes(Ast, G.types());
+  auto Configs = sampleFineGrained(Erased, G.types(), 3, 2, 5);
+  ASSERT_EQ(Configs.size(), 6u);
+  for (const Configuration &C : Configs) {
+    EXPECT_DOUBLE_EQ(C.Precision, 0.0);
+    EXPECT_EQ(runAst(C.Prog, CastMode::Coercions), "5");
+  }
+}
+
+TEST_F(LatticeTest, AnnotationFreeProgramSamplesTrivially) {
+  // No annotation slots at all: precision is defined as 0 and sampling
+  // must neither crash nor mutate the program.
+  Program Ast = parse("(print-int (+ 1 2))");
+  EXPECT_DOUBLE_EQ(programPrecision(Ast), 0.0);
+  auto Fine = sampleFineGrained(Ast, G.types(), 2, 2, 3);
+  ASSERT_EQ(Fine.size(), 4u);
+  for (const Configuration &C : Fine)
+    EXPECT_EQ(C.Prog.str(), Ast.str());
+  auto Coarse = coarseConfigs(Ast, G.types(), 8, 3);
+  ASSERT_EQ(Coarse.size(), 1u); // no named defines -> only the top
+  EXPECT_EQ(Coarse[0].Prog.str(), Ast.str());
+}
+
+TEST_F(LatticeTest, CoarseConfigsAreDeterministicAcrossRuns) {
+  std::string Source;
+  for (int I = 0; I != 8; ++I)
+    Source += "(define (f" + std::to_string(I) + " [x : Int]) : Int (+ x " +
+              std::to_string(I) + "))";
+  Source += "(print-int (f0 (f1 (f2 (f3 (f4 (f5 (f6 (f7 0)))))))))";
+  Program Ast = parse(Source.c_str());
+  auto A = coarseConfigs(Ast, G.types(), 10, 77);
+  auto B = coarseConfigs(Ast, G.types(), 10, 77);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Prog.str(), B[I].Prog.str());
+    EXPECT_DOUBLE_EQ(A[I].Precision, B[I].Precision);
+  }
+}
+
 TEST_F(LatticeTest, CoarseConfigsSampleWhenLarge) {
   // Build a program with 8 defines but cap configs at 10.
   std::string Source;

@@ -553,13 +553,14 @@ TEST_F(VMTest, UntypedProgramsRun) {
 // hitting the same cancel-poll boundaries as the unfused expansion.
 //===----------------------------------------------------------------------===//
 
-#include "FuzzGen.h"
+#include "fuzz/FuzzGen.h"
 #include "support/RNG.h"
 
 class FusionDifferential : public ::testing::TestWithParam<int> {};
 
 TEST_P(FusionDifferential, FusedAndUnfusedAgreeExactly) {
-  for (int Iter = 0; Iter != 40; ++Iter) {
+  const unsigned Iters = fuzz::iterationCount(40);
+  for (unsigned Iter = 0; Iter != Iters; ++Iter) {
     Grift G;
     RNG Gen(0xF5ED + GetParam() * 31337 + Iter);
     fuzz::ProgramGen PG(G.types(), Gen);
