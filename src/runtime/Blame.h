@@ -34,6 +34,7 @@ enum class ErrorKind : uint8_t {
   FuelExhausted, ///< step budget (RunLimits::MaxSteps) exhausted
   Timeout,       ///< wall-clock budget (RunLimits::MaxWallNanos) exhausted
   Cancelled,     ///< stopped from outside via RunLimits::Cancel
+  Overloaded,    ///< shed by the service before running (admission/quota)
 };
 
 /// Stable machine-readable name ("blame", "trap", "out-of-memory", ...).
@@ -53,6 +54,8 @@ inline const char *errorKindName(ErrorKind Kind) {
     return "timeout";
   case ErrorKind::Cancelled:
     return "cancelled";
+  case ErrorKind::Overloaded:
+    return "overloaded";
   }
   return "?";
 }

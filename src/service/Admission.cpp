@@ -1,0 +1,38 @@
+#include "service/Admission.h"
+
+#include <algorithm>
+
+using namespace grift::service;
+
+Admission::Verdict Admission::admit(size_t Bytes) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Config.MaxInflight && S.Inflight >= Config.MaxInflight) {
+    ++S.Sheds;
+    ++S.ShedsInflight;
+    return Verdict::TooManyInflight;
+  }
+  if (Config.MaxInflightBytes &&
+      S.InflightBytes + Bytes > Config.MaxInflightBytes) {
+    ++S.Sheds;
+    ++S.ShedsBytes;
+    return Verdict::TooManyBytes;
+  }
+  ++S.Admitted;
+  ++S.Inflight;
+  S.InflightBytes += Bytes;
+  S.PeakInflight = std::max(S.PeakInflight, S.Inflight);
+  S.PeakInflightBytes = std::max(S.PeakInflightBytes, S.InflightBytes);
+  return Verdict::Admitted;
+}
+
+void Admission::release(size_t Bytes) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (S.Inflight)
+    --S.Inflight;
+  S.InflightBytes -= std::min(S.InflightBytes, Bytes);
+}
+
+Admission::Snapshot Admission::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return S;
+}

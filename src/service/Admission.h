@@ -1,0 +1,96 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Admission control for the server front end. Two global bounds decide
+/// whether a request may enter the execution pipeline at all:
+///
+///   * MaxInflight — requests admitted but not yet completed. The
+///     ExecService queue bound (ServiceConfig::MaxQueueDepth) sheds at
+///     the queue; this bound sheds earlier, at the socket, before the
+///     request's source is even copied into a JobSpec.
+///   * MaxInflightBytes — the sum of admitted requests' payload bytes.
+///     Queue-depth bounds alone do not stop one tenant from parking a
+///     handful of giant programs in the queue and OOMing the process;
+///     the byte budget does.
+///
+/// Shedding is deliberate and cheap: a refused request costs one mutex
+/// acquisition and produces a structured ErrorKind::Overloaded response,
+/// never an unbounded queue. Counters expose shed totals and high-water
+/// marks so the load harness can assert boundedness.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_SERVICE_ADMISSION_H
+#define GRIFT_SERVICE_ADMISSION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace grift::service {
+
+struct AdmissionConfig {
+  /// Admitted-but-unfinished requests across all connections. 0 =
+  /// unbounded (not recommended for a server; the default serves a
+  /// saturated pool about 4x deep).
+  uint32_t MaxInflight = 256;
+  /// Aggregate payload bytes of admitted requests. 0 = unbounded.
+  size_t MaxInflightBytes = 64u << 20; // 64 MiB
+};
+
+/// Thread-safe inflight-request accountant. admit() and release() must
+/// pair exactly; the RAII Ticket below makes that hard to get wrong.
+class Admission {
+public:
+  enum class Verdict { Admitted, TooManyInflight, TooManyBytes };
+
+  explicit Admission(AdmissionConfig Config = {}) : Config(Config) {}
+
+  /// Tries to admit a request of \p Bytes payload. On refusal the
+  /// matching shed counter is bumped and nothing is reserved.
+  Verdict admit(size_t Bytes);
+
+  /// Returns the reservation of a previously admitted request.
+  void release(size_t Bytes);
+
+  struct Snapshot {
+    uint64_t Admitted = 0;
+    uint64_t Sheds = 0;          ///< both refusal reasons combined
+    uint64_t ShedsInflight = 0;  ///< refused: request count bound
+    uint64_t ShedsBytes = 0;     ///< refused: byte budget bound
+    uint32_t Inflight = 0;
+    size_t InflightBytes = 0;
+    uint32_t PeakInflight = 0;
+    size_t PeakInflightBytes = 0;
+  };
+  Snapshot snapshot() const;
+
+private:
+  AdmissionConfig Config;
+  mutable std::mutex M;
+  Snapshot S;
+};
+
+/// RAII admission reservation: releases on destruction if admitted.
+class AdmissionTicket {
+public:
+  AdmissionTicket(Admission &A, size_t Bytes)
+      : A(A), Bytes(Bytes), V(A.admit(Bytes)) {}
+  ~AdmissionTicket() {
+    if (admitted())
+      A.release(Bytes);
+  }
+  AdmissionTicket(const AdmissionTicket &) = delete;
+  AdmissionTicket &operator=(const AdmissionTicket &) = delete;
+
+  bool admitted() const { return V == Admission::Verdict::Admitted; }
+  Admission::Verdict verdict() const { return V; }
+
+private:
+  Admission &A;
+  size_t Bytes;
+  Admission::Verdict V;
+};
+
+} // namespace grift::service
+
+#endif // GRIFT_SERVICE_ADMISSION_H

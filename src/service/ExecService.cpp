@@ -35,10 +35,32 @@ std::future<JobResult> ExecService::submit(JobSpec Spec) {
     // Workers drain the queue before exiting, so a job enqueued any time
     // before the destructor runs is guaranteed a result.
     std::lock_guard<std::mutex> Lock(QueueM);
+    if (Config.MaxQueueDepth && Queue.size() >= Config.MaxQueueDepth) {
+      // Admission bound: shed now, under the same lock that admitted the
+      // jobs ahead of us, so the depth check and the verdict are atomic.
+      Sheds.fetch_add(1, std::memory_order_relaxed);
+      JobResult R;
+      R.Id = std::move(P.Spec.Id);
+      R.Status = JobStatus::Rejected;
+      R.Kind = ErrorKind::Overloaded;
+      R.ErrorMessage = "overloaded: queue depth at limit (" +
+                       std::to_string(Config.MaxQueueDepth) +
+                       " waiting); retry later";
+      P.Promise.set_value(std::move(R));
+      return F;
+    }
     Queue.push_back(std::move(P));
+    uint64_t Depth = Queue.size();
+    if (Depth > PeakQueue.load(std::memory_order_relaxed))
+      PeakQueue.store(Depth, std::memory_order_relaxed);
   }
   QueueCV.notify_one();
   return F;
+}
+
+size_t ExecService::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(QueueM);
+  return Queue.size();
 }
 
 void ExecService::workerLoop(unsigned SlotIdx) {
@@ -46,6 +68,12 @@ void ExecService::workerLoop(unsigned SlotIdx) {
   // This thread owns the slot's engine for its whole lifetime; debug
   // builds now assert every compile/run of this engine happens here.
   Slot.Engine.bindToCurrentThread();
+  // Per-slot fault injector (allocation counter spans jobs) and RNG for
+  // retry jitter. Distinct seeds per slot are the whole point: slots that
+  // fail together must not sleep together.
+  FaultInjector Injector;
+  Injector.GCTorturePeriod = Config.GCTorturePeriod;
+  RNG Gen(0x5eedba5eULL + SlotIdx);
   for (;;) {
     Pending P;
     {
@@ -59,7 +87,7 @@ void ExecService::workerLoop(unsigned SlotIdx) {
       P = std::move(Queue.front());
       Queue.pop_front();
     }
-    JobResult R = executeJob(Slot, P.Spec);
+    JobResult R = executeJob(Slot, P.Spec, Injector, Gen);
     // Between jobs nothing on this slot holds coercion pointers, so this
     // is the one safe point to bound the arena.
     Slot.maybeResetEpoch(Config.MaxCoercionNodes);
@@ -68,13 +96,27 @@ void ExecService::workerLoop(unsigned SlotIdx) {
   }
 }
 
-JobResult ExecService::executeJob(EnginePool::Slot &Slot, JobSpec &Spec) {
+JobResult ExecService::executeJob(EnginePool::Slot &Slot, JobSpec &Spec,
+                                  FaultInjector &Injector, RNG &Gen) {
+  using Clock = std::chrono::steady_clock;
   JobResult R;
   R.Id = Spec.Id;
   uint64_t Key = jobKey(Spec.Source, Spec.Mode, Spec.Optimize);
 
+  // End-to-end deadline: a job that expired while queued is failed
+  // without burning an engine on it — the client has already given up.
+  const bool HasQueueDeadline = Spec.QueueDeadline != Clock::time_point{};
+  if (HasQueueDeadline && Clock::now() >= Spec.QueueDeadline) {
+    Expired.fetch_add(1, std::memory_order_relaxed);
+    R.Status = JobStatus::Failed;
+    R.Kind = ErrorKind::Timeout;
+    R.ErrorMessage = "timeout: deadline expired while queued";
+    return R;
+  }
+
   if (!Breaker.admit(Key)) {
     R.Status = JobStatus::Rejected;
+    R.Kind = ErrorKind::Overloaded;
     R.ErrorMessage = "circuit open: quarantined after repeated resource "
                      "failures; retry after cooldown";
     return R;
@@ -95,14 +137,44 @@ JobResult ExecService::executeJob(EnginePool::Slot &Slot, JobSpec &Spec) {
   RunLimits Limits = Spec.Limits;
   Limits.Cancel = &Slot.CancelToken;
 
+  int64_t PrevBackoff = 0;
   for (uint32_t Attempt = 0;; ++Attempt) {
     Slot.CancelToken.store(false, std::memory_order_relaxed);
+    // Clamp every attempt to the time left before the absolute deadline:
+    // both the in-band wall budget and the watchdog follow the client's
+    // remaining patience, not the original per-attempt allowance.
+    int64_t RemainingNanos = 0;
+    if (HasQueueDeadline) {
+      RemainingNanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           Spec.QueueDeadline - Clock::now())
+                           .count();
+      if (RemainingNanos <= 0) {
+        Expired.fetch_add(1, std::memory_order_relaxed);
+        R.Status = JobStatus::Failed;
+        R.Kind = ErrorKind::Timeout;
+        R.ErrorMessage = "timeout: deadline expired between attempts";
+        return R;
+      }
+      if (Limits.MaxWallNanos == 0 || Limits.MaxWallNanos > RemainingNanos)
+        Limits.MaxWallNanos = RemainingNanos;
+    }
+    int64_t WatchNanos = Spec.DeadlineNanos;
+    if (RemainingNanos > 0 && (WatchNanos == 0 || WatchNanos > RemainingNanos))
+      WatchNanos = RemainingNanos;
     uint64_t WatchHandle = 0;
-    if (Spec.DeadlineNanos > 0)
+    if (WatchNanos > 0)
       WatchHandle = Dog.watch(Slot.CancelToken,
                               Watchdog::Clock::now() +
-                                  std::chrono::nanoseconds(Spec.DeadlineNanos));
-    RunResult Run = Entry.Exe->run(Spec.Input, Limits);
+                                  std::chrono::nanoseconds(WatchNanos));
+    FaultInjector *Faults = nullptr;
+    if (Config.GCTorturePeriod || Config.FailAllocPeriod) {
+      // Periodic re-arm: FailAllocAt is one-shot, so schedule the next
+      // failure relative to the counter the previous runs advanced.
+      if (Config.FailAllocPeriod)
+        Injector.FailAllocAt = Injector.AllocCount + Config.FailAllocPeriod;
+      Faults = &Injector;
+    }
+    RunResult Run = Entry.Exe->run(Spec.Input, Limits, Faults);
     if (WatchHandle)
       Dog.unwatch(WatchHandle);
 
@@ -128,7 +200,8 @@ JobResult ExecService::executeJob(EnginePool::Slot &Slot, JobSpec &Spec) {
         Attempt < Config.Retry.MaxRetries) {
       ++R.Retries;
       RetryCount.fetch_add(1, std::memory_order_relaxed);
-      int64_t Backoff = Config.Retry.backoffNanos(R.Retries);
+      int64_t Backoff =
+          Config.Retry.jitteredBackoffNanos(R.Retries, PrevBackoff, Gen);
       if (Backoff > 0)
         std::this_thread::sleep_for(std::chrono::nanoseconds(Backoff));
       // Fresh heap is automatic (each run() builds its own Runtime);
@@ -156,10 +229,13 @@ ServiceStats ExecService::stats() const {
   S.JobsSubmitted = Submitted.load(std::memory_order_relaxed);
   S.JobsCompleted = Completed.load(std::memory_order_relaxed);
   S.JobsRejected = Breaker.rejections();
+  S.JobsShed = Sheds.load(std::memory_order_relaxed);
+  S.DeadlineExpired = Expired.load(std::memory_order_relaxed);
   S.Retries = RetryCount.load(std::memory_order_relaxed);
   S.WatchdogKills = Dog.kills();
   S.CacheHits = Pool.totalCacheHits();
   S.CacheMisses = Pool.totalCacheMisses();
   S.EpochResets = Pool.totalEpochResets();
+  S.PeakQueueDepth = PeakQueue.load(std::memory_order_relaxed);
   return S;
 }

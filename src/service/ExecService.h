@@ -56,6 +56,22 @@ struct ServiceConfig {
   /// compile cache and coercion factory together (see
   /// EnginePool::Slot::maybeResetEpoch). 0 disables epoch resets.
   size_t MaxCoercionNodes = 1u << 16;
+  /// Admission bound on the internal queue: submissions arriving while
+  /// MaxQueueDepth jobs are already waiting are *shed* — their future is
+  /// fulfilled immediately with JobStatus::Rejected / ErrorKind::
+  /// Overloaded instead of queueing unboundedly. 0 = unbounded (the
+  /// batch tool's mode: it enqueues a whole manifest up front by
+  /// design). Server front ends layer byte-budget admission and tenant
+  /// quotas on top (see service::Admission / service::TenantQuota).
+  size_t MaxQueueDepth = 0;
+  /// Deterministic fault injection, for soak testing the service under
+  /// allocator hostility: force a GC every Nth allocation and/or fail
+  /// every Nth allocation with ErrorKind::OutOfMemory (both 0 = off).
+  /// Each worker owns one FaultInjector whose allocation counter spans
+  /// jobs, so the faults land at ever-shifting points of each program —
+  /// exactly what the GC-torture nightly wants.
+  uint64_t GCTorturePeriod = 0;
+  uint64_t FailAllocPeriod = 0;
 };
 
 /// Monotonic counters, snapshot via ExecService::stats().
@@ -63,11 +79,14 @@ struct ServiceStats {
   uint64_t JobsSubmitted = 0;
   uint64_t JobsCompleted = 0; ///< includes failed and rejected jobs
   uint64_t JobsRejected = 0;  ///< circuit breaker refusals
+  uint64_t JobsShed = 0;      ///< overload sheds (queue depth bound)
+  uint64_t DeadlineExpired = 0; ///< jobs expired in queue, never run
   uint64_t Retries = 0;       ///< extra attempts across all jobs
   uint64_t WatchdogKills = 0; ///< deadline cancellations
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
   uint64_t EpochResets = 0; ///< coercion-arena epoch resets across slots
+  uint64_t PeakQueueDepth = 0; ///< high-water mark of waiting jobs
 };
 
 class ExecService {
@@ -85,6 +104,10 @@ public:
   JobResult run(JobSpec Spec) { return submit(std::move(Spec)).get(); }
 
   unsigned threads() const { return Pool.size(); }
+
+  /// Jobs currently waiting (not yet picked up by a worker).
+  size_t queueDepth() const;
+
   ServiceStats stats() const;
 
 private:
@@ -94,14 +117,15 @@ private:
   };
 
   void workerLoop(unsigned SlotIdx);
-  JobResult executeJob(EnginePool::Slot &Slot, JobSpec &Spec);
+  JobResult executeJob(EnginePool::Slot &Slot, JobSpec &Spec,
+                       FaultInjector &Injector, RNG &Gen);
 
   ServiceConfig Config;
   EnginePool Pool;
   Watchdog Dog;
   CircuitBreaker Breaker;
 
-  std::mutex QueueM;
+  mutable std::mutex QueueM;
   std::condition_variable QueueCV;
   std::deque<Pending> Queue;
   bool Stopping = false;
@@ -109,6 +133,9 @@ private:
   std::atomic<uint64_t> Submitted{0};
   std::atomic<uint64_t> Completed{0};
   std::atomic<uint64_t> RetryCount{0};
+  std::atomic<uint64_t> Sheds{0};
+  std::atomic<uint64_t> Expired{0};
+  std::atomic<uint64_t> PeakQueue{0};
 
   std::vector<std::thread> Workers; ///< last member: started in ctor body
 };

@@ -17,6 +17,7 @@
 #include "runtime/Mode.h"
 #include "runtime/Stats.h"
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -26,6 +27,7 @@ namespace grift::service {
 /// One program execution request.
 struct JobSpec {
   std::string Id;     ///< caller-chosen identifier, echoed in the result
+  std::string Tenant; ///< quota/accounting principal; empty = anonymous
   std::string Source; ///< GTLC+ source text
   CastMode Mode = CastMode::Coercions;
   bool Optimize = false;
@@ -40,6 +42,14 @@ struct JobSpec {
   /// thread stores the cancel token and the run dies at the next
   /// dispatch-batch boundary with ErrorKind::Cancelled.
   int64_t DeadlineNanos = 0;
+  /// Absolute end-to-end deadline (steady clock), including time spent
+  /// queued behind other jobs. Default-constructed = none. When set, the
+  /// service (a) fails the job with ErrorKind::Timeout *without running
+  /// it* if it is already expired at dequeue, and (b) clamps both the
+  /// in-band MaxWallNanos and the out-of-band watchdog deadline of every
+  /// attempt to the time remaining — a request never outlives its
+  /// client's patience, no matter how deep the queue was.
+  std::chrono::steady_clock::time_point QueueDeadline{};
 };
 
 /// How a job ended.
@@ -47,7 +57,7 @@ enum class JobStatus : uint8_t {
   Done,         ///< ran to completion; ResultText holds the value
   CompileError, ///< parse/check/compile failed; ErrorMessage holds why
   Failed,       ///< ran and failed; Kind/ErrorMessage describe the error
-  Rejected,     ///< circuit breaker open: not run at all
+  Rejected,     ///< not run at all: circuit open or load shed (see Kind)
 };
 
 inline const char *jobStatusName(JobStatus S) {
@@ -70,7 +80,7 @@ struct JobResult {
   JobStatus Status = JobStatus::Failed;
   std::string ResultText;       ///< final value (Status == Done)
   std::string Output;           ///< program output of the final attempt
-  ErrorKind Kind = ErrorKind::Trap; ///< valid when Status == Failed
+  ErrorKind Kind = ErrorKind::Trap; ///< valid when Failed or Rejected
   std::string ErrorMessage;     ///< human-readable failure description
   uint32_t Attempts = 0;        ///< runs performed (0 when rejected)
   uint32_t Retries = 0;         ///< Attempts - 1, capped at the policy

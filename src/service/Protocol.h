@@ -1,0 +1,99 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol of griftd: length-prefixed JSON frames over a
+/// stream socket, and the job-object schema shared with the JSONL batch
+/// mode. One frame is
+///
+///   <decimal byte count> '\n' <payload>
+///
+/// where the payload is exactly one flat JSON object (json::LineParser
+/// subset). The length prefix is the overload story's first line of
+/// defense: the server knows a request's size before buffering it, so an
+/// oversized payload is refused after reading one small header instead
+/// of after swallowing it.
+///
+/// Requests are job objects ({"id", "tenant", "source", "mode", budget
+/// fields, "deadline_ms", ...}) or the control object {"stats": true}.
+/// Responses reuse griftd's batch result-line schema, plus "reason" on
+/// rejections ("overloaded:queue", "quota:rate", ...).
+///
+/// parseRequest / renderResult are also used by the batch front end, so
+/// a job parses and renders identically whether it arrived on a socket
+/// or in a manifest line.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_SERVICE_PROTOCOL_H
+#define GRIFT_SERVICE_PROTOCOL_H
+
+#include "service/Job.h"
+
+#include <string>
+#include <string_view>
+
+namespace grift::service::protocol {
+
+/// One parsed request frame.
+struct Request {
+  JobSpec Spec;
+  bool StatsRequest = false; ///< {"stats": true}: report counters instead
+};
+
+/// Parses one JSON job object into \p Out. Returns false with a
+/// description in \p Error on malformed JSON, an unknown key, an unknown
+/// mode, or a missing source — every failure is a per-request error the
+/// caller reports in a structured response; none may abort a stream.
+bool parseRequest(const std::string &Json, Request &Out, std::string &Error);
+
+/// Renders the one-line JSON result object for \p R (no trailing
+/// newline). \p Reason, when non-empty, is appended as a "reason"
+/// member — the machine-readable rejection cause.
+std::string renderResult(const JobResult &R, const std::string &Reason = "");
+
+/// Renders a bad-request error response (no job was run).
+std::string renderBadRequest(const std::string &Id, const std::string &Error);
+
+/// Builds a rejection JobResult (Status == Rejected) with \p Kind.
+JobResult makeReject(std::string Id, ErrorKind Kind, std::string Message);
+
+/// Wraps \p Payload in a frame: "<len>\n<payload>".
+std::string frame(std::string_view Payload);
+
+/// Outcome of FrameReader::read.
+enum class ReadStatus {
+  Frame,     ///< a complete frame was delivered
+  Closed,    ///< peer closed (or connection error) — stop serving
+  Timeout,   ///< the socket read timed out; caller may retry (drain poll)
+  TooLarge,  ///< declared length exceeds the limit — refuse and close
+  Malformed, ///< header was not "<decimal>\n" — refuse and close
+};
+
+/// Incremental frame reader over a blocking socket with SO_RCVTIMEO.
+/// Keeps partial-frame state across Timeout returns, so a caller polling
+/// a drain flag between reads never loses bytes to the timeout.
+class FrameReader {
+public:
+  FrameReader(int Fd, size_t MaxBytes) : Fd(Fd), MaxBytes(MaxBytes) {}
+
+  /// Reads until one whole frame is buffered; the payload lands in
+  /// \p Payload only on ReadStatus::Frame.
+  ReadStatus read(std::string &Payload);
+
+private:
+  bool fill(); ///< one recv(); false on EOF/error (Eof set) or timeout
+
+  int Fd;
+  size_t MaxBytes;
+  std::string Buf;
+  size_t Off = 0;
+  bool Eof = false;
+  bool TimedOut = false;
+};
+
+/// Writes one frame. Relies on SO_SNDTIMEO for slow-client bounding:
+/// returns false when the peer is gone or too slow to take the bytes.
+bool writeFrame(int Fd, std::string_view Payload);
+
+} // namespace grift::service::protocol
+
+#endif // GRIFT_SERVICE_PROTOCOL_H

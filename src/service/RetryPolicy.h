@@ -14,6 +14,7 @@
 #define GRIFT_SERVICE_RETRYPOLICY_H
 
 #include "runtime/Blame.h"
+#include "support/RNG.h"
 
 #include <algorithm>
 #include <cstdint>
@@ -30,6 +31,15 @@ struct RetryPolicy {
   double BackoffMultiplier = 2.0;
   int64_t MaxBackoffNanos = 100'000'000; // 100 ms
 
+  /// Decorrelate retry timing across the pool. With the deterministic
+  /// curve, every slot that hits a transient failure at the same moment
+  /// sleeps exactly the same series of delays and the whole pool
+  /// thunder-herds the same hot engine again in lockstep. When enabled,
+  /// each sleep is drawn uniformly from [Initial, min(Max, 3*previous)]
+  /// ("decorrelated jitter"): the expected delay still grows toward the
+  /// cap, but no two slots stay synchronized.
+  bool DecorrelatedJitter = true;
+
   /// When retrying an OutOfMemory attempt whose RunLimits carried a
   /// finite MaxHeapBytes, multiply that budget by this factor (1.0 =
   /// keep the budget; the retry then only helps against injected or
@@ -41,7 +51,8 @@ struct RetryPolicy {
     return Kind == ErrorKind::OutOfMemory;
   }
 
-  /// Capped exponential backoff before 1-based retry \p Retry.
+  /// Capped exponential backoff before 1-based retry \p Retry — the
+  /// deterministic center curve (no jitter).
   int64_t backoffNanos(uint32_t Retry) const {
     if (Retry == 0 || InitialBackoffNanos <= 0)
       return 0;
@@ -52,6 +63,30 @@ struct RetryPolicy {
         break;
     }
     return std::min(static_cast<int64_t>(B), MaxBackoffNanos);
+  }
+
+  /// Backoff before 1-based retry \p Retry with decorrelated jitter.
+  /// \p PrevNanos carries the previous sleep of this job's retry chain
+  /// (0 before the first retry) and is updated in place; \p Gen is the
+  /// caller's (per-slot) RNG. Falls back to the deterministic curve when
+  /// DecorrelatedJitter is off. The result is always within
+  /// [InitialBackoffNanos, MaxBackoffNanos].
+  int64_t jitteredBackoffNanos(uint32_t Retry, int64_t &PrevNanos,
+                               RNG &Gen) const {
+    if (!DecorrelatedJitter)
+      return backoffNanos(Retry);
+    if (Retry == 0 || InitialBackoffNanos <= 0)
+      return 0;
+    int64_t Base = std::min(InitialBackoffNanos, MaxBackoffNanos);
+    int64_t Prev = PrevNanos > 0 ? PrevNanos : Base;
+    int64_t Hi = Prev > MaxBackoffNanos / 3 ? MaxBackoffNanos : Prev * 3;
+    int64_t Sleep =
+        Hi > Base
+            ? Base + static_cast<int64_t>(
+                         Gen.below(static_cast<uint64_t>(Hi - Base) + 1))
+            : Base;
+    PrevNanos = Sleep;
+    return Sleep;
   }
 };
 

@@ -1,0 +1,103 @@
+#include "service/TenantQuota.h"
+
+#include <algorithm>
+
+using namespace grift::service;
+
+void TenantQuota::refill(Bucket &B, Clock::time_point Now) const {
+  double RequestCap =
+      Config.RequestsPerSec > 0 ? std::max(Config.BurstRequests, 1.0) : 0;
+  double FuelCap = Config.FuelPerSec > 0
+                       ? std::max(Config.FuelBurst, Config.FuelPerSec)
+                       : 0;
+  if (!B.Seeded) {
+    // A new tenant starts with full buckets: bursts up to the depth are
+    // the contract, and a fresh tenant has banked nothing against it.
+    B.RequestTokens = RequestCap;
+    B.FuelTokens = FuelCap;
+    B.LastRefill = Now;
+    B.Seeded = true;
+    return;
+  }
+  double Dt = std::chrono::duration<double>(Now - B.LastRefill).count();
+  if (Dt <= 0)
+    return;
+  B.LastRefill = Now;
+  if (Config.RequestsPerSec > 0)
+    B.RequestTokens =
+        std::min(RequestCap, B.RequestTokens + Dt * Config.RequestsPerSec);
+  if (Config.FuelPerSec > 0)
+    B.FuelTokens = std::min(FuelCap, B.FuelTokens + Dt * Config.FuelPerSec);
+}
+
+TenantQuota::Verdict TenantQuota::admit(const std::string &Tenant,
+                                        size_t Bytes, Clock::time_point Now) {
+  std::lock_guard<std::mutex> Lock(M);
+  Bucket &B = Buckets[Tenant];
+  refill(B, Now);
+  if (Config.MaxInflight && B.Inflight >= Config.MaxInflight) {
+    ++S.Rejects;
+    ++S.InflightRejects;
+    return Verdict::TooManyInflight;
+  }
+  if (Config.MaxInflightBytes &&
+      B.InflightBytes + Bytes > Config.MaxInflightBytes) {
+    ++S.Rejects;
+    ++S.InflightRejects;
+    return Verdict::TooManyBytes;
+  }
+  if (Config.RequestsPerSec > 0 && B.RequestTokens < 1.0) {
+    ++S.Rejects;
+    ++S.RateRejects;
+    return Verdict::RateLimited;
+  }
+  // Fuel debt from earlier heavy runs must drain before new admissions.
+  if (Config.FuelPerSec > 0 && B.FuelTokens <= 0) {
+    ++S.Rejects;
+    ++S.FuelRejects;
+    return Verdict::FuelExhausted;
+  }
+  if (Config.RequestsPerSec > 0)
+    B.RequestTokens -= 1.0;
+  ++B.Inflight;
+  B.InflightBytes += Bytes;
+  ++S.Admitted;
+  return Verdict::Admitted;
+}
+
+void TenantQuota::complete(const std::string &Tenant, size_t Bytes,
+                           uint64_t FuelUsed) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Buckets.find(Tenant);
+  if (It == Buckets.end())
+    return;
+  Bucket &B = It->second;
+  if (B.Inflight)
+    --B.Inflight;
+  B.InflightBytes -= std::min(B.InflightBytes, Bytes);
+  if (Config.FuelPerSec > 0)
+    B.FuelTokens -= static_cast<double>(FuelUsed);
+}
+
+TenantQuota::Snapshot TenantQuota::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  Snapshot Out = S;
+  Out.Tenants = Buckets.size();
+  return Out;
+}
+
+const char *grift::service::tenantVerdictName(TenantQuota::Verdict V) {
+  switch (V) {
+  case TenantQuota::Verdict::Admitted:
+    return "admitted";
+  case TenantQuota::Verdict::RateLimited:
+    return "quota:rate";
+  case TenantQuota::Verdict::FuelExhausted:
+    return "quota:fuel";
+  case TenantQuota::Verdict::TooManyInflight:
+    return "quota:inflight";
+  case TenantQuota::Verdict::TooManyBytes:
+    return "quota:bytes";
+  }
+  return "?";
+}

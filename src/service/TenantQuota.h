@@ -1,0 +1,125 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-tenant quotas for the multi-tenant server. Each request names a
+/// tenant (empty = the anonymous tenant, governed like any other); a
+/// tenant is admitted only if all of the following hold:
+///
+///   * request-rate token bucket — RequestsPerSec sustained, Burst deep.
+///     Classic leaky bucket with continuous refill: deterministic given
+///     the clock, which the tests inject.
+///   * fuel budget bucket — FuelPerSec sustained. Fuel (interpreter
+///     steps) is only known *after* a run, so the bucket is post-charged:
+///     a completed job's FuelUsed is debited, the balance may go
+///     negative (debt), and while in debt the tenant is refused. A
+///     tenant that burns 10x its rate in one request pays it back in
+///     refused admissions, which is exactly the aggregate-budget
+///     semantics the multi-tenant story needs — one hot tenant cannot
+///     starve the pool for the others.
+///   * inflight caps — MaxInflight concurrent requests and
+///     MaxInflightBytes of concurrent payload per tenant, so a single
+///     tenant cannot occupy the whole global admission budget.
+///
+/// All refusals are cheap (one mutex, no engine touched) and counted per
+/// reason; the server surfaces them as ErrorKind::Overloaded responses
+/// with a quota reason string, and griftload aggregates them into the
+/// quota_rejects SLO counter.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_SERVICE_TENANTQUOTA_H
+#define GRIFT_SERVICE_TENANTQUOTA_H
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace grift::service {
+
+struct TenantQuotaConfig {
+  /// Sustained request admission rate per tenant. 0 = unlimited.
+  double RequestsPerSec = 0;
+  /// Request bucket depth (instantaneous burst). Floors at 1 when a
+  /// rate is configured.
+  double BurstRequests = 8;
+  /// Sustained fuel (interpreter steps) budget per tenant per second.
+  /// 0 = unlimited. Post-charged; see the file comment.
+  double FuelPerSec = 0;
+  /// Fuel bucket depth. Floors at one second's refill when a rate is
+  /// configured.
+  double FuelBurst = 0;
+  /// Concurrent requests per tenant. 0 = unlimited.
+  uint32_t MaxInflight = 0;
+  /// Concurrent payload bytes per tenant. 0 = unlimited.
+  size_t MaxInflightBytes = 0;
+};
+
+class TenantQuota {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  enum class Verdict {
+    Admitted,
+    RateLimited,   ///< request bucket empty
+    FuelExhausted, ///< fuel bucket in debt
+    TooManyInflight,
+    TooManyBytes,
+  };
+
+  explicit TenantQuota(TenantQuotaConfig Config = {}) : Config(Config) {}
+
+  /// Admission check for \p Tenant with \p Bytes of payload, at \p Now
+  /// (injectable for deterministic tests; pass Clock::now() in
+  /// production). On Admitted, one request token and the inflight
+  /// reservations are taken; every admit MUST be paired with complete().
+  Verdict admit(const std::string &Tenant, size_t Bytes,
+                Clock::time_point Now);
+
+  /// Completes an admitted request: returns the inflight reservations
+  /// and post-charges \p FuelUsed against the tenant's fuel budget.
+  void complete(const std::string &Tenant, size_t Bytes, uint64_t FuelUsed);
+
+  struct Snapshot {
+    uint64_t Admitted = 0;
+    uint64_t Rejects = 0; ///< all refusal reasons combined
+    uint64_t RateRejects = 0;
+    uint64_t FuelRejects = 0;
+    uint64_t InflightRejects = 0; ///< request-count and byte caps
+    uint64_t Tenants = 0;         ///< tenants tracked
+  };
+  Snapshot snapshot() const;
+
+  /// True when any per-tenant limit is configured (the server skips the
+  /// quota stage entirely otherwise).
+  bool enabled() const {
+    return Config.RequestsPerSec > 0 || Config.FuelPerSec > 0 ||
+           Config.MaxInflight > 0 || Config.MaxInflightBytes > 0;
+  }
+
+private:
+  struct Bucket {
+    double RequestTokens = 0;
+    double FuelTokens = 0;
+    Clock::time_point LastRefill{};
+    uint32_t Inflight = 0;
+    size_t InflightBytes = 0;
+    bool Seeded = false;
+  };
+
+  void refill(Bucket &B, Clock::time_point Now) const;
+
+  TenantQuotaConfig Config;
+  mutable std::mutex M;
+  std::unordered_map<std::string, Bucket> Buckets;
+  Snapshot S;
+};
+
+/// Stable reason string for a refusal ("quota:rate", ...); "admitted"
+/// for Verdict::Admitted.
+const char *tenantVerdictName(TenantQuota::Verdict V);
+
+} // namespace grift::service
+
+#endif // GRIFT_SERVICE_TENANTQUOTA_H

@@ -1,0 +1,218 @@
+#include "support/Json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace grift::json;
+
+std::string grift::json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  auto escapeByte = [&Out](unsigned char B) {
+    char Buf[8];
+    std::snprintf(Buf, sizeof Buf, "\\u%04x", B);
+    Out += Buf;
+  };
+  for (size_t I = 0; I < S.size(); ++I) {
+    unsigned char C = static_cast<unsigned char>(S[I]);
+    switch (C) {
+    case '"': Out += "\\\""; continue;
+    case '\\': Out += "\\\\"; continue;
+    case '\n': Out += "\\n"; continue;
+    case '\t': Out += "\\t"; continue;
+    case '\r': Out += "\\r"; continue;
+    default: break;
+    }
+    if (C < 0x20 || C == 0x7F) {
+      escapeByte(C);
+      continue;
+    }
+    if (C < 0x80) {
+      Out.push_back(static_cast<char>(C));
+      continue;
+    }
+    // Multi-byte lead: validate the whole sequence before passing it on.
+    // 0x80–0xC1 (continuations and overlong 2-byte leads) get Len 0.
+    size_t Len = C >= 0xF0 ? 4 : C >= 0xE0 ? 3 : C >= 0xC2 ? 2 : 0;
+    bool OK = Len != 0 && I + Len <= S.size();
+    for (size_t J = 1; OK && J < Len; ++J)
+      OK = (static_cast<unsigned char>(S[I + J]) & 0xC0) == 0x80;
+    if (OK && Len > 2) {
+      unsigned char C1 = static_cast<unsigned char>(S[I + 1]);
+      if (C == 0xE0)
+        OK = C1 >= 0xA0; // overlong 3-byte
+      else if (C == 0xED)
+        OK = C1 < 0xA0; // UTF-16 surrogates
+      else if (C == 0xF0)
+        OK = C1 >= 0x90; // overlong 4-byte
+      else if (C == 0xF4)
+        OK = C1 < 0x90; // above U+10FFFF
+      else if (C > 0xF4)
+        OK = false; // no such code point
+    }
+    if (OK) {
+      Out.append(S, I, Len);
+      I += Len - 1;
+    } else {
+      escapeByte(C);
+    }
+  }
+  return Out;
+}
+
+bool LineParser::fail(const char *Why) {
+  Error = std::string(Why) + " at offset " + std::to_string(Pos);
+  return false;
+}
+
+void LineParser::skipWS() {
+  while (Pos < Text.size() &&
+         std::isspace(static_cast<unsigned char>(Text[Pos])))
+    ++Pos;
+}
+
+bool LineParser::eat(char C) {
+  if (Pos < Text.size() && Text[Pos] == C) {
+    ++Pos;
+    return true;
+  }
+  return false;
+}
+
+bool LineParser::parse(std::map<std::string, Value> &Out) {
+  skipWS();
+  if (!eat('{'))
+    return fail("expected '{'");
+  skipWS();
+  bool Closed = eat('}');
+  while (!Closed) {
+    skipWS();
+    std::string Key;
+    if (!parseString(Key))
+      return false;
+    skipWS();
+    if (!eat(':'))
+      return fail("expected ':'");
+    skipWS();
+    Value V;
+    if (!parseValue(V))
+      return false;
+    Out[Key] = std::move(V);
+    skipWS();
+    if (eat(','))
+      continue;
+    if (eat('}')) {
+      Closed = true;
+      break;
+    }
+    return fail("expected ',' or '}'");
+  }
+  skipWS();
+  if (Pos != Text.size())
+    return fail("trailing bytes after object");
+  return true;
+}
+
+bool LineParser::parseValue(Value &V) {
+  if (Pos >= Text.size())
+    return fail("unexpected end");
+  char C = Text[Pos];
+  if (C == '"') {
+    V.K = Value::Str;
+    return parseString(V.S);
+  }
+  if (C == '{' || C == '[')
+    return fail("nested values are not part of the job schema");
+  if (Text.compare(Pos, 4, "true") == 0) {
+    V.K = Value::Bool;
+    V.B = true;
+    Pos += 4;
+    return true;
+  }
+  if (Text.compare(Pos, 5, "false") == 0) {
+    V.K = Value::Bool;
+    V.B = false;
+    Pos += 5;
+    return true;
+  }
+  if (Text.compare(Pos, 4, "null") == 0) {
+    V.K = Value::Str; // null reads as the empty string
+    Pos += 4;
+    return true;
+  }
+  // Number.
+  size_t Start = Pos;
+  if (C == '-')
+    ++Pos;
+  while (Pos < Text.size() &&
+         (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+          Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+          Text[Pos] == '+' || Text[Pos] == '-'))
+    ++Pos;
+  if (Pos == Start)
+    return fail("expected a JSON value");
+  V.K = Value::Num;
+  V.N = std::strtod(Text.c_str() + Start, nullptr);
+  return true;
+}
+
+bool LineParser::parseString(std::string &Out) {
+  if (!eat('"'))
+    return fail("expected '\"'");
+  Out.clear();
+  while (Pos < Text.size()) {
+    char C = Text[Pos++];
+    if (C == '"')
+      return true;
+    if (C != '\\') {
+      Out.push_back(C);
+      continue;
+    }
+    if (Pos >= Text.size())
+      return fail("dangling escape");
+    char E = Text[Pos++];
+    switch (E) {
+    case '"': Out.push_back('"'); break;
+    case '\\': Out.push_back('\\'); break;
+    case '/': Out.push_back('/'); break;
+    case 'n': Out.push_back('\n'); break;
+    case 't': Out.push_back('\t'); break;
+    case 'r': Out.push_back('\r'); break;
+    case 'b': Out.push_back('\b'); break;
+    case 'f': Out.push_back('\f'); break;
+    case 'u': {
+      if (Pos + 4 > Text.size())
+        return fail("short \\u escape");
+      unsigned Code = 0;
+      for (int I = 0; I != 4; ++I) {
+        char H = Text[Pos++];
+        Code <<= 4;
+        if (H >= '0' && H <= '9')
+          Code |= H - '0';
+        else if (H >= 'a' && H <= 'f')
+          Code |= H - 'a' + 10;
+        else if (H >= 'A' && H <= 'F')
+          Code |= H - 'A' + 10;
+        else
+          return fail("bad \\u escape");
+      }
+      // Job sources are ASCII; encode anything else as UTF-8.
+      if (Code < 0x80) {
+        Out.push_back(static_cast<char>(Code));
+      } else if (Code < 0x800) {
+        Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+        Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+      } else {
+        Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+        Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+        Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+      }
+      break;
+    }
+    default:
+      return fail("unknown escape");
+    }
+  }
+  return fail("unterminated string");
+}

@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal JSON support shared by the griftd batch front end, the
+/// service::Server request pipeline, and griftload: RFC 8259 string
+/// escaping for response documents plus a parser for the flat job-object
+/// subset the JSONL protocol speaks (one object of string/number/bool
+/// members — no arrays, no nesting). Both directions are hardened for
+/// hostile input: escape() never emits invalid UTF-8 or raw control
+/// bytes, and LineParser fails with a positioned error instead of
+/// crashing or over-reading on any byte sequence.
+///
+//===----------------------------------------------------------------------===//
+#ifndef GRIFT_SUPPORT_JSON_H
+#define GRIFT_SUPPORT_JSON_H
+
+#include <map>
+#include <string>
+
+namespace grift::json {
+
+/// RFC 8259 string escaping. Controls and DEL are \u-escaped, and the
+/// output is always valid UTF-8: well-formed multi-byte sequences pass
+/// through unchanged, while stray bytes (lone continuation bytes,
+/// overlong or truncated sequences, surrogates — hostile ids and
+/// program output can contain any of them) are escaped as \u00XX
+/// instead of being copied raw into the response document.
+std::string escape(const std::string &S);
+
+/// One parsed member value of a flat job object.
+struct Value {
+  enum Kind { Str, Num, Bool } K = Str;
+  std::string S;
+  double N = 0;
+  bool B = false;
+};
+
+/// Parses one line of the JSONL job protocol: exactly one flat object
+/// {"key": value, ...} whose values are strings, numbers, booleans, or
+/// null (read as the empty string). Arrays and nested objects are
+/// rejected — the job schema is flat by design, and refusing nesting
+/// up front bounds parser memory on hostile input.
+class LineParser {
+public:
+  explicit LineParser(const std::string &Text) : Text(Text) {}
+
+  /// Parses into \p Out; false + Error ("why at offset N") on malformed
+  /// input. Trailing non-whitespace after the closing '}' is an error —
+  /// a frame must contain exactly one object.
+  bool parse(std::map<std::string, Value> &Out);
+
+  std::string Error;
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+
+  bool fail(const char *Why);
+  void skipWS();
+  bool eat(char C);
+  bool parseValue(Value &V);
+  bool parseString(std::string &Out);
+};
+
+} // namespace grift::json
+
+#endif // GRIFT_SUPPORT_JSON_H

@@ -1,17 +1,26 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// RFC 8259 conformance of griftd's JSON string escaping. Hostile job
-/// ids and program output flow through jsonEscape into response
-/// documents, so every byte sequence — including invalid UTF-8 — must
-/// produce a string a conforming JSON parser accepts.
+/// Hostile-input conformance of the shared JSON layer (support/Json.h).
+/// Escaping: hostile job ids and program output flow through
+/// json::escape into response documents, so every byte sequence —
+/// including invalid UTF-8 — must produce a string a conforming JSON
+/// parser accepts. Parsing: every line of a batch manifest and every
+/// socket frame goes through json::LineParser, so arbitrary garbage must
+/// come back as a positioned error, never a crash, an over-read, or a
+/// silently truncated parse.
 ///
 //===----------------------------------------------------------------------===//
-#include "../tools/JsonEscape.h"
+#include "support/Json.h"
 
 #include <gtest/gtest.h>
 
-using griftd::jsonEscape;
+using grift::json::LineParser;
+using grift::json::Value;
+
+static std::string jsonEscape(const std::string &S) {
+  return grift::json::escape(S);
+}
 
 TEST(JsonEscape, PlainAsciiPassesThrough) {
   EXPECT_EQ(jsonEscape("hello world 42!"), "hello world 42!");
@@ -104,4 +113,109 @@ TEST(JsonEscape, OutputIsAlwaysValidUtf8AndQuoteSafe) {
       EXPECT_EQ(Slashes % 2, 1u) << "unescaped quote at " << I;
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// LineParser: hostile manifest lines and socket frames.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool parses(const std::string &Line, std::map<std::string, Value> *Out =
+                                         nullptr) {
+  LineParser P(Line);
+  std::map<std::string, Value> Obj;
+  bool Ok = P.parse(Obj);
+  if (Ok && Out)
+    *Out = std::move(Obj);
+  return Ok;
+}
+
+std::string errorOf(const std::string &Line) {
+  LineParser P(Line);
+  std::map<std::string, Value> Obj;
+  EXPECT_FALSE(P.parse(Obj)) << "expected parse failure: " << Line;
+  return P.Error;
+}
+
+} // namespace
+
+TEST(JsonLineParser, WellFormedJobObject) {
+  std::map<std::string, Value> Obj;
+  ASSERT_TRUE(parses("{\"id\": \"j1\", \"source\": \"(+ 1 2)\", "
+                     "\"optimize\": true, \"max_steps\": 100}",
+                     &Obj));
+  EXPECT_EQ(Obj["id"].S, "j1");
+  EXPECT_EQ(Obj["source"].S, "(+ 1 2)");
+  EXPECT_TRUE(Obj["optimize"].B);
+  EXPECT_EQ(Obj["max_steps"].N, 100);
+}
+
+TEST(JsonLineParser, EmptyObjectAndNull) {
+  std::map<std::string, Value> Obj;
+  EXPECT_TRUE(parses("{}", &Obj));
+  EXPECT_TRUE(Obj.empty());
+  ASSERT_TRUE(parses("{\"input\": null}", &Obj));
+  EXPECT_EQ(Obj["input"].S, "");
+}
+
+TEST(JsonLineParser, MalformedLinesFailWithPositionedErrors) {
+  // None of these may crash, loop, or succeed.
+  EXPECT_FALSE(parses(""));
+  EXPECT_FALSE(parses("not json"));
+  EXPECT_FALSE(parses("["));
+  EXPECT_FALSE(parses("{\"a\""));
+  EXPECT_FALSE(parses("{\"a\": }"));
+  EXPECT_FALSE(parses("{\"a\": 1,}"));
+  EXPECT_FALSE(parses("{\"a\" 1}"));
+  EXPECT_FALSE(parses("{'a': 1}"));
+  EXPECT_FALSE(parses("{\"a\": tru}"));
+  EXPECT_FALSE(parses("{\"a\": \"unterminated"));
+  EXPECT_FALSE(parses("{\"a\": \"dangling\\"));
+  EXPECT_FALSE(parses("{\"a\": \"\\q\"}"));
+  EXPECT_FALSE(parses("{\"a\": \"\\u12\"}"));
+  EXPECT_FALSE(parses("{\"a\": \"\\uXYZW\"}"));
+  EXPECT_NE(errorOf("{\"a\": }").find("offset"), std::string::npos);
+}
+
+TEST(JsonLineParser, NestedValuesAreRejected) {
+  // The job schema is flat; nesting is refused up front so parser
+  // memory stays bounded on hostile frames.
+  EXPECT_FALSE(parses("{\"a\": {\"b\": 1}}"));
+  EXPECT_FALSE(parses("{\"a\": [1, 2, 3]}"));
+  EXPECT_FALSE(parses("{\"a\": [[[[[[[[[[[[[[]]]]]]]]]]]]]]}"));
+  EXPECT_NE(errorOf("{\"a\": {\"b\": 1}}").find("nested"),
+            std::string::npos);
+}
+
+TEST(JsonLineParser, TrailingGarbageIsRejected) {
+  // A frame must contain exactly one object — smuggling a second object
+  // (or anything else) after it is an error, not ignored bytes.
+  EXPECT_FALSE(parses("{\"a\": 1} {\"b\": 2}"));
+  EXPECT_FALSE(parses("{\"a\": 1}x"));
+  EXPECT_TRUE(parses("{\"a\": 1}  \t "));
+}
+
+TEST(JsonLineParser, HostileBytesNeverCrash) {
+  // Raw control bytes, invalid UTF-8, and embedded NULs inside and
+  // outside strings: outcome may be success or failure, never a crash.
+  std::string Line = "{\"id\": \"";
+  for (int C = 1; C != 256; ++C)
+    if (C != '"' && C != '\\')
+      Line.push_back(static_cast<char>(C));
+  Line += "\"}";
+  std::map<std::string, Value> Obj;
+  EXPECT_TRUE(parses(Line, &Obj));
+
+  std::string Garbage(512, '\0');
+  for (size_t I = 0; I != Garbage.size(); ++I)
+    Garbage[I] = static_cast<char>(I * 37 + 11);
+  EXPECT_FALSE(parses(Garbage));
+}
+
+TEST(JsonLineParser, LongStringsAndKeysRoundTrip) {
+  std::string Big(1u << 16, 'x');
+  std::map<std::string, Value> Obj;
+  ASSERT_TRUE(parses("{\"source\": \"" + Big + "\"}", &Obj));
+  EXPECT_EQ(Obj["source"].S.size(), Big.size());
 }

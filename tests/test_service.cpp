@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <set>
 #include <thread>
 
 using namespace grift;
@@ -230,6 +231,45 @@ TEST(ServiceRetry, BackoffIsCappedExponential) {
   EXPECT_EQ(P.backoffNanos(10), 10000);
 }
 
+TEST(ServiceRetry, DecorrelatedJitterStaysInBoundsAndSpreads) {
+  RetryPolicy P;
+  P.InitialBackoffNanos = 1000;
+  P.MaxBackoffNanos = 27000;
+  ASSERT_TRUE(P.DecorrelatedJitter);
+
+  // Per-sequence invariants: retry 0 sleeps 0; every later sleep lies in
+  // [base, min(cap, 3 * previous)] and never exceeds the cap, no matter
+  // how long the sequence runs.
+  RNG Gen(7);
+  int64_t Prev = 0;
+  EXPECT_EQ(P.jitteredBackoffNanos(0, Prev, Gen), 0);
+  int64_t Bound = 3000; // 3 * base
+  for (uint32_t Retry = 1; Retry != 64; ++Retry) {
+    int64_t Sleep = P.jitteredBackoffNanos(Retry, Prev, Gen);
+    EXPECT_GE(Sleep, 1000) << "retry " << Retry;
+    EXPECT_LE(Sleep, std::min<int64_t>(Bound, 27000)) << "retry " << Retry;
+    Bound = Sleep * 3;
+  }
+
+  // Spread: distinct slots (distinct RNG seeds) must not sleep in
+  // lockstep — that thundering herd is what the jitter exists to break.
+  std::set<int64_t> FirstSleeps;
+  for (uint64_t Seed = 0; Seed != 64; ++Seed) {
+    RNG G(Seed);
+    int64_t Pv = 0;
+    FirstSleeps.insert(P.jitteredBackoffNanos(1, Pv, G));
+  }
+  EXPECT_GT(FirstSleeps.size(), 16u) << "64 seeds collapsed onto few sleeps";
+  EXPECT_GT(*FirstSleeps.rbegin() - *FirstSleeps.begin(), 500)
+      << "samples span too little of [base, 3*base]";
+
+  // Disabling the jitter falls back to the deterministic schedule.
+  P.DecorrelatedJitter = false;
+  RNG G2(7);
+  int64_t Pv2 = 0;
+  EXPECT_EQ(P.jitteredBackoffNanos(2, Pv2, G2), P.backoffNanos(2));
+}
+
 TEST(ServiceRetry, TransientOOMRecoversWithRaisedBudget) {
   // ~50k-entry vector needs ~400 KB live; a 256 KB budget OOMs, the
   // retry doubles it to 512 KB and succeeds. Deterministic: heap
@@ -357,6 +397,167 @@ TEST(ServiceBreaker, HalfOpenProbeCanCloseTheCircuit) {
   // Re-opened immediately (half-open failure), without needing a new
   // streak of FailureThreshold.
   EXPECT_EQ(Service.run(Tight).Status, JobStatus::Rejected);
+}
+
+TEST(ServiceBreaker, HalfOpenAdmitsExactlyOneProbeUnderRace) {
+  // N threads race admit() on a half-open circuit; the single-probe
+  // invariant must hold no matter the interleaving. Repeat the race to
+  // give TSan and the scheduler room to find an ordering that breaks it.
+  for (int Round = 0; Round != 20; ++Round) {
+    CircuitBreaker B({.FailureThreshold = 1, .CooldownNanos = 2'000'000});
+    const uint64_t Key = 7;
+    ASSERT_TRUE(B.admit(Key));
+    B.recordResourceFailure(Key); // opens
+    std::this_thread::sleep_for(std::chrono::milliseconds(5)); // cooldown over
+
+    constexpr int N = 16;
+    std::atomic<int> Ready{0}, Admitted{0};
+    std::atomic<bool> Go{false};
+    std::vector<std::thread> Threads;
+    for (int I = 0; I != N; ++I)
+      Threads.emplace_back([&] {
+        Ready.fetch_add(1);
+        while (!Go.load(std::memory_order_acquire))
+          ;
+        if (B.admit(Key))
+          Admitted.fetch_add(1);
+      });
+    while (Ready.load() != N)
+      ;
+    Go.store(true, std::memory_order_release);
+    for (std::thread &T : Threads)
+      T.join();
+    ASSERT_EQ(Admitted.load(), 1) << "round " << Round;
+    // The losers were counted as rejections; the probe's failure
+    // re-opens for a fresh cooldown and nobody else slips in.
+    EXPECT_EQ(B.rejections(), static_cast<uint64_t>(N - 1));
+    B.recordResourceFailure(Key);
+    EXPECT_FALSE(B.admit(Key));
+  }
+}
+
+TEST(ServiceBreaker, WatchdogKilledProbeReopensCircuit) {
+  // A half-open probe that the watchdog kills is a resource failure:
+  // the circuit must re-open for a fresh cooldown, not close or leak
+  // the probe slot.
+  ServiceConfig Config;
+  Config.Threads = 1;
+  Config.Retry.MaxRetries = 0;
+  Config.Breaker.FailureThreshold = 1;
+  Config.Breaker.CooldownNanos = 50'000'000; // 50 ms
+  ExecService Service(Config);
+
+  JobSpec Wedged = simpleJob(DivergentLoop);
+  Wedged.DeadlineNanos = 100 * 1000000ll; // watchdog, no in-band budget
+
+  JobResult First = Service.run(Wedged);
+  ASSERT_EQ(First.Status, JobStatus::Failed);
+  ASSERT_EQ(First.Kind, ErrorKind::Cancelled);
+
+  JobResult WhileOpen = Service.run(Wedged);
+  ASSERT_EQ(WhileOpen.Status, JobStatus::Rejected);
+  EXPECT_EQ(WhileOpen.Kind, ErrorKind::Overloaded);
+  EXPECT_EQ(WhileOpen.Attempts, 0u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  JobResult Probe = Service.run(Wedged); // admitted as the single probe
+  ASSERT_EQ(Probe.Status, JobStatus::Failed);
+  EXPECT_EQ(Probe.Kind, ErrorKind::Cancelled);
+  EXPECT_EQ(Probe.Attempts, 1u);
+
+  // Re-opened by the killed probe: rejected again without a new streak.
+  JobResult AfterProbe = Service.run(Wedged);
+  EXPECT_EQ(AfterProbe.Status, JobStatus::Rejected);
+  EXPECT_GE(Service.stats().WatchdogKills, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Overload shedding and queue deadlines
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceShed, QueueBoundShedsWithStructuredOverloaded) {
+  ServiceConfig Config;
+  Config.Threads = 1;
+  Config.Retry.MaxRetries = 0;
+  Config.MaxQueueDepth = 2;
+  ExecService Service(Config);
+
+  // Occupy the lone worker long enough to observe the full queue.
+  JobSpec Busy = simpleJob(DivergentLoop, "busy");
+  Busy.DeadlineNanos = 700 * 1000000ll;
+  auto BusyF = Service.submit(std::move(Busy));
+  // Let the worker dequeue it so the queue is empty again.
+  auto Start = std::chrono::steady_clock::now();
+  while (Service.queueDepth() != 0 &&
+         std::chrono::steady_clock::now() - Start < std::chrono::seconds(5))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // Fill the queue to its bound...
+  std::vector<std::future<JobResult>> Queued;
+  for (int I = 0; I != 2; ++I)
+    Queued.push_back(Service.submit(simpleJob("(+ 1 1)", "q")));
+  // ...and everything beyond it sheds immediately, without running.
+  for (int I = 0; I != 8; ++I) {
+    JobResult R = Service.run(simpleJob("(+ 2 2)", "shed"));
+    ASSERT_EQ(R.Status, JobStatus::Rejected) << I;
+    EXPECT_EQ(R.Kind, ErrorKind::Overloaded);
+    EXPECT_EQ(R.Attempts, 0u);
+    EXPECT_NE(R.ErrorMessage.find("overloaded"), std::string::npos);
+  }
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.JobsShed, 8u);
+  EXPECT_GE(S.PeakQueueDepth, 2u);
+  // The queued jobs still complete once the worker frees up.
+  EXPECT_EQ(BusyF.get().Kind, ErrorKind::Cancelled);
+  for (auto &F : Queued)
+    EXPECT_EQ(F.get().Status, JobStatus::Done);
+}
+
+TEST(ServiceShed, ExpiredQueueDeadlineFailsWithoutRunning) {
+  ServiceConfig Config;
+  Config.Threads = 1;
+  Config.Retry.MaxRetries = 0;
+  ExecService Service(Config);
+
+  JobSpec Busy = simpleJob(DivergentLoop, "busy");
+  Busy.DeadlineNanos = 500 * 1000000ll;
+  auto BusyF = Service.submit(std::move(Busy));
+
+  // This job's end-to-end deadline expires while it waits behind the
+  // wedged job: it must come back Timeout with zero attempts.
+  JobSpec Doomed = simpleJob("(+ 1 2)", "doomed");
+  Doomed.QueueDeadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+  JobResult R = Service.run(std::move(Doomed));
+  ASSERT_EQ(R.Status, JobStatus::Failed);
+  EXPECT_EQ(R.Kind, ErrorKind::Timeout);
+  EXPECT_EQ(R.Attempts, 0u);
+  EXPECT_NE(R.ErrorMessage.find("queue"), std::string::npos);
+  EXPECT_EQ(Service.stats().DeadlineExpired, 1u);
+  BusyF.get();
+}
+
+TEST(ServiceShed, QueueDeadlineClampsWatchdogForRunningJobs) {
+  // A divergent job with a tight QueueDeadline but *no* per-attempt
+  // deadline must still die: the clamp feeds the remaining time to the
+  // watchdog.
+  ServiceConfig Config;
+  Config.Threads = 1;
+  Config.Retry.MaxRetries = 0;
+  ExecService Service(Config);
+  JobSpec Spec = simpleJob(DivergentLoop);
+  Spec.QueueDeadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  auto Start = std::chrono::steady_clock::now();
+  JobResult R = Service.run(std::move(Spec));
+  auto Elapsed = std::chrono::steady_clock::now() - Start;
+  ASSERT_EQ(R.Status, JobStatus::Failed);
+  // Cancelled when the clamped watchdog fired mid-run; Timeout when a
+  // loaded machine delayed dequeue past the deadline. Either way the
+  // job died from the queue deadline, bounded.
+  EXPECT_TRUE(R.Kind == ErrorKind::Cancelled || R.Kind == ErrorKind::Timeout)
+      << R.ErrorMessage;
+  EXPECT_LT(Elapsed, std::chrono::seconds(5));
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Compare two benchjson documents (schema grift-bench-v1).
 
-Usage: bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.5]
+Usage: bench_compare.py BASELINE.json [CURRENT.json] [--tolerance 0.5]
+                        [--slo NAME:FIELD<=VALUE ...]
 
 Exit status is non-zero when
 
@@ -14,13 +15,33 @@ Exit status is non-zero when
     collections) changed at all — counters do not depend on machine
     speed, so any drift means the cast semantics or the allocation
     behaviour changed and the baseline must be regenerated deliberately,
-    or
-  * the CURRENT file violates a paper shape invariant (see below).
+  * the CURRENT file violates a paper shape invariant (see below), or
+  * an --slo gate fails (see below).
 
-GC pause times (gc_pause_total_ns / gc_pause_max_ns) are wall-clock and
-machine-dependent: they are reported alongside the medians but never
-fail the run. Counters absent from one side (older baselines) are
-skipped rather than treated as drift.
+GC pause times (gc_pause_total_ns / gc_pause_max_ns) and the griftload
+service-level fields (p50_ns, p99_ns, p999_ns, shed_total, shed_rate_pct,
+quota_rejects, watchdog_kills, deadline_expired, slow_client_drops,
+requests, ok, rejected, bad_requests, lost) are run-dependent: they are
+reported alongside the medians but never fail a baseline comparison.
+Counters absent from one side (older baselines) are skipped rather than
+treated as drift.
+
+SLO gates (--slo, repeatable) enforce absolute bounds on the CURRENT
+rows instead of relative drift. The spec is NAME:FIELD OP VALUE where
+OP is <= or >= and NAME is a substring match against the row name:
+
+    bench_compare.py --tolerance 0.5 base.json cur.json \
+        --slo 'load/soak:p999_ns<=2000000000' \
+        --slo 'load/soak:shed_rate_pct<=25' \
+        --slo 'load/soak:ok>=100'
+
+When only SLOs matter (a load run with no perf baseline), CURRENT may
+be omitted and the gates are applied to BASELINE's rows directly:
+
+    bench_compare.py soak.json --slo 'load/soak:lost<=0'
+
+A gate whose NAME matches no row is an error — a silently-skipped SLO
+is worse than no SLO.
 
 Shape invariants checked on CURRENT (paper Section 4.2 / Figure 4):
 
@@ -36,14 +57,24 @@ Speedups and peak-heap changes are reported but never fail the run.
 
 import argparse
 import json
+import re
 import sys
 
 COUNTERS = ("casts", "longest_chain", "compositions", "cache_hits",
             "cache_misses", "alloc_bytes", "alloc_objects",
             "alloc_by_class", "collections")
 
-# Wall-clock observability: reported, never enforced.
-REPORTED = ("gc_pause_total_ns", "gc_pause_max_ns")
+# Run-dependent observability: reported, never enforced by the baseline
+# diff (use --slo for absolute bounds on these).
+REPORTED = ("gc_pause_total_ns", "gc_pause_max_ns",
+            "p50_ns", "p99_ns", "p999_ns",
+            "shed_total", "shed_rate_pct", "quota_rejects",
+            "watchdog_kills", "deadline_expired", "slow_client_drops",
+            "requests", "ok", "failed", "rejected", "bad_requests",
+            "lost", "wall_ns")
+
+SLO_RE = re.compile(r"^(?P<name>[^:]+):(?P<field>[A-Za-z0-9_]+)"
+                    r"(?P<op><=|>=)(?P<value>-?[0-9.]+)$")
 
 
 def load(path):
@@ -52,6 +83,41 @@ def load(path):
     if doc.get("schema") != "grift-bench-v1":
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
     return {(r["name"], r["mode"]): r for r in doc["results"]}
+
+
+def parse_slo(spec):
+    m = SLO_RE.match(spec)
+    if not m:
+        sys.exit(f"bad --slo spec {spec!r}; expected NAME:FIELD<=VALUE "
+                 "or NAME:FIELD>=VALUE")
+    return m["name"], m["field"], m["op"], float(m["value"])
+
+
+def check_slos(current, slos):
+    """Absolute bounds on CURRENT rows; substring match on the name."""
+    errors = []
+    for name_pat, field, op, bound in slos:
+        matched = False
+        for (name, mode), row in sorted(current.items()):
+            if name_pat not in name:
+                continue
+            matched = True
+            if field not in row:
+                errors.append(f"{name} [{mode}]: SLO field {field!r} "
+                              "missing from the row")
+                continue
+            val = row[field]
+            ok = val <= bound if op == "<=" else val >= bound
+            verdict = "ok" if ok else "VIOLATED"
+            print(f"SLO {name} [{mode}]: {field}={val} {op} {bound:g}  "
+                  f"{verdict}")
+            if not ok:
+                errors.append(f"{name} [{mode}]: SLO {field}={val} "
+                              f"violates {field}{op}{bound:g}")
+        if not matched:
+            errors.append(f"--slo {name_pat!r}: no row name contains "
+                          f"{name_pat!r} (gate never applied)")
+    return errors
 
 
 def check_shapes(current):
@@ -81,56 +147,71 @@ def check_shapes(current):
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("current", nargs="?",
+                    help="omit to apply --slo gates to BASELINE alone")
     ap.add_argument("--tolerance", type=float, default=0.5,
                     help="allowed fractional median_ns regression "
                          "(default 0.5 = 50%%)")
+    ap.add_argument("--slo", action="append", default=[],
+                    metavar="NAME:FIELD<=VALUE",
+                    help="absolute bound on a CURRENT row field; "
+                         "NAME is a substring of the row name; "
+                         "repeatable")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    slos = [parse_slo(s) for s in args.slo]
 
     errors = []
-    for key in sorted(base):
-        name, mode = key
-        tag = f"{name} [{mode}]"
-        if key not in cur:
-            errors.append(f"{tag}: missing from {args.current}")
-            continue
-        b, c = base[key], cur[key]
-        for counter in COUNTERS:
-            if counter not in b or counter not in c:
-                continue  # older schema on one side: not drift
-            if b[counter] != c[counter]:
-                errors.append(f"{tag}: {counter} changed "
-                              f"{b[counter]} -> {c[counter]} (deterministic "
-                              "counter; regenerate the baseline if this is "
-                              "intentional)")
-        for field in REPORTED:
-            if field in b and field in c and b[field] != c[field]:
-                print(f"{tag}: {field} {b[field]} -> {c[field]} "
-                      "(wall-clock; informational only)")
-        ratio = c["median_ns"] / b["median_ns"] if b["median_ns"] else 1.0
-        note = ""
-        if ratio > 1.0 + args.tolerance:
-            errors.append(f"{tag}: median {b['median_ns']/1e6:.3f} ms -> "
-                          f"{c['median_ns']/1e6:.3f} ms "
-                          f"({ratio:.2f}x, tolerance {1 + args.tolerance:.2f}x)")
-            note = "  REGRESSION"
-        print(f"{tag:46s} {b['median_ns']/1e6:9.3f} -> "
-              f"{c['median_ns']/1e6:9.3f} ms  ({ratio:5.2f}x){note}")
-    for key in sorted(cur):
-        if key not in base:
-            print(f"{key[0]} [{key[1]}]: new benchmark (no baseline)")
+    if args.current is None:
+        # SLO-only mode: one file, no baseline diff.
+        if not slos:
+            ap.error("single-file mode requires at least one --slo")
+        cur = load(args.baseline)
+    else:
+        base = load(args.baseline)
+        cur = load(args.current)
+        for key in sorted(base):
+            name, mode = key
+            tag = f"{name} [{mode}]"
+            if key not in cur:
+                errors.append(f"{tag}: missing from {args.current}")
+                continue
+            b, c = base[key], cur[key]
+            for counter in COUNTERS:
+                if counter not in b or counter not in c:
+                    continue  # older schema on one side: not drift
+                if b[counter] != c[counter]:
+                    errors.append(f"{tag}: {counter} changed "
+                                  f"{b[counter]} -> {c[counter]} "
+                                  "(deterministic counter; regenerate the "
+                                  "baseline if this is intentional)")
+            for field in REPORTED:
+                if field in b and field in c and b[field] != c[field]:
+                    print(f"{tag}: {field} {b[field]} -> {c[field]} "
+                          "(run-dependent; informational only)")
+            ratio = c["median_ns"] / b["median_ns"] if b["median_ns"] else 1.0
+            note = ""
+            if ratio > 1.0 + args.tolerance:
+                errors.append(
+                    f"{tag}: median {b['median_ns']/1e6:.3f} ms -> "
+                    f"{c['median_ns']/1e6:.3f} ms "
+                    f"({ratio:.2f}x, tolerance {1 + args.tolerance:.2f}x)")
+                note = "  REGRESSION"
+            print(f"{tag:46s} {b['median_ns']/1e6:9.3f} -> "
+                  f"{c['median_ns']/1e6:9.3f} ms  ({ratio:5.2f}x){note}")
+        for key in sorted(cur):
+            if key not in base:
+                print(f"{key[0]} [{key[1]}]: new benchmark (no baseline)")
+        errors += check_shapes(cur)
 
-    errors += check_shapes(cur)
+    errors += check_slos(cur, slos)
 
     if errors:
         print(f"\n{len(errors)} problem(s):", file=sys.stderr)
         for e in errors:
             print(f"  * {e}", file=sys.stderr)
         return 1
-    print("\nOK: within tolerance, counters stable, shape invariants hold.")
+    print("\nOK: within tolerance, counters stable, gates hold.")
     return 0
 
 

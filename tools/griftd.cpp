@@ -1,240 +1,82 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// griftd — batch job executor over the hardened execution service.
+/// griftd — job executor over the hardened execution service, in two
+/// front ends sharing one job schema (service/Protocol.h):
 ///
-///   griftd [options] (manifest.jsonl | -)
+/// Batch:   griftd [options] (manifest.jsonl | -)
 ///
-/// Reads one JSON job object per input line and fans the jobs across an
-/// EnginePool, emitting one structured JSON result line per job in
-/// manifest order. Job fields (all but "source" optional):
+/// Reads one JSON job object per input line, streams the jobs across an
+/// EnginePool, and emits one structured JSON result line per job in
+/// manifest order. Hostile input is a per-job outcome, never a crash: a
+/// malformed, oversized, or unknown-keyed line yields a "bad-request"
+/// record and the batch keeps going.
 ///
-///   {"id": "j1", "source": "(+ 1 2)", "mode": "coercions",
-///    "input": "", "optimize": false,
-///    "max_steps": 0, "max_heap": 0, "max_depth": 0, "max_wall_ms": 0,
-///    "deadline_ms": 0}
+/// Serve:   griftd --serve [--socket=PATH | --port=N] [options]
 ///
-/// Options:
+/// Runs the multi-tenant server (service/Server.h): length-prefixed
+/// frames over a Unix or loopback TCP socket, per-tenant quotas, global
+/// admission control, deadline propagation, and drain-on-SIGTERM. On
+/// startup one JSON line announcing the bound address is printed to
+/// stdout; on drain the final stats object follows, and the exit status
+/// is 0.
+///
+/// Shared options:
 ///   --threads=N              worker threads (default: hardware)
 ///   --retries=N              max retries for transient OOM (default 2)
 ///   --breaker-threshold=N    consecutive resource failures that open a
 ///                            circuit (default 3; 0 disables)
 ///   --breaker-cooldown-ms=N  circuit cooldown (default 5000)
 ///   --no-cache               disable the per-engine compile cache
-///   --summary                append ErrorKind counts after the results
-///   --summary-only           print only the summary (golden-file tests)
+///   --gc-torture=N           FaultInjector: force GC every Nth alloc
+///   --fail-alloc=N           FaultInjector: fail every Nth alloc
 ///
-/// Exit status is the worst outcome across jobs: 0 all ok, 1 program
-/// error (blame/trap/compile error), 3 resource exhaustion or circuit
-/// rejection, 4 watchdog cancellation.
+/// Batch options:
+///   --summary                append outcome-class counts after results
+///   --summary-only           print only the summary (golden-file tests)
+///   --max-line-bytes=N       per-line input bound (default 1 MiB)
+///
+/// Serve options:
+///   --socket=PATH            Unix listener (precedence over --port)
+///   --port=N                 loopback TCP listener (0 = ephemeral)
+///   --queue-depth=N          ExecService queue bound (default 64)
+///   --max-connections=N      concurrent connections (default 64)
+///   --max-inflight=N         global admitted-request bound (default 256)
+///   --max-inflight-bytes=N   global admitted-payload bound (default 64 MiB)
+///   --max-request-bytes=N    per-request payload bound (default 1 MiB)
+///   --write-timeout-ms=N     slow-client write bound (default 5000)
+///   --default-deadline-ms=N  deadline for requests without one (30000)
+///   --max-deadline-ms=N      ceiling on requested deadlines (300000)
+///   --tenant-rps=F           per-tenant request rate (0 = unlimited)
+///   --tenant-burst=F         request bucket depth (default 8)
+///   --tenant-fuel-per-sec=F  per-tenant fuel budget (0 = unlimited)
+///   --tenant-max-inflight=N  per-tenant concurrent requests
+///
+/// Batch exit status is the worst outcome across jobs: 0 all ok, 1
+/// program error (blame/trap/compile error/bad request), 3 resource
+/// exhaustion or rejection, 4 watchdog cancellation.
 ///
 //===----------------------------------------------------------------------===//
-#include "service/ExecService.h"
-
-#include "JsonEscape.h"
+#include "service/Protocol.h"
+#include "service/Server.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <map>
-#include <sstream>
 #include <string>
-#include <vector>
+
+#include <csignal>
+#include <unistd.h>
 
 using namespace grift;
 using namespace grift::service;
-using griftd::jsonEscape;
+using namespace grift::service::protocol;
 
 namespace {
-
-//===----------------------------------------------------------------------===//
-// Minimal JSON (flat objects of string/number/bool — exactly the job
-// manifest shape; no arrays, no nesting).
-//===----------------------------------------------------------------------===//
-
-struct JsonValue {
-  enum Kind { Str, Num, Bool } K = Str;
-  std::string S;
-  double N = 0;
-  bool B = false;
-};
-
-class JsonLineParser {
-public:
-  explicit JsonLineParser(const std::string &Text) : Text(Text) {}
-
-  /// Parses {"key": value, ...} into \p Out; false + Error on malformed
-  /// input.
-  bool parse(std::map<std::string, JsonValue> &Out) {
-    skipWS();
-    if (!eat('{'))
-      return fail("expected '{'");
-    skipWS();
-    if (eat('}'))
-      return true;
-    for (;;) {
-      skipWS();
-      std::string Key;
-      if (!parseString(Key))
-        return false;
-      skipWS();
-      if (!eat(':'))
-        return fail("expected ':'");
-      skipWS();
-      JsonValue V;
-      if (!parseValue(V))
-        return false;
-      Out[Key] = std::move(V);
-      skipWS();
-      if (eat(','))
-        continue;
-      if (eat('}'))
-        return true;
-      return fail("expected ',' or '}'");
-    }
-  }
-
-  std::string Error;
-
-private:
-  const std::string &Text;
-  size_t Pos = 0;
-
-  bool fail(const char *Why) {
-    Error = std::string(Why) + " at offset " + std::to_string(Pos);
-    return false;
-  }
-  void skipWS() {
-    while (Pos < Text.size() && std::isspace(static_cast<unsigned char>(
-                                    Text[Pos])))
-      ++Pos;
-  }
-  bool eat(char C) {
-    if (Pos < Text.size() && Text[Pos] == C) {
-      ++Pos;
-      return true;
-    }
-    return false;
-  }
-
-  bool parseValue(JsonValue &V) {
-    if (Pos >= Text.size())
-      return fail("unexpected end");
-    char C = Text[Pos];
-    if (C == '"') {
-      V.K = JsonValue::Str;
-      return parseString(V.S);
-    }
-    if (Text.compare(Pos, 4, "true") == 0) {
-      V.K = JsonValue::Bool;
-      V.B = true;
-      Pos += 4;
-      return true;
-    }
-    if (Text.compare(Pos, 5, "false") == 0) {
-      V.K = JsonValue::Bool;
-      V.B = false;
-      Pos += 5;
-      return true;
-    }
-    if (Text.compare(Pos, 4, "null") == 0) {
-      V.K = JsonValue::Str; // null reads as the empty string
-      Pos += 4;
-      return true;
-    }
-    // Number.
-    size_t Start = Pos;
-    if (C == '-')
-      ++Pos;
-    while (Pos < Text.size() &&
-           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
-            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
-            Text[Pos] == '+' || Text[Pos] == '-'))
-      ++Pos;
-    if (Pos == Start)
-      return fail("expected a JSON value");
-    V.K = JsonValue::Num;
-    V.N = std::strtod(Text.c_str() + Start, nullptr);
-    return true;
-  }
-
-  bool parseString(std::string &Out) {
-    if (!eat('"'))
-      return fail("expected '\"'");
-    Out.clear();
-    while (Pos < Text.size()) {
-      char C = Text[Pos++];
-      if (C == '"')
-        return true;
-      if (C != '\\') {
-        Out.push_back(C);
-        continue;
-      }
-      if (Pos >= Text.size())
-        return fail("dangling escape");
-      char E = Text[Pos++];
-      switch (E) {
-      case '"': Out.push_back('"'); break;
-      case '\\': Out.push_back('\\'); break;
-      case '/': Out.push_back('/'); break;
-      case 'n': Out.push_back('\n'); break;
-      case 't': Out.push_back('\t'); break;
-      case 'r': Out.push_back('\r'); break;
-      case 'b': Out.push_back('\b'); break;
-      case 'f': Out.push_back('\f'); break;
-      case 'u': {
-        if (Pos + 4 > Text.size())
-          return fail("short \\u escape");
-        unsigned Code = 0;
-        for (int I = 0; I != 4; ++I) {
-          char H = Text[Pos++];
-          Code <<= 4;
-          if (H >= '0' && H <= '9')
-            Code |= H - '0';
-          else if (H >= 'a' && H <= 'f')
-            Code |= H - 'a' + 10;
-          else if (H >= 'A' && H <= 'F')
-            Code |= H - 'A' + 10;
-          else
-            return fail("bad \\u escape");
-        }
-        // Manifest sources are ASCII; encode anything else as UTF-8.
-        if (Code < 0x80) {
-          Out.push_back(static_cast<char>(Code));
-        } else if (Code < 0x800) {
-          Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
-          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
-        } else {
-          Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
-          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
-          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
-        }
-        break;
-      }
-      default:
-        return fail("unknown escape");
-      }
-    }
-    return fail("unterminated string");
-  }
-};
-
-bool parseMode(const std::string &Name, CastMode &Mode) {
-  if (Name == "coercions")
-    Mode = CastMode::Coercions;
-  else if (Name == "type-based")
-    Mode = CastMode::TypeBased;
-  else if (Name == "static")
-    Mode = CastMode::Static;
-  else if (Name == "monotonic")
-    Mode = CastMode::Monotonic;
-  else
-    return false;
-  return true;
-}
 
 /// The one-word outcome class used for the summary and the exit status.
 std::string outcomeClass(const JobResult &R) {
@@ -263,20 +105,29 @@ int severity(const JobResult &R) {
   return R.Kind == ErrorKind::Blame || R.Kind == ErrorKind::Trap ? 1 : 3;
 }
 
-int exitCodeFor(int Severity) {
-  // 0 ok < 1 program error < 3 resource < 4 cancelled: the "worst"
-  // outcome wins, and 4 outranks 3 because a cancellation means the
-  // watchdog had to step in — the strongest signal of a hostile job.
-  return Severity;
-}
-
 void printUsage() {
   std::fprintf(stderr,
-               "usage: griftd [--threads=N] [--retries=N]\n"
-               "              [--breaker-threshold=N] "
-               "[--breaker-cooldown-ms=N]\n"
-               "              [--no-cache] [--summary] [--summary-only]\n"
-               "              (manifest.jsonl | -)\n");
+               "usage: griftd [options] (manifest.jsonl | -)\n"
+               "       griftd --serve [--socket=PATH | --port=N] [options]\n"
+               "run 'griftd --help' for the full option list\n");
+}
+
+void printHelp() {
+  std::fprintf(
+      stderr,
+      "griftd — batch and server front ends over the execution service\n"
+      "  batch: griftd [options] (manifest.jsonl | -)\n"
+      "  serve: griftd --serve [--socket=PATH | --port=N] [options]\n"
+      "shared: --threads=N --retries=N --breaker-threshold=N\n"
+      "        --breaker-cooldown-ms=N --no-cache --gc-torture=N "
+      "--fail-alloc=N\n"
+      "batch:  --summary --summary-only --max-line-bytes=N\n"
+      "serve:  --queue-depth=N --max-connections=N --max-inflight=N\n"
+      "        --max-inflight-bytes=N --max-request-bytes=N\n"
+      "        --write-timeout-ms=N --default-deadline-ms=N "
+      "--max-deadline-ms=N\n"
+      "        --tenant-rps=F --tenant-burst=F --tenant-fuel-per-sec=F\n"
+      "        --tenant-max-inflight=N\n");
 }
 
 bool parseUint(const std::string &Arg, const char *Prefix, uint64_t &Out) {
@@ -288,47 +139,67 @@ bool parseUint(const std::string &Arg, const char *Prefix, uint64_t &Out) {
   return End != Arg.c_str() + Len && *End == '\0';
 }
 
-} // namespace
+bool parseDouble(const std::string &Arg, const char *Prefix, double &Out) {
+  size_t Len = std::strlen(Prefix);
+  if (Arg.compare(0, Len, Prefix) != 0)
+    return false;
+  char *End = nullptr;
+  Out = std::strtod(Arg.c_str() + Len, &End);
+  return End != Arg.c_str() + Len && *End == '\0';
+}
 
-int main(int Argc, char **Argv) {
-  ServiceConfig Config;
-  bool Summary = false;
-  bool SummaryOnly = false;
-  std::string ManifestPath;
-  uint64_t Tmp = 0;
+//===----------------------------------------------------------------------===//
+// Serve mode: SIGTERM/SIGINT drain via self-pipe.
+//===----------------------------------------------------------------------===//
 
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (parseUint(Arg, "--threads=", Tmp)) {
-      Config.Threads = static_cast<unsigned>(Tmp);
-    } else if (parseUint(Arg, "--retries=", Tmp)) {
-      Config.Retry.MaxRetries = static_cast<uint32_t>(Tmp);
-    } else if (parseUint(Arg, "--breaker-threshold=", Tmp)) {
-      Config.Breaker.FailureThreshold = static_cast<uint32_t>(Tmp);
-    } else if (parseUint(Arg, "--breaker-cooldown-ms=", Tmp)) {
-      Config.Breaker.CooldownNanos = static_cast<int64_t>(Tmp) * 1000000;
-    } else if (Arg == "--no-cache") {
-      Config.CompileCache = false;
-    } else if (Arg == "--summary") {
-      Summary = true;
-    } else if (Arg == "--summary-only") {
-      Summary = SummaryOnly = true;
-    } else if (Arg == "--help" || Arg == "-h") {
-      printUsage();
-      return 0;
-    } else if (Arg.size() > 1 && Arg[0] == '-') {
-      std::fprintf(stderr, "griftd: unknown option '%s'\n", Arg.c_str());
-      printUsage();
-      return 2;
-    } else {
-      ManifestPath = Arg;
-    }
-  }
-  if (ManifestPath.empty()) {
-    printUsage();
+int SignalPipe[2] = {-1, -1};
+
+void onTermSignal(int) {
+  char B = 1;
+  [[maybe_unused]] ssize_t N = ::write(SignalPipe[1], &B, 1);
+}
+
+int runServe(ServerConfig Config) {
+  if (::pipe(SignalPipe) != 0) {
+    std::perror("griftd: pipe");
     return 2;
   }
+  struct sigaction SA{};
+  SA.sa_handler = onTermSignal;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
 
+  Server Srv(Config);
+  std::string Error;
+  if (!Srv.start(Error)) {
+    std::fprintf(stderr, "griftd: %s\n", Error.c_str());
+    return 2;
+  }
+  if (!Config.UnixSocketPath.empty())
+    std::printf("{\"status\":\"serving\",\"socket\":\"%s\"}\n",
+                Config.UnixSocketPath.c_str());
+  else
+    std::printf("{\"status\":\"serving\",\"port\":%u}\n",
+                static_cast<unsigned>(Srv.tcpPort()));
+  std::fflush(stdout);
+
+  // Park until SIGTERM/SIGINT; the self-pipe makes the wait signal-safe.
+  char B;
+  while (::read(SignalPipe[0], &B, 1) < 0 && errno == EINTR)
+    ;
+
+  Srv.beginDrain();
+  Srv.waitDrained();
+  std::printf("%s\n", Srv.renderStats().c_str());
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Batch mode: streaming manifest execution with hostile-input hardening.
+//===----------------------------------------------------------------------===//
+
+int runBatch(ServiceConfig Config, const std::string &ManifestPath,
+             bool Summary, bool SummaryOnly, size_t MaxLineBytes) {
   std::ifstream FileIn;
   std::istream *In = &std::cin;
   if (ManifestPath != "-") {
@@ -340,95 +211,73 @@ int main(int Argc, char **Argv) {
     In = &FileIn;
   }
 
-  // Parse the whole manifest before starting: a malformed line is a
-  // usage error, not a job failure, and should stop the batch cold.
-  std::vector<JobSpec> Jobs;
+  // One output slot per manifest line, in manifest order: either a
+  // pending future or a pre-rendered bad-request record. Slots drain
+  // from the front whenever the window fills, so arbitrarily long
+  // manifests stream in bounded memory.
+  struct Slot {
+    std::future<JobResult> F;
+    bool HasJob = false;
+    std::string BadLine; ///< rendered record when !HasJob
+  };
+  std::deque<Slot> Window;
+  constexpr size_t MaxWindow = 4096;
+
+  std::map<std::string, uint64_t> Counts;
+  int Worst = 0;
+
+  auto drainOne = [&] {
+    Slot S = std::move(Window.front());
+    Window.pop_front();
+    if (!S.HasJob) {
+      ++Counts["bad-request"];
+      Worst = std::max(Worst, 1);
+      if (!SummaryOnly)
+        std::printf("%s\n", S.BadLine.c_str());
+      return;
+    }
+    JobResult R = S.F.get();
+    ++Counts[outcomeClass(R)];
+    Worst = std::max(Worst, severity(R));
+    if (!SummaryOnly)
+      std::printf("%s\n", renderResult(R).c_str());
+  };
+
+  ExecService Service(Config);
   std::string Line;
   size_t LineNo = 0;
   while (std::getline(*In, Line)) {
     ++LineNo;
     if (Line.empty() || Line[0] == '#')
       continue;
-    JsonLineParser P(Line);
-    std::map<std::string, JsonValue> Obj;
-    if (!P.parse(Obj)) {
-      std::fprintf(stderr, "griftd: manifest line %zu: %s\n", LineNo,
-                   P.Error.c_str());
-      return 2;
-    }
-    JobSpec Spec;
-    Spec.Id = "job-" + std::to_string(LineNo);
-    for (const auto &[Key, V] : Obj) {
-      if (Key == "id")
-        Spec.Id = V.S;
-      else if (Key == "source")
-        Spec.Source = V.S;
-      else if (Key == "input")
-        Spec.Input = V.S;
-      else if (Key == "mode") {
-        if (!parseMode(V.S, Spec.Mode)) {
-          std::fprintf(stderr, "griftd: manifest line %zu: unknown mode '%s'\n",
-                       LineNo, V.S.c_str());
-          return 2;
-        }
-      } else if (Key == "optimize")
-        Spec.Optimize = V.B;
-      else if (Key == "max_steps")
-        Spec.Limits.MaxSteps = static_cast<uint64_t>(V.N);
-      else if (Key == "max_heap")
-        Spec.Limits.MaxHeapBytes = static_cast<size_t>(V.N);
-      else if (Key == "max_depth")
-        Spec.Limits.MaxFrames = static_cast<uint32_t>(V.N);
-      else if (Key == "max_wall_ms")
-        Spec.Limits.MaxWallNanos = static_cast<int64_t>(V.N * 1e6);
-      else if (Key == "deadline_ms")
-        Spec.DeadlineNanos = static_cast<int64_t>(V.N * 1e6);
+    Slot S;
+    std::string DefaultId = "job-" + std::to_string(LineNo);
+    if (MaxLineBytes && Line.size() > MaxLineBytes) {
+      // Report the bound without echoing the oversized payload back.
+      S.BadLine = renderBadRequest(
+          DefaultId, "line exceeds max_line_bytes (" +
+                         std::to_string(Line.size()) + " > " +
+                         std::to_string(MaxLineBytes) + ")");
+    } else {
+      Request Req;
+      Req.Spec.Id = DefaultId;
+      std::string Error;
+      if (!parseRequest(Line, Req, Error))
+        S.BadLine = renderBadRequest(DefaultId, Error);
+      else if (Req.StatsRequest)
+        S.BadLine =
+            renderBadRequest(DefaultId, "\"stats\" is not a batch job");
       else {
-        std::fprintf(stderr, "griftd: manifest line %zu: unknown key '%s'\n",
-                     LineNo, Key.c_str());
-        return 2;
+        S.HasJob = true;
+        S.F = Service.submit(std::move(Req.Spec));
       }
     }
-    if (Spec.Source.empty()) {
-      std::fprintf(stderr, "griftd: manifest line %zu: missing \"source\"\n",
-                   LineNo);
-      return 2;
-    }
-    Jobs.push_back(std::move(Spec));
+    Window.push_back(std::move(S));
+    while (Window.size() >= MaxWindow)
+      drainOne();
   }
-
-  // Fan out, then collect futures in manifest order so the output is
-  // deterministic regardless of completion order.
-  ExecService Service(Config);
-  std::vector<std::future<JobResult>> Futures;
-  Futures.reserve(Jobs.size());
-  for (JobSpec &Spec : Jobs)
-    Futures.push_back(Service.submit(std::move(Spec)));
-
-  std::map<std::string, uint64_t> Counts;
-  int Worst = 0;
-  for (std::future<JobResult> &F : Futures) {
-    JobResult R = F.get();
-    ++Counts[outcomeClass(R)];
-    Worst = std::max(Worst, severity(R));
-    if (SummaryOnly)
-      continue;
-    std::ostringstream Out;
-    Out << "{\"id\":\"" << jsonEscape(R.Id) << "\",\"status\":\""
-        << jobStatusName(R.Status) << '"';
-    if (R.Status == JobStatus::Done)
-      Out << ",\"result\":\"" << jsonEscape(R.ResultText) << '"';
-    if (R.Status == JobStatus::Failed)
-      Out << ",\"error_kind\":\"" << errorKindName(R.Kind) << '"';
-    if (R.Status != JobStatus::Done)
-      Out << ",\"error\":\"" << jsonEscape(R.ErrorMessage) << '"';
-    Out << ",\"attempts\":" << R.Attempts << ",\"retries\":" << R.Retries
-        << ",\"cache_hit\":" << (R.CompileCacheHit ? "true" : "false")
-        << ",\"wall_ms\":" << R.WallNanos / 1e6 << ",\"fuel\":" << R.FuelUsed
-        << ",\"peak_heap\":" << R.PeakHeapBytes << ",\"casts\":"
-        << R.Stats.CastsApplied << "}";
-    std::printf("%s\n", Out.str().c_str());
-  }
+  while (!Window.empty())
+    drainOne();
 
   if (Summary) {
     // Lexicographically sorted "class: count" lines — the deterministic
@@ -437,5 +286,98 @@ int main(int Argc, char **Argv) {
       std::printf("%s: %llu\n", Class.c_str(),
                   static_cast<unsigned long long>(N));
   }
-  return exitCodeFor(Worst);
+  return Worst;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServerConfig Server;
+  ServiceConfig &Exec = Server.Exec;
+  bool Serve = false;
+  bool Summary = false;
+  bool SummaryOnly = false;
+  size_t MaxLineBytes = 1u << 20;
+  bool QueueDepthSet = false;
+  std::string ManifestPath;
+  uint64_t Tmp = 0;
+  double TmpD = 0;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (parseUint(Arg, "--threads=", Tmp)) {
+      Exec.Threads = static_cast<unsigned>(Tmp);
+    } else if (parseUint(Arg, "--retries=", Tmp)) {
+      Exec.Retry.MaxRetries = static_cast<uint32_t>(Tmp);
+    } else if (parseUint(Arg, "--breaker-threshold=", Tmp)) {
+      Exec.Breaker.FailureThreshold = static_cast<uint32_t>(Tmp);
+    } else if (parseUint(Arg, "--breaker-cooldown-ms=", Tmp)) {
+      Exec.Breaker.CooldownNanos = static_cast<int64_t>(Tmp) * 1000000;
+    } else if (parseUint(Arg, "--gc-torture=", Tmp)) {
+      Exec.GCTorturePeriod = Tmp;
+    } else if (parseUint(Arg, "--fail-alloc=", Tmp)) {
+      Exec.FailAllocPeriod = Tmp;
+    } else if (Arg == "--no-cache") {
+      Exec.CompileCache = false;
+    } else if (Arg == "--serve") {
+      Serve = true;
+    } else if (Arg.rfind("--socket=", 0) == 0) {
+      Server.UnixSocketPath = Arg.substr(9);
+    } else if (parseUint(Arg, "--port=", Tmp)) {
+      Server.TcpPort = static_cast<uint16_t>(Tmp);
+    } else if (parseUint(Arg, "--queue-depth=", Tmp)) {
+      Exec.MaxQueueDepth = static_cast<size_t>(Tmp);
+      QueueDepthSet = true;
+    } else if (parseUint(Arg, "--max-connections=", Tmp)) {
+      Server.MaxConnections = static_cast<unsigned>(Tmp);
+    } else if (parseUint(Arg, "--max-inflight=", Tmp)) {
+      Server.Admission.MaxInflight = static_cast<uint32_t>(Tmp);
+    } else if (parseUint(Arg, "--max-inflight-bytes=", Tmp)) {
+      Server.Admission.MaxInflightBytes = static_cast<size_t>(Tmp);
+    } else if (parseUint(Arg, "--max-request-bytes=", Tmp)) {
+      Server.MaxRequestBytes = static_cast<size_t>(Tmp);
+    } else if (parseUint(Arg, "--write-timeout-ms=", Tmp)) {
+      Server.WriteTimeoutNanos = static_cast<int64_t>(Tmp) * 1000000;
+    } else if (parseUint(Arg, "--default-deadline-ms=", Tmp)) {
+      Server.DefaultDeadlineNanos = static_cast<int64_t>(Tmp) * 1000000;
+    } else if (parseUint(Arg, "--max-deadline-ms=", Tmp)) {
+      Server.MaxDeadlineNanos = static_cast<int64_t>(Tmp) * 1000000;
+    } else if (parseDouble(Arg, "--tenant-rps=", TmpD)) {
+      Server.Quota.RequestsPerSec = TmpD;
+    } else if (parseDouble(Arg, "--tenant-burst=", TmpD)) {
+      Server.Quota.BurstRequests = TmpD;
+    } else if (parseDouble(Arg, "--tenant-fuel-per-sec=", TmpD)) {
+      Server.Quota.FuelPerSec = TmpD;
+    } else if (parseUint(Arg, "--tenant-max-inflight=", Tmp)) {
+      Server.Quota.MaxInflight = static_cast<uint32_t>(Tmp);
+    } else if (parseUint(Arg, "--max-line-bytes=", Tmp)) {
+      MaxLineBytes = static_cast<size_t>(Tmp);
+    } else if (Arg == "--summary") {
+      Summary = true;
+    } else if (Arg == "--summary-only") {
+      Summary = SummaryOnly = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printHelp();
+      return 0;
+    } else if (Arg.size() > 1 && Arg[0] == '-' && Arg != "-") {
+      std::fprintf(stderr, "griftd: unknown option '%s'\n", Arg.c_str());
+      printUsage();
+      return 2;
+    } else {
+      ManifestPath = Arg;
+    }
+  }
+
+  if (Serve) {
+    // A server must never queue unboundedly; apply the default bound
+    // only here so batch mode keeps enqueueing whole manifests.
+    if (!QueueDepthSet)
+      Exec.MaxQueueDepth = 64;
+    return runServe(std::move(Server));
+  }
+  if (ManifestPath.empty()) {
+    printUsage();
+    return 2;
+  }
+  return runBatch(Exec, ManifestPath, Summary, SummaryOnly, MaxLineBytes);
 }

@@ -1,0 +1,21 @@
+# Asserts griftd's exit status over the hostile manifest is exactly 1:
+# bad-request records are program-error severity — worse than ok (0),
+# never resource (3) or cancelled (4), and never the abort (2) the old
+# stop-the-batch behaviour produced. Invoked by ctest as
+#   cmake -DGRIFTD=<path> -DMANIFEST=<path> -P griftd_hostile.cmake
+
+execute_process(
+  COMMAND ${GRIFTD} --threads=2 --summary-only ${MANIFEST}
+  OUTPUT_VARIABLE SUMMARY
+  ERROR_VARIABLE ERRORS
+  RESULT_VARIABLE EXIT_CODE
+  TIMEOUT 120
+)
+
+if(NOT EXIT_CODE EQUAL 1)
+  message(FATAL_ERROR
+      "griftd exited ${EXIT_CODE} on the hostile manifest, expected 1\n"
+      "summary: ${SUMMARY}\nstderr: ${ERRORS}")
+endif()
+
+message(STATUS "griftd hostile manifest: exit 1, batch never aborted")
