@@ -149,6 +149,84 @@ void CoercionFactory::sealRec(Coercion *Mu, const Coercion *Body) {
 }
 
 //===----------------------------------------------------------------------===//
+// Store-deserialization hooks
+//===----------------------------------------------------------------------===//
+
+const Coercion *
+CoercionFactory::buildForLoad(CoercionKind Kind, const Type *Ty,
+                              const std::string *Label,
+                              const std::vector<const Coercion *> &Parts,
+                              std::string &Error) {
+  auto Reject = [&](const char *Why) -> const Coercion * {
+    Error = Why;
+    return nullptr;
+  };
+  for (const Coercion *Part : Parts)
+    if (!Part)
+      return Reject("null part");
+  switch (Kind) {
+  case CoercionKind::Id:
+    if (Ty || Label || !Parts.empty())
+      return Reject("malformed ι node");
+    return IdC;
+  case CoercionKind::Fail:
+    if (Ty || !Label || !Parts.empty())
+      return Reject("malformed ⊥ node");
+    return intern(CoercionKind::Fail, nullptr, Label, {});
+  case CoercionKind::Inject:
+    if (!Ty || Ty->isDyn() || Label || !Parts.empty())
+      return Reject("malformed injection");
+    return intern(CoercionKind::Inject, Ty, nullptr, {});
+  case CoercionKind::Project:
+    if (!Ty || Ty->isDyn() || !Label || !Parts.empty())
+      return Reject("malformed projection");
+    return intern(CoercionKind::Project, Ty, Label, {});
+  case CoercionKind::Sequence: {
+    if (Ty || Label || Parts.size() != 2)
+      return Reject("malformed sequence");
+    const Coercion *First = Parts[0], *Second = Parts[1];
+    // Normal form admits exactly (I?ᵖ ; i) and (g ; I!).
+    bool ProjectSeq = First->kind() == CoercionKind::Project &&
+                      (Second->isMiddle() || Second->isFail() ||
+                       Second->isInjectSeq());
+    bool InjectSeq =
+        Second->kind() == CoercionKind::Inject && First->isMiddle();
+    if (!ProjectSeq && !InjectSeq)
+      return Reject("sequence outside the normal-form grammar");
+    return sequence(First, Second);
+  }
+  case CoercionKind::Fun:
+    if (Ty || Label || Parts.empty())
+      return Reject("malformed function coercion");
+    return fun(Parts);
+  case CoercionKind::RefC:
+    if (!Ty || !Ty->isRefLike() || !Label || Parts.size() != 2)
+      return Reject("malformed reference coercion");
+    return refc(Parts[0], Parts[1], Ty, Label);
+  case CoercionKind::TupleC:
+    if (Ty || Label || Parts.empty())
+      return Reject("malformed tuple coercion");
+    return tup(Parts);
+  case CoercionKind::Rec:
+    return Reject("μ nodes load through newRecForLoad/sealRecForLoad");
+  }
+  return Reject("unknown coercion kind");
+}
+
+bool CoercionFactory::sealRecForLoad(Coercion *Mu, const Coercion *Body) {
+  if (!Mu || Mu->Kind != CoercionKind::Rec || !Mu->Parts.empty() || !Body)
+    return false;
+  Mu->Parts.push_back(Body);
+  return true;
+}
+
+void CoercionFactory::seedMakeCache(const Type *S, const Type *T,
+                                    const std::string *Label,
+                                    const Coercion *C) {
+  MakeCache.emplace(TripleKey{S, T, Label}, C);
+}
+
+//===----------------------------------------------------------------------===//
 // Coercion creation: (S ⇒ᵖ T) of Figure 17
 //===----------------------------------------------------------------------===//
 

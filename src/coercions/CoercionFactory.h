@@ -85,6 +85,40 @@ public:
   /// past its cap).
   void reset();
 
+  //===------------------------------------------------------------------===//
+  // Store-deserialization hooks (src/store/Serialize.cpp). These rebuild
+  // a coercion graph loaded from a persistent image through the same
+  // interner make/compose use, so a loaded node is pointer-identical to
+  // the node this factory would build itself and the interning
+  // invariants (structural equality = pointer equality, zero new nodes
+  // on re-make) survive the round trip.
+  //===------------------------------------------------------------------===//
+
+  /// Rebuilds one non-μ node from its loaded pieces. Every normal-form
+  /// precondition is re-checked explicitly (a store image is untrusted
+  /// input and release builds compile the asserts out); violations
+  /// return nullptr with \p Error set instead of constructing a
+  /// malformed node.
+  const Coercion *buildForLoad(CoercionKind Kind, const Type *Ty,
+                               const std::string *Label,
+                               const std::vector<const Coercion *> &Parts,
+                               std::string &Error);
+
+  /// μ nodes load in two steps so back edges have a target before the
+  /// body subgraph exists: allocate all μ placeholders first, then seal
+  /// each with its body. sealRecForLoad rejects double-sealing and
+  /// non-μ arguments instead of asserting.
+  Coercion *newRecForLoad() { return newRec(); }
+  bool sealRecForLoad(Coercion *Mu, const Coercion *Body);
+
+  /// Seeds the make() memo with a loaded (S ⇒ᵖ T) ↦ C association so a
+  /// later makeInterned on a store-loaded program returns the loaded
+  /// node with zero allocations (the makeSub zero-new-nodes property).
+  /// An existing entry wins: a warm factory's own derivation is never
+  /// displaced by a loaded image.
+  void seedMakeCache(const Type *S, const Type *T, const std::string *Label,
+                     const Coercion *C);
+
 private:
   friend class Composer;
 

@@ -116,6 +116,15 @@ public:
                                        bool Optimize = false,
                                        bool Fuse = true);
 
+  /// Wraps a program deserialized from the persistent store (src/store)
+  /// in an Executable bound to this engine. The program must have been
+  /// loaded against THIS engine's TypeContext and CoercionFactory, so
+  /// every interned pointer it holds lives in this affinity group and
+  /// shares the lifecycle of a freshly compiled program.
+  Executable adopt(VMProgram Prog) {
+    return Executable(*this, std::move(Prog));
+  }
+
   TypeContext &types() { return Types; }
   CoercionFactory &coercions() { return Coercions; }
 

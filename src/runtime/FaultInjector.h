@@ -16,11 +16,17 @@
 ///     count exercises every OOM unwind path — each Rooted destructor,
 ///     each catch — deterministically, without needing to actually
 ///     exhaust memory.
+/// A third family targets file I/O (the persistent compiled-program
+/// store): truncate the Nth file write, fail the Nth fsync, or flip one
+/// bit of the Nth whole-file read. All three are keyed to per-operation
+/// counters the I/O layer advances through the should*() helpers, so a
+/// failure schedule found by one run replays exactly on the next.
 ///
 /// The injector is owned by the caller (tests, the CLI) and attached to a
 /// Heap with setFaultInjector; the heap only reads/advances the counter,
 /// so the caller can inspect AllocCount after a run to plan a failure
-/// schedule.
+/// schedule. The file-I/O hooks work the same way: store::Store consults
+/// them but never owns them.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef GRIFT_RUNTIME_FAULTINJECTOR_H
@@ -46,6 +52,69 @@ struct FaultInjector {
 
   /// Collections forced by GC torture (diagnostics).
   uint64_t ForcedCollections = 0;
+
+  //===------------------------------------------------------------------===//
+  // File-I/O fault family (persistent store, crash-only testing).
+  //
+  // Each fault is one-shot and 1-based, mirroring FailAllocAt: the Nth
+  // operation of its kind triggers, the counter keeps advancing, and a
+  // later operation does not re-fail unless the field is re-armed. 0
+  // disarms a fault. Counters advance even while disarmed so a schedule
+  // can be planned from an uninstrumented run.
+  //===------------------------------------------------------------------===//
+
+  /// Truncate the Nth whole-file write to roughly half its bytes and
+  /// report failure — a torn write, as left by a crash mid-write.
+  uint64_t ShortWriteAt = 0;
+
+  /// Report failure from the Nth fsync (data may or may not be durable,
+  /// exactly like a real fsync error).
+  uint64_t FailFsyncAt = 0;
+
+  /// Flip one bit of the Nth whole-file read, as seen by the reader
+  /// only — the file on disk is not modified (a decaying sector or a
+  /// bad DMA, not a persistent overwrite).
+  uint64_t FlipReadBitAt = 0;
+
+  /// Which bit of the read image FlipReadBitAt flips, as an absolute bit
+  /// index; reduced modulo the image size by the reader.
+  uint64_t FlipReadBitIndex = 0;
+
+  /// File operations observed so far (advanced by the I/O layer).
+  uint64_t FileWriteCount = 0;
+  uint64_t FsyncCount = 0;
+  uint64_t FileReadCount = 0;
+
+  /// Faults actually delivered (diagnostics).
+  uint64_t ShortWritesInjected = 0;
+  uint64_t FsyncFailuresInjected = 0;
+  uint64_t ReadBitsFlipped = 0;
+
+  /// Advances the write counter; true when this write must be torn.
+  bool shouldShortWrite() {
+    if (++FileWriteCount != ShortWriteAt || ShortWriteAt == 0)
+      return false;
+    ++ShortWritesInjected;
+    return true;
+  }
+
+  /// Advances the fsync counter; true when this fsync must report failure.
+  bool shouldFailFsync() {
+    if (++FsyncCount != FailFsyncAt || FailFsyncAt == 0)
+      return false;
+    ++FsyncFailuresInjected;
+    return true;
+  }
+
+  /// Advances the read counter; true when this read must see one flipped
+  /// bit, returning the absolute bit index through \p BitIndex.
+  bool shouldFlipReadBit(uint64_t &BitIndex) {
+    if (++FileReadCount != FlipReadBitAt || FlipReadBitAt == 0)
+      return false;
+    ++ReadBitsFlipped;
+    BitIndex = FlipReadBitIndex;
+    return true;
+  }
 };
 
 } // namespace grift

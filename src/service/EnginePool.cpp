@@ -1,5 +1,7 @@
 #include "service/EnginePool.h"
 
+#include "store/Store.h"
+
 using namespace grift::service;
 
 EnginePool::EnginePool(unsigned N) {
@@ -12,7 +14,7 @@ EnginePool::EnginePool(unsigned N) {
 
 const EnginePool::CacheEntry &
 EnginePool::Slot::compileCached(const JobSpec &Spec, bool &WasHit,
-                                bool UseCache) {
+                                bool UseCache, store::Store *ProgStore) {
   // Key layout: one byte of mode, one of optimize, then the source —
   // cheap to build and unambiguous (both prefixes are fixed-width).
   std::string Key;
@@ -32,8 +34,26 @@ EnginePool::Slot::compileCached(const JobSpec &Spec, bool &WasHit,
   CacheMisses.fetch_add(1, std::memory_order_relaxed);
   WasHit = false;
   CacheEntry Entry;
-  Entry.Exe = Engine.compile(Spec.Source, Spec.Mode, Entry.Errors,
-                             Spec.Optimize);
+  bool FromStore = false;
+  uint64_t StoreKey = 0;
+  if (ProgStore && ProgStore->enabled()) {
+    StoreKey = store::Store::key(Spec.Source, Spec.Mode, Spec.Optimize);
+    VMProgram Prog;
+    // Warm start: a validated image deserializes straight into this
+    // slot's engine — no parse, no typecheck, no coercion derivation.
+    if (ProgStore->load(StoreKey, Engine.types(), Engine.coercions(), Prog)) {
+      Entry.Exe = Engine.adopt(std::move(Prog));
+      FromStore = true;
+    }
+  }
+  if (!FromStore) {
+    Entry.Exe = Engine.compile(Spec.Source, Spec.Mode, Entry.Errors,
+                               Spec.Optimize);
+    // Publish successful compiles so the next cold process warm-starts;
+    // compile errors stay in the in-memory negative cache only.
+    if (Entry.Exe && StoreKey)
+      ProgStore->put(StoreKey, Entry.Exe->program());
+  }
   if (!UseCache) {
     // Still store (overwriting any stale entry) so the caller gets a
     // stable reference; with the cache disabled every compile lands here.

@@ -29,6 +29,10 @@
 #include <unordered_map>
 #include <vector>
 
+namespace grift::store {
+class Store;
+} // namespace grift::store
+
 namespace grift::service {
 
 class EnginePool {
@@ -59,8 +63,16 @@ public:
     /// stays valid until the next epoch reset (or forever when
     /// MaxCoercionNodes is 0 — the cache is then bounded only by the set
     /// of distinct programs submitted).
+    ///
+    /// With \p ProgStore set, the lookup order on a slot-cache miss is
+    /// persistent store → compile: a validated on-disk image is
+    /// deserialized into this slot's engine (zero front-end work) and
+    /// adopted; otherwise the program compiles normally and, on success,
+    /// is published to the store for the next cold start. Store lookup
+    /// outcomes are counted by the store itself.
     const CacheEntry &compileCached(const JobSpec &Spec, bool &WasHit,
-                                    bool UseCache = true);
+                                    bool UseCache = true,
+                                    store::Store *ProgStore = nullptr);
 
     /// Epoch reset: when the engine's coercion arena has grown past
     /// \p MaxNodes, drops the compile cache and resets the coercion

@@ -11,6 +11,20 @@ ExecService::ExecService(ServiceConfig C)
       Pool(C.Threads ? C.Threads
                      : std::max(1u, std::thread::hardware_concurrency())),
       Breaker(C.Breaker) {
+  if (!Config.CacheDir.empty()) {
+    FileFaults.ShortWriteAt = Config.FileShortWriteAt;
+    FileFaults.FailFsyncAt = Config.FileFailFsyncAt;
+    FileFaults.FlipReadBitAt = Config.FileFlipReadBitAt;
+    FileFaults.FlipReadBitIndex = Config.FileFlipReadBitIndex;
+    store::StoreConfig SC;
+    SC.Dir = Config.CacheDir;
+    SC.MaxBytes = Config.CacheMaxBytes;
+    SC.Faults = Config.FileShortWriteAt || Config.FileFailFsyncAt ||
+                        Config.FileFlipReadBitAt
+                    ? &FileFaults
+                    : nullptr;
+    ProgStore = std::make_unique<store::Store>(std::move(SC));
+  }
   Workers.reserve(Pool.size());
   for (unsigned I = 0; I != Pool.size(); ++I)
     Workers.emplace_back([this, I] { workerLoop(I); });
@@ -124,7 +138,7 @@ JobResult ExecService::executeJob(EnginePool::Slot &Slot, JobSpec &Spec,
 
   bool CacheHit = false;
   const EnginePool::CacheEntry &Entry =
-      Slot.compileCached(Spec, CacheHit, Config.CompileCache);
+      Slot.compileCached(Spec, CacheHit, Config.CompileCache, ProgStore.get());
   R.CompileCacheHit = CacheHit;
   if (!Entry.Exe) {
     R.Status = JobStatus::CompileError;
@@ -237,5 +251,12 @@ ServiceStats ExecService::stats() const {
   S.CacheMisses = Pool.totalCacheMisses();
   S.EpochResets = Pool.totalEpochResets();
   S.PeakQueueDepth = PeakQueue.load(std::memory_order_relaxed);
+  if (ProgStore) {
+    store::StoreStats SS = ProgStore->stats();
+    S.StoreHits = SS.Hits;
+    S.StoreMisses = SS.Misses;
+    S.StoreCorrupt = SS.Corrupt;
+    S.StoreEvicted = SS.Evicted;
+  }
   return S;
 }

@@ -33,6 +33,7 @@
 #include "service/Job.h"
 #include "service/RetryPolicy.h"
 #include "service/Watchdog.h"
+#include "store/Store.h"
 
 #include <condition_variable>
 #include <cstdint>
@@ -72,6 +73,20 @@ struct ServiceConfig {
   /// exactly what the GC-torture nightly wants.
   uint64_t GCTorturePeriod = 0;
   uint64_t FailAllocPeriod = 0;
+  /// Persistent compiled-program store (src/store): directory for the
+  /// content-addressed image cache. Empty disables it. On a slot-cache
+  /// miss the lookup order becomes slot cache → store → compile, and
+  /// successful compiles are published back for the next cold start.
+  std::string CacheDir;
+  /// Eviction cap for the store (0 = uncapped).
+  uint64_t CacheMaxBytes = 256ull << 20;
+  /// Deterministic file-I/O faults against the store (crash/corruption
+  /// soak): truncate the Nth entry write, fail the Nth fsync, flip one
+  /// bit of the Nth entry read (all 1-based one-shots, 0 = off).
+  uint64_t FileShortWriteAt = 0;
+  uint64_t FileFailFsyncAt = 0;
+  uint64_t FileFlipReadBitAt = 0;
+  uint64_t FileFlipReadBitIndex = 0;
 };
 
 /// Monotonic counters, snapshot via ExecService::stats().
@@ -87,6 +102,10 @@ struct ServiceStats {
   uint64_t CacheMisses = 0;
   uint64_t EpochResets = 0; ///< coercion-arena epoch resets across slots
   uint64_t PeakQueueDepth = 0; ///< high-water mark of waiting jobs
+  uint64_t StoreHits = 0;    ///< compiles served from the persistent store
+  uint64_t StoreMisses = 0;  ///< store lookups that fell back to compile
+  uint64_t StoreCorrupt = 0; ///< store misses caused by failed validation
+  uint64_t StoreEvicted = 0; ///< store entries evicted by the size cap
 };
 
 class ExecService {
@@ -105,6 +124,10 @@ public:
 
   unsigned threads() const { return Pool.size(); }
 
+  /// The persistent program store, or nullptr when CacheDir is unset
+  /// (diagnostics, tests).
+  store::Store *programStore() { return ProgStore.get(); }
+
   /// Jobs currently waiting (not yet picked up by a worker).
   size_t queueDepth() const;
 
@@ -121,6 +144,11 @@ private:
                        FaultInjector &Injector, RNG &Gen);
 
   ServiceConfig Config;
+  /// File-I/O fault schedule shared by every worker's store access; the
+  /// store serializes consults internally. Distinct from the per-worker
+  /// heap injectors in workerLoop.
+  FaultInjector FileFaults;
+  std::unique_ptr<store::Store> ProgStore;
   EnginePool Pool;
   Watchdog Dog;
   CircuitBreaker Breaker;

@@ -357,6 +357,10 @@ std::string Server::renderStats() const {
       << ",\"cache_hits\":" << S.Exec.CacheHits
       << ",\"cache_misses\":" << S.Exec.CacheMisses
       << ",\"epoch_resets\":" << S.Exec.EpochResets
+      << ",\"store_hits\":" << S.Exec.StoreHits
+      << ",\"store_misses\":" << S.Exec.StoreMisses
+      << ",\"store_corrupt\":" << S.Exec.StoreCorrupt
+      << ",\"store_evicted\":" << S.Exec.StoreEvicted
       << ",\"peak_queue_depth\":" << S.Exec.PeakQueueDepth
       << ",\"peak_inflight\":" << S.Adm.PeakInflight
       << ",\"peak_inflight_bytes\":" << S.Adm.PeakInflightBytes

@@ -1,0 +1,595 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent program store: round-trip fidelity (a loaded image
+/// runs exactly like a fresh compile, across all four cast modes and
+/// through μ-coercion graphs), the corruption matrix (truncation at
+/// every header boundary, one flipped bit per section, version and key
+/// skew — every injected fault must be a counted graceful miss, never
+/// UB), crash-consistent writes under injected short-write/fsync
+/// faults, size-capped eviction, the makeSub zero-new-nodes invariant
+/// after a load, and the file-I/O fault injector itself.
+///
+//===----------------------------------------------------------------------===//
+#include "store/Store.h"
+
+#include "bench_programs/Benchmarks.h"
+#include "fuzz/FuzzGen.h"
+#include "grift/Grift.h"
+#include "service/ExecService.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
+
+using namespace grift;
+using namespace grift::store;
+
+namespace {
+
+/// Fresh per-test cache directory under the build tree's /tmp.
+class StoreTest : public ::testing::Test {
+protected:
+  std::string Dir;
+
+  void SetUp() override {
+    std::string Templ = "/tmp/griftstore-test.XXXXXX";
+    std::vector<char> Buf(Templ.begin(), Templ.end());
+    Buf.push_back('\0');
+    ASSERT_NE(::mkdtemp(Buf.data()), nullptr);
+    Dir = Buf.data();
+  }
+
+  void TearDown() override {
+    if (DIR *D = ::opendir(Dir.c_str())) {
+      while (dirent *E = ::readdir(D)) {
+        std::string Name = E->d_name;
+        if (Name != "." && Name != "..")
+          ::unlink((Dir + "/" + Name).c_str());
+      }
+      ::closedir(D);
+    }
+    ::rmdir(Dir.c_str());
+  }
+
+  Store makeStore(uint64_t MaxBytes = 256ull << 20,
+                  FaultInjector *Faults = nullptr) {
+    StoreConfig C;
+    C.Dir = Dir;
+    C.MaxBytes = MaxBytes;
+    C.Faults = Faults;
+    return Store(std::move(C));
+  }
+
+  /// Entry files currently on disk (sorted names).
+  std::vector<std::string> entries() const {
+    std::vector<std::string> Names;
+    if (DIR *D = ::opendir(Dir.c_str())) {
+      while (dirent *E = ::readdir(D)) {
+        std::string Name = E->d_name;
+        if (Name != "." && Name != "..")
+          Names.push_back(Name);
+      }
+      ::closedir(D);
+    }
+    std::sort(Names.begin(), Names.end());
+    return Names;
+  }
+
+  std::string readFile(const std::string &Path) const {
+    std::ifstream In(Path, std::ios::binary);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    return Buf.str();
+  }
+
+  void writeFile(const std::string &Path, const std::string &Bytes) const {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  }
+
+  /// Compiles \p Source fresh, publishes it, and returns the fresh run's
+  /// result text so callers can diff warm against cold.
+  std::string compileAndPut(Store &S, const std::string &Source,
+                            CastMode Mode, const std::string &Input,
+                            uint64_t &KeyOut) {
+    Grift G;
+    std::string Errors;
+    auto Exe = G.compile(Source, Mode, Errors);
+    EXPECT_TRUE(Exe.has_value()) << Errors;
+    if (!Exe)
+      return "";
+    KeyOut = Store::key(Source, Mode, /*Optimize=*/false);
+    EXPECT_TRUE(S.put(KeyOut, Exe->program()));
+    RunResult R = Exe->run(Input);
+    EXPECT_TRUE(R.OK) << R.Error.str();
+    return R.Output + "|" + R.ResultText;
+  }
+
+  /// Loads \p Key into a fresh engine and runs it; "" on miss.
+  std::string loadAndRun(Store &S, uint64_t Key, const std::string &Input) {
+    Grift G;
+    VMProgram Prog;
+    if (!S.load(Key, G.types(), G.coercions(), Prog))
+      return "";
+    Executable Exe = G.adopt(std::move(Prog));
+    RunResult R = Exe.run(Input);
+    EXPECT_TRUE(R.OK) << R.Error.str();
+    return R.Output + "|" + R.ResultText;
+  }
+};
+
+/// Casts a value of equirecursive stream type through Dyn and back:
+/// under Coercions mode the cast table serializes genuine μ coercions
+/// (the only cyclic structure in the image).
+const char *MuRoundTrip = R"(
+(define count-from : (Int -> (Rec s (Tuple Int (-> s))))
+  (lambda ([n : Int]) (tuple n (lambda () (count-from (+ n 1))))))
+(define st : (Rec s (Tuple Int (-> s))) (count-from 5))
+(define d : Dyn (ann st Dyn))
+(define st2 : (Rec s (Tuple Int (-> s))) (ann d (Rec s (Tuple Int (-> s)))))
+(tuple-proj st2 0)
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Round-trip fidelity
+//===----------------------------------------------------------------------===//
+
+TEST_F(StoreTest, RoundTripBenchmarksAllModes) {
+  Store S = makeStore();
+  struct Row {
+    const char *Bench;
+    const char *Input;
+  };
+  const Row Rows[] = {{"sieve", "30"}, {"quicksort", "32"}, {"tak", "8 4 2"}};
+  for (const Row &R : Rows) {
+    const BenchProgram &B = getBenchmark(R.Bench);
+    for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased,
+                          CastMode::Static, CastMode::Monotonic}) {
+      uint64_t Key = 0;
+      std::string Cold = compileAndPut(S, B.Source, Mode, R.Input, Key);
+      std::string Warm = loadAndRun(S, Key, R.Input);
+      EXPECT_EQ(Cold, Warm) << R.Bench << " [" << castModeName(Mode) << "]";
+    }
+  }
+  StoreStats SS = S.stats();
+  EXPECT_EQ(SS.Hits, 12u);
+  EXPECT_EQ(SS.Corrupt, 0u);
+}
+
+TEST_F(StoreTest, RoundTripMuCoercions) {
+  Store S = makeStore();
+  uint64_t Key = 0;
+  std::string Cold =
+      compileAndPut(S, MuRoundTrip, CastMode::Coercions, "", Key);
+  EXPECT_EQ(Cold, "|5");
+  EXPECT_EQ(loadAndRun(S, Key, ""), Cold);
+}
+
+TEST_F(StoreTest, RoundTripFuzzedPrograms) {
+  Store S = makeStore();
+  RNG Gen(0x5707E5EEDULL); // deterministic suite
+  unsigned Iters = fuzz::iterationCount(15);
+  for (unsigned I = 0; I != Iters; ++I) {
+    fuzz::GenOptions Opts;
+    Opts.Structural = true;
+    Opts.AllowDyn = (I % 2) == 0; // odd iterations stay Static-compatible
+    Grift GenG;
+    fuzz::ProgramGen PG(GenG.types(), Gen, Opts);
+    std::string Source = PG.program();
+    for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased,
+                          CastMode::Static, CastMode::Monotonic}) {
+      if (Opts.AllowDyn && Mode == CastMode::Static)
+        continue; // Dyn-annotated programs are not Static-typeable
+      Grift G;
+      std::string Errors;
+      auto Exe = G.compile(Source, Mode, Errors);
+      ASSERT_TRUE(Exe.has_value()) << Source << "\n" << Errors;
+      uint64_t Key = Store::key(Source, Mode, false);
+      ASSERT_TRUE(S.put(Key, Exe->program()));
+      RunLimits Limits;
+      Limits.MaxSteps = 2000000; // generated programs are small; bound anyway
+      RunResult Cold = Exe->run("", Limits);
+
+      Grift G2;
+      VMProgram Prog;
+      ASSERT_TRUE(S.load(Key, G2.types(), G2.coercions(), Prog))
+          << loadStatusName(S.lastStatus()) << ": " << S.lastReason();
+      Executable Warm = G2.adopt(std::move(Prog));
+      RunResult WarmRun = Warm.run("", Limits);
+      ASSERT_EQ(Cold.OK, WarmRun.OK) << Source;
+      if (Cold.OK) {
+        EXPECT_EQ(Cold.ResultText, WarmRun.ResultText) << Source;
+        EXPECT_EQ(Cold.Output, WarmRun.Output) << Source;
+      } else {
+        // Errors must agree exactly — kind, blame label, message.
+        EXPECT_EQ(Cold.Error.str(), WarmRun.Error.str()) << Source;
+      }
+    }
+  }
+}
+
+/// A load seeds the caller's make() memo: re-deriving any cast the
+/// image carries must return the loaded node with zero allocations —
+/// the same zero-new-nodes property a warm factory has for makeSub.
+TEST_F(StoreTest, ZeroNewNodesAfterLoad) {
+  Store S = makeStore();
+  uint64_t Key = 0;
+  compileAndPut(S, MuRoundTrip, CastMode::Coercions, "", Key);
+
+  Grift G;
+  VMProgram Prog;
+  ASSERT_TRUE(S.load(Key, G.types(), G.coercions(), Prog));
+  bool SawCast = false;
+  for (const CastDescriptor &D : Prog.Casts) {
+    if (!D.C || !D.Label)
+      continue;
+    SawCast = true;
+    size_t Before = G.coercions().allocatedNodes();
+    const Coercion *Again = G.coercions().make(D.Src, D.Tgt, *D.Label);
+    EXPECT_EQ(Again, D.C);
+    EXPECT_EQ(G.coercions().allocatedNodes(), Before)
+        << "re-deriving a loaded cast allocated coercion nodes";
+  }
+  EXPECT_TRUE(SawCast);
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption matrix: every fault is a counted miss, never UB
+//===----------------------------------------------------------------------===//
+
+TEST_F(StoreTest, CorruptionTruncationAtEveryHeaderBoundary) {
+  Store S = makeStore();
+  uint64_t Key = 0;
+  compileAndPut(S, MuRoundTrip, CastMode::Coercions, "", Key);
+  ASSERT_EQ(entries().size(), 1u);
+  std::string Path = Dir + "/" + entries()[0];
+  std::string Image = readFile(Path);
+  ASSERT_GT(Image.size(), sizeof(ImageHeader) + 5 * sizeof(SectionEntry));
+
+  // Every prefix boundary that means something to the parser: empty
+  // file, each header field edge, each section-table entry edge, and a
+  // mid-payload cut.
+  std::vector<size_t> Cuts = {0, 4, 8, 12, 16, 24, 32, 36, sizeof(ImageHeader)};
+  for (unsigned E = 1; E <= 5; ++E)
+    Cuts.push_back(sizeof(ImageHeader) + E * sizeof(SectionEntry));
+  Cuts.push_back(Image.size() - 1);
+  Cuts.push_back(Image.size() / 2);
+
+  uint64_t ExpectCorrupt = 0;
+  for (size_t Cut : Cuts) {
+    writeFile(Path, Image.substr(0, Cut));
+    Grift G;
+    VMProgram Prog;
+    EXPECT_FALSE(S.load(Key, G.types(), G.coercions(), Prog))
+        << "truncation at " << Cut << " loaded successfully";
+    ++ExpectCorrupt;
+    EXPECT_EQ(S.stats().Corrupt, ExpectCorrupt) << "cut " << Cut;
+    EXPECT_TRUE(entries().empty())
+        << "corrupt entry not deleted after cut " << Cut;
+    writeFile(Path, Image); // restore for the next cut
+  }
+}
+
+TEST_F(StoreTest, CorruptionOneFlippedBitPerSection) {
+  Store S = makeStore();
+  uint64_t Key = 0;
+  compileAndPut(S, MuRoundTrip, CastMode::Coercions, "", Key);
+  std::string Path = Dir + "/" + entries()[0];
+  std::string Image = readFile(Path);
+
+  // Recover each section's byte range from the (trusted, freshly
+  // written) table, then flip one bit inside each — plus one in the
+  // header and one in the table itself.
+  std::vector<size_t> Targets = {9,                        // header Version
+                                 sizeof(ImageHeader) + 3}; // table entry
+  ImageHeader H;
+  std::memcpy(&H, Image.data(), sizeof H);
+  for (uint32_t I = 0; I != H.SectionCount; ++I) {
+    SectionEntry E;
+    std::memcpy(&E, Image.data() + sizeof H + I * sizeof E, sizeof E);
+    Targets.push_back(static_cast<size_t>(E.Offset) + E.Size / 2);
+  }
+
+  uint64_t ExpectCorrupt = 0;
+  for (size_t Byte : Targets) {
+    std::string Bad = Image;
+    Bad[Byte] = static_cast<char>(Bad[Byte] ^ 0x10);
+    writeFile(Path, Bad);
+    Grift G;
+    VMProgram Prog;
+    EXPECT_FALSE(S.load(Key, G.types(), G.coercions(), Prog))
+        << "bit flip at byte " << Byte << " loaded successfully";
+    ++ExpectCorrupt;
+    EXPECT_EQ(S.stats().Corrupt, ExpectCorrupt) << "byte " << Byte;
+    writeFile(Path, Image);
+  }
+
+  // The restored pristine image still loads.
+  Grift G;
+  VMProgram Prog;
+  EXPECT_TRUE(S.load(Key, G.types(), G.coercions(), Prog));
+}
+
+TEST_F(StoreTest, CorruptionVersionSkewAndKeyMismatch) {
+  Store S = makeStore();
+  uint64_t Key = 0;
+  compileAndPut(S, "(+ 1 2)", CastMode::Coercions, "", Key);
+  std::string Path = Dir + "/" + entries()[0];
+  std::string Image = readFile(Path);
+
+  // Version skew with a *valid* header CRC — the one way a future
+  // serializer's image reaches the version check at all.
+  {
+    std::string Skewed = Image;
+    ImageHeader H;
+    std::memcpy(&H, Skewed.data(), sizeof H);
+    H.Version = FormatVersion + 7;
+    H.HeaderCRC = headerCRC(H);
+    std::memcpy(Skewed.data(), &H, sizeof H);
+    writeFile(Path, Skewed);
+    Grift G;
+    VMProgram Prog;
+    EXPECT_FALSE(S.load(Key, G.types(), G.coercions(), Prog));
+    EXPECT_EQ(S.lastStatus(), LoadStatus::VersionSkew);
+    writeFile(Path, Image);
+  }
+
+  // A valid image parked under the wrong key (admin copied a file):
+  // the header's embedded key must catch it.
+  {
+    uint64_t OtherKey = Store::key("(+ 2 2)", CastMode::Coercions, false);
+    char Name[32];
+    std::snprintf(Name, sizeof Name, "%016llx.img",
+                  static_cast<unsigned long long>(OtherKey));
+    writeFile(Dir + "/" + Name, Image);
+    Grift G;
+    VMProgram Prog;
+    EXPECT_FALSE(S.load(OtherKey, G.types(), G.coercions(), Prog));
+    EXPECT_EQ(S.lastStatus(), LoadStatus::KeyMismatch);
+  }
+}
+
+TEST_F(StoreTest, VerifyAllSweepsCorruptEntriesAndTempFiles) {
+  Store S = makeStore();
+  uint64_t K1 = 0, K2 = 0;
+  compileAndPut(S, "(+ 1 2)", CastMode::Coercions, "", K1);
+  compileAndPut(S, "(* 3 4)", CastMode::Coercions, "", K2);
+  ASSERT_EQ(entries().size(), 2u);
+
+  // Corrupt one entry's payload and plant a stray temp file, as a crash
+  // mid-write would leave.
+  std::string Victim = Dir + "/" + entries()[0];
+  std::string Bytes = readFile(Victim);
+  Bytes[Bytes.size() - 3] ^= 0x40;
+  writeFile(Victim, Bytes);
+  writeFile(Dir + "/.1234.0.tmp", "half-written garbage");
+
+  Store::VerifyResult V = S.verifyAll();
+  EXPECT_EQ(V.Valid, 1u);
+  EXPECT_EQ(V.Removed, 1u);
+  EXPECT_EQ(V.TmpRemoved, 1u);
+  EXPECT_EQ(entries().size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Injected write faults: the store stays consistent
+//===----------------------------------------------------------------------===//
+
+TEST_F(StoreTest, ShortWriteLeavesNoVisibleEntry) {
+  FaultInjector FI;
+  FI.ShortWriteAt = 1;
+  Store S = makeStore(256ull << 20, &FI);
+  Grift G;
+  std::string Errors;
+  auto Exe = G.compile("(+ 1 2)", CastMode::Coercions, Errors);
+  ASSERT_TRUE(Exe.has_value());
+  uint64_t Key = Store::key("(+ 1 2)", CastMode::Coercions, false);
+
+  EXPECT_FALSE(S.put(Key, Exe->program()));
+  EXPECT_EQ(FI.ShortWritesInjected, 1u);
+  // The torn temp file may remain (that is what a crash leaves) but no
+  // visible entry may exist, and a lookup is a plain miss.
+  for (const std::string &E : entries())
+    EXPECT_EQ(E.find(".img"), std::string::npos) << E;
+  Grift G2;
+  VMProgram Prog;
+  EXPECT_FALSE(S.load(Key, G2.types(), G2.coercions(), Prog));
+  EXPECT_EQ(S.lastStatus(), LoadStatus::Missing);
+  EXPECT_EQ(S.stats().Corrupt, 0u);
+
+  // The sweep clears the debris; the next (unfaulted) put succeeds.
+  Store::VerifyResult V = S.verifyAll();
+  EXPECT_EQ(V.TmpRemoved, 1u);
+  EXPECT_TRUE(S.put(Key, Exe->program()));
+  EXPECT_TRUE(S.load(Key, G2.types(), G2.coercions(), Prog));
+}
+
+TEST_F(StoreTest, FsyncFailureIsCleanNonPublish) {
+  FaultInjector FI;
+  FI.FailFsyncAt = 1;
+  Store S = makeStore(256ull << 20, &FI);
+  Grift G;
+  std::string Errors;
+  auto Exe = G.compile("(+ 1 2)", CastMode::Coercions, Errors);
+  ASSERT_TRUE(Exe.has_value());
+  uint64_t Key = Store::key("(+ 1 2)", CastMode::Coercions, false);
+
+  EXPECT_FALSE(S.put(Key, Exe->program()));
+  EXPECT_EQ(FI.FsyncFailuresInjected, 1u);
+  EXPECT_TRUE(entries().empty()); // clean failure: temp unlinked
+  EXPECT_TRUE(S.put(Key, Exe->program()));
+}
+
+TEST_F(StoreTest, ReadBitFlipIsCountedCorruptMissDiskIntact) {
+  FaultInjector FI;
+  Store S = makeStore(256ull << 20, &FI);
+  uint64_t Key = 0;
+  compileAndPut(S, MuRoundTrip, CastMode::Coercions, "", Key);
+  std::string Path = Dir + "/" + entries()[0];
+  std::string OnDisk = readFile(Path);
+
+  FI.FlipReadBitAt = FI.FileReadCount + 1;
+  FI.FlipReadBitIndex = 8 * (sizeof(ImageHeader) + 12) + 3; // section table
+  Grift G;
+  VMProgram Prog;
+  EXPECT_FALSE(S.load(Key, G.types(), G.coercions(), Prog));
+  EXPECT_EQ(FI.ReadBitsFlipped, 1u);
+  EXPECT_EQ(S.stats().Corrupt, 1u);
+  // The store deletes the entry (it cannot distinguish a decayed sector
+  // from persistent damage); a clean re-put fully recovers.
+  EXPECT_TRUE(entries().empty());
+  uint64_t Key2 = 0;
+  EXPECT_EQ(compileAndPut(S, MuRoundTrip, CastMode::Coercions, "", Key2),
+            "|5");
+  EXPECT_EQ(Key2, Key);
+  EXPECT_EQ(loadAndRun(S, Key, ""), "|5");
+  (void)OnDisk;
+}
+
+//===----------------------------------------------------------------------===//
+// Eviction
+//===----------------------------------------------------------------------===//
+
+TEST_F(StoreTest, EvictionKeepsNewestUnderCap) {
+  // Cap small enough that a handful of entries overflow it.
+  Store Probe = makeStore();
+  uint64_t ProbeKey = 0;
+  compileAndPut(Probe, "(+ 1 1)", CastMode::Coercions, "", ProbeKey);
+  uint64_t OneEntry = readFile(Dir + "/" + entries()[0]).size();
+  TearDown();
+  SetUp();
+
+  Store S = makeStore(/*MaxBytes=*/OneEntry * 2 + OneEntry / 2);
+  std::vector<uint64_t> Keys;
+  for (int I = 0; I != 6; ++I) {
+    std::string Source = "(+ " + std::to_string(I) + " 1)";
+    uint64_t Key = 0;
+    compileAndPut(S, Source, CastMode::Coercions, "", Key);
+    Keys.push_back(Key);
+  }
+  StoreStats SS = S.stats();
+  EXPECT_GE(SS.Evicted, 1u);
+  EXPECT_LE(entries().size(), 3u);
+
+  // The most recent entry always survives.
+  Grift G;
+  VMProgram Prog;
+  EXPECT_TRUE(S.load(Keys.back(), G.types(), G.coercions(), Prog))
+      << loadStatusName(S.lastStatus());
+}
+
+//===----------------------------------------------------------------------===//
+// Service integration: store position in the lookup chain
+//===----------------------------------------------------------------------===//
+
+TEST_F(StoreTest, ExecServiceWarmStartsAcrossRestart) {
+  service::ServiceConfig Config;
+  Config.Threads = 2;
+  Config.CacheDir = Dir;
+
+  const char *Source = "(ann (ann 41 Dyn) Int)";
+  {
+    service::ExecService Service(Config);
+    service::JobSpec Spec;
+    Spec.Source = Source;
+    service::JobResult R = Service.submit(Spec).get();
+    ASSERT_EQ(R.Status, service::JobStatus::Done);
+    service::ServiceStats SS = Service.stats();
+    EXPECT_EQ(SS.StoreHits, 0u);
+    EXPECT_GE(SS.StoreMisses, 1u);
+  }
+  {
+    // A "restarted" service over the same cache dir: the first compile
+    // of the same job is served from the image, not the frontend.
+    service::ExecService Service(Config);
+    service::JobSpec Spec;
+    Spec.Source = Source;
+    service::JobResult R = Service.submit(Spec).get();
+    ASSERT_EQ(R.Status, service::JobStatus::Done);
+    EXPECT_EQ(R.ResultText, "41");
+    service::ServiceStats SS = Service.stats();
+    EXPECT_GE(SS.StoreHits, 1u);
+    EXPECT_EQ(SS.StoreCorrupt, 0u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The injector itself
+//===----------------------------------------------------------------------===//
+
+TEST(FileFaults, OneShotOneBasedCountersAdvanceDisarmed) {
+  FaultInjector FI;
+
+  // Disarmed: counters advance, nothing fires.
+  EXPECT_FALSE(FI.shouldShortWrite());
+  EXPECT_FALSE(FI.shouldFailFsync());
+  uint64_t Bit = 0;
+  EXPECT_FALSE(FI.shouldFlipReadBit(Bit));
+  EXPECT_EQ(FI.FileWriteCount, 1u);
+  EXPECT_EQ(FI.FsyncCount, 1u);
+  EXPECT_EQ(FI.FileReadCount, 1u);
+
+  // 1-based scheduling counts from the disarmed operations already
+  // observed: arming "at 3" fires on the third operation overall.
+  FI.ShortWriteAt = 3;
+  EXPECT_FALSE(FI.shouldShortWrite()); // #2
+  EXPECT_TRUE(FI.shouldShortWrite());  // #3 fires
+  EXPECT_FALSE(FI.shouldShortWrite()); // #4: one-shot
+  EXPECT_EQ(FI.ShortWritesInjected, 1u);
+
+  FI.FailFsyncAt = 2;
+  EXPECT_TRUE(FI.shouldFailFsync()); // #2 fires
+  EXPECT_FALSE(FI.shouldFailFsync());
+  EXPECT_EQ(FI.FsyncFailuresInjected, 1u);
+
+  FI.FlipReadBitAt = 2;
+  FI.FlipReadBitIndex = 17;
+  EXPECT_TRUE(FI.shouldFlipReadBit(Bit)); // #2 fires
+  EXPECT_EQ(Bit, 17u);
+  EXPECT_FALSE(FI.shouldFlipReadBit(Bit));
+  EXPECT_EQ(FI.ReadBitsFlipped, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// validateImage directly (no filesystem)
+//===----------------------------------------------------------------------===//
+
+TEST(ValidateImage, AcceptsFreshRejectsTrailingGarbage) {
+  Grift G;
+  std::string Errors;
+  auto Exe = G.compile("(+ 1 2)", CastMode::Coercions, Errors);
+  ASSERT_TRUE(Exe.has_value());
+  std::string Image = serializeProgram(Exe->program(), /*KeyHash=*/99);
+
+  ImageSections Sections;
+  std::string Reason;
+  EXPECT_EQ(validateImage(reinterpret_cast<const uint8_t *>(Image.data()),
+                          Image.size(), 99, Sections, Reason),
+            LoadStatus::Hit)
+      << Reason;
+
+  // Key checked when requested, ignored when the caller passes 0.
+  EXPECT_EQ(validateImage(reinterpret_cast<const uint8_t *>(Image.data()),
+                          Image.size(), 100, Sections, Reason),
+            LoadStatus::KeyMismatch);
+  EXPECT_EQ(validateImage(reinterpret_cast<const uint8_t *>(Image.data()),
+                          Image.size(), 0, Sections, Reason),
+            LoadStatus::Hit);
+
+  std::string Padded = Image + "x";
+  EXPECT_EQ(validateImage(reinterpret_cast<const uint8_t *>(Padded.data()),
+                          Padded.size(), 99, Sections, Reason),
+            LoadStatus::TruncatedFile);
+
+  EXPECT_EQ(validateImage(nullptr, 0, 0, Sections, Reason),
+            LoadStatus::TruncatedHeader);
+}

@@ -71,7 +71,9 @@ REPORTED = ("gc_pause_total_ns", "gc_pause_max_ns",
             "shed_total", "shed_rate_pct", "quota_rejects",
             "watchdog_kills", "deadline_expired", "slow_client_drops",
             "requests", "ok", "failed", "rejected", "bad_requests",
-            "lost", "wall_ns")
+            "lost", "wall_ns",
+            "cold_compile_ns", "warm_load_ns", "warm_over_cold_pct",
+            "store_hits", "store_misses", "store_corrupt", "store_evicted")
 
 SLO_RE = re.compile(r"^(?P<name>[^:]+):(?P<field>[A-Za-z0-9_]+)"
                     r"(?P<op><=|>=)(?P<value>-?[0-9.]+)$")

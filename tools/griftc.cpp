@@ -28,6 +28,14 @@
 ///   --gc-torture=N   force a full GC every Nth allocation (bug hunting)
 ///   --fail-alloc=N   inject an allocation failure at allocation #N
 ///
+/// Persistent store (src/store):
+///   --cache-dir=DIR  warm-start compiles from the content-addressed
+///                    image store (and publish fresh compiles into it)
+///   --cache-max-bytes=N  store eviction cap (default 256 MiB)
+///   --store-verify   offline integrity sweep: deep-validate every entry
+///                    under --cache-dir, delete corrupt entries and stray
+///                    temp files, print a summary, exit 0
+///
 /// A program stopped by a budget exits with status 3 and prints the
 /// machine-readable error kind (fuel-exhausted, out-of-memory, ...);
 /// a run killed by the watchdog exits with status 4 (cancelled);
@@ -39,6 +47,7 @@
 #include "lattice/Lattice.h"
 #include "refinterp/RefInterp.h"
 #include "service/Watchdog.h"
+#include "store/Store.h"
 
 #include <atomic>
 #include <chrono>
@@ -64,8 +73,10 @@ void printUsage() {
       "              [--max-steps=N] [--max-heap=N[k|m|g]]\n"
       "              [--max-depth=N] [--max-wall-ms=N] [--deadline-ms=N]\n"
       "              [--gc-torture=N] [--fail-alloc=N]\n"
+      "              [--cache-dir=DIR [--cache-max-bytes=N]]\n"
       "              (file.grift | --expr 'SRC' | --benchmark NAME)\n"
-      "              [--input 'WORDS']\n");
+      "              [--input 'WORDS']\n"
+      "       griftc --store-verify --cache-dir=DIR\n");
 }
 
 /// Exit status for a failed run: program errors 1, resource exhaustion
@@ -112,6 +123,9 @@ int main(int Argc, char **Argv) {
   std::string Source;
   std::string Input;
   std::string File;
+  std::string CacheDir;
+  uint64_t CacheMaxBytes = 256ull << 20;
+  bool StoreVerify = false;
   RunLimits Limits;
   FaultInjector Injector;
   int64_t DeadlineNanos = 0;
@@ -133,6 +147,12 @@ int main(int Argc, char **Argv) {
       Injector.GCTorturePeriod = Tmp;
     } else if (parseSize(Arg, "--fail-alloc=", Tmp)) {
       Injector.FailAllocAt = Tmp;
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      CacheDir = Arg.substr(12);
+    } else if (parseSize(Arg, "--cache-max-bytes=", Tmp)) {
+      CacheMaxBytes = Tmp;
+    } else if (Arg == "--store-verify") {
+      StoreVerify = true;
     } else if (Arg == "--mode=coercions") {
       Mode = CastMode::Coercions;
     } else if (Arg == "--mode=type-based") {
@@ -172,6 +192,26 @@ int main(int Argc, char **Argv) {
     } else {
       File = Arg;
     }
+  }
+
+  if (StoreVerify) {
+    // Offline integrity sweep: deep-validate every cache entry, delete
+    // the ones that fail, and report what happened. MaxBytes is irrelevant
+    // here (no writes), so leave the default.
+    if (CacheDir.empty()) {
+      std::fprintf(stderr, "griftc: --store-verify requires --cache-dir\n");
+      return 2;
+    }
+    store::StoreConfig SC;
+    SC.Dir = CacheDir;
+    store::Store S(std::move(SC));
+    store::Store::VerifyResult V = S.verifyAll();
+    std::printf("{\"status\":\"store-verify\",\"valid\":%llu,"
+                "\"removed\":%llu,\"tmp_removed\":%llu}\n",
+                static_cast<unsigned long long>(V.Valid),
+                static_cast<unsigned long long>(V.Removed),
+                static_cast<unsigned long long>(V.TmpRemoved));
+    return 0;
   }
 
   if (Source.empty()) {
@@ -248,7 +288,31 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  auto Exe = G.compileAst(*Ast, Mode, Errors, Optimize);
+  // Persistent store: warm-start from a prior compile of the same
+  // (source, mode, optimize) triple when --cache-dir is set. --dynamic
+  // is keyed on the original source but compiles the erased AST, so it
+  // must bypass the store entirely.
+  std::optional<store::Store> PStore;
+  uint64_t StoreKey = 0;
+  if (!CacheDir.empty() && !Dynamic) {
+    store::StoreConfig SC;
+    SC.Dir = CacheDir;
+    SC.MaxBytes = CacheMaxBytes;
+    PStore.emplace(std::move(SC));
+    StoreKey = store::Store::key(Source, Mode, Optimize);
+  }
+
+  std::optional<Executable> Exe;
+  if (PStore && PStore->enabled()) {
+    VMProgram Prog;
+    if (PStore->load(StoreKey, G.types(), G.coercions(), Prog))
+      Exe = G.adopt(std::move(Prog));
+  }
+  if (!Exe) {
+    Exe = G.compileAst(*Ast, Mode, Errors, Optimize);
+    if (Exe && PStore && PStore->enabled())
+      PStore->put(StoreKey, Exe->program());
+  }
   if (!Exe) {
     std::fprintf(stderr, "%s", Errors.c_str());
     return 1;

@@ -30,6 +30,13 @@
 ///   --no-cache               disable the per-engine compile cache
 ///   --gc-torture=N           FaultInjector: force GC every Nth alloc
 ///   --fail-alloc=N           FaultInjector: fail every Nth alloc
+///   --cache-dir=DIR          persistent compiled-program store (warm
+///                            starts; store_* counters in stats)
+///   --cache-max-bytes=N      store eviction cap (default 256 MiB)
+///   --file-short-write=N     store faults: truncate the Nth entry write
+///   --file-fail-fsync=N      store faults: fail the Nth fsync
+///   --file-flip-bit=N        store faults: flip one bit of the Nth read
+///   --file-flip-bit-index=N  which bit the flip targets (default 0)
 ///
 /// Batch options:
 ///   --summary                append outcome-class counts after results
@@ -121,6 +128,10 @@ void printHelp() {
       "shared: --threads=N --retries=N --breaker-threshold=N\n"
       "        --breaker-cooldown-ms=N --no-cache --gc-torture=N "
       "--fail-alloc=N\n"
+      "        --cache-dir=DIR --cache-max-bytes=N (persistent compiled-\n"
+      "        program store; store_* counters appear in stats)\n"
+      "        --file-short-write=N --file-fail-fsync=N --file-flip-bit=N\n"
+      "        --file-flip-bit-index=N (store fault injection, Nth op)\n"
       "batch:  --summary --summary-only --max-line-bytes=N\n"
       "serve:  --queue-depth=N --max-connections=N --max-inflight=N\n"
       "        --max-inflight-bytes=N --max-request-bytes=N\n"
@@ -285,6 +296,15 @@ int runBatch(ServiceConfig Config, const std::string &ManifestPath,
     for (const auto &[Class, N] : Counts)
       std::printf("%s: %llu\n", Class.c_str(),
                   static_cast<unsigned long long>(N));
+    if (!Config.CacheDir.empty()) {
+      // Only with --cache-dir, so cache-less goldens are untouched.
+      ServiceStats S = Service.stats();
+      std::printf("store: hits=%llu misses=%llu corrupt=%llu evicted=%llu\n",
+                  static_cast<unsigned long long>(S.StoreHits),
+                  static_cast<unsigned long long>(S.StoreMisses),
+                  static_cast<unsigned long long>(S.StoreCorrupt),
+                  static_cast<unsigned long long>(S.StoreEvicted));
+    }
   }
   return Worst;
 }
@@ -317,6 +337,18 @@ int main(int Argc, char **Argv) {
       Exec.GCTorturePeriod = Tmp;
     } else if (parseUint(Arg, "--fail-alloc=", Tmp)) {
       Exec.FailAllocPeriod = Tmp;
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      Exec.CacheDir = Arg.substr(12);
+    } else if (parseUint(Arg, "--cache-max-bytes=", Tmp)) {
+      Exec.CacheMaxBytes = Tmp;
+    } else if (parseUint(Arg, "--file-short-write=", Tmp)) {
+      Exec.FileShortWriteAt = Tmp;
+    } else if (parseUint(Arg, "--file-fail-fsync=", Tmp)) {
+      Exec.FileFailFsyncAt = Tmp;
+    } else if (parseUint(Arg, "--file-flip-bit=", Tmp)) {
+      Exec.FileFlipReadBitAt = Tmp;
+    } else if (parseUint(Arg, "--file-flip-bit-index=", Tmp)) {
+      Exec.FileFlipReadBitIndex = Tmp;
     } else if (Arg == "--no-cache") {
       Exec.CompileCache = false;
     } else if (Arg == "--serve") {

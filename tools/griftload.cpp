@@ -462,6 +462,10 @@ int main(int Argc, char **Argv) {
        << ", \"watchdog_kills\": " << statOf(Stats, "watchdog_kills")
        << ", \"deadline_expired\": " << statOf(Stats, "deadline_expired")
        << ", \"slow_client_drops\": " << statOf(Stats, "slow_client_drops")
+       << ", \"store_hits\": " << statOf(Stats, "store_hits")
+       << ", \"store_misses\": " << statOf(Stats, "store_misses")
+       << ", \"store_corrupt\": " << statOf(Stats, "store_corrupt")
+       << ", \"store_evicted\": " << statOf(Stats, "store_evicted")
        << ", \"wall_ns\": " << LoadNanos << "}\n  ]\n}\n";
 
   if (OutPath.empty()) {

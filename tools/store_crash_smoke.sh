@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+#===----------------------------------------------------------------------===#
+#
+# Crash-recovery smoke for the persistent program store.
+#
+#   store_crash_smoke.sh GRIFTD GRIFTC [ITERS]
+#
+# Each iteration starts a griftd batch run that populates a --cache-dir,
+# kills it with SIGKILL at a random instant (so some runs die mid-write,
+# leaving torn temp files), and then requires:
+#
+#   1. `griftc --store-verify` over the surviving directory exits 0,
+#      removes every invalid entry and stray temp file, and a second
+#      sweep finds nothing left to remove (the sweep is idempotent);
+#   2. a clean batch run over the same directory completes with the
+#      expected per-class summary — a crashed store never poisons the
+#      service, at worst it recompiles.
+#
+# After the kill loop, a final pair of batch runs asserts the store
+# actually warms: the second run must report store hits.
+#
+#===----------------------------------------------------------------------===#
+set -u
+
+GRIFTD=${1:?usage: store_crash_smoke.sh GRIFTD GRIFTC [ITERS]}
+GRIFTC=${2:?usage: store_crash_smoke.sh GRIFTD GRIFTC [ITERS]}
+ITERS=${3:-10}
+
+WORK=$(mktemp -d)
+CACHE=$WORK/cache
+mkdir -p "$CACHE"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "store_crash_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+# A manifest big enough that the kill usually lands mid-run. Distinct
+# sources => distinct store entries.
+MANIFEST=$WORK/manifest.jsonl
+: > "$MANIFEST"
+for I in $(seq 1 60); do
+  echo "{\"id\":\"job-$I\",\"source\":\"(+ $I $I)\"}" >> "$MANIFEST"
+done
+
+for I in $(seq 1 "$ITERS"); do
+  "$GRIFTD" --threads=2 --cache-dir="$CACHE" --summary-only \
+      "$MANIFEST" >/dev/null 2>&1 &
+  PID=$!
+  # 0-40 ms in: early kills hit the store cold path, late ones mid-write.
+  SLEEP_US=$(( (RANDOM % 40) * 1000 ))
+  if [ "$SLEEP_US" -gt 0 ]; then
+    sleep "0.0$(printf '%05d' $((SLEEP_US / 10)))" 2>/dev/null || sleep 0.02
+  fi
+  kill -9 "$PID" 2>/dev/null
+  wait "$PID" 2>/dev/null
+
+  # Recovery gate 1: the offline sweep must succeed and converge.
+  "$GRIFTC" --store-verify --cache-dir="$CACHE" > "$WORK/verify1.json" ||
+      fail "store-verify exited non-zero after kill #$I"
+  "$GRIFTC" --store-verify --cache-dir="$CACHE" > "$WORK/verify2.json" ||
+      fail "second store-verify exited non-zero after kill #$I"
+  grep -q '"removed":0,"tmp_removed":0' "$WORK/verify2.json" ||
+      fail "sweep not idempotent after kill #$I: $(cat "$WORK/verify2.json")"
+
+  # Recovery gate 2: the next batch over the same directory serves.
+  "$GRIFTD" --threads=2 --cache-dir="$CACHE" --summary-only \
+      "$MANIFEST" > "$WORK/summary.txt" ||
+      fail "clean batch failed after kill #$I"
+  grep -q '^ok: 60$' "$WORK/summary.txt" ||
+      fail "unexpected summary after kill #$I: $(cat "$WORK/summary.txt")"
+done
+
+# Warm-start gate: with the store now fully populated, a fresh run must
+# be served from images (hits > 0) and see zero corruption.
+"$GRIFTD" --threads=2 --cache-dir="$CACHE" --summary-only \
+    "$MANIFEST" > "$WORK/summary.txt" || fail "final batch failed"
+STORE_LINE=$(grep '^store: ' "$WORK/summary.txt") ||
+    fail "no store line in summary: $(cat "$WORK/summary.txt")"
+case "$STORE_LINE" in
+  *"hits=0"*) fail "no store hits on a warm directory: $STORE_LINE" ;;
+esac
+case "$STORE_LINE" in
+  *"corrupt=0"*) : ;;
+  *) fail "corruption on a verified directory: $STORE_LINE" ;;
+esac
+
+echo "store_crash_smoke: OK ($ITERS kills survived; $STORE_LINE)"
