@@ -48,19 +48,9 @@ struct Spec {
   std::vector<CastMode> Modes;
 };
 
-const char *modeName(CastMode Mode) {
-  switch (Mode) {
-  case CastMode::Coercions:
-    return "coercions";
-  case CastMode::TypeBased:
-    return "type-based";
-  case CastMode::Monotonic:
-    return "monotonic";
-  case CastMode::Static:
-    return "static";
-  }
-  return "?";
-}
+// Mode names come from the shared registry (castModeName in
+// runtime/Mode.h), so benchjson rows, griftc, and the griftd protocol
+// always agree on spelling.
 
 /// Cast-heavy microloop: one Cast instruction site executed 200k times —
 /// the inline-cache best case (and the type-based MakeCache worst case).
@@ -70,20 +60,24 @@ const char *CastLoop =
 
 std::vector<Spec> buildSuite(Grift &G) {
   std::vector<Spec> Suite;
-  const std::vector<CastMode> All3 = {CastMode::Coercions,
-                                      CastMode::TypeBased,
-                                      CastMode::Monotonic};
+  // Every gradual backend in the registry (coercions, type-based,
+  // monotonic, coercion-passing): a backend added to GradualCastModes
+  // is automatically benchmarked.
+  const std::vector<CastMode> AllGradual(std::begin(GradualCastModes),
+                                         std::end(GradualCastModes));
   const std::vector<CastMode> CoerceVsType = {CastMode::Coercions,
                                               CastMode::TypeBased};
 
   // Figure 4: the partially-typed even/odd (Figure 2) and quicksort
   // (Figure 3). Type-based even/odd builds Θ(n) proxy chains, so the
   // large size runs only where chains stay flat.
-  Suite.push_back({"fig4/evenodd/20000", evenOddSource(), "20000", All3});
-  Suite.push_back({"fig4/evenodd/100000", evenOddSource(), "100000",
-                   {CastMode::Coercions, CastMode::Monotonic}});
   Suite.push_back(
-      {"fig4/quicksort-fig3/256", quicksortFig3Source(), "256", All3});
+      {"fig4/evenodd/20000", evenOddSource(), "20000", AllGradual});
+  Suite.push_back({"fig4/evenodd/100000", evenOddSource(), "100000",
+                   {CastMode::Coercions, CastMode::Monotonic,
+                    CastMode::CoercionPassing}});
+  Suite.push_back(
+      {"fig4/quicksort-fig3/256", quicksortFig3Source(), "256", AllGradual});
 
   // Figure 7: one deterministic mid-precision fine-grained configuration
   // of quicksort (casts scattered through the hot loop).
@@ -133,7 +127,7 @@ std::vector<Spec> buildSuite(Grift &G) {
   }
 
   // Microbench: single-site cast loop.
-  Suite.push_back({"micro/castloop/200000", CastLoop, "", All3});
+  Suite.push_back({"micro/castloop/200000", CastLoop, "", AllGradual});
   return Suite;
 }
 
@@ -187,7 +181,7 @@ int main(int argc, char **argv) {
       auto Exe = G.compile(S.Source, Mode, Errors);
       if (!Exe) {
         std::fprintf(stderr, "benchjson: compile failed for %s [%s]: %s\n",
-                     S.Name.c_str(), modeName(Mode), Errors.c_str());
+                     S.Name.c_str(), castModeName(Mode), Errors.c_str());
         return 1;
       }
       std::vector<int64_t> Nanos;
@@ -196,7 +190,7 @@ int main(int argc, char **argv) {
         Last = Exe->run(S.Input);
         if (!Last.OK) {
           std::fprintf(stderr, "benchjson: run failed for %s [%s]: %s\n",
-                       S.Name.c_str(), modeName(Mode),
+                       S.Name.c_str(), castModeName(Mode),
                        Last.Error.str().c_str());
           return 1;
         }
@@ -207,11 +201,13 @@ int main(int argc, char **argv) {
         Json += ",\n";
       First = false;
       Json += "    {\"name\": \"" + S.Name + "\", \"mode\": \"" +
-              modeName(Mode) + "\"";
+              castModeName(Mode) + "\"";
       Json += ", \"median_ns\": " + std::to_string(median(Nanos));
       Json += ", \"casts\": " + std::to_string(Last.Stats.CastsApplied);
       Json += ", \"longest_chain\": " +
               std::to_string(Last.Stats.LongestProxyChain);
+      Json += ", \"max_ret_casts\": " +
+              std::to_string(Last.Stats.MaxRetCastsPerFrame);
       Json +=
           ", \"compositions\": " + std::to_string(Last.Stats.Compositions);
       Json += ", \"cache_hits\": " + std::to_string(Last.Stats.CacheHits);
@@ -237,7 +233,7 @@ int main(int argc, char **argv) {
       Json += "}";
       std::fprintf(stderr, "%-28s %-11s %8.3f ms  casts=%llu chain=%llu "
                            "ic=%llu/%llu\n",
-                   S.Name.c_str(), modeName(Mode), median(Nanos) / 1e6,
+                   S.Name.c_str(), castModeName(Mode), median(Nanos) / 1e6,
                    static_cast<unsigned long long>(Last.Stats.CastsApplied),
                    static_cast<unsigned long long>(
                        Last.Stats.LongestProxyChain),

@@ -52,20 +52,6 @@ using namespace grift;
 
 namespace {
 
-const char *modeName(CastMode Mode) {
-  switch (Mode) {
-  case CastMode::Coercions:
-    return "coercions";
-  case CastMode::TypeBased:
-    return "type-based";
-  case CastMode::Monotonic:
-    return "monotonic";
-  case CastMode::Static:
-    return "static";
-  }
-  return "?";
-}
-
 unsigned repeatsFromEnv() {
   if (const char *Env = std::getenv("GRIFT_BENCH_REPEATS")) {
     int N = std::atoi(Env);
@@ -155,14 +141,11 @@ int main(int argc, char **argv) {
 
   // Cold compilation varies from sub-millisecond (tak) to a few
   // milliseconds (ray); the spread exercises both the fixed per-load
-  // cost and the per-node scaling. All four cast modes appear so the
-  // serializer's mode byte and the coercion section (present only under
-  // Coercions) are all measured.
+  // cost and the per-node scaling. Every registered cast mode appears
+  // (sieve × AllCastModes below) so the serializer's mode byte and the
+  // coercion section (present under the coercion-compiling modes) are
+  // all measured.
   const Row Rows[] = {
-      {"sieve", "100", CastMode::Coercions},
-      {"sieve", "100", CastMode::TypeBased},
-      {"sieve", "100", CastMode::Static},
-      {"sieve", "100", CastMode::Monotonic},
       {"quicksort", "128", CastMode::Coercions},
       {"tak", "16 12 6", CastMode::Coercions},
       {"ray", "10", CastMode::Coercions},
@@ -192,6 +175,11 @@ int main(int argc, char **argv) {
     CastMode Mode;
   };
   std::vector<Spec> Specs;
+  {
+    const BenchProgram &Sieve = getBenchmark("sieve");
+    for (CastMode Mode : AllCastModes)
+      Specs.push_back({"sieve", Sieve.Source, "100", Mode});
+  }
   for (const Row &R : Rows) {
     const BenchProgram &B = getBenchmark(R.Bench);
     Specs.push_back({R.Bench, B.Source, R.Input, R.Mode});
@@ -214,7 +202,7 @@ int main(int argc, char **argv) {
       int64_t T1 = nowNanos();
       if (!Exe) {
         std::fprintf(stderr, "storebench: compile failed for %s [%s]: %s\n",
-                     R.Name.c_str(), modeName(R.Mode), Errors.c_str());
+                     R.Name.c_str(), castModeName(R.Mode), Errors.c_str());
         return 1;
       }
       ColdNs.push_back(T1 - T0);
@@ -223,7 +211,7 @@ int main(int argc, char **argv) {
         RunResult Run = Exe->run(R.Input);
         if (!Run.OK) {
           std::fprintf(stderr, "storebench: cold run failed for %s [%s]\n",
-                       R.Name.c_str(), modeName(R.Mode));
+                       R.Name.c_str(), castModeName(R.Mode));
           return 1;
         }
         ColdResult = Run.ResultText;
@@ -239,7 +227,7 @@ int main(int argc, char **argv) {
       bool Loaded = S.load(Key, G.types(), G.coercions(), Prog);
       if (!Loaded) {
         std::fprintf(stderr, "storebench: warm load MISSED for %s [%s]: %s\n",
-                     R.Name.c_str(), modeName(R.Mode), S.lastReason().c_str());
+                     R.Name.c_str(), castModeName(R.Mode), S.lastReason().c_str());
         return 1;
       }
       Executable Exe = G.adopt(std::move(Prog));
@@ -251,7 +239,7 @@ int main(int argc, char **argv) {
           std::fprintf(stderr,
                        "storebench: WARM RESULT DIVERGES for %s [%s]: "
                        "cold '%s' warm '%s'\n",
-                       R.Name.c_str(), modeName(R.Mode), ColdResult.c_str(),
+                       R.Name.c_str(), castModeName(R.Mode), ColdResult.c_str(),
                        Run.OK ? Run.ResultText.c_str() : "<error>");
           Status = 1;
         }
@@ -268,7 +256,7 @@ int main(int argc, char **argv) {
       Json += ",\n";
     First = false;
     Json += std::string("    {\"name\": \"store/") + R.Name + "\", " +
-            "\"mode\": \"" + modeName(R.Mode) + "\"";
+            "\"mode\": \"" + castModeName(R.Mode) + "\"";
     Json += ", \"median_ns\": " + std::to_string(Warm);
     Json += ", \"cold_compile_ns\": " + std::to_string(Cold);
     Json += ", \"warm_load_ns\": " + std::to_string(Warm);
@@ -281,7 +269,7 @@ int main(int argc, char **argv) {
 
     std::fprintf(stderr, "store/%-12s %-11s cold %8.3f ms  warm %8.3f ms  "
                          "(%llu%%)\n",
-                 R.Name.c_str(), modeName(R.Mode), Cold / 1e6, Warm / 1e6,
+                 R.Name.c_str(), castModeName(R.Mode), Cold / 1e6, Warm / 1e6,
                  static_cast<unsigned long long>(Pct));
   }
   Json += "\n  ]\n}\n";

@@ -18,27 +18,36 @@ OracleOptions::OracleOptions() {
 
 namespace {
 
-enum class Engine { Ref, Coercions, TypeBased, Monotonic, Static };
+/// An execution engine in the differential set: the reference
+/// interpreter (the oracle), or the VM under one registered cast
+/// backend. Engines are derived from the shared mode registry
+/// (AllCastModes / GradualCastModes in runtime/Mode.h), so registering
+/// a new backend automatically enrolls it in every oracle — the suites
+/// are N-way, not hard-coded 4-way.
+struct Engine {
+  bool IsRef = false;
+  CastMode Mode = CastMode::Coercions; // meaningful when !IsRef
+};
 
-const char *engineName(Engine E) {
-  switch (E) {
-  case Engine::Ref:
+constexpr Engine RefEngine{true, CastMode::Coercions};
+constexpr Engine vmEngine(CastMode Mode) { return {false, Mode}; }
+
+std::string engineName(Engine E) {
+  if (E.IsRef)
     return "refinterp";
-  case Engine::Coercions:
-    return "vm/coercions";
-  case Engine::TypeBased:
-    return "vm/type-based";
-  case Engine::Monotonic:
-    return "vm/monotonic";
-  case Engine::Static:
-    return "vm/static";
-  }
-  return "?";
+  return std::string("vm/") + castModeName(E.Mode);
 }
 
-/// The engines every gradually typed configuration must agree across.
-constexpr Engine DynamicEngines[] = {Engine::Ref, Engine::Coercions,
-                                     Engine::TypeBased, Engine::Monotonic};
+/// The engines every gradually typed configuration must agree across:
+/// the reference interpreter plus every gradual VM backend.
+std::vector<Engine> dynamicEngines() {
+  std::vector<Engine> Engines;
+  Engines.reserve(NumGradualCastModes + 1);
+  Engines.push_back(RefEngine);
+  for (CastMode Mode : GradualCastModes)
+    Engines.push_back(vmEngine(Mode));
+  return Engines;
+}
 
 struct Outcome {
   bool Compiled = false;
@@ -66,7 +75,7 @@ Outcome runEngine(Grift &G, const Program &Ast, Engine E,
                   const RunLimits &Limits) {
   std::string Errors;
   Outcome O;
-  if (E == Engine::Ref) {
+  if (E.IsRef) {
     auto Core = G.check(Ast, Errors);
     if (!Core) {
       O.Message = Errors;
@@ -83,21 +92,7 @@ Outcome runEngine(Grift &G, const Program &Ast, Engine E,
     O.Message = R.Message;
     return O;
   }
-  CastMode Mode = CastMode::Coercions;
-  switch (E) {
-  case Engine::TypeBased:
-    Mode = CastMode::TypeBased;
-    break;
-  case Engine::Monotonic:
-    Mode = CastMode::Monotonic;
-    break;
-  case Engine::Static:
-    Mode = CastMode::Static;
-    break;
-  default:
-    break;
-  }
-  auto Exe = G.compileAst(Ast, Mode, Errors);
+  auto Exe = G.compileAst(Ast, E.Mode, Errors);
   if (!Exe) {
     O.Message = Errors;
     return O;
@@ -201,31 +196,31 @@ std::optional<OracleFailure> grift::fuzz::checkLattice(
 
   // The fully typed top element: reference interpreter, every gradual
   // VM mode, and — uniquely here — static mode must all agree.
-  Outcome Base = runEngine(G, *Ast, Engine::Ref, Opts.Limits);
+  Outcome Base = runEngine(G, *Ast, RefEngine, Opts.Limits);
   if (!Base.Compiled || !Base.OK)
     return makeFailure(OracleKind::Lattice, RecheckKind::EnginesDisagree,
                        Seed, SampleSeed, Source, Source,
                        "fully typed program failed on the reference "
                        "interpreter (generator contract: it never fails)",
-                       "ok", describe(Engine::Ref, Base));
-  for (Engine E : {Engine::Coercions, Engine::TypeBased, Engine::Monotonic,
-                   Engine::Static}) {
+                       "ok", describe(RefEngine, Base));
+  for (CastMode Mode : AllCastModes) {
+    Engine E = vmEngine(Mode);
     Outcome O = runEngine(G, *Ast, E, Opts.Limits);
     if (O.canonical() != Base.canonical())
       return makeFailure(OracleKind::Lattice, RecheckKind::EnginesDisagree,
                          Seed, SampleSeed, Source, Source,
                          std::string("fully typed program: ") +
                              engineName(E) + " disagrees with refinterp",
-                         describe(Engine::Ref, Base), describe(E, O));
+                         describe(RefEngine, Base), describe(E, O));
   }
 
   // Every sampled configuration must produce the identical answer in
   // every engine — the dynamic gradual guarantee for programs that
   // cannot fail.
   for (const Configuration &C : sampleConfigs(*Ast, G, Opts, SampleSeed)) {
-    Outcome Ref = runEngine(G, C.Prog, Engine::Ref, Opts.Limits);
-    for (Engine E : {Engine::Coercions, Engine::TypeBased,
-                     Engine::Monotonic}) {
+    Outcome Ref = runEngine(G, C.Prog, RefEngine, Opts.Limits);
+    for (CastMode Mode : GradualCastModes) {
+      Engine E = vmEngine(Mode);
       Outcome O = runEngine(G, C.Prog, E, Opts.Limits);
       if (O.canonical() != Ref.canonical())
         return makeFailure(
@@ -234,7 +229,7 @@ std::optional<OracleFailure> grift::fuzz::checkLattice(
             std::string("configuration (precision ") +
                 std::to_string(C.Precision) + "): " + engineName(E) +
                 " disagrees with refinterp",
-            describe(Engine::Ref, Ref), describe(E, O));
+            describe(RefEngine, Ref), describe(E, O));
     }
     if (Ref.canonical() != Base.canonical())
       return makeFailure(
@@ -284,7 +279,7 @@ std::optional<OracleFailure> grift::fuzz::checkBlame(
 
   // The planted cast sits at a guaranteed-evaluated site: every engine
   // must blame with exactly the predicted line:col label.
-  for (Engine E : DynamicEngines) {
+  for (Engine E : dynamicEngines()) {
     Outcome O = runEngine(G, *Ast, E, Opts.Limits);
     if (!O.Compiled || O.OK || O.Kind != ErrorKind::Blame ||
         O.Label != Predicted)
@@ -317,9 +312,9 @@ std::optional<OracleFailure> grift::fuzz::checkBlame(
     if (Expr *Node = findAscribeAt(C.Prog, Predicted))
       Node->Annot = PlantedAnnot;
   for (const Configuration &C : Configs) {
-    Outcome Ref = runEngine(G, C.Prog, Engine::Ref, Opts.Limits);
-    for (Engine E : {Engine::Coercions, Engine::TypeBased,
-                     Engine::Monotonic}) {
+    Outcome Ref = runEngine(G, C.Prog, RefEngine, Opts.Limits);
+    for (CastMode Mode : GradualCastModes) {
+      Engine E = vmEngine(Mode);
       Outcome O = runEngine(G, C.Prog, E, Opts.Limits);
       if (O.canonical() != Ref.canonical())
         return makeFailure(
@@ -328,7 +323,7 @@ std::optional<OracleFailure> grift::fuzz::checkBlame(
             std::string("configuration (precision ") +
                 std::to_string(C.Precision) + "): " + engineName(E) +
                 " disagrees with refinterp",
-            describe(Engine::Ref, Ref), describe(E, O));
+            describe(RefEngine, Ref), describe(E, O));
     }
     bool OKOutcome = Ref.Compiled && Ref.OK;
     bool SameBlame = Ref.Compiled && !Ref.OK &&
@@ -340,7 +335,7 @@ std::optional<OracleFailure> grift::fuzz::checkBlame(
           std::string("configuration (precision ") +
               std::to_string(C.Precision) +
               ") neither succeeds nor blames the planted site",
-          "ok, or blame@" + Predicted, describe(Engine::Ref, Ref));
+          "ok, or blame@" + Predicted, describe(RefEngine, Ref));
   }
   return std::nullopt;
 }
@@ -358,14 +353,15 @@ bool grift::fuzz::recheckFails(const OracleFailure &Failure,
   if (!Ast)
     return false;
 
-  Outcome Outcomes[4];
-  size_t N = 0;
-  for (Engine E : DynamicEngines)
-    Outcomes[N++] = runEngine(G, *Ast, E, Opts.Limits);
+  std::vector<Outcome> Outcomes;
+  for (Engine E : dynamicEngines())
+    Outcomes.push_back(runEngine(G, *Ast, E, Opts.Limits));
+  size_t N = Outcomes.size();
   // Shrink mutations never introduce Dyn, so a candidate derived from a
   // pure-typed baseline stays Static-compatible; include static mode in
   // the disagreement check whenever it compiles.
-  Outcome Static = runEngine(G, *Ast, Engine::Static, Opts.Limits);
+  Outcome Static =
+      runEngine(G, *Ast, vmEngine(CastMode::Static), Opts.Limits);
 
   auto anyDisagreement = [&] {
     for (size_t I = 1; I != N; ++I)
@@ -387,8 +383,9 @@ bool grift::fuzz::recheckFails(const OracleFailure &Failure,
       return false;
     for (const Configuration &C :
          sampleConfigs(*Ast, G, Opts, Failure.SampleSeed)) {
-      Outcome Ref = runEngine(G, C.Prog, Engine::Ref, Opts.Limits);
-      Outcome Co = runEngine(G, C.Prog, Engine::Coercions, Opts.Limits);
+      Outcome Ref = runEngine(G, C.Prog, RefEngine, Opts.Limits);
+      Outcome Co =
+          runEngine(G, C.Prog, vmEngine(CastMode::Coercions), Opts.Limits);
       if (Ref.canonical() != Outcomes[0].canonical() ||
           Co.canonical() != Outcomes[0].canonical())
         return true;

@@ -1,0 +1,372 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five cast backends. Coercions is the paper's space-efficient
+/// semantics; CoercionPassing shares its value-level behavior and only
+/// flips the call protocol to composed per-frame return coercions;
+/// Monotonic reuses the coercion machinery for functions but strengthens
+/// reference cells in place; TypeBased is the proxy-stacking baseline;
+/// Static admits no runtime casts at all.
+///
+//===----------------------------------------------------------------------===//
+#include "runtime/CastBackend.h"
+
+#include "runtime/Runtime.h"
+
+#include <cassert>
+
+using namespace grift;
+
+//===----------------------------------------------------------------------===//
+// Protected forwarders into Runtime privates
+//===----------------------------------------------------------------------===//
+
+const Coercion *CastBackend::cachedCompose(CoercionCache *IC,
+                                           const Coercion *Old,
+                                           const Coercion *New) {
+  return RT.cachedCoercion(IC ? *IC : RT.RefComposeIC, Old, New, nullptr,
+                           [&] { return RT.Coercions.compose(Old, New); });
+}
+
+const Coercion *CastBackend::cachedMake(CoercionCache *IC, const Type *S,
+                                        const Type *T,
+                                        const std::string *Label) {
+  return RT.cachedCoercion(IC ? *IC : RT.DynCastIC, S, T, Label, [&] {
+    return RT.Coercions.makeInterned(S, T, Label);
+  });
+}
+
+void CastBackend::strengthenCell(Value Ref, const Type *TargetElem,
+                                 const std::string *Label) {
+  RT.strengthenCell(Ref.object(), TargetElem, Label);
+}
+
+//===----------------------------------------------------------------------===//
+// Base defaults shared by the coercion-flavored backends
+//===----------------------------------------------------------------------===//
+
+Value CastBackend::coerceRef(Value V, const Coercion *C, CoercionCache *IC) {
+  if (V.isProxy()) {
+    HeapObject *P = V.object();
+    assert(P->kind() == ObjectKind::RefProxy && "expected ref proxy");
+    const Coercion *Old = static_cast<const Coercion *>(P->meta(0));
+    const Coercion *New = cachedCompose(IC, Old, C);
+    ++RT.stats().Compositions;
+    Value Wrapped = P->slot(0);
+    if (New->isId())
+      return Wrapped;
+    ++RT.stats().ProxiesAllocated;
+    return RT.heap().allocRefProxy(Wrapped, New, nullptr, nullptr);
+  }
+  assert(V.isHeap() && (V.object()->kind() == ObjectKind::Box ||
+                        V.object()->kind() == ObjectKind::Vector) &&
+         "reference coercion applied to non-reference");
+  ++RT.stats().ProxiesAllocated;
+  return RT.heap().allocRefProxy(V, C, nullptr, nullptr);
+}
+
+Value CastBackend::dynBoxRead(Value Inner, const Type *Elem,
+                              const std::string *Label, CoercionCache *IC) {
+  Value Content = RT.boxRead(Inner);
+  return castRuntime(Content, Elem, RT.typeContext().dyn(), Label, IC);
+}
+
+void CastBackend::dynBoxWrite(Value Inner, Value Content, const Type *Elem,
+                              const std::string *Label, CoercionCache *IC) {
+  Value Converted =
+      castRuntime(Content, RT.typeContext().dyn(), Elem, Label, IC);
+  RT.boxWrite(Inner, Converted);
+}
+
+Value CastBackend::dynVectorRef(Value Inner, int64_t Index, const Type *Elem,
+                                const std::string *Label, CoercionCache *IC) {
+  Value Element = RT.vectorRef(Inner, Index);
+  return castRuntime(Element, Elem, RT.typeContext().dyn(), Label, IC);
+}
+
+void CastBackend::dynVectorSet(Value Inner, int64_t Index, Value Content,
+                               const Type *Elem, const std::string *Label,
+                               CoercionCache *IC) {
+  Value Converted =
+      castRuntime(Content, RT.typeContext().dyn(), Elem, Label, IC);
+  RT.vectorSet(Inner, Index, Converted);
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Coercions — the paper's space-efficient normal-form semantics
+//===----------------------------------------------------------------------===//
+
+class CoercionsBackend : public CastBackend {
+public:
+  using CastBackend::CastBackend;
+
+  CastMode castMode() const override { return CastMode::Coercions; }
+
+  Value applyCast(Value V, const CastDescriptor &Desc,
+                  CoercionCache *IC) override {
+    return RT.applyCoercion(V, Desc.C, IC);
+  }
+
+  Value castRuntime(Value V, const Type *S, const Type *T,
+                    const std::string *Label, CoercionCache *IC) override {
+    return RT.applyCoercion(V, cachedMake(IC, S, T, Label), IC);
+  }
+
+  // Invariant: at most one proxy per reference, so the slow paths are a
+  // single read/write coercion around the base object.
+  Value proxyBoxRead(Value Box) override {
+    HeapObject *P = Box.object();
+    RT.stats().noteChain(1);
+    Value Raw = P->slot(0).object()->slot(0);
+    const Coercion *C = static_cast<const Coercion *>(P->meta(0));
+    return RT.applyCoercion(Raw, C->readCoercion());
+  }
+
+  void proxyBoxWrite(Value Box, Value Content) override {
+    HeapObject *P = Box.object();
+    RT.stats().noteChain(1);
+    const Coercion *C = static_cast<const Coercion *>(P->meta(0));
+    Value Converted = RT.applyCoercion(Content, C->writeCoercion());
+    P->slot(0).object()->slot(0) = Converted;
+  }
+
+  Value proxyVectorRef(Value Vect, int64_t Index) override {
+    HeapObject *P = Vect.object();
+    RT.stats().noteChain(1);
+    HeapObject *Base = P->slot(0).object();
+    if (Index < 0 || Index >= Base->slotCount())
+      RT.trap("vector index out of bounds");
+    const Coercion *C = static_cast<const Coercion *>(P->meta(0));
+    return RT.applyCoercion(Base->slot(static_cast<uint32_t>(Index)),
+                            C->readCoercion());
+  }
+
+  void proxyVectorSet(Value Vect, int64_t Index, Value Content) override {
+    HeapObject *P = Vect.object();
+    RT.stats().noteChain(1);
+    const Coercion *C = static_cast<const Coercion *>(P->meta(0));
+    Value Converted = RT.applyCoercion(Content, C->writeCoercion());
+    HeapObject *Base = P->slot(0).object();
+    if (Index < 0 || Index >= Base->slotCount())
+      RT.trap("vector index out of bounds");
+    Base->slot(static_cast<uint32_t>(Index)) = Converted;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Coercion-passing style (Tsuda, Igarashi & Tabuchi)
+//===----------------------------------------------------------------------===//
+
+/// Identical value-level semantics to Coercions — casts compile to the
+/// same interned normal-form coercion graph, so zero-new-nodes and the
+/// one-proxy invariant carry over verbatim. The observable difference is
+/// the call protocol: the VM composes a frame's pending return coercions
+/// into one explicit coercion argument per frame (composesPendingReturns),
+/// bounding return-cast space at O(1) per frame where the stacked
+/// protocol grows Θ(n) across n proxied tail calls.
+class CoercionPassingBackend : public CoercionsBackend {
+public:
+  using CoercionsBackend::CoercionsBackend;
+  CastMode castMode() const override { return CastMode::CoercionPassing; }
+  bool composesPendingReturns() const override { return true; }
+};
+
+//===----------------------------------------------------------------------===//
+// Type-based casts — the proxy-stacking baseline
+//===----------------------------------------------------------------------===//
+
+class TypeBasedBackend : public CastBackend {
+public:
+  using CastBackend::CastBackend;
+
+  CastMode castMode() const override { return CastMode::TypeBased; }
+  bool coercionCallProtocol() const override { return false; }
+
+  Value applyCast(Value V, const CastDescriptor &Desc,
+                  CoercionCache *IC) override {
+    (void)IC; // type-based casts re-walk the types; nothing to cache
+    return RT.applyTypeBased(V, Desc.Src, Desc.Tgt, Desc.Label);
+  }
+
+  Value castRuntime(Value V, const Type *S, const Type *T,
+                    const std::string *Label, CoercionCache *) override {
+    return RT.applyTypeBased(V, S, T, Label);
+  }
+
+  // Chains grow without bound; every operation traverses the whole chain
+  // (reads innermost-outwards, writes outermost-inwards).
+  Value proxyBoxRead(Value Box) override {
+    std::vector<const HeapObject *> Chain;
+    const HeapObject *Object = Box.object();
+    while (Object->kind() == ObjectKind::RefProxy) {
+      Chain.push_back(Object);
+      Object = Object->slots()[0].object();
+    }
+    RT.stats().noteChain(Chain.size());
+    Value V = Object->slots()[0];
+    for (size_t I = Chain.size(); I-- > 0;) {
+      const HeapObject *P = Chain[I];
+      V = RT.applyTypeBased(V, static_cast<const Type *>(P->meta(0)),
+                            static_cast<const Type *>(P->meta(1)),
+                            static_cast<const std::string *>(P->meta(2)));
+    }
+    return V;
+  }
+
+  void proxyBoxWrite(Value Box, Value Content) override {
+    HeapObject *Object = Box.object();
+    uint64_t Depth = 0;
+    Value V = Content;
+    while (Object->kind() == ObjectKind::RefProxy) {
+      ++Depth;
+      V = RT.applyTypeBased(V, static_cast<const Type *>(Object->meta(1)),
+                            static_cast<const Type *>(Object->meta(0)),
+                            static_cast<const std::string *>(Object->meta(2)));
+      Object = Object->slot(0).object();
+    }
+    RT.stats().noteChain(Depth);
+    Object->slot(0) = V;
+  }
+
+  Value proxyVectorRef(Value Vect, int64_t Index) override {
+    std::vector<const HeapObject *> Chain;
+    const HeapObject *Object = Vect.object();
+    while (Object->kind() == ObjectKind::RefProxy) {
+      Chain.push_back(Object);
+      Object = Object->slots()[0].object();
+    }
+    RT.stats().noteChain(Chain.size());
+    if (Index < 0 || Index >= Object->slotCount())
+      RT.trap("vector index out of bounds");
+    Value V = Object->slots()[static_cast<uint32_t>(Index)];
+    for (size_t I = Chain.size(); I-- > 0;) {
+      const HeapObject *P = Chain[I];
+      V = RT.applyTypeBased(V, static_cast<const Type *>(P->meta(0)),
+                            static_cast<const Type *>(P->meta(1)),
+                            static_cast<const std::string *>(P->meta(2)));
+    }
+    return V;
+  }
+
+  void proxyVectorSet(Value Vect, int64_t Index, Value Content) override {
+    HeapObject *Object = Vect.object();
+    uint64_t Depth = 0;
+    Value V = Content;
+    while (Object->kind() == ObjectKind::RefProxy) {
+      ++Depth;
+      V = RT.applyTypeBased(V, static_cast<const Type *>(Object->meta(1)),
+                            static_cast<const Type *>(Object->meta(0)),
+                            static_cast<const std::string *>(Object->meta(2)));
+      Object = Object->slot(0).object();
+    }
+    RT.stats().noteChain(Depth);
+    if (Index < 0 || Index >= Object->slotCount())
+      RT.trap("vector index out of bounds");
+    Object->slot(static_cast<uint32_t>(Index)) = V;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Monotonic references
+//===----------------------------------------------------------------------===//
+
+/// Functions use coercions (so the proxy-closure protocol and fun-proxy
+/// slow paths come from CoercionsBackend); references are never proxied —
+/// coerceRef strengthens the cell's runtime type in place, and the Dyn
+/// elimination forms read/write against the cell's own RTTI. The proxied
+/// reference slow paths inherited from CoercionsBackend are unreachable
+/// (no RefProxy is ever allocated in this mode).
+class MonotonicBackend : public CoercionsBackend {
+public:
+  using CoercionsBackend::CoercionsBackend;
+
+  CastMode castMode() const override { return CastMode::Monotonic; }
+
+  Value applyCast(Value V, const CastDescriptor &Desc,
+                  CoercionCache *) override {
+    return RT.applyMonotonic(V, Desc.Src, Desc.Tgt, Desc.Label);
+  }
+
+  Value castRuntime(Value V, const Type *S, const Type *T,
+                    const std::string *Label, CoercionCache *) override {
+    return RT.applyMonotonic(V, S, T, Label);
+  }
+
+  Value coerceRef(Value V, const Coercion *C, CoercionCache *) override {
+    strengthenCell(V, C->type()->inner(), C->labelPointer());
+    return V;
+  }
+
+  Value dynBoxRead(Value Inner, const Type *, const std::string *Label,
+                   CoercionCache *) override {
+    // Monotonic cells may be more precise than the DynBox's view type;
+    // read against the cell's own runtime type.
+    return RT.monoBoxRead(Inner, RT.typeContext().dyn(), Label);
+  }
+
+  void dynBoxWrite(Value Inner, Value Content, const Type *,
+                   const std::string *Label, CoercionCache *) override {
+    RT.monoBoxWrite(Inner, Content, RT.typeContext().dyn(), Label);
+  }
+
+  Value dynVectorRef(Value Inner, int64_t Index, const Type *,
+                     const std::string *Label, CoercionCache *) override {
+    return RT.monoVectorRef(Inner, Index, RT.typeContext().dyn(), Label);
+  }
+
+  void dynVectorSet(Value Inner, int64_t Index, Value Content, const Type *,
+                    const std::string *Label, CoercionCache *) override {
+    RT.monoVectorSet(Inner, Index, Content, RT.typeContext().dyn(), Label);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Static — no gradual typing, no runtime casts
+//===----------------------------------------------------------------------===//
+
+/// The compiler rejects any program with Dyn in it, so none of these
+/// entry points can be reached by a well-compiled static program; the
+/// asserts document that contract (release builds fall back to the
+/// shared coercion machinery, which is a no-op on identity casts).
+class StaticBackend : public CoercionsBackend {
+public:
+  using CoercionsBackend::CoercionsBackend;
+
+  CastMode castMode() const override { return CastMode::Static; }
+
+  Value applyCast(Value V, const CastDescriptor &,
+                  CoercionCache *) override {
+    assert(false && "cast instruction in a static program");
+    return V;
+  }
+
+  Value castRuntime(Value V, const Type *S, const Type *T,
+                    const std::string *Label, CoercionCache *) override {
+    assert(false && "runtime cast in a static program");
+    return RT.applyTypeBased(V, S, T, Label);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<CastBackend> grift::createCastBackend(CastMode Mode,
+                                                      Runtime &RT) {
+  static_assert(NumCastModes == 5,
+                "new cast mode: register its backend in createCastBackend");
+  switch (Mode) {
+  case CastMode::Coercions:
+    return std::make_unique<CoercionsBackend>(RT);
+  case CastMode::TypeBased:
+    return std::make_unique<TypeBasedBackend>(RT);
+  case CastMode::Static:
+    return std::make_unique<StaticBackend>(RT);
+  case CastMode::Monotonic:
+    return std::make_unique<MonotonicBackend>(RT);
+  case CastMode::CoercionPassing:
+    return std::make_unique<CoercionPassingBackend>(RT);
+  }
+  assert(false && "invalid cast mode");
+  return std::make_unique<CoercionsBackend>(RT);
+}

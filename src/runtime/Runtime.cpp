@@ -1,11 +1,19 @@
 #include "runtime/Runtime.h"
 
+#include "runtime/CastBackend.h"
 #include "support/StringUtil.h"
 #include "types/TypeOps.h"
 
 #include <cassert>
 
 using namespace grift;
+
+Runtime::Runtime(TypeContext &Types, CoercionFactory &Coercions,
+                 CastMode Mode)
+    : Types(Types), Coercions(Coercions), Mode(Mode),
+      Backend(createCastBackend(Mode, *this)) {}
+
+Runtime::~Runtime() = default;
 
 //===----------------------------------------------------------------------===//
 // Errors
@@ -79,18 +87,7 @@ Value Runtime::inject(Value V, const Type *S) {
 
 Value Runtime::applyCast(Value V, const CastDescriptor &Desc,
                          CoercionCache *IC) {
-  switch (Mode) {
-  case CastMode::Coercions:
-    return applyCoercion(V, Desc.C, IC);
-  case CastMode::TypeBased:
-    return applyTypeBased(V, Desc.Src, Desc.Tgt, Desc.Label);
-  case CastMode::Monotonic:
-    return applyMonotonic(V, Desc.Src, Desc.Tgt, Desc.Label);
-  case CastMode::Static:
-    assert(false && "cast instruction in a static program");
-    return V;
-  }
-  return V;
+  return Backend->applyCast(V, Desc, IC);
 }
 
 Value Runtime::applyMonotonic(Value V, const Type *S, const Type *T,
@@ -112,15 +109,20 @@ Value Runtime::applyTypeBased(Value V, const Type *S, const Type *T,
 
 Value Runtime::castRuntime(Value V, const Type *S, const Type *T,
                            const std::string *Label, CoercionCache *IC) {
-  if (Mode == CastMode::Coercions) {
-    const Coercion *C =
-        cachedCoercion(IC ? *IC : DynCastIC, S, T, Label,
-                       [&] { return Coercions.makeInterned(S, T, Label); });
-    return applyCoercion(V, C, IC);
-  }
-  if (Mode == CastMode::Monotonic)
-    return applyMonotonic(V, S, T, Label);
-  return applyTypeBased(V, S, T, Label);
+  return Backend->castRuntime(V, S, T, Label, IC);
+}
+
+const Coercion *Runtime::internedCoercion(const Type *S, const Type *T,
+                                          const std::string *Label) {
+  return cachedCoercion(DynCastIC, S, T, Label,
+                        [&] { return Coercions.makeInterned(S, T, Label); });
+}
+
+const Coercion *Runtime::composeForReturn(const Coercion *First,
+                                          const Coercion *Second) {
+  ++Stats.Compositions;
+  return cachedCoercion(RetComposeIC, First, Second, nullptr,
+                        [&] { return Coercions.compose(First, Second); });
 }
 
 //===----------------------------------------------------------------------===//
@@ -186,33 +188,11 @@ Value Runtime::coerce(Value V, const Coercion *C, CoercionCache *IC) {
     return TheHeap.allocProxyClosure(V, C, nullptr, nullptr);
   }
 
-  case CoercionKind::RefC: {
-    if (Mode == CastMode::Monotonic) {
-      // Monotonic references: no proxy — strengthen the cell in place to
-      // the coercion's target element type and return the same address.
-      strengthenCell(V.object(), C->type()->inner(), C->labelPointer());
-      return V;
-    }
-    if (V.isProxy()) {
-      HeapObject *P = V.object();
-      assert(P->kind() == ObjectKind::RefProxy && "expected ref proxy");
-      const Coercion *Old = static_cast<const Coercion *>(P->meta(0));
-      const Coercion *New =
-          cachedCoercion(IC ? *IC : RefComposeIC, Old, C, nullptr,
-                         [&] { return Coercions.compose(Old, C); });
-      ++Stats.Compositions;
-      Value Wrapped = P->slot(0);
-      if (New->isId())
-        return Wrapped;
-      ++Stats.ProxiesAllocated;
-      return TheHeap.allocRefProxy(Wrapped, New, nullptr, nullptr);
-    }
-    assert(V.isHeap() && (V.object()->kind() == ObjectKind::Box ||
-                          V.object()->kind() == ObjectKind::Vector) &&
-           "reference coercion applied to non-reference");
-    ++Stats.ProxiesAllocated;
-    return TheHeap.allocRefProxy(V, C, nullptr, nullptr);
-  }
+  case CoercionKind::RefC:
+    // What a reference coercion does is the backend's call: proxy
+    // composition (space-efficient, at most one proxy) or monotonic
+    // in-place strengthening.
+    return Backend->coerceRef(V, C, IC);
 
   case CoercionKind::TupleC: {
     assert(V.isHeap() && V.object()->kind() == ObjectKind::Tuple &&
@@ -427,34 +407,13 @@ HeapObject *Runtime::underlyingRef(Value Ref) const {
   return Object;
 }
 
+// The bare-object fast paths stay inline here; only a proxied reference
+// pays the virtual dispatch into the backend's slow path.
+
 Value Runtime::boxRead(Value Box) {
   if (!Box.isProxy())
     return Box.object()->slot(0);
-  if (Mode == CastMode::Coercions) {
-    // Invariant: at most one proxy per reference.
-    HeapObject *P = Box.object();
-    Stats.noteChain(1);
-    Value Raw = P->slot(0).object()->slot(0);
-    const Coercion *C = static_cast<const Coercion *>(P->meta(0));
-    return applyCoercion(Raw, C->readCoercion());
-  }
-  // Type-based: traverse the whole chain, applying each read cast from
-  // the innermost proxy outwards.
-  std::vector<const HeapObject *> Chain;
-  const HeapObject *Object = Box.object();
-  while (Object->kind() == ObjectKind::RefProxy) {
-    Chain.push_back(Object);
-    Object = Object->slots()[0].object();
-  }
-  Stats.noteChain(Chain.size());
-  Value V = Object->slots()[0];
-  for (size_t I = Chain.size(); I-- > 0;) {
-    const HeapObject *P = Chain[I];
-    V = applyTypeBased(V, static_cast<const Type *>(P->meta(0)),
-                       static_cast<const Type *>(P->meta(1)),
-                       static_cast<const std::string *>(P->meta(2)));
-  }
-  return V;
+  return Backend->proxyBoxRead(Box);
 }
 
 void Runtime::boxWrite(Value Box, Value Content) {
@@ -462,27 +421,7 @@ void Runtime::boxWrite(Value Box, Value Content) {
     Box.object()->slot(0) = Content;
     return;
   }
-  if (Mode == CastMode::Coercions) {
-    HeapObject *P = Box.object();
-    Stats.noteChain(1);
-    const Coercion *C = static_cast<const Coercion *>(P->meta(0));
-    Value Converted = applyCoercion(Content, C->writeCoercion());
-    P->slot(0).object()->slot(0) = Converted;
-    return;
-  }
-  // Type-based: apply write casts from the outermost proxy inwards.
-  HeapObject *Object = Box.object();
-  uint64_t Depth = 0;
-  Value V = Content;
-  while (Object->kind() == ObjectKind::RefProxy) {
-    ++Depth;
-    V = applyTypeBased(V, static_cast<const Type *>(Object->meta(1)),
-                       static_cast<const Type *>(Object->meta(0)),
-                       static_cast<const std::string *>(Object->meta(2)));
-    Object = Object->slot(0).object();
-  }
-  Stats.noteChain(Depth);
-  Object->slot(0) = V;
+  Backend->proxyBoxWrite(Box, Content);
 }
 
 Value Runtime::vectorRef(Value Vect, int64_t Index) {
@@ -493,33 +432,7 @@ Value Runtime::vectorRef(Value Vect, int64_t Index) {
            "length " + std::to_string(Object->slotCount()));
     return Object->slot(static_cast<uint32_t>(Index));
   }
-  if (Mode == CastMode::Coercions) {
-    HeapObject *P = Vect.object();
-    Stats.noteChain(1);
-    HeapObject *Base = P->slot(0).object();
-    if (Index < 0 || Index >= Base->slotCount())
-      trap("vector index out of bounds");
-    const Coercion *C = static_cast<const Coercion *>(P->meta(0));
-    return applyCoercion(Base->slot(static_cast<uint32_t>(Index)),
-                         C->readCoercion());
-  }
-  std::vector<const HeapObject *> Chain;
-  const HeapObject *Object = Vect.object();
-  while (Object->kind() == ObjectKind::RefProxy) {
-    Chain.push_back(Object);
-    Object = Object->slots()[0].object();
-  }
-  Stats.noteChain(Chain.size());
-  if (Index < 0 || Index >= Object->slotCount())
-    trap("vector index out of bounds");
-  Value V = Object->slots()[static_cast<uint32_t>(Index)];
-  for (size_t I = Chain.size(); I-- > 0;) {
-    const HeapObject *P = Chain[I];
-    V = applyTypeBased(V, static_cast<const Type *>(P->meta(0)),
-                       static_cast<const Type *>(P->meta(1)),
-                       static_cast<const std::string *>(P->meta(2)));
-  }
-  return V;
+  return Backend->proxyVectorRef(Vect, Index);
 }
 
 void Runtime::vectorSet(Value Vect, int64_t Index, Value Content) {
@@ -531,31 +444,7 @@ void Runtime::vectorSet(Value Vect, int64_t Index, Value Content) {
     Object->slot(static_cast<uint32_t>(Index)) = Content;
     return;
   }
-  if (Mode == CastMode::Coercions) {
-    HeapObject *P = Vect.object();
-    Stats.noteChain(1);
-    const Coercion *C = static_cast<const Coercion *>(P->meta(0));
-    Value Converted = applyCoercion(Content, C->writeCoercion());
-    HeapObject *Base = P->slot(0).object();
-    if (Index < 0 || Index >= Base->slotCount())
-      trap("vector index out of bounds");
-    Base->slot(static_cast<uint32_t>(Index)) = Converted;
-    return;
-  }
-  HeapObject *Object = Vect.object();
-  uint64_t Depth = 0;
-  Value V = Content;
-  while (Object->kind() == ObjectKind::RefProxy) {
-    ++Depth;
-    V = applyTypeBased(V, static_cast<const Type *>(Object->meta(1)),
-                       static_cast<const Type *>(Object->meta(0)),
-                       static_cast<const std::string *>(Object->meta(2)));
-    Object = Object->slot(0).object();
-  }
-  Stats.noteChain(Depth);
-  if (Index < 0 || Index >= Object->slotCount())
-    trap("vector index out of bounds");
-  Object->slot(static_cast<uint32_t>(Index)) = V;
+  Backend->proxyVectorSet(Vect, Index, Content);
 }
 
 int64_t Runtime::vectorLength(Value Vect) {

@@ -17,9 +17,12 @@
 #include "runtime/Stats.h"
 #include "runtime/Value.h"
 
+#include <memory>
 #include <string>
 
 namespace grift {
+
+class CastBackend;
 
 /// A compiled cast site: source type, target type, blame label, and (in
 /// coercion mode) the statically allocated coercion. The VM's cast table
@@ -69,14 +72,21 @@ struct CoercionCache {
 
 class Runtime {
 public:
-  Runtime(TypeContext &Types, CoercionFactory &Coercions, CastMode Mode)
-      : Types(Types), Coercions(Coercions), Mode(Mode) {}
+  Runtime(TypeContext &Types, CoercionFactory &Coercions, CastMode Mode);
+  ~Runtime();
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
 
   TypeContext &typeContext() { return Types; }
   CoercionFactory &coercionFactory() { return Coercions; }
   Heap &heap() { return TheHeap; }
   RuntimeStats &stats() { return Stats; }
   CastMode mode() const { return Mode; }
+
+  /// The mode's cast backend: owns cast application, Dyn elimination,
+  /// reference semantics, and the VM call-protocol predicates. Every
+  /// former `switch (Mode)` in the runtime delegates through here.
+  CastBackend &backend() { return *Backend; }
 
   //===--------------------------------------------------------------------===//
   // Cast application (mode dispatch)
@@ -101,6 +111,19 @@ public:
   /// run time. Counts one runtime cast.
   Value castRuntime(Value V, const Type *S, const Type *T,
                     const std::string *Label, CoercionCache *IC = nullptr);
+
+  /// The interned normal-form coercion for S ⇒ T (shared DynCastIC on
+  /// repeats). Used by the VM to turn a runtime-typed pending return
+  /// cast into an explicit coercion argument (coercion-passing style).
+  const Coercion *internedCoercion(const Type *S, const Type *T,
+                                   const std::string *Label);
+
+  /// compose(First, Second): the coercion applying \p First then
+  /// \p Second, through the shared return-composition cache. Counts one
+  /// composition. Used by the VM to fold a frame's pending return
+  /// coercions into one (coercion-passing style).
+  const Coercion *composeForReturn(const Coercion *First,
+                                   const Coercion *Second);
 
   //===--------------------------------------------------------------------===//
   // Dyn introspection (lazy-D)
@@ -168,9 +191,14 @@ public:
   std::string valueToString(Value V, unsigned Depth = 6);
 
 private:
+  friend class CastBackend; // reaches cachedCoercion / strengthenCell /
+                            // the shared fallback caches on behalf of
+                            // the concrete backends
+
   TypeContext &Types;
   CoercionFactory &Coercions;
   CastMode Mode;
+  std::unique_ptr<CastBackend> Backend;
   Heap TheHeap;
   RuntimeStats Stats;
 
@@ -197,9 +225,11 @@ private:
 
   /// Shared fallback caches for conversion sites that have no per-site
   /// slot in the VM: proxy-apply composition (function and reference),
-  /// projection of a Dyn payload, and runtime-typed make (doReturn's
-  /// pending Dyn result casts, monotonic function casts).
-  CoercionCache FunComposeIC, RefComposeIC, ProjectIC, DynCastIC;
+  /// projection of a Dyn payload, runtime-typed make (doReturn's
+  /// pending Dyn result casts, monotonic function casts), and pending
+  /// return-coercion composition (coercion-passing style).
+  CoercionCache FunComposeIC, RefComposeIC, ProjectIC, DynCastIC,
+      RetComposeIC;
   Value castMono(Value V, const Type *S, const Type *T,
                  const std::string *Label);
   void strengthenCell(HeapObject *Cell, const Type *TargetElem,

@@ -23,6 +23,13 @@ struct RuntimeStats {
   uint64_t Compositions = 0;
   /// Longest chain of proxies traversed by any single operation.
   uint64_t LongestProxyChain = 0;
+  /// Largest number of pending return casts carried by any single call
+  /// frame. Coercion-passing style composes them into one explicit
+  /// coercion argument, so it stays ≤ 1; the stacked protocol grows
+  /// Θ(n) over n proxied tail calls (a tail loop driven through a cast
+  /// function reference — each call appends the proxy's result
+  /// coercion to the reused frame).
+  uint64_t MaxRetCastsPerFrame = 0;
   /// Function/reference proxies allocated.
   uint64_t ProxiesAllocated = 0;
   /// Cast-site inline-cache hits: a repeated cast resolved its coercion
@@ -76,6 +83,10 @@ struct RuntimeStats {
 
   void noteChain(uint64_t Length) {
     LongestProxyChain = std::max(LongestProxyChain, Length);
+  }
+
+  void noteRetCasts(uint64_t Count) {
+    MaxRetCastsPerFrame = std::max(MaxRetCastsPerFrame, Count);
   }
 
   void reset() { *this = RuntimeStats(); }

@@ -1,5 +1,6 @@
 #include "service/Protocol.h"
 
+#include "runtime/Mode.h"
 #include "support/Json.h"
 
 #include <cerrno>
@@ -13,32 +14,19 @@ using namespace grift;
 using namespace grift::service;
 using namespace grift::service::protocol;
 
-namespace {
-
-bool parseMode(const std::string &Name, CastMode &Mode) {
-  if (Name == "coercions")
-    Mode = CastMode::Coercions;
-  else if (Name == "type-based")
-    Mode = CastMode::TypeBased;
-  else if (Name == "static")
-    Mode = CastMode::Static;
-  else if (Name == "monotonic")
-    Mode = CastMode::Monotonic;
-  else
-    return false;
-  return true;
-}
-
-} // namespace
-
 bool grift::service::protocol::parseRequest(const std::string &Json,
-                                            Request &Out,
-                                            std::string &Error) {
+                                            Request &Out, std::string &Error,
+                                            std::string *Reason) {
+  auto failWith = [&](const char *Class) {
+    if (Reason)
+      *Reason = Class;
+    return false;
+  };
   json::LineParser P(Json);
   std::map<std::string, json::Value> Obj;
   if (!P.parse(Obj)) {
     Error = P.Error;
-    return false;
+    return failWith("malformed-json");
   }
   for (const auto &[Key, V] : Obj) {
     if (Key == "id")
@@ -50,9 +38,12 @@ bool grift::service::protocol::parseRequest(const std::string &Json,
     else if (Key == "input")
       Out.Spec.Input = V.S;
     else if (Key == "mode") {
-      if (!parseMode(V.S, Out.Spec.Mode)) {
+      // The one shared mode parser (runtime/Mode.h): griftc, the socket
+      // protocol, and the batch manifest accept exactly the same names,
+      // and a backend registered there is automatically reachable here.
+      if (!castModeFromName(V.S, Out.Spec.Mode)) {
         Error = "unknown mode '" + V.S + "'";
-        return false;
+        return failWith("unknown-mode");
       }
     } else if (Key == "optimize")
       Out.Spec.Optimize = V.B;
@@ -70,12 +61,12 @@ bool grift::service::protocol::parseRequest(const std::string &Json,
       Out.StatsRequest = V.K == json::Value::Bool ? V.B : true;
     else {
       Error = "unknown key '" + Key + "'";
-      return false;
+      return failWith("unknown-key");
     }
   }
   if (!Out.StatsRequest && Out.Spec.Source.empty()) {
     Error = "missing \"source\"";
-    return false;
+    return failWith("missing-source");
   }
   return true;
 }
@@ -103,10 +94,15 @@ std::string grift::service::protocol::renderResult(const JobResult &R,
 
 std::string
 grift::service::protocol::renderBadRequest(const std::string &Id,
-                                           const std::string &Error) {
-  return "{\"id\":\"" + json::escape(Id) +
-         "\",\"status\":\"bad-request\",\"error\":\"" + json::escape(Error) +
-         "\"}";
+                                           const std::string &Error,
+                                           const std::string &Reason) {
+  std::string Out = "{\"id\":\"" + json::escape(Id) +
+                    "\",\"status\":\"bad-request\",\"error\":\"" +
+                    json::escape(Error) + "\"";
+  if (!Reason.empty())
+    Out += ",\"reason\":\"" + json::escape(Reason) + "\"";
+  Out += "}";
+  return Out;
 }
 
 JobResult grift::service::protocol::makeReject(std::string Id, ErrorKind Kind,

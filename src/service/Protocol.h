@@ -43,15 +43,23 @@ struct Request {
 /// description in \p Error on malformed JSON, an unknown key, an unknown
 /// mode, or a missing source — every failure is a per-request error the
 /// caller reports in a structured response; none may abort a stream.
-bool parseRequest(const std::string &Json, Request &Out, std::string &Error);
+/// When \p Reason is non-null it receives the machine-readable failure
+/// class ("malformed-json", "unknown-mode", "unknown-key",
+/// "missing-source") for the bad-request record, so clients can branch
+/// without parsing the prose in "error".
+bool parseRequest(const std::string &Json, Request &Out, std::string &Error,
+                  std::string *Reason = nullptr);
 
 /// Renders the one-line JSON result object for \p R (no trailing
 /// newline). \p Reason, when non-empty, is appended as a "reason"
 /// member — the machine-readable rejection cause.
 std::string renderResult(const JobResult &R, const std::string &Reason = "");
 
-/// Renders a bad-request error response (no job was run).
-std::string renderBadRequest(const std::string &Id, const std::string &Error);
+/// Renders a bad-request error response (no job was run). \p Reason,
+/// when non-empty, is emitted as the machine-readable "reason" member
+/// (e.g. "unknown-mode"); \p Error stays human-readable prose.
+std::string renderBadRequest(const std::string &Id, const std::string &Error,
+                             const std::string &Reason = "");
 
 /// Builds a rejection JobResult (Status == Rejected) with \p Kind.
 JobResult makeReject(std::string Id, ErrorKind Kind, std::string Message);

@@ -229,13 +229,17 @@ void Server::handleConnection(int Fd) {
       // prefix. The stream position is unknowable now, so close.
       BadRequests.fetch_add(1, std::memory_order_relaxed);
       respond(Fd, renderBadRequest(
-                      "", "request exceeds max_request_bytes (" +
-                              std::to_string(Config.MaxRequestBytes) + ")"));
+                      "",
+                      "request exceeds max_request_bytes (" +
+                          std::to_string(Config.MaxRequestBytes) + ")",
+                      "too-large"));
       break;
     }
     if (St == ReadStatus::Malformed) {
       BadRequests.fetch_add(1, std::memory_order_relaxed);
-      respond(Fd, renderBadRequest("", "malformed frame header"));
+      respond(Fd,
+              renderBadRequest("", "malformed frame header",
+                               "malformed-frame"));
       break;
     }
     serveRequest(Fd, Payload);
@@ -250,11 +254,12 @@ void Server::serveRequest(int Fd, const std::string &Payload) {
 
   Request Req;
   std::string ParseError;
-  if (!parseRequest(Payload, Req, ParseError)) {
+  std::string ParseReason;
+  if (!parseRequest(Payload, Req, ParseError, &ParseReason)) {
     // Malformed JSON or schema: a per-request error response, and the
     // connection keeps serving — one bad line never kills a stream.
     BadRequests.fetch_add(1, std::memory_order_relaxed);
-    respond(Fd, renderBadRequest(Req.Spec.Id, ParseError));
+    respond(Fd, renderBadRequest(Req.Spec.Id, ParseError, ParseReason));
     return;
   }
   if (Req.StatsRequest) {

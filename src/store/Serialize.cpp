@@ -570,7 +570,7 @@ bool store::loadProgram(const ImageSections &S, TypeContext &TypesCtx,
   Reader Meta(S.Meta);
   uint8_t ModeByte = Meta.u8();
   uint32_t Main = Meta.u32();
-  if (!Meta.atEnd() || ModeByte > static_cast<uint8_t>(CastMode::Monotonic))
+  if (!Meta.atEnd() || ModeByte >= NumCastModes)
     return Fail("meta section malformed");
   Out.Mode = static_cast<CastMode>(ModeByte);
   Out.MainFunction = Main;

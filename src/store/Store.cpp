@@ -271,13 +271,14 @@ bool Store::put(uint64_t Key, const VMProgram &Prog) {
   if (Config.MaxBytes && Image.size() > Config.MaxBytes)
     return false; // could never survive eviction anyway
   std::lock_guard<std::mutex> Lock(WriteMu);
-  if (!writeAtomic(entryPath(Key), Image))
+  std::string Path = entryPath(Key);
+  if (!writeAtomic(Path, Image))
     return false;
-  evictToCap();
+  evictToCap(Path);
   return true;
 }
 
-void Store::evictToCap() {
+void Store::evictToCap(const std::string &JustWritten) {
   // Caller holds WriteMu.
   if (!Config.MaxBytes)
     return;
@@ -308,12 +309,22 @@ void Store::evictToCap() {
   ::closedir(D);
   if (Total <= Config.MaxBytes)
     return;
-  // Oldest first; never evict the newest entry (it is the one just
-  // written — serving beats strict cap adherence for a single program).
-  std::sort(Entries.begin(), Entries.end(), [](const Entry &A, const Entry &B) {
-    return A.MTimeNs < B.MTimeNs;
-  });
-  for (size_t I = 0; I + 1 < Entries.size() && Total > Config.MaxBytes; ++I) {
+  // Oldest first, with the path as a deterministic secondary key:
+  // nanosecond mtimes can still collide (coarse filesystem clocks,
+  // same-tick put bursts), and with an unstable sort and no tie-break
+  // the victim among equal-mtime entries would depend on readdir order.
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) {
+              if (A.MTimeNs != B.MTimeNs)
+                return A.MTimeNs < B.MTimeNs;
+              return A.Path < B.Path;
+            });
+  // Never evict the entry just written — serving it beats strict cap
+  // adherence for a single program — which an mtime tie could otherwise
+  // sort anywhere, so it is exempted by identity, not by position.
+  for (size_t I = 0; I != Entries.size() && Total > Config.MaxBytes; ++I) {
+    if (Entries[I].Path == JustWritten)
+      continue;
     ::unlink(Entries[I].Path.c_str());
     Total -= Entries[I].Size;
     Evicted.fetch_add(1, std::memory_order_relaxed);

@@ -128,7 +128,7 @@ private:
   LoadStatus mapEntry(const std::string &Path, MappedImage &Out);
   bool writeAtomic(const std::string &Path, const std::string &Bytes);
   void removeEntry(const std::string &Path);
-  void evictToCap();
+  void evictToCap(const std::string &JustWritten);
   void noteMiss(LoadStatus Status, std::string Reason, bool IsCorrupt);
 
   StoreConfig Config;

@@ -234,7 +234,7 @@ private:
     // Labels live in the coercion factory's interner so descriptors can
     // share pointers with coercions.
     Desc.Label = internLabel(Label);
-    if (Mode == CastMode::Coercions)
+    if (castModePrebuildsCoercions(Mode))
       Desc.C = Coercions.make(Src, Tgt, Label);
     // Dedupe.
     for (size_t I = 0; I != Prog.Casts.size(); ++I) {

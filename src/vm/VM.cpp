@@ -1,5 +1,6 @@
 #include "vm/VM.h"
 
+#include "runtime/CastBackend.h"
 #include "support/StringUtil.h"
 
 #include <cassert>
@@ -19,7 +20,10 @@ constexpr size_t DefaultMaxFrames = 4u << 20;
 constexpr uint32_t StepBatch = 1024;
 } // namespace
 
-VM::VM(Runtime &RT, const VMProgram &Prog) : RT(RT), Prog(Prog) {
+VM::VM(Runtime &RT, const VMProgram &Prog)
+    : RT(RT), Prog(Prog),
+      CoercionCallProtocol(RT.backend().coercionCallProtocol()),
+      ComposeReturns(RT.backend().composesPendingReturns()) {
   RT.heap().addRootProvider(this);
 }
 
@@ -151,8 +155,8 @@ Value VM::resolveCallee(Value Callee, uint32_t Argc, size_t ArgsBase,
     if (P->kind() != ObjectKind::ProxyClosure)
       trap("call of a non-function value");
     ++Depth;
-    if (RT.mode() != CastMode::TypeBased) {
-      // Coercion-flavored proxy (coercion and monotonic modes).
+    if (CoercionCallProtocol) {
+      // Coercion-flavored proxy (every mode but type-based).
       const Coercion *C = static_cast<const Coercion *>(P->meta(0));
       assert(C->kind() == CoercionKind::Fun && C->arity() == Argc &&
              "proxy coercion arity mismatch");
@@ -174,6 +178,23 @@ Value VM::resolveCallee(Value Callee, uint32_t Argc, size_t ArgsBase,
   if (Depth)
     RT.stats().noteChain(Depth);
   return Callee;
+}
+
+void VM::appendRetCast(std::vector<RetCast> &Casts, const RetCast &RC) {
+  assert(ComposeReturns && "composed return casts are coercion-passing only");
+  // Runtime-typed pending entries (AppDyn's result cast) become their
+  // interned coercion so they can participate in composition; this is
+  // the same coercion doReturn would have built lazily.
+  const Coercion *New = RC.C ? RC.C : RT.internedCoercion(RC.S, RC.T, RC.L);
+  if (!Casts.empty()) {
+    // doReturn applies entries LIFO, so the existing top entry would run
+    // after anything appended: fold to "apply New, then the old top".
+    assert(Casts.back().C && "coercion-passing frame carried a typed cast");
+    New = RT.composeForReturn(New, Casts.back().C);
+    Casts.pop_back();
+  }
+  if (!New->isId())
+    Casts.push_back({New, nullptr, nullptr, nullptr});
 }
 
 void VM::doCall(uint32_t Argc, bool Tail, std::vector<RetCast> Pending) {
@@ -201,8 +222,17 @@ void VM::doCall(uint32_t Argc, bool Tail, std::vector<RetCast> Pending) {
     Cur.PC = 0;
     Cur.Base = static_cast<uint32_t>(Dst + 1);
     Cur.Clos = Callee;
-    for (RetCast &RC : Pending)
-      Cur.RetCasts.push_back(RC);
+    // The space-efficiency fork: stacked, n proxied tail calls grow the
+    // reused frame's pending list Θ(n); composed (coercion-passing
+    // style), the frame keeps at most one entry.
+    if (ComposeReturns)
+      for (const RetCast &RC : Pending)
+        appendRetCast(Cur.RetCasts, RC);
+    else
+      for (const RetCast &RC : Pending)
+        Cur.RetCasts.push_back(RC);
+    if (!Cur.RetCasts.empty())
+      RT.stats().noteRetCasts(Cur.RetCasts.size());
   } else {
     if (Frames.size() >= FrameCap)
       throw RuntimeError{ErrorKind::StackOverflow, "",
@@ -214,7 +244,13 @@ void VM::doCall(uint32_t Argc, bool Tail, std::vector<RetCast> Pending) {
     NF.Base = static_cast<uint32_t>(ArgsBase);
     NF.CalleeSlot = static_cast<uint32_t>(CalleeIdx);
     NF.Clos = Callee;
-    NF.RetCasts = std::move(Pending);
+    if (ComposeReturns)
+      for (const RetCast &RC : Pending)
+        appendRetCast(NF.RetCasts, RC);
+    else
+      NF.RetCasts = std::move(Pending);
+    if (!NF.RetCasts.empty())
+      RT.stats().noteRetCasts(NF.RetCasts.size());
     Frames.push_back(std::move(NF));
   }
   ensureStack(Target.NumLocals - Argc + 16);
@@ -581,17 +617,8 @@ Value VM::execute() {
       RT.blame(Site.Label, "unbox of a value of type " + T->str());
     Value Inner = RT.dynUnwrap(V);
     Stack[Top - 1] = Inner; // keep rooted during the read + cast
-    if (RT.mode() == CastMode::Monotonic) {
-      // Monotonic cells may be more precise than the DynBox's view
-      // type; read against the cell's own runtime type.
-      Stack[Top - 1] =
-          RT.monoBoxRead(Inner, RT.typeContext().dyn(), Site.Label);
-      VM_NEXT();
-    }
-    Value Content = RT.boxRead(Inner);
-    Stack[Top - 1] = RT.castRuntime(Content, T->inner(),
-                                    RT.typeContext().dyn(), Site.Label,
-                                    &SiteIC[I.A]);
+    Stack[Top - 1] = RT.backend().dynBoxRead(Inner, T->inner(), Site.Label,
+                                             &SiteIC[I.A]);
     VM_NEXT();
   }
   VM_CASE(BoxSetDyn) {
@@ -605,13 +632,8 @@ Value VM::execute() {
       RT.blame(Site.Label, "box-set! of a value of type " + T->str());
     Value Inner = RT.dynUnwrap(V);
     Stack[Top - 2] = Inner;
-    if (RT.mode() == CastMode::Monotonic) {
-      RT.monoBoxWrite(Inner, Content, RT.typeContext().dyn(), Site.Label);
-    } else {
-      Value Converted = RT.castRuntime(Content, RT.typeContext().dyn(),
-                                       T->inner(), Site.Label, &SiteIC[I.A]);
-      RT.boxWrite(Inner, Converted);
-    }
+    RT.backend().dynBoxWrite(Inner, Content, T->inner(), Site.Label,
+                             &SiteIC[I.A]);
     Top -= 2;
     push(Value::unit());
     VM_NEXT();
@@ -683,15 +705,9 @@ Value VM::execute() {
       RT.blame(Site.Label, "vector-ref of a value of type " + T->str());
     Value Inner = RT.dynUnwrap(V);
     Stack[Top - 2] = Inner;
-    Value Result;
-    if (RT.mode() == CastMode::Monotonic) {
-      Result = RT.monoVectorRef(Inner, Stack[Top - 1].asFixnum(),
-                                RT.typeContext().dyn(), Site.Label);
-    } else {
-      Value Element = RT.vectorRef(Inner, Stack[Top - 1].asFixnum());
-      Result = RT.castRuntime(Element, T->inner(), RT.typeContext().dyn(),
-                              Site.Label, &SiteIC[I.A]);
-    }
+    Value Result = RT.backend().dynVectorRef(Inner, Stack[Top - 1].asFixnum(),
+                                             T->inner(), Site.Label,
+                                             &SiteIC[I.A]);
     Top -= 2;
     push(Result);
     VM_NEXT();
@@ -726,15 +742,9 @@ Value VM::execute() {
       RT.blame(Site.Label, "vector-set! of a value of type " + T->str());
     Value Inner = RT.dynUnwrap(V);
     Stack[Top - 3] = Inner;
-    if (RT.mode() == CastMode::Monotonic) {
-      RT.monoVectorSet(Inner, Stack[Top - 2].asFixnum(), Stack[Top - 1],
-                       RT.typeContext().dyn(), Site.Label);
-    } else {
-      Value Converted =
-          RT.castRuntime(Stack[Top - 1], RT.typeContext().dyn(), T->inner(),
-                         Site.Label, &SiteIC[I.A]);
-      RT.vectorSet(Inner, Stack[Top - 2].asFixnum(), Converted);
-    }
+    RT.backend().dynVectorSet(Inner, Stack[Top - 2].asFixnum(),
+                              Stack[Top - 1], T->inner(), Site.Label,
+                              &SiteIC[I.A]);
     Top -= 3;
     push(Value::unit());
     VM_NEXT();

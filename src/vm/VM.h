@@ -70,6 +70,13 @@ private:
 
   Runtime &RT;
   const VMProgram &Prog;
+  /// Backend call-protocol predicates, sampled once at construction so
+  /// the call paths branch on a bool instead of a virtual call:
+  /// proxy closures carry coercions (all modes but type-based)...
+  const bool CoercionCallProtocol;
+  /// ...and pending return coercions are composed into one explicit
+  /// per-frame coercion argument (coercion-passing style).
+  const bool ComposeReturns;
   std::vector<Value> Stack;
   size_t Top = 0;
   std::vector<Frame> Frames;
@@ -109,6 +116,12 @@ private:
   /// closure. \p ArgsBase indexes the first argument on the stack.
   Value resolveCallee(Value Callee, uint32_t Argc, size_t ArgsBase,
                       std::vector<RetCast> &Pending);
+
+  /// Coercion-passing style: folds \p RC into \p Casts as a single
+  /// composed coercion entry (at most one per frame) instead of
+  /// stacking it. Runtime-typed entries are converted to their interned
+  /// coercion first so they compose.
+  void appendRetCast(std::vector<RetCast> &Casts, const RetCast &RC);
 
   void doCall(uint32_t Argc, bool Tail, std::vector<RetCast> Pending);
   void doReturn();

@@ -134,7 +134,7 @@ INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkLattice,
 
 TEST(MicroBenchmarks, EvenOddFigure2) {
   Grift G;
-  for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased}) {
+  for (CastMode Mode : GradualCastModes) {
     EXPECT_EQ(runSource(G, evenOddSource(), Mode, "100"), "#t");
     EXPECT_EQ(runSource(G, evenOddSource(), Mode, "101"), "#f");
   }
@@ -142,7 +142,7 @@ TEST(MicroBenchmarks, EvenOddFigure2) {
 
 TEST(MicroBenchmarks, QuicksortFigure3) {
   Grift G;
-  for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased})
+  for (CastMode Mode : GradualCastModes)
     EXPECT_EQ(runSource(G, quicksortFig3Source(), Mode, "100"), "#t");
 }
 
@@ -159,6 +159,47 @@ TEST(MicroBenchmarks, EvenOddChainShapes) {
   ASSERT_TRUE(C.OK && T.OK);
   EXPECT_LE(C.Stats.LongestProxyChain, 1u);
   EXPECT_GE(T.Stats.LongestProxyChain, 250u);
+}
+
+TEST(MicroBenchmarks, ProxiedTailLoopReturnCastShapes) {
+  // The deep-recursion shape that separates the return-cast protocols:
+  // mutual *tail* calls that each go through a freshly cast (proxied)
+  // function reference whose result coercion is non-identity (Int! one
+  // way, Int?ℓ the other). Tail calls reuse the frame, so the stacked
+  // protocol's pending return-cast list grows Θ(n); coercion-passing
+  // style composes each appended coercion into the frame's single
+  // explicit coercion argument, so per-frame space stays O(1). Same
+  // answer, flat proxy chains in both — only the bookkeeping differs.
+  static const char *PingPong = R"(
+(define ping : (Int -> Dyn)
+  (lambda ([n : Int])
+    (if (= n 0)
+        (ann 0 Dyn)
+        ((ann pong (Int -> Dyn)) (- n 1)))))
+
+(define pong : (Int -> Int)
+  (lambda ([n : Int])
+    (if (= n 0)
+        1
+        ((ann ping (Int -> Int)) (- n 1)))))
+
+(define n : Int (read-int))
+(print-int (ann (ping n) Int))
+)";
+  Grift G;
+  std::string Errors;
+  auto Stacked = G.compile(PingPong, CastMode::Coercions, Errors);
+  auto Passing = G.compile(PingPong, CastMode::CoercionPassing, Errors);
+  ASSERT_TRUE(Stacked && Passing) << Errors;
+  RunResult S = Stacked->run("500");
+  RunResult P = Passing->run("500");
+  ASSERT_TRUE(S.OK && P.OK) << S.Error.str() << P.Error.str();
+  EXPECT_EQ(S.Output, P.Output);
+  EXPECT_LE(P.Stats.MaxRetCastsPerFrame, 1u);
+  EXPECT_LE(P.Stats.LongestProxyChain, 1u);
+  EXPECT_GE(S.Stats.MaxRetCastsPerFrame, 250u);
+  // The composed protocol must actually be composing, not just short.
+  EXPECT_GE(P.Stats.Compositions, 250u);
 }
 
 TEST(MicroBenchmarks, QuicksortFigure3ChainShapes) {

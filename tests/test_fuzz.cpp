@@ -71,22 +71,18 @@ TEST_P(FuzzDifferential, AllEnginesAgree) {
         refinterp::interpret(G.types(), G.coercions(), *Core);
     EngineResult RefR{Ref.OK, Ref.OK ? Ref.ResultText + "|" + Ref.Output
                                      : Ref.Message};
-    EngineResult Coerce = runVM(CastMode::Coercions);
-    EngineResult TB = runVM(CastMode::TypeBased);
-    EngineResult Mono = runVM(CastMode::Monotonic);
-    EngineResult Optimized = runVM(CastMode::Coercions, /*Optimize=*/true);
-
-    // Generated programs only cast along precision ladders: every
-    // engine must succeed and agree exactly.
+    // Generated programs only cast along precision ladders: the
+    // reference interpreter and every gradual backend in the registry
+    // must succeed and agree exactly.
     EXPECT_TRUE(RefR.OK) << RefR.Text << Ctx;
-    EXPECT_TRUE(Coerce.OK) << Coerce.Text << Ctx;
-    EXPECT_TRUE(TB.OK) << TB.Text << Ctx;
-    EXPECT_TRUE(Mono.OK) << Mono.Text << Ctx;
-    EXPECT_EQ(Coerce.Text, RefR.Text) << Ctx;
-    EXPECT_EQ(Coerce.Text, TB.Text) << Ctx;
-    EXPECT_EQ(Coerce.Text, Mono.Text) << Ctx;
+    for (CastMode Mode : GradualCastModes) {
+      EngineResult R = runVM(Mode);
+      EXPECT_TRUE(R.OK) << castModeName(Mode) << ": " << R.Text << Ctx;
+      EXPECT_EQ(R.Text, RefR.Text) << castModeName(Mode) << Ctx;
+    }
+    EngineResult Optimized = runVM(CastMode::Coercions, /*Optimize=*/true);
     EXPECT_TRUE(Optimized.OK) << Optimized.Text << Ctx;
-    EXPECT_EQ(Coerce.Text, Optimized.Text) << Ctx;
+    EXPECT_EQ(Optimized.Text, RefR.Text) << Ctx;
   }
 }
 
@@ -94,7 +90,7 @@ INSTANTIATE_TEST_SUITE_P(RandomSeeds, FuzzDifferential,
                          ::testing::Range(0, 8));
 
 //===----------------------------------------------------------------------===//
-// Float-biased differential fuzzing: the same four-way agreement check,
+// Float-biased differential fuzzing: the same N-way agreement check,
 // but with the generator skewed toward Float expressions seeded with
 // IEEE edge values (signed zeros, exponent extremes, fl/-produced NaN
 // and infinities). Every double bit pattern must survive the NaN-boxed
@@ -135,20 +131,15 @@ TEST_P(FuzzFloatDifferential, AllEnginesAgreeOnFloatPrograms) {
         refinterp::interpret(G.types(), G.coercions(), *Core);
     EngineResult RefR{Ref.OK, Ref.OK ? Ref.ResultText + "|" + Ref.Output
                                      : Ref.Message};
-    EngineResult Coerce = runVM(CastMode::Coercions);
-    EngineResult TB = runVM(CastMode::TypeBased);
-    EngineResult Mono = runVM(CastMode::Monotonic);
-    EngineResult Optimized = runVM(CastMode::Coercions, /*Optimize=*/true);
-
     EXPECT_TRUE(RefR.OK) << RefR.Text << Ctx;
-    EXPECT_TRUE(Coerce.OK) << Coerce.Text << Ctx;
-    EXPECT_TRUE(TB.OK) << TB.Text << Ctx;
-    EXPECT_TRUE(Mono.OK) << Mono.Text << Ctx;
-    EXPECT_EQ(Coerce.Text, RefR.Text) << Ctx;
-    EXPECT_EQ(Coerce.Text, TB.Text) << Ctx;
-    EXPECT_EQ(Coerce.Text, Mono.Text) << Ctx;
+    for (CastMode Mode : GradualCastModes) {
+      EngineResult R = runVM(Mode);
+      EXPECT_TRUE(R.OK) << castModeName(Mode) << ": " << R.Text << Ctx;
+      EXPECT_EQ(R.Text, RefR.Text) << castModeName(Mode) << Ctx;
+    }
+    EngineResult Optimized = runVM(CastMode::Coercions, /*Optimize=*/true);
     EXPECT_TRUE(Optimized.OK) << Optimized.Text << Ctx;
-    EXPECT_EQ(Coerce.Text, Optimized.Text) << Ctx;
+    EXPECT_EQ(Optimized.Text, RefR.Text) << Ctx;
   }
 }
 

@@ -250,18 +250,53 @@ TEST(ServerProtocol, ParsesJobAndStatsRequests) {
   EXPECT_TRUE(Stats.StatsRequest);
 }
 
+TEST(ServerProtocol, ParsesEveryRegisteredMode) {
+  // The protocol accepts exactly the registered backend names — a mode
+  // added to the registry (e.g. coercion-passing) is reachable over the
+  // wire with no protocol change.
+  for (CastMode Mode : AllCastModes) {
+    Request Req;
+    std::string Error;
+    std::string Json = std::string("{\"source\":\"(+ 1 1)\",\"mode\":\"") +
+                       castModeName(Mode) + "\"}";
+    ASSERT_TRUE(parseRequest(Json, Req, Error)) << Json << ": " << Error;
+    EXPECT_EQ(Req.Spec.Mode, Mode);
+  }
+}
+
 TEST(ServerProtocol, RejectsHostileRequestsWithReasons) {
   Request Req;
   std::string Error;
+  std::string Reason;
   EXPECT_FALSE(parseRequest("{\"source\":\"x\",\"mode\":\"bogus\"}", Req,
-                            Error));
+                            Error, &Reason));
   EXPECT_TRUE(contains(Error, "mode"));
-  EXPECT_FALSE(parseRequest("{\"id\":\"x\"}", Req, Error));
+  EXPECT_EQ(Reason, "unknown-mode");
+  // Near-miss spellings of a real mode stay fail-closed: no trimming,
+  // no case folding, no prefix matching.
+  for (const char *Garbled :
+       {"coercion-passing ", " coercion-passing", "Coercion-Passing",
+        "coercion_passing", "coercionpassing", "coercion-pass"}) {
+    Reason.clear();
+    EXPECT_FALSE(parseRequest(std::string("{\"source\":\"x\",\"mode\":\"") +
+                                  Garbled + "\"}",
+                              Req, Error, &Reason))
+        << Garbled;
+    EXPECT_EQ(Reason, "unknown-mode") << Garbled;
+  }
+  EXPECT_FALSE(parseRequest("{\"id\":\"x\"}", Req, Error, &Reason));
   EXPECT_TRUE(contains(Error, "source"));
+  EXPECT_EQ(Reason, "missing-source");
   EXPECT_FALSE(parseRequest("{\"surprise\": 1, \"source\": \"x\"}", Req,
-                            Error));
+                            Error, &Reason));
   EXPECT_TRUE(contains(Error, "surprise"));
-  EXPECT_FALSE(parseRequest("not json at all", Req, Error));
+  EXPECT_EQ(Reason, "unknown-key");
+  EXPECT_FALSE(parseRequest("not json at all", Req, Error, &Reason));
+  EXPECT_EQ(Reason, "malformed-json");
+  // The bad-request record carries the reason as its own member.
+  EXPECT_TRUE(contains(renderBadRequest("j1", "unknown mode 'bogus'",
+                                        "unknown-mode"),
+                       "\"reason\":\"unknown-mode\""));
 }
 
 TEST(ServerProtocol, FrameRoundTrip) {

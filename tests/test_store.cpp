@@ -20,12 +20,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 using namespace grift;
@@ -152,8 +156,7 @@ TEST_F(StoreTest, RoundTripBenchmarksAllModes) {
   const Row Rows[] = {{"sieve", "30"}, {"quicksort", "32"}, {"tak", "8 4 2"}};
   for (const Row &R : Rows) {
     const BenchProgram &B = getBenchmark(R.Bench);
-    for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased,
-                          CastMode::Static, CastMode::Monotonic}) {
+    for (CastMode Mode : AllCastModes) {
       uint64_t Key = 0;
       std::string Cold = compileAndPut(S, B.Source, Mode, R.Input, Key);
       std::string Warm = loadAndRun(S, Key, R.Input);
@@ -161,8 +164,22 @@ TEST_F(StoreTest, RoundTripBenchmarksAllModes) {
     }
   }
   StoreStats SS = S.stats();
-  EXPECT_EQ(SS.Hits, 12u);
+  EXPECT_EQ(SS.Hits, 3u * NumCastModes);
   EXPECT_EQ(SS.Corrupt, 0u);
+}
+
+/// The image key folds the mode byte, so the same source under two
+/// different backends can never alias one cached image.
+TEST_F(StoreTest, ImageKeyDiffersPerMode) {
+  const BenchProgram &B = getBenchmark("sieve");
+  std::vector<uint64_t> Keys;
+  for (CastMode Mode : AllCastModes)
+    Keys.push_back(Store::key(B.Source, Mode, /*Optimize=*/false));
+  for (size_t I = 0; I != Keys.size(); ++I)
+    for (size_t J = I + 1; J != Keys.size(); ++J)
+      EXPECT_NE(Keys[I], Keys[J])
+          << castModeName(AllCastModes[I]) << " vs "
+          << castModeName(AllCastModes[J]);
 }
 
 TEST_F(StoreTest, RoundTripMuCoercions) {
@@ -185,8 +202,7 @@ TEST_F(StoreTest, RoundTripFuzzedPrograms) {
     Grift GenG;
     fuzz::ProgramGen PG(GenG.types(), Gen, Opts);
     std::string Source = PG.program();
-    for (CastMode Mode : {CastMode::Coercions, CastMode::TypeBased,
-                          CastMode::Static, CastMode::Monotonic}) {
+    for (CastMode Mode : AllCastModes) {
       if (Opts.AllowDyn && Mode == CastMode::Static)
         continue; // Dyn-annotated programs are not Static-typeable
       Grift G;
@@ -221,25 +237,31 @@ TEST_F(StoreTest, RoundTripFuzzedPrograms) {
 /// image carries must return the loaded node with zero allocations —
 /// the same zero-new-nodes property a warm factory has for makeSub.
 TEST_F(StoreTest, ZeroNewNodesAfterLoad) {
-  Store S = makeStore();
-  uint64_t Key = 0;
-  compileAndPut(S, MuRoundTrip, CastMode::Coercions, "", Key);
+  // Both coercion-compiling backends: coercion-passing reuses the same
+  // interned normal-form graph, so a warm load carries the invariant
+  // over unchanged.
+  for (CastMode Mode : {CastMode::Coercions, CastMode::CoercionPassing}) {
+    Store S = makeStore();
+    uint64_t Key = 0;
+    compileAndPut(S, MuRoundTrip, Mode, "", Key);
 
-  Grift G;
-  VMProgram Prog;
-  ASSERT_TRUE(S.load(Key, G.types(), G.coercions(), Prog));
-  bool SawCast = false;
-  for (const CastDescriptor &D : Prog.Casts) {
-    if (!D.C || !D.Label)
-      continue;
-    SawCast = true;
-    size_t Before = G.coercions().allocatedNodes();
-    const Coercion *Again = G.coercions().make(D.Src, D.Tgt, *D.Label);
-    EXPECT_EQ(Again, D.C);
-    EXPECT_EQ(G.coercions().allocatedNodes(), Before)
-        << "re-deriving a loaded cast allocated coercion nodes";
+    Grift G;
+    VMProgram Prog;
+    ASSERT_TRUE(S.load(Key, G.types(), G.coercions(), Prog));
+    bool SawCast = false;
+    for (const CastDescriptor &D : Prog.Casts) {
+      if (!D.C || !D.Label)
+        continue;
+      SawCast = true;
+      size_t Before = G.coercions().allocatedNodes();
+      const Coercion *Again = G.coercions().make(D.Src, D.Tgt, *D.Label);
+      EXPECT_EQ(Again, D.C);
+      EXPECT_EQ(G.coercions().allocatedNodes(), Before)
+          << "re-deriving a loaded cast allocated coercion nodes ["
+          << castModeName(Mode) << "]";
+    }
+    EXPECT_TRUE(SawCast) << castModeName(Mode);
   }
-  EXPECT_TRUE(SawCast);
 }
 
 //===----------------------------------------------------------------------===//
@@ -485,6 +507,57 @@ TEST_F(StoreTest, EvictionKeepsNewestUnderCap) {
   VMProgram Prog;
   EXPECT_TRUE(S.load(Keys.back(), G.types(), G.coercions(), Prog))
       << loadStatusName(S.lastStatus());
+}
+
+TEST_F(StoreTest, EvictionSparesJustWrittenUnderMTimeTies) {
+  // Two published entries pinned to one identical future mtime: the
+  // nanosecond-mtime sort is a tie, and whatever is written next is the
+  // mtime-*oldest* file in the directory. The entry just written must
+  // survive anyway (it is exempted by identity, not by sort position),
+  // and the tie between the other two must resolve by the deterministic
+  // secondary key (path), not by readdir order.
+  uint64_t K1 = 0, K2 = 0;
+  {
+    Store Big = makeStore();
+    compileAndPut(Big, getBenchmark("sieve").Source, CastMode::Coercions,
+                  "30", K1);
+    compileAndPut(Big, getBenchmark("quicksort").Source, CastMode::Coercions,
+                  "32", K2);
+  }
+  std::vector<std::string> Pinned = entries();
+  ASSERT_EQ(Pinned.size(), 2u);
+  struct timespec Future[2];
+  Future[0].tv_sec = ::time(nullptr) + 1000;
+  Future[0].tv_nsec = 123456789;
+  Future[1] = Future[0];
+  uint64_t PinnedBytes = 0;
+  for (const std::string &Name : Pinned) {
+    std::string Path = Dir + "/" + Name;
+    ASSERT_EQ(::utimensat(AT_FDCWD, Path.c_str(), Future, 0), 0);
+    struct stat St;
+    ASSERT_EQ(::stat(Path.c_str(), &St), 0);
+    PinnedBytes += static_cast<uint64_t>(St.st_size);
+  }
+
+  // Cap at exactly the two pinned entries: the next (tiny) put must
+  // evict exactly one of them to get back under the cap.
+  Store S = makeStore(/*MaxBytes=*/PinnedBytes);
+  uint64_t K3 = 0;
+  compileAndPut(S, "(+ 40 2)", CastMode::Coercions, "", K3);
+  EXPECT_EQ(S.stats().Evicted, 1u);
+
+  // The just-written entry is loadable despite being mtime-oldest.
+  Grift G;
+  VMProgram Prog;
+  EXPECT_TRUE(S.load(K3, G.types(), G.coercions(), Prog))
+      << loadStatusName(S.lastStatus());
+
+  // Of the tied pair, the lexicographically-first path was the victim.
+  std::vector<std::string> After = entries();
+  EXPECT_EQ(std::count(After.begin(), After.end(), Pinned[0]), 0)
+      << "tie must evict the lexicographically-first path";
+  EXPECT_EQ(std::count(After.begin(), After.end(), Pinned[1]), 1)
+      << "tie must keep the lexicographically-second path";
 }
 
 //===----------------------------------------------------------------------===//

@@ -57,11 +57,12 @@ Speedups and peak-heap changes are reported but never fail the run.
 
 import argparse
 import json
+import math
 import re
 import sys
 
-COUNTERS = ("casts", "longest_chain", "compositions", "cache_hits",
-            "cache_misses", "alloc_bytes", "alloc_objects",
+COUNTERS = ("casts", "longest_chain", "max_ret_casts", "compositions",
+            "cache_hits", "cache_misses", "alloc_bytes", "alloc_objects",
             "alloc_by_class", "collections")
 
 # Run-dependent observability: reported, never enforced by the baseline
@@ -109,6 +110,16 @@ def check_slos(current, slos):
                               "missing from the row")
                 continue
             val = row[field]
+            # A gate over a null/NaN/non-numeric field must fail, not
+            # silently pass: `None <= bound` raising (or NaN comparing
+            # false both ways) means the harness stopped producing the
+            # number the SLO exists to watch. bool is excluded — JSON
+            # true/false in a gated field is a schema bug, not a metric.
+            if (not isinstance(val, (int, float)) or isinstance(val, bool)
+                    or math.isnan(val)):
+                errors.append(f"{name} [{mode}]: SLO field {field!r} is "
+                              f"not a finite number (got {val!r})")
+                continue
             ok = val <= bound if op == "<=" else val >= bound
             verdict = "ok" if ok else "VIOLATED"
             print(f"SLO {name} [{mode}]: {field}={val} {op} {bound:g}  "

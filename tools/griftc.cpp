@@ -6,7 +6,7 @@
 ///   griftc [options] file.grift [-- input words...]
 ///
 /// Options:
-///   --mode=coercions|type-based|static|monotonic
+///   --mode=coercions|type-based|static|monotonic|coercion-passing
 ///                    cast implementation (default coercions)
 ///   --dynamic        erase every type annotation before compiling
 ///   --optimize       enable the optional core-IR optimizer
@@ -67,7 +67,8 @@ namespace {
 void printUsage() {
   std::fprintf(
       stderr,
-      "usage: griftc [--mode=coercions|type-based|static|monotonic]\n"
+      "usage: griftc [--mode=coercions|type-based|static|monotonic|\n"
+      "                      coercion-passing]\n"
       "              [--dynamic] [--optimize] [--ref-interp]\n"
       "              [--stats] [--dump-core] [--dump-bytecode]\n"
       "              [--max-steps=N] [--max-heap=N[k|m|g]]\n"
@@ -153,14 +154,15 @@ int main(int Argc, char **Argv) {
       CacheMaxBytes = Tmp;
     } else if (Arg == "--store-verify") {
       StoreVerify = true;
-    } else if (Arg == "--mode=coercions") {
-      Mode = CastMode::Coercions;
-    } else if (Arg == "--mode=type-based") {
-      Mode = CastMode::TypeBased;
-    } else if (Arg == "--mode=static") {
-      Mode = CastMode::Static;
-    } else if (Arg == "--mode=monotonic") {
-      Mode = CastMode::Monotonic;
+    } else if (Arg.rfind("--mode=", 0) == 0) {
+      // Shared parser (runtime/Mode.h): accepts exactly the registered
+      // backend names, so griftc and the griftd protocol agree.
+      if (!castModeFromName(Arg.substr(7), Mode)) {
+        std::fprintf(stderr, "griftc: unknown mode '%s'\n",
+                     Arg.substr(7).c_str());
+        printUsage();
+        return 2;
+      }
     } else if (Arg == "--dynamic") {
       Dynamic = true;
     } else if (Arg == "--optimize") {

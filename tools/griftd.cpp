@@ -266,18 +266,20 @@ int runBatch(ServiceConfig Config, const std::string &ManifestPath,
     if (MaxLineBytes && Line.size() > MaxLineBytes) {
       // Report the bound without echoing the oversized payload back.
       S.BadLine = renderBadRequest(
-          DefaultId, "line exceeds max_line_bytes (" +
-                         std::to_string(Line.size()) + " > " +
-                         std::to_string(MaxLineBytes) + ")");
+          DefaultId,
+          "line exceeds max_line_bytes (" + std::to_string(Line.size()) +
+              " > " + std::to_string(MaxLineBytes) + ")",
+          "too-large");
     } else {
       Request Req;
       Req.Spec.Id = DefaultId;
       std::string Error;
-      if (!parseRequest(Line, Req, Error))
-        S.BadLine = renderBadRequest(DefaultId, Error);
+      std::string Reason;
+      if (!parseRequest(Line, Req, Error, &Reason))
+        S.BadLine = renderBadRequest(DefaultId, Error, Reason);
       else if (Req.StatsRequest)
-        S.BadLine =
-            renderBadRequest(DefaultId, "\"stats\" is not a batch job");
+        S.BadLine = renderBadRequest(DefaultId, "\"stats\" is not a batch job",
+                                     "stats-in-batch");
       else {
         S.HasJob = true;
         S.F = Service.submit(std::move(Req.Spec));

@@ -5,8 +5,8 @@
 #   cmake -DGRIFTD=<path> -DMANIFEST=<path> -P griftd_hostile.cmake
 
 execute_process(
-  COMMAND ${GRIFTD} --threads=2 --summary-only ${MANIFEST}
-  OUTPUT_VARIABLE SUMMARY
+  COMMAND ${GRIFTD} --threads=2 --summary ${MANIFEST}
+  OUTPUT_VARIABLE OUTPUT
   ERROR_VARIABLE ERRORS
   RESULT_VARIABLE EXIT_CODE
   TIMEOUT 120
@@ -15,7 +15,16 @@ execute_process(
 if(NOT EXIT_CODE EQUAL 1)
   message(FATAL_ERROR
       "griftd exited ${EXIT_CODE} on the hostile manifest, expected 1\n"
-      "summary: ${SUMMARY}\nstderr: ${ERRORS}")
+      "output: ${OUTPUT}\nstderr: ${ERRORS}")
 endif()
 
-message(STATUS "griftd hostile manifest: exit 1, batch never aborted")
+# The garbled-mode line must be rejected as a structured bad-request with
+# the machine-readable reason class, not just prose in "error".
+if(NOT OUTPUT MATCHES "\"reason\":\"unknown-mode\"")
+  message(FATAL_ERROR
+      "garbled mode was not rejected with reason \"unknown-mode\"\n"
+      "output: ${OUTPUT}")
+endif()
+
+message(STATUS "griftd hostile manifest: exit 1, batch never aborted, "
+               "garbled mode rejected with unknown-mode")
