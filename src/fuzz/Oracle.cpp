@@ -26,26 +26,46 @@ namespace {
 /// are N-way, not hard-coded 4-way.
 struct Engine {
   bool IsRef = false;
+  bool NoNursery = false; ///< run the VM with the nursery disabled
   CastMode Mode = CastMode::Coercions; // meaningful when !IsRef
 };
 
-constexpr Engine RefEngine{true, CastMode::Coercions};
-constexpr Engine vmEngine(CastMode Mode) { return {false, Mode}; }
+constexpr Engine RefEngine{true, false, CastMode::Coercions};
+constexpr Engine vmEngine(CastMode Mode) { return {false, false, Mode}; }
+constexpr Engine vmEngineNoNursery(CastMode Mode) {
+  return {false, true, Mode};
+}
 
 std::string engineName(Engine E) {
   if (E.IsRef)
     return "refinterp";
-  return std::string("vm/") + castModeName(E.Mode);
+  std::string Name = std::string("vm/") + castModeName(E.Mode);
+  if (E.NoNursery)
+    Name += "/nonursery";
+  return Name;
+}
+
+/// Every gradual VM backend — twice when the GC differential is on: the
+/// generational and the pre-generational collector must be
+/// observationally identical, so the nursery-off twin joins the N-way
+/// agreement set as one more engine.
+std::vector<Engine> vmEngines(const OracleOptions &Opts) {
+  std::vector<Engine> Engines;
+  Engines.reserve(2 * NumGradualCastModes);
+  for (CastMode Mode : GradualCastModes) {
+    Engines.push_back(vmEngine(Mode));
+    if (Opts.GCDifferential)
+      Engines.push_back(vmEngineNoNursery(Mode));
+  }
+  return Engines;
 }
 
 /// The engines every gradually typed configuration must agree across:
-/// the reference interpreter plus every gradual VM backend.
-std::vector<Engine> dynamicEngines() {
-  std::vector<Engine> Engines;
-  Engines.reserve(NumGradualCastModes + 1);
-  Engines.push_back(RefEngine);
-  for (CastMode Mode : GradualCastModes)
-    Engines.push_back(vmEngine(Mode));
+/// the reference interpreter plus every gradual VM backend (and its
+/// nursery-off twin under --gc-differential).
+std::vector<Engine> dynamicEngines(const OracleOptions &Opts) {
+  std::vector<Engine> Engines = vmEngines(Opts);
+  Engines.insert(Engines.begin(), RefEngine);
   return Engines;
 }
 
@@ -72,7 +92,7 @@ struct Outcome {
 };
 
 Outcome runEngine(Grift &G, const Program &Ast, Engine E,
-                  const RunLimits &Limits) {
+                  const OracleOptions &Opts) {
   std::string Errors;
   Outcome O;
   if (E.IsRef) {
@@ -81,8 +101,8 @@ Outcome runEngine(Grift &G, const Program &Ast, Engine E,
       O.Message = Errors;
       return O;
     }
-    refinterp::RefResult R =
-        refinterp::interpret(G.types(), G.coercions(), *Core, "", Limits);
+    refinterp::RefResult R = refinterp::interpret(G.types(), G.coercions(),
+                                                  *Core, "", Opts.Limits);
     O.Compiled = true;
     O.OK = R.OK;
     if (R.OK)
@@ -97,7 +117,16 @@ Outcome runEngine(Grift &G, const Program &Ast, Engine E,
     O.Message = Errors;
     return O;
   }
-  RunResult R = Exe->run("", Limits);
+  RunLimits Limits = Opts.Limits;
+  if (E.NoNursery)
+    Limits.GCNurseryBytes = 0;
+  // A fresh injector per run keeps torture schedules deterministic and
+  // independent across the N engines.
+  FaultInjector Injector;
+  Injector.GCTorturePeriod = Opts.GCTorturePeriod;
+  Injector.MinorGCTorturePeriod = Opts.MinorGCTorturePeriod;
+  bool Tortured = Opts.GCTorturePeriod || Opts.MinorGCTorturePeriod;
+  RunResult R = Exe->run("", Limits, Tortured ? &Injector : nullptr);
   O.Compiled = true;
   O.OK = R.OK;
   if (R.OK)
@@ -196,16 +225,21 @@ std::optional<OracleFailure> grift::fuzz::checkLattice(
 
   // The fully typed top element: reference interpreter, every gradual
   // VM mode, and — uniquely here — static mode must all agree.
-  Outcome Base = runEngine(G, *Ast, RefEngine, Opts.Limits);
+  Outcome Base = runEngine(G, *Ast, RefEngine, Opts);
   if (!Base.Compiled || !Base.OK)
     return makeFailure(OracleKind::Lattice, RecheckKind::EnginesDisagree,
                        Seed, SampleSeed, Source, Source,
                        "fully typed program failed on the reference "
                        "interpreter (generator contract: it never fails)",
                        "ok", describe(RefEngine, Base));
+  std::vector<Engine> TopEngines;
   for (CastMode Mode : AllCastModes) {
-    Engine E = vmEngine(Mode);
-    Outcome O = runEngine(G, *Ast, E, Opts.Limits);
+    TopEngines.push_back(vmEngine(Mode));
+    if (Opts.GCDifferential)
+      TopEngines.push_back(vmEngineNoNursery(Mode));
+  }
+  for (Engine E : TopEngines) {
+    Outcome O = runEngine(G, *Ast, E, Opts);
     if (O.canonical() != Base.canonical())
       return makeFailure(OracleKind::Lattice, RecheckKind::EnginesDisagree,
                          Seed, SampleSeed, Source, Source,
@@ -218,10 +252,9 @@ std::optional<OracleFailure> grift::fuzz::checkLattice(
   // every engine — the dynamic gradual guarantee for programs that
   // cannot fail.
   for (const Configuration &C : sampleConfigs(*Ast, G, Opts, SampleSeed)) {
-    Outcome Ref = runEngine(G, C.Prog, RefEngine, Opts.Limits);
-    for (CastMode Mode : GradualCastModes) {
-      Engine E = vmEngine(Mode);
-      Outcome O = runEngine(G, C.Prog, E, Opts.Limits);
+    Outcome Ref = runEngine(G, C.Prog, RefEngine, Opts);
+    for (Engine E : vmEngines(Opts)) {
+      Outcome O = runEngine(G, C.Prog, E, Opts);
       if (O.canonical() != Ref.canonical())
         return makeFailure(
             OracleKind::Lattice, RecheckKind::EnginesDisagree, Seed,
@@ -279,8 +312,8 @@ std::optional<OracleFailure> grift::fuzz::checkBlame(
 
   // The planted cast sits at a guaranteed-evaluated site: every engine
   // must blame with exactly the predicted line:col label.
-  for (Engine E : dynamicEngines()) {
-    Outcome O = runEngine(G, *Ast, E, Opts.Limits);
+  for (Engine E : dynamicEngines(Opts)) {
+    Outcome O = runEngine(G, *Ast, E, Opts);
     if (!O.Compiled || O.OK || O.Kind != ErrorKind::Blame ||
         O.Label != Predicted)
       return makeFailure(OracleKind::Blame, RecheckKind::BlameContract, Seed,
@@ -312,10 +345,9 @@ std::optional<OracleFailure> grift::fuzz::checkBlame(
     if (Expr *Node = findAscribeAt(C.Prog, Predicted))
       Node->Annot = PlantedAnnot;
   for (const Configuration &C : Configs) {
-    Outcome Ref = runEngine(G, C.Prog, RefEngine, Opts.Limits);
-    for (CastMode Mode : GradualCastModes) {
-      Engine E = vmEngine(Mode);
-      Outcome O = runEngine(G, C.Prog, E, Opts.Limits);
+    Outcome Ref = runEngine(G, C.Prog, RefEngine, Opts);
+    for (Engine E : vmEngines(Opts)) {
+      Outcome O = runEngine(G, C.Prog, E, Opts);
       if (O.canonical() != Ref.canonical())
         return makeFailure(
             OracleKind::Blame, RecheckKind::EnginesDisagree, Seed,
@@ -354,14 +386,14 @@ bool grift::fuzz::recheckFails(const OracleFailure &Failure,
     return false;
 
   std::vector<Outcome> Outcomes;
-  for (Engine E : dynamicEngines())
-    Outcomes.push_back(runEngine(G, *Ast, E, Opts.Limits));
+  for (Engine E : dynamicEngines(Opts))
+    Outcomes.push_back(runEngine(G, *Ast, E, Opts));
   size_t N = Outcomes.size();
   // Shrink mutations never introduce Dyn, so a candidate derived from a
   // pure-typed baseline stays Static-compatible; include static mode in
   // the disagreement check whenever it compiles.
   Outcome Static =
-      runEngine(G, *Ast, vmEngine(CastMode::Static), Opts.Limits);
+      runEngine(G, *Ast, vmEngine(CastMode::Static), Opts);
 
   auto anyDisagreement = [&] {
     for (size_t I = 1; I != N; ++I)
@@ -383,9 +415,9 @@ bool grift::fuzz::recheckFails(const OracleFailure &Failure,
       return false;
     for (const Configuration &C :
          sampleConfigs(*Ast, G, Opts, Failure.SampleSeed)) {
-      Outcome Ref = runEngine(G, C.Prog, RefEngine, Opts.Limits);
+      Outcome Ref = runEngine(G, C.Prog, RefEngine, Opts);
       Outcome Co =
-          runEngine(G, C.Prog, vmEngine(CastMode::Coercions), Opts.Limits);
+          runEngine(G, C.Prog, vmEngine(CastMode::Coercions), Opts);
       if (Ref.canonical() != Outcomes[0].canonical() ||
           Co.canonical() != Outcomes[0].canonical())
         return true;

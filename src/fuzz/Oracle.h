@@ -48,7 +48,21 @@ struct OracleOptions {
   /// Guard budgets for every engine run. Generated programs are tiny, so
   /// these never fire on a healthy build; when they do, the run shows up
   /// as a resource-kind outcome and the oracle reports it.
+  /// Limits.GCNurseryBytes also flows through (--gc-nursery=BYTES).
   RunLimits Limits;
+
+  /// GC torture for every VM run: force a full collection every Nth
+  /// allocation (0 = off). Each run gets a fresh deterministic injector.
+  uint64_t GCTorturePeriod = 0;
+  /// Minor-GC torture: force a nursery collection every Nth allocation
+  /// and every Nth cast application (0 = off). The harshest moving-GC
+  /// test the oracles can apply.
+  uint64_t MinorGCTorturePeriod = 0;
+  /// Enrolls a --gc-nursery=0 twin of every VM engine in the
+  /// differential set: the same program must produce the identical
+  /// canonical outcome under the generational and the pre-generational
+  /// collector, in every cast mode.
+  bool GCDifferential = false;
 
   OracleOptions();
 };

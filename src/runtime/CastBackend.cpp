@@ -73,9 +73,11 @@ Value CastBackend::dynBoxRead(Value Inner, const Type *Elem,
 
 void CastBackend::dynBoxWrite(Value Inner, Value Content, const Type *Elem,
                               const std::string *Label, CoercionCache *IC) {
+  // The content cast can allocate and move Inner; pin it across the cast.
+  Rooted Ref(RT.heap(), Inner);
   Value Converted =
       castRuntime(Content, RT.typeContext().dyn(), Elem, Label, IC);
-  RT.boxWrite(Inner, Converted);
+  RT.boxWrite(Ref.get(), Converted);
 }
 
 Value CastBackend::dynVectorRef(Value Inner, int64_t Index, const Type *Elem,
@@ -87,9 +89,10 @@ Value CastBackend::dynVectorRef(Value Inner, int64_t Index, const Type *Elem,
 void CastBackend::dynVectorSet(Value Inner, int64_t Index, Value Content,
                                const Type *Elem, const std::string *Label,
                                CoercionCache *IC) {
+  Rooted Ref(RT.heap(), Inner);
   Value Converted =
       castRuntime(Content, RT.typeContext().dyn(), Elem, Label, IC);
-  RT.vectorSet(Inner, Index, Converted);
+  RT.vectorSet(Ref.get(), Index, Converted);
 }
 
 namespace {
@@ -125,11 +128,15 @@ public:
   }
 
   void proxyBoxWrite(Value Box, Value Content) override {
-    HeapObject *P = Box.object();
     RT.stats().noteChain(1);
-    const Coercion *C = static_cast<const Coercion *>(P->meta(0));
+    // The write coercion can allocate (and so move the proxy and its
+    // base); the coercion itself is interned and safe to read up front.
+    const Coercion *C = static_cast<const Coercion *>(Box.object()->meta(0));
+    Rooted Proxy(RT.heap(), Box);
     Value Converted = RT.applyCoercion(Content, C->writeCoercion());
-    P->slot(0).object()->slot(0) = Converted;
+    HeapObject *Base = Proxy.get().object()->slot(0).object();
+    Base->slot(0) = Converted;
+    RT.heap().recordWrite(Base, Converted);
   }
 
   Value proxyVectorRef(Value Vect, int64_t Index) override {
@@ -144,14 +151,15 @@ public:
   }
 
   void proxyVectorSet(Value Vect, int64_t Index, Value Content) override {
-    HeapObject *P = Vect.object();
     RT.stats().noteChain(1);
-    const Coercion *C = static_cast<const Coercion *>(P->meta(0));
+    const Coercion *C = static_cast<const Coercion *>(Vect.object()->meta(0));
+    Rooted Proxy(RT.heap(), Vect);
     Value Converted = RT.applyCoercion(Content, C->writeCoercion());
-    HeapObject *Base = P->slot(0).object();
+    HeapObject *Base = Proxy.get().object()->slot(0).object();
     if (Index < 0 || Index >= Base->slotCount())
       RT.trap("vector index out of bounds");
     Base->slot(static_cast<uint32_t>(Index)) = Converted;
+    RT.heap().recordWrite(Base, Converted);
   }
 };
 
@@ -197,74 +205,91 @@ public:
 
   // Chains grow without bound; every operation traverses the whole chain
   // (reads innermost-outwards, writes outermost-inwards).
+  //
+  // The recorded chain holds the proxies' (S, T, label) triples, not the
+  // proxy objects: types, labels — and the triples — are interned and
+  // immortal, while the proxies themselves can move when a conversion
+  // below allocates and triggers a minor collection.
+  struct ProxyView {
+    const Type *S;
+    const Type *T;
+    const std::string *L;
+  };
+
   Value proxyBoxRead(Value Box) override {
-    std::vector<const HeapObject *> Chain;
+    std::vector<ProxyView> Chain;
     const HeapObject *Object = Box.object();
     while (Object->kind() == ObjectKind::RefProxy) {
-      Chain.push_back(Object);
+      Chain.push_back({static_cast<const Type *>(Object->meta(0)),
+                       static_cast<const Type *>(Object->meta(1)),
+                       static_cast<const std::string *>(Object->meta(2))});
       Object = Object->slots()[0].object();
     }
     RT.stats().noteChain(Chain.size());
     Value V = Object->slots()[0];
-    for (size_t I = Chain.size(); I-- > 0;) {
-      const HeapObject *P = Chain[I];
-      V = RT.applyTypeBased(V, static_cast<const Type *>(P->meta(0)),
-                            static_cast<const Type *>(P->meta(1)),
-                            static_cast<const std::string *>(P->meta(2)));
-    }
+    for (size_t I = Chain.size(); I-- > 0;)
+      V = RT.applyTypeBased(V, Chain[I].S, Chain[I].T, Chain[I].L);
     return V;
   }
 
   void proxyBoxWrite(Value Box, Value Content) override {
-    HeapObject *Object = Box.object();
+    // Inward walk: each conversion can allocate, so the current position
+    // is held in a pinned slot and re-derived after every step.
+    Rooted Pos(RT.heap(), Box);
     uint64_t Depth = 0;
     Value V = Content;
-    while (Object->kind() == ObjectKind::RefProxy) {
+    while (Pos.get().object()->kind() == ObjectKind::RefProxy) {
       ++Depth;
-      V = RT.applyTypeBased(V, static_cast<const Type *>(Object->meta(1)),
-                            static_cast<const Type *>(Object->meta(0)),
-                            static_cast<const std::string *>(Object->meta(2)));
-      Object = Object->slot(0).object();
+      const HeapObject *P = Pos.get().object();
+      const Type *From = static_cast<const Type *>(P->meta(1));
+      const Type *To = static_cast<const Type *>(P->meta(0));
+      const std::string *L = static_cast<const std::string *>(P->meta(2));
+      V = RT.applyTypeBased(V, From, To, L);
+      Pos.set(Pos.get().object()->slot(0));
     }
     RT.stats().noteChain(Depth);
-    Object->slot(0) = V;
+    HeapObject *Base = Pos.get().object();
+    Base->slot(0) = V;
+    RT.heap().recordWrite(Base, V);
   }
 
   Value proxyVectorRef(Value Vect, int64_t Index) override {
-    std::vector<const HeapObject *> Chain;
+    std::vector<ProxyView> Chain;
     const HeapObject *Object = Vect.object();
     while (Object->kind() == ObjectKind::RefProxy) {
-      Chain.push_back(Object);
+      Chain.push_back({static_cast<const Type *>(Object->meta(0)),
+                       static_cast<const Type *>(Object->meta(1)),
+                       static_cast<const std::string *>(Object->meta(2))});
       Object = Object->slots()[0].object();
     }
     RT.stats().noteChain(Chain.size());
     if (Index < 0 || Index >= Object->slotCount())
       RT.trap("vector index out of bounds");
     Value V = Object->slots()[static_cast<uint32_t>(Index)];
-    for (size_t I = Chain.size(); I-- > 0;) {
-      const HeapObject *P = Chain[I];
-      V = RT.applyTypeBased(V, static_cast<const Type *>(P->meta(0)),
-                            static_cast<const Type *>(P->meta(1)),
-                            static_cast<const std::string *>(P->meta(2)));
-    }
+    for (size_t I = Chain.size(); I-- > 0;)
+      V = RT.applyTypeBased(V, Chain[I].S, Chain[I].T, Chain[I].L);
     return V;
   }
 
   void proxyVectorSet(Value Vect, int64_t Index, Value Content) override {
-    HeapObject *Object = Vect.object();
+    Rooted Pos(RT.heap(), Vect);
     uint64_t Depth = 0;
     Value V = Content;
-    while (Object->kind() == ObjectKind::RefProxy) {
+    while (Pos.get().object()->kind() == ObjectKind::RefProxy) {
       ++Depth;
-      V = RT.applyTypeBased(V, static_cast<const Type *>(Object->meta(1)),
-                            static_cast<const Type *>(Object->meta(0)),
-                            static_cast<const std::string *>(Object->meta(2)));
-      Object = Object->slot(0).object();
+      const HeapObject *P = Pos.get().object();
+      const Type *From = static_cast<const Type *>(P->meta(1));
+      const Type *To = static_cast<const Type *>(P->meta(0));
+      const std::string *L = static_cast<const std::string *>(P->meta(2));
+      V = RT.applyTypeBased(V, From, To, L);
+      Pos.set(Pos.get().object()->slot(0));
     }
     RT.stats().noteChain(Depth);
-    if (Index < 0 || Index >= Object->slotCount())
+    HeapObject *Base = Pos.get().object();
+    if (Index < 0 || Index >= Base->slotCount())
       RT.trap("vector index out of bounds");
-    Object->slot(static_cast<uint32_t>(Index)) = V;
+    Base->slot(static_cast<uint32_t>(Index)) = V;
+    RT.heap().recordWrite(Base, V);
   }
 };
 
@@ -295,8 +320,11 @@ public:
   }
 
   Value coerceRef(Value V, const Coercion *C, CoercionCache *) override {
-    strengthenCell(V, C->type()->inner(), C->labelPointer());
-    return V;
+    // Strengthening converts stored values and can run a minor
+    // collection; return the pinned (possibly moved) reference.
+    Rooted Ref(RT.heap(), V);
+    strengthenCell(Ref.get(), C->type()->inner(), C->labelPointer());
+    return Ref.get();
   }
 
   Value dynBoxRead(Value Inner, const Type *, const std::string *Label,

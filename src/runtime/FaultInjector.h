@@ -40,6 +40,14 @@ struct FaultInjector {
   /// Force a full collection every Nth allocation (0 = off).
   uint64_t GCTorturePeriod = 0;
 
+  /// Force a *minor* (nursery) collection every Nth allocation — and
+  /// every Nth cast application, through the heap's cast-torture hook —
+  /// (0 = off). Minor collections move young objects, so period 1 is
+  /// the harshest test of the write barrier and of every Value held
+  /// across an allocating or casting call. No-op while the nursery is
+  /// disabled.
+  uint64_t MinorGCTorturePeriod = 0;
+
   /// Throw ErrorKind::OutOfMemory on the Nth allocation, 1-based
   /// (0 = off). One-shot: the counter keeps advancing afterwards, so a
   /// retried run on the same injector does not re-fail unless re-armed.
@@ -52,6 +60,9 @@ struct FaultInjector {
 
   /// Collections forced by GC torture (diagnostics).
   uint64_t ForcedCollections = 0;
+
+  /// Minor collections forced by MinorGCTorturePeriod (diagnostics).
+  uint64_t ForcedMinorCollections = 0;
 
   //===------------------------------------------------------------------===//
   // File-I/O fault family (persistent store, crash-only testing).

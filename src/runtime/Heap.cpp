@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <unordered_set>
 
 using namespace grift;
 
@@ -19,6 +21,11 @@ namespace {
 /// destructor frees whatever is still cached at thread exit — the
 /// blocks are raw malloc'd memory the vector does not own.
 constexpr size_t BlockCacheCap = 64;
+
+/// Cells a post-minor incremental sweep slice may examine. Two blocks'
+/// worth: enough to keep reclamation ahead of a 256 KiB nursery's
+/// promotion rate, small enough that the slice stays off the pause path.
+constexpr size_t MinorSweepSliceCells = 2048;
 
 struct BlockCache {
   std::vector<void *> Blocks;
@@ -48,6 +55,10 @@ Heap::~Heap() {
       else
         std::free(Block);
     }
+  }
+  if (NurseryBase) {
+    GRIFT_UNPOISON(NurseryBase, NurserySize);
+    std::free(NurseryBase);
   }
 }
 
@@ -82,16 +93,66 @@ PoolBlock *Heap::refillBlock(unsigned Class) {
   return Block;
 }
 
+void Heap::ensureNursery() {
+  if (NurseryBase || !NurserySizeCfg)
+    return;
+  void *Memory = std::malloc(NurserySizeCfg);
+  if (!Memory) {
+    // Out of memory before the program even allocated: degrade to the
+    // nursery-off configuration rather than failing the run here — the
+    // pools' own failure paths produce a reportable OutOfMemory.
+    NurserySizeCfg = 0;
+    return;
+  }
+  NurseryBase = static_cast<char *>(Memory);
+  NurserySize = NurserySizeCfg;
+  NurseryUsed = 0;
+  YoungObjects = 0;
+  GRIFT_POISON(NurseryBase, NurserySize);
+}
+
+void Heap::resetNursery() {
+  GRIFT_POISON(NurseryBase, NurserySize);
+  NurseryUsed = 0;
+  YoungObjects = 0;
+}
+
+void Heap::setNurserySize(size_t Bytes) {
+  // Evacuate residents so no live object is freed with the region.
+  if (NurseryBase && NurseryUsed)
+    minorCollect();
+  if (NurseryBase) {
+    GRIFT_UNPOISON(NurseryBase, NurserySize);
+    std::free(NurseryBase);
+    NurseryBase = nullptr;
+    NurserySize = 0;
+    NurseryUsed = 0;
+    YoungObjects = 0;
+  }
+  flushRememberedSet();
+  NurserySizeCfg = Bytes == SIZE_MAX ? DefaultNurseryBytes : Bytes;
+  if (NurserySizeCfg && NurserySizeCfg < MinNurseryBytes)
+    NurserySizeCfg = MinNurseryBytes;
+  // Mapped lazily: the first slow-path small allocation calls
+  // ensureNursery, after which tryFastAlloc bumps inline.
+}
+
+void Heap::flushRememberedSet() {
+  for (HeapObject *Owner : RememberedSet)
+    Owner->Flags &= ~HeapObject::FlagInRemembered;
+  RememberedSet.clear();
+}
+
 void Heap::sweepBlock(PoolBlock *Block, SizeClass &C) {
   for (uint32_t I = 0; I != Block->SweepBound; ++I) {
     HeapObject *Object = Block->cell(I);
-    if (Object->Marked) {
-      Object->Marked = false;
+    // Live iff reached by the last completed mark. No unmark pass: the
+    // epoch comparison ages out by itself when the next mark begins.
+    if (Object->MarkEpoch == LiveEpoch && !(Object->Flags & HeapObject::FlagFree))
       continue;
-    }
     // Dead since the last mark phase, or already free from an earlier
     // cycle (free lists are rebuilt from scratch each cycle).
-    Object->Free = true;
+    Object->Flags = HeapObject::FlagFree;
     Object->Next = C.FreeList;
     C.FreeList = Object;
     GRIFT_POISON(reinterpret_cast<char *>(Object) + sizeof(HeapObject),
@@ -112,6 +173,22 @@ void Heap::finishSweep() {
   for (SizeClass &C : Classes)
     while (C.SweepCursor < C.Blocks.size())
       sweepBlock(C.Blocks[C.SweepCursor++], C);
+}
+
+void Heap::sweepSlice(size_t MaxCells) {
+  bool Swept = false;
+  for (SizeClass &C : Classes) {
+    while (C.SweepCursor < C.Blocks.size()) {
+      PoolBlock *Block = C.Blocks[C.SweepCursor];
+      size_t Cells = Block->SweepBound;
+      if (Swept && Cells > MaxCells)
+        return; // budget exhausted; the next slice resumes here
+      sweepBlock(Block, C);
+      ++C.SweepCursor;
+      Swept = true;
+      MaxCells -= std::min(MaxCells, Cells);
+    }
+  }
 }
 
 HeapObject *Heap::acquireSmallCell(unsigned Class) {
@@ -149,22 +226,39 @@ HeapObject *Heap::allocateObject(ObjectKind Kind, uint32_t NumSlots) {
       ++Injector->ForcedCollections;
       collect();
     }
+    if (Injector->MinorGCTorturePeriod &&
+        Injector->AllocCount % Injector->MinorGCTorturePeriod == 0) {
+      ++Injector->ForcedMinorCollections;
+      minorCollect();
+    }
   }
+  bool Small = NumSlots <= MaxSmallSlots;
   bool Collected = false;
-  if (BytesSinceGC + Bytes >= GCThreshold) {
+  if (Small && NurserySizeCfg) {
+    ensureNursery();
+    // ensureNursery can disable itself on mapping failure; re-test.
+    if (NurseryBase && NurseryUsed + Bytes > NurserySize)
+      // Nursery exhausted mid-allocation: evacuate survivors. A chained
+      // major counts as "collected" for the heap-limit retry logic.
+      Collected = minorCollect();
+  }
+  if (!(Small && NurseryBase) && BytesSinceGC + Bytes >= GCThreshold) {
     collect();
     Collected = true;
   }
-  if (HeapLimit && LiveBytesAtGC + BytesSinceGC + Bytes > HeapLimit) {
+  if (HeapLimit && heapEstimate() + Bytes > HeapLimit) {
     // Floating garbage must not count against the budget: collect once,
     // then re-measure before declaring defeat — but when the threshold
     // path just collected, nothing has been allocated since, so a second
-    // back-to-back collection could not reclaim anything more.
+    // back-to-back collection could not reclaim anything more. collect()
+    // finishes any pending lazy sweep before taking its counts, so this
+    // retry can never double-count cells an interleaved sweep already
+    // returned to a free list.
     if (Collected)
       ++DoubleCollectionsAvoided;
     else
       collect();
-    if (LiveBytesAtGC + BytesSinceGC + Bytes > HeapLimit)
+    if (heapEstimate() + Bytes > HeapLimit)
       throw RuntimeError{ErrorKind::OutOfMemory, "",
                          "heap limit of " + std::to_string(HeapLimit) +
                              " bytes exceeded allocating " +
@@ -172,7 +266,7 @@ HeapObject *Heap::allocateObject(ObjectKind Kind, uint32_t NumSlots) {
   }
 
   void *Memory;
-  if (NumSlots > MaxSmallSlots) {
+  if (!Small) {
     Memory = std::malloc(Bytes);
     if (!Memory) {
       // The allocator itself failed; reclaim garbage and retry once,
@@ -185,6 +279,19 @@ HeapObject *Heap::allocateObject(ObjectKind Kind, uint32_t NumSlots) {
                                "-byte object"};
     }
     ++LargeAllocated;
+  } else if (NurseryBase && NurseryUsed + Bytes <= NurserySize) {
+    // Young allocation (slow path: injector attached, or the minor above
+    // just made room). Any nonzero nursery fits any small cell.
+    HeapObject *Object =
+        reinterpret_cast<HeapObject *>(NurseryBase + NurseryUsed);
+    GRIFT_UNPOISON(Object, Bytes);
+    NurseryUsed += Bytes;
+    ++YoungObjects;
+    ++Classes[classForSlots(NumSlots)].ObjectsAllocated;
+    ++LiveObjects;
+    BytesAllocated += Bytes;
+    PeakHeapBytes = std::max(PeakHeapBytes, heapEstimate());
+    return initObject(Object, Kind, NumSlots);
   } else {
     unsigned Class = classForSlots(NumSlots);
     Memory = acquireSmallCell(Class);
@@ -203,14 +310,14 @@ HeapObject *Heap::allocateObject(ObjectKind Kind, uint32_t NumSlots) {
   assert((reinterpret_cast<uintptr_t>(Memory) & 7) == 0 &&
          "heap objects must be 8-byte aligned");
   HeapObject *Object = initObject(Memory, Kind, NumSlots);
-  if (NumSlots > MaxSmallSlots) {
+  if (!Small) {
     Object->Next = LargeObjects;
     LargeObjects = Object;
   }
   ++LiveObjects;
   BytesAllocated += Bytes;
   BytesSinceGC += Bytes;
-  PeakHeapBytes = std::max(PeakHeapBytes, LiveBytesAtGC + BytesSinceGC);
+  PeakHeapBytes = std::max(PeakHeapBytes, heapEstimate());
   return Object;
 }
 
@@ -226,6 +333,9 @@ Value Heap::allocVectorSlow(uint32_t Size, Value Fill) {
   HeapObject *Object = allocateObject(ObjectKind::Vector, Size);
   for (uint32_t I = 0; I != Size; ++I)
     Object->slot(I) = Root.get();
+  // Large vectors are pre-tenured (old) but may be filled with a young
+  // value — the only allocation path that creates an old→young edge.
+  recordWrite(Object, Root.get());
   return Value::fromHeap(Object);
 }
 
@@ -287,62 +397,197 @@ void Heap::removeRootProvider(RootProvider *Provider) {
       RootProviders.end());
 }
 
-void Heap::mark(Value V) {
-  if (!V.isPointer())
+//===----------------------------------------------------------------------===//
+// Promotion and minor collection
+//===----------------------------------------------------------------------===//
+
+HeapObject *Heap::promote(HeapObject *Object) {
+  uint32_t NumSlots = Object->NumSlots;
+  assert(NumSlots <= MaxSmallSlots && "large objects are pre-tenured");
+  unsigned Class = classForSlots(NumSlots);
+  // Straight to the pools: no injector hook, no threshold check, and no
+  // per-class ObjectsAllocated recount — the object was counted when it
+  // was allocated, and the alloc_by_class counters must be identical
+  // with the nursery on or off. acquireSmallCell can sweep a pending
+  // block mid-promotion; that is safe because sweeps test against
+  // LiveEpoch (the last *completed* mark) and never examine fresh cells.
+  HeapObject *Memory = acquireSmallCell(Class);
+  if (!Memory)
+    throw RuntimeError{ErrorKind::OutOfMemory, "",
+                       "allocator failed promoting a nursery object"};
+  size_t Bytes = ClassCellSizes[Class];
+  std::memcpy(Memory, Object, sizeof(HeapObject) + NumSlots * sizeof(Value));
+  Memory->SlotArray = reinterpret_cast<Value *>(
+      reinterpret_cast<char *>(Memory) + sizeof(HeapObject));
+  Memory->Flags = 0;
+  Memory->MarkEpoch = LiveEpoch;
+  Memory->Next = nullptr;
+  Object->Flags |= HeapObject::FlagForwarded;
+  Object->Next = Memory;
+  ++PromotedObjects;
+  PromotedBytes += Bytes;
+  BytesSinceGC += Bytes; // promotion is old-generation growth
+  return Memory;
+}
+
+void Heap::evacuateSlot(Value &Slot) {
+  if (!Slot.isPointer())
     return;
-  HeapObject *Object = V.object();
-  if (Object->Marked)
+  HeapObject *Object = Slot.object();
+  if (!isYoung(Object))
     return;
-  Object->Marked = true;
-  ++MarkedObjects;
-  MarkedBytes += cellBytesFor(Object->NumSlots);
-  MarkStack.push_back(Object);
+  if (Object->Flags & HeapObject::FlagForwarded) {
+    Slot = retag(Slot, Object->Next);
+    return;
+  }
+  HeapObject *Copy = promote(Object);
+  Slot = retag(Slot, Copy);
+  MarkStack.push_back(Copy);
+}
+
+void Heap::drainScanStack(void (Heap::*VisitSlot)(Value &)) {
   while (!MarkStack.empty()) {
     HeapObject *Current = MarkStack.back();
     MarkStack.pop_back();
-    for (uint32_t I = 0; I != Current->NumSlots; ++I) {
-      Value Slot = Current->SlotArray[I];
-      if (!Slot.isPointer())
-        continue;
-      HeapObject *Child = Slot.object();
-      if (!Child->Marked) {
-        Child->Marked = true;
-        ++MarkedObjects;
-        MarkedBytes += cellBytesFor(Child->NumSlots);
-        MarkStack.push_back(Child);
-      }
-    }
+    for (uint32_t I = 0; I != Current->NumSlots; ++I)
+      (this->*VisitSlot)(Current->SlotArray[I]);
   }
 }
 
-void Heap::collect() {
+bool Heap::minorCollect() {
+  if (!NurseryBase)
+    return false;
+  assert(!InCollection && "re-entrant collection");
+  InCollection = true;
   auto Start = std::chrono::steady_clock::now();
 
-  // Finish the previous cycle's lazy sweep first: unswept blocks still
-  // carry last cycle's mark bits, which would corrupt this mark phase.
-  finishSweep();
-
-  // Mark. Live object/byte counts are taken here so the accounting is
-  // exact the moment collect() returns, before any lazy sweeping.
-  MarkedObjects = 0;
-  MarkedBytes = 0;
+  uint64_t PromotedBefore = PromotedObjects;
   for (RootProvider *Provider : RootProviders)
     Provider->visitRoots(
-        [](Value &Slot, void *Ctx) { static_cast<Heap *>(Ctx)->mark(Slot); },
+        [](Value &Slot, void *Ctx) {
+          static_cast<Heap *>(Ctx)->evacuateSlot(Slot);
+        },
         this);
   for (Value *Slot : TempRoots) {
     assert(Slot && "dangling temp root at collection time — push/pop "
                    "mismatch (use the RAII Rooted helper)");
-    mark(*Slot);
+    evacuateSlot(*Slot);
   }
+  // Old→young edges recorded by the write barrier. Object granularity:
+  // rescan every slot of each remembered owner. Owners are live (a
+  // mutator can only store into objects it reaches, and sweeps only free
+  // objects that were already dead at the last mark), but skip freed
+  // cells defensively — their payload is poisoned.
+  RememberedSetPeak = std::max(RememberedSetPeak, RememberedSet.size());
+  for (HeapObject *Owner : RememberedSet) {
+    Owner->Flags &= ~HeapObject::FlagInRemembered;
+    if (Owner->Flags & HeapObject::FlagFree)
+      continue;
+    for (uint32_t I = 0; I != Owner->NumSlots; ++I)
+      evacuateSlot(Owner->SlotArray[I]);
+  }
+  RememberedSet.clear();
+  drainScanStack(&Heap::evacuateSlot);
+
+  uint64_t Promoted = PromotedObjects - PromotedBefore;
+  assert(YoungObjects >= Promoted && "promoted more than was allocated");
+  LiveObjects -= YoungObjects - static_cast<size_t>(Promoted);
+  resetNursery();
+  ++MinorCollections;
+  PeakHeapBytes = std::max(PeakHeapBytes, heapEstimate());
+
+  uint64_t Nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+  recordPause(Nanos, GCMinorPauseTotalNs, GCMinorPauseMaxNs, MinorPauseHist);
+  GCPauseTotalNs += Nanos;
+  GCPauseMaxNs = std::max(GCPauseMaxNs, Nanos);
+  InCollection = false;
+  maybeVerify();
+
+  // Promotion grew the old generation; pay the debt outside the pause:
+  // chain a major when past the threshold, else one incremental sweep
+  // slice so dead old cells are reclaimed steadily rather than in a
+  // stop-the-world finish.
+  if (BytesSinceGC >= GCThreshold) {
+    collect();
+    return true;
+  }
+  sweepSlice(MinorSweepSliceCells);
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Major collection (evacuating mark, epoch liveness)
+//===----------------------------------------------------------------------===//
+
+void Heap::markValue(Value &Slot) {
+  if (!Slot.isPointer())
+    return;
+  HeapObject *Object = Slot.object();
+  if (isYoung(Object)) {
+    if (Object->Flags & HeapObject::FlagForwarded) {
+      Slot = retag(Slot, Object->Next);
+      return;
+    }
+    // The major mark evacuates: every reachable nursery object is
+    // promoted during the trace and its referencing slot rewritten.
+    // Majors therefore never depend on the remembered set.
+    HeapObject *Copy = promote(Object);
+    Copy->MarkEpoch = Epoch;
+    ++MarkedObjects;
+    MarkedBytes += cellBytesFor(Copy->NumSlots);
+    Slot = retag(Slot, Copy);
+    MarkStack.push_back(Copy);
+    return;
+  }
+  if (Object->MarkEpoch == Epoch)
+    return;
+  Object->MarkEpoch = Epoch;
+  ++MarkedObjects;
+  MarkedBytes += cellBytesFor(Object->NumSlots);
+  MarkStack.push_back(Object);
+}
+
+void Heap::collect() {
+  assert(!InCollection && "re-entrant collection");
+  InCollection = true;
+  auto Start = std::chrono::steady_clock::now();
+
+  // Finish the previous cycle's lazy sweep first: it still holds the
+  // previous mark's view of its SweepBound cells, and the live counts
+  // taken below must not be double-counted by a sweep that resumes
+  // after them.
+  finishSweep();
+
+  // Mark with evacuation. Live object/byte counts are taken here so the
+  // accounting is exact the moment collect() returns, before any lazy
+  // sweeping. ++Epoch distinguishes this mark from the last completed
+  // one; LiveEpoch catches up only when the sweep schedule below is in
+  // place.
+  ++Epoch;
+  MarkedObjects = 0;
+  MarkedBytes = 0;
+  for (RootProvider *Provider : RootProviders)
+    Provider->visitRoots(
+        [](Value &Slot, void *Ctx) {
+          static_cast<Heap *>(Ctx)->markValue(Slot);
+        },
+        this);
+  for (Value *Slot : TempRoots) {
+    assert(Slot && "dangling temp root at collection time — push/pop "
+                   "mismatch (use the RAII Rooted helper)");
+    markValue(*Slot);
+  }
+  drainScanStack(&Heap::markValue);
 
   // Sweep the large-object list eagerly: it is short (big vectors only)
   // and each entry returns real memory to malloc.
   HeapObject **Link = &LargeObjects;
   while (*Link) {
     HeapObject *Object = *Link;
-    if (Object->Marked) {
-      Object->Marked = false;
+    if (Object->MarkEpoch == Epoch) {
       Link = &Object->Next;
     } else {
       *Link = Object->Next;
@@ -362,6 +607,12 @@ void Heap::collect() {
     for (PoolBlock *Block : C.Blocks)
       Block->SweepBound = Block->Bump;
   }
+  LiveEpoch = Epoch;
+
+  // The nursery is empty now — every survivor was promoted by the mark.
+  if (NurseryBase)
+    resetNursery();
+  flushRememberedSet();
 
   LiveObjects = MarkedObjects;
   BytesSinceGC = 0;
@@ -379,6 +630,162 @@ void Heap::collect() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - Start)
           .count());
-  GCPauseTotalNs += Nanos;
-  GCPauseMaxNs = std::max(GCPauseMaxNs, Nanos);
+  recordPause(Nanos, GCPauseTotalNs, GCPauseMaxNs, MajorPauseHist);
+  InCollection = false;
+  maybeVerify();
+}
+
+void Heap::recordPause(uint64_t Nanos, uint64_t &TotalNs, uint64_t &MaxNs,
+                       uint64_t *Hist) {
+  TotalNs += Nanos;
+  MaxNs = std::max(MaxNs, Nanos);
+  unsigned Bucket = 0;
+  uint64_t Us = Nanos / 1000;
+  while (Us && Bucket < PauseHistBuckets - 1) {
+    Us >>= 1;
+    ++Bucket;
+  }
+  ++Hist[Bucket];
+}
+
+void Heap::castTortureSlow(Value &Pinned) {
+  assert(Injector && Injector->MinorGCTorturePeriod);
+  if (++CastTortureCount % Injector->MinorGCTorturePeriod != 0)
+    return;
+  if (!NurseryBase)
+    return;
+  ++Injector->ForcedMinorCollections;
+  pushTempRoot(&Pinned);
+  minorCollect();
+  popTempRoot();
+}
+
+//===----------------------------------------------------------------------===//
+// Invariant verification
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct VerifyState {
+  Heap *H;
+  std::unordered_set<const HeapObject *> Seen;
+  std::vector<const HeapObject *> Work;
+
+  void visit(Value V) {
+    if (!V.isPointer())
+      return;
+    const HeapObject *Object = V.object();
+    if (Seen.insert(Object).second)
+      Work.push_back(Object);
+  }
+};
+} // namespace
+
+size_t Heap::verify() {
+  size_t Violations = 0;
+  auto complain = [&](const char *What, const void *Object) {
+    ++Violations;
+    std::fprintf(stderr, "Heap::verify: %s (object %p)\n", What, Object);
+  };
+
+  // 1. Nursery header walk: strides must tile [0, NurseryUsed) exactly
+  // and every header must be internally consistent.
+  size_t Offset = 0;
+  size_t Walked = 0;
+  while (Offset < NurseryUsed) {
+    const HeapObject *Object =
+        reinterpret_cast<const HeapObject *>(NurseryBase + Offset);
+    if (Object->NumSlots > MaxSmallSlots) {
+      complain("nursery object with a large slot count", Object);
+      break;
+    }
+    if (Object->Flags & HeapObject::FlagFree)
+      complain("free-flagged object inside the nursery", Object);
+    if (!InCollection && (Object->Flags & HeapObject::FlagForwarded))
+      complain("forwarded nursery object outside a collection", Object);
+    ++Walked;
+    Offset += ClassCellSizes[classForSlots(Object->NumSlots)];
+  }
+  if (Offset != NurseryUsed)
+    complain("nursery walk does not land exactly on the bump pointer",
+             nullptr);
+  else if (Walked != YoungObjects)
+    complain("nursery object count disagrees with the walk", nullptr);
+
+  // 2. Reachability from every root, without marking or moving.
+  VerifyState State;
+  State.H = this;
+  for (RootProvider *Provider : RootProviders)
+    Provider->visitRoots(
+        [](Value &Slot, void *Ctx) {
+          static_cast<VerifyState *>(Ctx)->visit(Slot);
+        },
+        &State);
+  for (Value *Slot : TempRoots) {
+    if (!Slot) {
+      complain("null temp root", nullptr);
+      continue;
+    }
+    State.visit(*Slot);
+  }
+  while (!State.Work.empty()) {
+    const HeapObject *Object = State.Work.back();
+    State.Work.pop_back();
+    if (Object->Flags & HeapObject::FlagFree)
+      complain("reachable object sits on a free list", Object);
+    if (!InCollection && (Object->Flags & HeapObject::FlagForwarded))
+      complain("reachable forwarded object outside a collection (dangling "
+               "promoted pointer)",
+               Object);
+    if (isYoung(Object)) {
+      const char *P = reinterpret_cast<const char *>(Object);
+      if (P >= NurseryBase + NurseryUsed)
+        complain("young pointer past the nursery bump pointer", Object);
+    } else if (NurseryBase && !(Object->Flags & HeapObject::FlagInRemembered)) {
+      // An old object outside the remembered set must have no young
+      // edges: every old→young store goes through recordWrite.
+      for (uint32_t I = 0; I != Object->NumSlots; ++I) {
+        Value Slot = Object->SlotArray[I];
+        if (Slot.isPointer() && isYoung(Slot.object())) {
+          complain("unrecorded old→young edge (write-barrier miss)", Object);
+          break;
+        }
+      }
+    }
+    for (uint32_t I = 0; I != Object->NumSlots; ++I)
+      State.visit(Object->SlotArray[I]);
+  }
+  if (State.Seen.size() > LiveObjects)
+    complain("reachable objects exceed the live-object count", nullptr);
+
+  // 3. Remembered-set hygiene.
+  for (const HeapObject *Owner : RememberedSet) {
+    if (!Owner) {
+      complain("null remembered-set entry", nullptr);
+      continue;
+    }
+    if (isYoung(Owner))
+      complain("young object in the remembered set", Owner);
+    if (!(Owner->Flags & HeapObject::FlagInRemembered))
+      complain("remembered-set entry without its InRemembered flag", Owner);
+  }
+  return Violations;
+}
+
+void Heap::maybeVerify() {
+  bool Active = VerifyAfterGC;
+#if GRIFT_ASAN
+  Active = true;
+#endif
+  if (Injector &&
+      (Injector->GCTorturePeriod || Injector->MinorGCTorturePeriod))
+    Active = true;
+  if (!Active)
+    return;
+  if (size_t N = verify()) {
+    std::fprintf(stderr,
+                 "Heap::verify: %zu invariant violation(s) after a "
+                 "collection; aborting\n",
+                 N);
+    std::abort();
+  }
 }

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 
 namespace grift {
 
@@ -46,6 +47,13 @@ struct RunLimits {
   /// Wall-clock budget in nanoseconds, checked at batch boundaries.
   /// 0 = unlimited.
   int64_t MaxWallNanos = 0;
+
+  /// Nursery (young-generation) size in bytes for this run. The
+  /// SIZE_MAX sentinel keeps the heap's built-in default; 0 disables the
+  /// nursery entirely (the `--gc-nursery=0` escape hatch: all allocation
+  /// goes straight to the old generation's pools, restoring the
+  /// pre-generational collector); anything else is an explicit size.
+  size_t GCNurseryBytes = std::numeric_limits<size_t>::max();
 
   /// Preemptive cancellation token. When non-null, the engines poll it
   /// at the same cadence as the wall clock (VM dispatch-batch boundary /

@@ -87,6 +87,10 @@ Value Runtime::inject(Value V, const Type *S) {
 
 Value Runtime::applyCast(Value V, const CastDescriptor &Desc,
                          CoercionCache *IC) {
+  // Cast-torture hook: under MinorGCTorturePeriod every Nth cast runs a
+  // minor collection with V pinned, so the backend below sees a value
+  // that just survived an evacuation.
+  TheHeap.maybeCastTortureMinor(V);
   return Backend->applyCast(V, Desc, IC);
 }
 
@@ -109,6 +113,7 @@ Value Runtime::applyTypeBased(Value V, const Type *S, const Type *T,
 
 Value Runtime::castRuntime(Value V, const Type *S, const Type *T,
                            const std::string *Label, CoercionCache *IC) {
+  TheHeap.maybeCastTortureMinor(V);
   return Backend->castRuntime(V, S, T, Label, IC);
 }
 
@@ -204,7 +209,10 @@ Value Runtime::coerce(Value V, const Coercion *C, CoercionCache *IC) {
     Rooted Dst(TheHeap, Fresh);
     for (uint32_t I = 0; I != Size; ++I) {
       Value Element = coerce(Src.get().object()->slot(I), C->element(I));
+      // The element coercion may have triggered a minor collection that
+      // promoted Dst while Element is still young.
       Dst.get().object()->slot(I) = Element;
+      TheHeap.recordWrite(Dst.get(), Element);
     }
     return Dst.get();
   }
@@ -259,6 +267,7 @@ Value Runtime::castTB(Value V, const Type *S, const Type *T,
       Value Element = castTB(Src.get().object()->slot(I), S->element(I),
                              T->element(I), Label);
       Dst.get().object()->slot(I) = Element;
+      TheHeap.recordWrite(Dst.get(), Element);
     }
     return Dst.get();
   }
@@ -305,10 +314,15 @@ Value Runtime::castMono(Value V, const Type *S, const Type *T,
     return coerce(V, C);
   }
   case TypeKind::Box:
-  case TypeKind::Vect:
-    // The monotonic step: no proxy, same address, stronger cell type.
-    strengthenCell(V.object(), T->inner(), Label);
-    return V;
+  case TypeKind::Vect: {
+    // The monotonic step: no proxy, stronger cell type. Strengthening
+    // converts the stored values, which can allocate and run a minor
+    // collection, so the cell is pinned and re-derived rather than held
+    // as a raw pointer.
+    Rooted Ref(TheHeap, V);
+    strengthenCell(Ref.get().object(), T->inner(), Label);
+    return Ref.get();
+  }
   case TypeKind::Tuple: {
     uint32_t Size = V.object()->slotCount();
     Rooted Src(TheHeap, V);
@@ -318,6 +332,7 @@ Value Runtime::castMono(Value V, const Type *S, const Type *T,
       Value Element = castMono(Src.get().object()->slot(I), S->element(I),
                                T->element(I), Label);
       Dst.get().object()->slot(I) = Element;
+      TheHeap.recordWrite(Dst.get(), Element);
     }
     return Dst.get();
   }
@@ -342,15 +357,33 @@ void Runtime::strengthenCell(HeapObject *Cell, const Type *TargetElem,
     return;
   // Guard against cycles through self-referential structures: updating
   // the RTTI before converting makes re-entrant strengthening with the
-  // same target a no-op; the explicit stack catches deeper cycles.
+  // same target a no-op; the explicit stack catches deeper cycles. The
+  // identity Value is pinned as a temp root, so when a mid-strengthen
+  // minor collection promotes the cell both this frame's view and every
+  // stacked cycle entry follow the move.
+  Value CellVal = Value::fromHeap(Cell);
   for (const auto &Entry : Strengthening)
-    if (Entry.first == Cell && Entry.second == M2)
+    if (Entry.first->object() == Cell && Entry.second == M2)
       return;
-  Strengthening.push_back({Cell, M2});
-  Cell->setMeta(0, M2);
-  for (uint32_t I = 0; I != Cell->slotCount(); ++I)
-    Cell->slot(I) = castMono(Cell->slot(I), M, M2, Label);
-  Strengthening.pop_back();
+  TheHeap.pushTempRoot(&CellVal);
+  Strengthening.push_back({&CellVal, M2});
+  // Slot conversion can blame; unwind must still unpin the cell and pop
+  // the cycle entry so the runtime stays usable after a caught error.
+  struct Scope {
+    Heap &H;
+    std::vector<std::pair<const Value *, const Type *>> &S;
+    ~Scope() {
+      S.pop_back();
+      H.popTempRoot();
+    }
+  } Unpin{TheHeap, Strengthening};
+  CellVal.object()->setMeta(0, M2);
+  for (uint32_t I = 0; I != CellVal.object()->slotCount(); ++I) {
+    Value Converted = castMono(CellVal.object()->slot(I), M, M2, Label);
+    HeapObject *Current = CellVal.object(); // re-derive: cell may have moved
+    Current->slot(I) = Converted;
+    TheHeap.recordWrite(Current, Converted);
+  }
 }
 
 Value Runtime::monoBoxRead(Value Box, const Type *ViewElem,
@@ -366,11 +399,17 @@ Value Runtime::monoBoxRead(Value Box, const Type *ViewElem,
 
 void Runtime::monoBoxWrite(Value Box, Value Content, const Type *ViewElem,
                            const std::string *Label) {
-  HeapObject *Cell = Box.object();
-  const Type *M = static_cast<const Type *>(Cell->meta(0));
-  if (M != ViewElem)
+  const Type *M = static_cast<const Type *>(Box.object()->meta(0));
+  if (M != ViewElem) {
+    // The inward conversion may allocate (and so move the cell); pin the
+    // box and re-derive the raw pointer after.
+    Rooted Cell(TheHeap, Box);
     Content = castRuntime(Content, ViewElem, M, Label); // may blame
-  Cell->slot(0) = Content;
+    Box = Cell.get();
+  }
+  HeapObject *Object = Box.object();
+  Object->slot(0) = Content;
+  TheHeap.recordWrite(Object, Content);
 }
 
 Value Runtime::monoVectorRef(Value Vect, int64_t Index, const Type *ViewElem,
@@ -387,13 +426,17 @@ Value Runtime::monoVectorRef(Value Vect, int64_t Index, const Type *ViewElem,
 
 void Runtime::monoVectorSet(Value Vect, int64_t Index, Value Content,
                             const Type *ViewElem, const std::string *Label) {
-  HeapObject *Cell = Vect.object();
-  if (Index < 0 || Index >= Cell->slotCount())
+  if (Index < 0 || Index >= Vect.object()->slotCount())
     trap("vector index " + std::to_string(Index) + " out of bounds");
-  const Type *M = static_cast<const Type *>(Cell->meta(0));
-  if (M != ViewElem)
+  const Type *M = static_cast<const Type *>(Vect.object()->meta(0));
+  if (M != ViewElem) {
+    Rooted Cell(TheHeap, Vect);
     Content = castRuntime(Content, ViewElem, M, Label);
-  Cell->slot(static_cast<uint32_t>(Index)) = Content;
+    Vect = Cell.get();
+  }
+  HeapObject *Object = Vect.object();
+  Object->slot(static_cast<uint32_t>(Index)) = Content;
+  TheHeap.recordWrite(Object, Content);
 }
 
 //===----------------------------------------------------------------------===//
@@ -418,7 +461,9 @@ Value Runtime::boxRead(Value Box) {
 
 void Runtime::boxWrite(Value Box, Value Content) {
   if (!Box.isProxy()) {
-    Box.object()->slot(0) = Content;
+    HeapObject *Object = Box.object();
+    Object->slot(0) = Content;
+    TheHeap.recordWrite(Object, Content);
     return;
   }
   Backend->proxyBoxWrite(Box, Content);
@@ -442,6 +487,7 @@ void Runtime::vectorSet(Value Vect, int64_t Index, Value Content) {
       trap("vector index " + std::to_string(Index) + " out of bounds for " +
            "length " + std::to_string(Object->slotCount()));
     Object->slot(static_cast<uint32_t>(Index)) = Content;
+    TheHeap.recordWrite(Object, Content);
     return;
   }
   Backend->proxyVectorSet(Vect, Index, Content);
@@ -495,55 +541,57 @@ std::string Runtime::valueToString(Value V, unsigned Depth) {
     }
     return "()";
   case ValueTag::Heap: {
-    HeapObject *Object = V.object();
-    switch (Object->kind()) {
+    // Nested prints can allocate (reading a proxied element applies its
+    // conversion); pin the object and re-derive it each iteration.
+    Rooted Self(TheHeap, V);
+    switch (Self.get().object()->kind()) {
     case ObjectKind::Tuple: {
       std::string Out = "#(";
-      for (uint32_t I = 0; I != Object->slotCount(); ++I) {
+      for (uint32_t I = 0; I != Self.get().object()->slotCount(); ++I) {
         if (I != 0)
           Out += ' ';
-        Out += valueToString(Object->slot(I), Depth - 1);
+        Out += valueToString(Self.get().object()->slot(I), Depth - 1);
       }
       return Out + ")";
     }
     case ObjectKind::Box:
-      return "#&" + valueToString(boxRead(V), Depth - 1);
+      return "#&" + valueToString(boxRead(Self.get()), Depth - 1);
     case ObjectKind::Vector: {
       std::string Out = "#vec(";
-      uint32_t Limit = std::min<uint32_t>(Object->slotCount(), 8);
+      uint32_t Limit = std::min<uint32_t>(Self.get().object()->slotCount(), 8);
       for (uint32_t I = 0; I != Limit; ++I) {
         if (I != 0)
           Out += ' ';
-        Out += valueToString(Object->slot(I), Depth - 1);
+        Out += valueToString(Self.get().object()->slot(I), Depth - 1);
       }
-      if (Object->slotCount() > Limit)
+      if (Self.get().object()->slotCount() > Limit)
         Out += " ...";
       return Out + ")";
     }
     case ObjectKind::Closure:
       return "#<procedure>";
     case ObjectKind::DynBox:
-      return valueToString(Object->slot(0), Depth);
+      return valueToString(Self.get().object()->slot(0), Depth);
     default:
       return "#<object>";
     }
   }
   case ValueTag::Proxy: {
-    HeapObject *Object = V.object();
-    if (Object->kind() == ObjectKind::ProxyClosure)
+    if (V.object()->kind() == ObjectKind::ProxyClosure)
       return "#<procedure>";
     // Proxied reference: render through the proxy so every cast mode
-    // prints the same contents.
-    HeapObject *Base = underlyingRef(V);
-    if (Base->kind() == ObjectKind::Box)
-      return "#&" + valueToString(boxRead(V), Depth - 1);
+    // prints the same contents. Reading through the proxy applies its
+    // conversions, which can allocate — keep the proxy pinned.
+    Rooted Self(TheHeap, V);
+    if (underlyingRef(Self.get())->kind() == ObjectKind::Box)
+      return "#&" + valueToString(boxRead(Self.get()), Depth - 1);
     std::string Out = "#vec(";
-    int64_t Length = vectorLength(V);
+    int64_t Length = vectorLength(Self.get());
     int64_t Limit = std::min<int64_t>(Length, 8);
     for (int64_t I = 0; I != Limit; ++I) {
       if (I != 0)
         Out += ' ';
-      Out += valueToString(vectorRef(V, I), Depth - 1);
+      Out += valueToString(vectorRef(Self.get(), I), Depth - 1);
     }
     if (Length > Limit)
       Out += " ...";

@@ -238,8 +238,12 @@ private:
   HeapObject *underlyingRef(Value Ref) const;
 
   /// (cell, target-type) pairs currently being strengthened; breaks
-  /// cycles through self-referential heap structures.
-  std::vector<std::pair<const HeapObject *, const Type *>> Strengthening;
+  /// cycles through self-referential heap structures. Each entry points
+  /// at a Value pinned as a heap temp root by the owning strengthenCell
+  /// frame, so when a mid-strengthen minor collection promotes the cell
+  /// the identity comparison follows it — a raw HeapObject* would go
+  /// stale the moment the nursery copy moved.
+  std::vector<std::pair<const Value *, const Type *>> Strengthening;
 };
 
 } // namespace grift

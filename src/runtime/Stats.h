@@ -58,12 +58,28 @@ struct RuntimeStats {
   /// Objects allocated per size class; index NumAllocClasses-1 counts
   /// large objects.
   uint64_t AllocObjectsByClass[NumAllocClasses] = {};
-  /// Collections performed during the run.
+  /// Major (full) collections performed during the run.
   uint64_t Collections = 0;
-  /// Total / worst-case GC pause (mark + eager large sweep; lazy block
-  /// sweeping is mutator time and deliberately not counted).
+  /// Total / worst-case GC pause across *all* pauses, minor and major
+  /// (mark/evacuation + eager large sweep; incremental block sweeping is
+  /// mutator time and deliberately not counted).
   uint64_t GCPauseTotalNs = 0;
   uint64_t GCPauseMaxNs = 0;
+  /// Minor (nursery) collections and their pause share.
+  uint64_t MinorCollections = 0;
+  uint64_t GCMinorPauseTotalNs = 0;
+  uint64_t GCMinorPauseMaxNs = 0;
+  /// Bytes / objects promoted from the nursery into the old generation.
+  uint64_t PromotedBytes = 0;
+  uint64_t PromotedObjects = 0;
+  /// Largest remembered-set population observed at a collection.
+  uint64_t RememberedSetPeak = 0;
+  /// Per-phase log2 pause histograms (same layout as the Heap's):
+  /// bucket 0 is < 1 µs, each next bucket doubles, the last bucket
+  /// collects everything ≥ 16.4 ms.
+  static constexpr unsigned NumPauseBuckets = 16;
+  uint64_t MinorPauseHist[NumPauseBuckets] = {};
+  uint64_t MajorPauseHist[NumPauseBuckets] = {};
   /// Redundant back-to-back collections skipped on the heap-limit path.
   uint64_t DoubleCollectionsAvoided = 0;
 

@@ -87,6 +87,7 @@ void ExecService::workerLoop(unsigned SlotIdx) {
   // fail together must not sleep together.
   FaultInjector Injector;
   Injector.GCTorturePeriod = Config.GCTorturePeriod;
+  Injector.MinorGCTorturePeriod = Config.MinorGCTorturePeriod;
   RNG Gen(0x5eedba5eULL + SlotIdx);
   for (;;) {
     Pending P;
@@ -181,7 +182,8 @@ JobResult ExecService::executeJob(EnginePool::Slot &Slot, JobSpec &Spec,
                               Watchdog::Clock::now() +
                                   std::chrono::nanoseconds(WatchNanos));
     FaultInjector *Faults = nullptr;
-    if (Config.GCTorturePeriod || Config.FailAllocPeriod) {
+    if (Config.GCTorturePeriod || Config.MinorGCTorturePeriod ||
+        Config.FailAllocPeriod) {
       // Periodic re-arm: FailAllocAt is one-shot, so schedule the next
       // failure relative to the counter the previous runs advanced.
       if (Config.FailAllocPeriod)

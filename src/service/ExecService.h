@@ -72,6 +72,9 @@ struct ServiceConfig {
   /// jobs, so the faults land at ever-shifting points of each program —
   /// exactly what the GC-torture nightly wants.
   uint64_t GCTorturePeriod = 0;
+  /// Minor-GC torture: a nursery collection every Nth allocation and
+  /// every Nth cast application, with the same job-spanning counter.
+  uint64_t MinorGCTorturePeriod = 0;
   uint64_t FailAllocPeriod = 0;
   /// Persistent compiled-program store (src/store): directory for the
   /// content-addressed image cache. Empty disables it. On a slot-cache

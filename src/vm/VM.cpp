@@ -68,6 +68,7 @@ RunResult VM::run(std::string In, const RunLimits &L) {
   CastIC.assign(Prog.Casts.size(), CoercionCache());
   SiteIC.assign(Prog.Sites.size(), CoercionCache());
   RT.heap().setHeapLimit(Limits.MaxHeapBytes);
+  RT.heap().setNurserySize(Limits.GCNurseryBytes);
   size_t RootDepthAtEntry = RT.heap().tempRootDepth();
 
   StartTime = std::chrono::steady_clock::now();
@@ -85,6 +86,18 @@ RunResult VM::run(std::string In, const RunLimits &L) {
     Result.Stats.Collections = H.collections();
     Result.Stats.GCPauseTotalNs = H.gcPauseTotalNs();
     Result.Stats.GCPauseMaxNs = H.gcPauseMaxNs();
+    Result.Stats.MinorCollections = H.minorCollections();
+    Result.Stats.GCMinorPauseTotalNs = H.gcMinorPauseTotalNs();
+    Result.Stats.GCMinorPauseMaxNs = H.gcMinorPauseMaxNs();
+    Result.Stats.PromotedBytes = H.promotedBytes();
+    Result.Stats.PromotedObjects = H.promotedObjects();
+    Result.Stats.RememberedSetPeak = H.rememberedSetPeak();
+    static_assert(RuntimeStats::NumPauseBuckets == Heap::PauseHistBuckets,
+                  "pause histogram layouts out of sync");
+    for (unsigned B = 0; B != Heap::PauseHistBuckets; ++B) {
+      Result.Stats.MinorPauseHist[B] = H.minorPauseHistogram()[B];
+      Result.Stats.MajorPauseHist[B] = H.majorPauseHistogram()[B];
+    }
     Result.Stats.DoubleCollectionsAvoided = H.doubleCollectionsAvoided();
     Result.PeakHeapBytes = RT.heap().peakHeapBytes();
     // Exact on normal completion (Halt charges its partial batch);
@@ -95,7 +108,10 @@ RunResult VM::run(std::string In, const RunLimits &L) {
   try {
     Value Final = execute();
     Finish();
-    Result.ResultText = RT.valueToString(Final);
+    // valueToString can allocate (proxy reads); keep the result value
+    // rooted — and updated, should rendering trigger a moving minor GC.
+    Rooted FinalRoot(RT.heap(), Final);
+    Result.ResultText = RT.valueToString(FinalRoot.get());
     Result.OK = true;
   } catch (RuntimeError &Error) {
     Finish();
@@ -149,9 +165,16 @@ void VM::checkBudgets(uint32_t BatchSteps) {
 
 Value VM::resolveCallee(Value Callee, uint32_t Argc, size_t ArgsBase,
                         std::vector<RetCast> &Pending) {
+  // The callee lives in the stack slot below the arguments; the walk
+  // keeps it there so the proxy stays rooted — and is re-derived after
+  // each conversion pass, which can allocate and therefore move a young
+  // proxy. The metadata read up front is immortal (types, coercions,
+  // labels) and safe to hold across the conversions.
+  size_t CalleeIdx = ArgsBase - 1;
+  Stack[CalleeIdx] = Callee;
   unsigned Depth = 0;
-  while (Callee.isProxy()) {
-    HeapObject *P = Callee.object();
+  while (Stack[CalleeIdx].isProxy()) {
+    HeapObject *P = Stack[CalleeIdx].object();
     if (P->kind() != ObjectKind::ProxyClosure)
       trap("call of a non-function value");
     ++Depth;
@@ -173,11 +196,12 @@ Value VM::resolveCallee(Value Callee, uint32_t Argc, size_t ArgsBase,
             RT.applyTypeBased(Stack[ArgsBase + I], T->param(I), S->param(I), L);
       Pending.push_back({nullptr, S->result(), T->result(), L});
     }
-    Callee = P->slot(0);
+    P = Stack[CalleeIdx].object(); // re-derive: conversions may have moved it
+    Stack[CalleeIdx] = P->slot(0);
   }
   if (Depth)
     RT.stats().noteChain(Depth);
-  return Callee;
+  return Stack[CalleeIdx];
 }
 
 void VM::appendRetCast(std::vector<RetCast> &Casts, const RetCast &RC) {
@@ -513,6 +537,7 @@ Value VM::execute() {
     assert(Object->kind() == ObjectKind::Closure &&
            "letrec initializer did not produce a closure");
     Object->slot(static_cast<uint32_t>(I.A)) = V;
+    RT.heap().recordWrite(Object, V); // backpatch can cross generations
     Top -= 2;
     VM_NEXT();
   }
@@ -597,6 +622,7 @@ Value VM::execute() {
     Value Box = Stack[Top - 2];
     assert(Box.isHeap() && Box.object()->kind() == ObjectKind::Box);
     Box.object()->slot(0) = V;
+    RT.heap().recordWrite(Box, V); // write barrier: old box, young value
     Top -= 2;
     push(Value::unit());
     VM_NEXT();
@@ -721,6 +747,7 @@ Value VM::execute() {
     if (Idx < 0 || Idx >= Object->slotCount())
       trap("vector index " + std::to_string(Idx) + " out of bounds");
     Object->slot(static_cast<uint32_t>(Idx)) = Content;
+    RT.heap().recordWrite(Object, Content); // old vector, young element
     Top -= 3;
     push(Value::unit());
     VM_NEXT();

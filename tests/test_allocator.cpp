@@ -41,6 +41,7 @@ void makeGarbage(Heap &H, unsigned N, uint32_t Slots) {
 
 TEST(PoolAllocator, RefillsBlocksOnDemand) {
   Heap H;
+  H.setNurserySize(0); // pool mechanics: allocate straight into the old gen
   EXPECT_EQ(H.poolBlocks(), 0u);
   // One 64-byte-cell block holds ~1023 cells; two blocks' worth of
   // 0-slot tuples must map at least two blocks.
@@ -52,6 +53,7 @@ TEST(PoolAllocator, RefillsBlocksOnDemand) {
 
 TEST(PoolAllocator, AllocateCollectLoopHoldsBlocksSteady) {
   Heap H;
+  H.setNurserySize(0); // pool mechanics: allocate straight into the old gen
   // Prime: allocate a round of garbage in several classes, then collect.
   auto round = [&H] {
     makeGarbage(H, 800, 0);  // class 0 (64 B)
@@ -174,6 +176,8 @@ TEST(PoolAllocator, HeapLimitSkipsRedundantSecondCollection) {
   // clamps the threshold to 256 KiB; ~900 KiB of rooted small objects
   // stays under both, and one 200 KB vector then crosses both at once.
   Heap H;
+  H.setNurserySize(0); // the threshold/limit interplay under test is the
+                       // old generation's; a nursery would batch it
   H.setHeapLimit(1u << 20);
   std::vector<Rooted *> Roots; // keep everything live: no reclaimable slack
   for (unsigned I = 0; I != 2344; ++I) {
@@ -286,10 +290,14 @@ TEST(PoolAllocator, RunResultExposesCollectionAndPauseCounters) {
   EXPECT_EQ(R.Output, "20000");
   EXPECT_GE(R.Stats.allocObjects(), 20000u);
   EXPECT_GT(R.Stats.AllocBytes, 0u);
-  EXPECT_GE(R.Stats.Collections, 1u);
+  // The boxes die young, so under the default nursery this workload is
+  // collected almost entirely by minor collections; with the nursery
+  // disabled it degenerates to majors. Either way some collector ran.
+  EXPECT_GE(R.Stats.Collections + R.Stats.MinorCollections, 1u);
   // Pause accounting: max <= total, and nonzero once a collection ran.
   EXPECT_LE(R.Stats.GCPauseMaxNs, R.Stats.GCPauseTotalNs);
   EXPECT_GT(R.Stats.GCPauseTotalNs, 0u);
+  EXPECT_LE(R.Stats.GCMinorPauseMaxNs, R.Stats.GCPauseMaxNs);
 }
 
 //===----------------------------------------------------------------------===//
@@ -299,6 +307,7 @@ TEST(PoolAllocator, RunResultExposesCollectionAndPauseCounters) {
 #if GRIFT_ASAN
 TEST(PoolAllocator, SweptCellsArePoisonedUntilReallocated) {
   Heap H;
+  H.setNurserySize(0); // the poisoning under test is the pool sweeper's
   // Unrooted garbage in the 128-byte class, remembered by raw pointer.
   std::vector<void *> Stale;
   for (unsigned I = 0; I != 32; ++I) {

@@ -97,6 +97,9 @@ TEST(Heap, MarksTransitively) {
 
 TEST(Heap, StressWithTinyThreshold) {
   Heap H;
+  // Old-generation threshold stress; also, the raw slot stores below are
+  // deliberately unbarriered, which only full collections tolerate.
+  H.setNurserySize(0);
   H.setGCThreshold(1 << 12);
   Value Keep = H.allocVector(16, Value::fromFixnum(0));
   Rooted Root(H, Keep);
@@ -126,6 +129,7 @@ TEST(Heap, ThresholdIsClampedUnderHeapLimit) {
   // the limit/4 cadence, i.e. well over the ~10 collections the
   // emergency path alone would produce.
   Heap H;
+  H.setNurserySize(0); // the threshold clamp under test is the old gen's
   H.setHeapLimit(2u << 20);
   for (int I = 0; I != 100000; ++I)
     H.allocTuple(16); // unrooted: garbage by the next collection
@@ -138,6 +142,7 @@ TEST(Heap, SetHeapLimitClampsImmediately) {
   // first collection — otherwise the first ~8 MiB of allocations under
   // a small limit would all take the emergency path.
   Heap H;
+  H.setNurserySize(0); // the threshold clamp under test is the old gen's
   H.setHeapLimit(1u << 20);
   uint64_t Before = H.collections();
   for (int I = 0; I != 4000; ++I) // ~0.75 MiB of garbage

@@ -35,6 +35,18 @@ OP is <= or >= and NAME is a substring match against the row name:
         --slo 'load/soak:shed_rate_pct<=25' \
         --slo 'load/soak:ok>=100'
 
+A gate may also bound a field *relative to the baseline's value for the
+same row*: NAME:FIELD<=K*BASELINE multiplies the baseline row's FIELD
+by K to get the bound. This is how CI phrases "the generational
+collector's worst pause must stay within 10x of the old baseline's"
+without hard-coding machine-dependent nanosecond values:
+
+    bench_compare.py base.json cur.json \
+        --slo 'gc/ray/gen:gc_pause_max_ns<=10*BASELINE'
+
+Relative gates need a baseline row carrying the field, so they are
+rejected in single-file mode.
+
 When only SLOs matter (a load run with no perf baseline), CURRENT may
 be omitted and the gates are applied to BASELINE's rows directly:
 
@@ -63,11 +75,13 @@ import sys
 
 COUNTERS = ("casts", "longest_chain", "max_ret_casts", "compositions",
             "cache_hits", "cache_misses", "alloc_bytes", "alloc_objects",
-            "alloc_by_class", "collections")
+            "alloc_by_class", "collections", "gc_minor_pauses",
+            "gc_promoted_bytes", "remembered_set_peak")
 
 # Run-dependent observability: reported, never enforced by the baseline
 # diff (use --slo for absolute bounds on these).
 REPORTED = ("gc_pause_total_ns", "gc_pause_max_ns",
+            "gc_minor_pause_max_ns", "gc_pause_ratio_pct",
             "p50_ns", "p99_ns", "p999_ns",
             "shed_total", "shed_rate_pct", "quota_rejects",
             "watchdog_kills", "deadline_expired", "slow_client_drops",
@@ -77,7 +91,8 @@ REPORTED = ("gc_pause_total_ns", "gc_pause_max_ns",
             "store_hits", "store_misses", "store_corrupt", "store_evicted")
 
 SLO_RE = re.compile(r"^(?P<name>[^:]+):(?P<field>[A-Za-z0-9_]+)"
-                    r"(?P<op><=|>=)(?P<value>-?[0-9.]+)$")
+                    r"(?P<op><=|>=)(?P<value>-?[0-9.]+)"
+                    r"(?P<rel>\*BASELINE)?$")
 
 
 def load(path):
@@ -91,15 +106,18 @@ def load(path):
 def parse_slo(spec):
     m = SLO_RE.match(spec)
     if not m:
-        sys.exit(f"bad --slo spec {spec!r}; expected NAME:FIELD<=VALUE "
-                 "or NAME:FIELD>=VALUE")
-    return m["name"], m["field"], m["op"], float(m["value"])
+        sys.exit(f"bad --slo spec {spec!r}; expected NAME:FIELD<=VALUE, "
+                 "NAME:FIELD>=VALUE, or NAME:FIELD<=K*BASELINE")
+    return (m["name"], m["field"], m["op"], float(m["value"]),
+            m["rel"] is not None)
 
 
-def check_slos(current, slos):
-    """Absolute bounds on CURRENT rows; substring match on the name."""
+def check_slos(current, slos, baseline=None):
+    """Bounds on CURRENT rows; substring match on the name. Relative
+    gates (K*BASELINE) scale the baseline row's value of the same field
+    to get the bound."""
     errors = []
-    for name_pat, field, op, bound in slos:
+    for name_pat, field, op, factor, relative in slos:
         matched = False
         for (name, mode), row in sorted(current.items()):
             if name_pat not in name:
@@ -110,6 +128,17 @@ def check_slos(current, slos):
                               "missing from the row")
                 continue
             val = row[field]
+            if relative:
+                ref = (baseline or {}).get((name, mode), {}).get(field)
+                if (not isinstance(ref, (int, float))
+                        or isinstance(ref, bool) or math.isnan(ref)):
+                    errors.append(
+                        f"{name} [{mode}]: relative SLO on {field!r} "
+                        f"needs a finite baseline value (got {ref!r})")
+                    continue
+                bound = factor * ref
+            else:
+                bound = factor
             # A gate over a null/NaN/non-numeric field must fail, not
             # silently pass: `None <= bound` raising (or NaN comparing
             # false both ways) means the harness stopped producing the
@@ -175,10 +204,14 @@ def main():
     slos = [parse_slo(s) for s in args.slo]
 
     errors = []
+    base = None
     if args.current is None:
         # SLO-only mode: one file, no baseline diff.
         if not slos:
             ap.error("single-file mode requires at least one --slo")
+        if any(s[4] for s in slos):
+            ap.error("relative (K*BASELINE) SLOs need a baseline and a "
+                     "current file")
         cur = load(args.baseline)
     else:
         base = load(args.baseline)
@@ -217,7 +250,7 @@ def main():
                 print(f"{key[0]} [{key[1]}]: new benchmark (no baseline)")
         errors += check_shapes(cur)
 
-    errors += check_slos(cur, slos)
+    errors += check_slos(cur, slos, base)
 
     if errors:
         print(f"\n{len(errors)} problem(s):", file=sys.stderr)

@@ -26,6 +26,13 @@
 ///   --deadline-ms=N  watchdog deadline: a separate thread preemptively
 ///                    cancels the run this long after it starts
 ///   --gc-torture=N   force a full GC every Nth allocation (bug hunting)
+///   --gc-minor-torture=N  force a minor (nursery) GC every Nth
+///                    allocation and every Nth cast application
+///   --gc-nursery=N   nursery size in bytes (k/m/g suffixes accepted);
+///                    0 disables the generational layer entirely
+///   --gc-stats       print the GC profile after the run: collection
+///                    counts, pause totals/max, promotion volume,
+///                    remembered-set peak, per-phase pause histograms
 ///   --fail-alloc=N   inject an allocation failure at allocation #N
 ///
 /// Persistent store (src/store):
@@ -73,7 +80,8 @@ void printUsage() {
       "              [--stats] [--dump-core] [--dump-bytecode]\n"
       "              [--max-steps=N] [--max-heap=N[k|m|g]]\n"
       "              [--max-depth=N] [--max-wall-ms=N] [--deadline-ms=N]\n"
-      "              [--gc-torture=N] [--fail-alloc=N]\n"
+      "              [--gc-torture=N] [--gc-minor-torture=N]\n"
+      "              [--gc-nursery=N[k|m|g]] [--gc-stats] [--fail-alloc=N]\n"
       "              [--cache-dir=DIR [--cache-max-bytes=N]]\n"
       "              (file.grift | --expr 'SRC' | --benchmark NAME)\n"
       "              [--input 'WORDS']\n"
@@ -119,6 +127,7 @@ int main(int Argc, char **Argv) {
   bool Optimize = false;
   bool RefInterp = false;
   bool Stats = false;
+  bool GCStats = false;
   bool DumpCore = false;
   bool DumpBytecode = false;
   std::string Source;
@@ -146,6 +155,12 @@ int main(int Argc, char **Argv) {
       Limits.MaxWallNanos = static_cast<int64_t>(Tmp) * 1000000;
     } else if (parseSize(Arg, "--gc-torture=", Tmp)) {
       Injector.GCTorturePeriod = Tmp;
+    } else if (parseSize(Arg, "--gc-minor-torture=", Tmp)) {
+      Injector.MinorGCTorturePeriod = Tmp;
+    } else if (parseSize(Arg, "--gc-nursery=", Tmp)) {
+      Limits.GCNurseryBytes = static_cast<size_t>(Tmp);
+    } else if (Arg == "--gc-stats") {
+      GCStats = true;
     } else if (parseSize(Arg, "--fail-alloc=", Tmp)) {
       Injector.FailAllocAt = Tmp;
     } else if (Arg.rfind("--cache-dir=", 0) == 0) {
@@ -347,6 +362,30 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(R.Stats.LongestProxyChain));
     std::printf("; proxies allocated: %llu\n",
                 static_cast<unsigned long long>(R.Stats.ProxiesAllocated));
+  }
+  if (GCStats) {
+    auto U = [](uint64_t V) { return static_cast<unsigned long long>(V); };
+    const RuntimeStats &S = R.Stats;
+    std::printf("; gc: alloc %llu bytes in %llu objects\n", U(S.AllocBytes),
+                U(S.allocObjects()));
+    std::printf("; gc: %llu minor / %llu major collections\n",
+                U(S.MinorCollections), U(S.Collections));
+    std::printf("; gc: minor pauses %llu ns total, %llu ns max\n",
+                U(S.GCMinorPauseTotalNs), U(S.GCMinorPauseMaxNs));
+    std::printf("; gc: all pauses %llu ns total, %llu ns max\n",
+                U(S.GCPauseTotalNs), U(S.GCPauseMaxNs));
+    std::printf("; gc: promoted %llu bytes in %llu objects\n",
+                U(S.PromotedBytes), U(S.PromotedObjects));
+    std::printf("; gc: remembered-set peak %llu\n", U(S.RememberedSetPeak));
+    // Log2 pause histograms: bucket 0 is < 1 µs, each bucket doubles.
+    auto printHist = [&](const char *Phase, const uint64_t *Hist) {
+      std::printf("; gc: %s pause histogram:", Phase);
+      for (unsigned B = 0; B != RuntimeStats::NumPauseBuckets; ++B)
+        std::printf(" %llu", U(Hist[B]));
+      std::printf("\n");
+    };
+    printHist("minor", S.MinorPauseHist);
+    printHist("major", S.MajorPauseHist);
   }
   return 0;
 }

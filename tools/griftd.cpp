@@ -29,6 +29,8 @@
 ///   --breaker-cooldown-ms=N  circuit cooldown (default 5000)
 ///   --no-cache               disable the per-engine compile cache
 ///   --gc-torture=N           FaultInjector: force GC every Nth alloc
+///   --gc-minor-torture=N     FaultInjector: force a minor (nursery)
+///                            GC every Nth alloc and every Nth cast
 ///   --fail-alloc=N           FaultInjector: fail every Nth alloc
 ///   --cache-dir=DIR          persistent compiled-program store (warm
 ///                            starts; store_* counters in stats)
@@ -126,8 +128,8 @@ void printHelp() {
       "  batch: griftd [options] (manifest.jsonl | -)\n"
       "  serve: griftd --serve [--socket=PATH | --port=N] [options]\n"
       "shared: --threads=N --retries=N --breaker-threshold=N\n"
-      "        --breaker-cooldown-ms=N --no-cache --gc-torture=N "
-      "--fail-alloc=N\n"
+      "        --breaker-cooldown-ms=N --no-cache --gc-torture=N\n"
+      "        --gc-minor-torture=N --fail-alloc=N\n"
       "        --cache-dir=DIR --cache-max-bytes=N (persistent compiled-\n"
       "        program store; store_* counters appear in stats)\n"
       "        --file-short-write=N --file-fail-fsync=N --file-flip-bit=N\n"
@@ -337,6 +339,8 @@ int main(int Argc, char **Argv) {
       Exec.Breaker.CooldownNanos = static_cast<int64_t>(Tmp) * 1000000;
     } else if (parseUint(Arg, "--gc-torture=", Tmp)) {
       Exec.GCTorturePeriod = Tmp;
+    } else if (parseUint(Arg, "--gc-minor-torture=", Tmp)) {
+      Exec.MinorGCTorturePeriod = Tmp;
     } else if (parseUint(Arg, "--fail-alloc=", Tmp)) {
       Exec.FailAllocPeriod = Tmp;
     } else if (Arg.rfind("--cache-dir=", 0) == 0) {

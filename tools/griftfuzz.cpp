@@ -23,6 +23,15 @@
 ///                      (default griftfuzz-repros)
 ///   --max-failures=N   stop after N failures (default 5)
 ///   --quiet            no per-chunk progress lines
+///   --gc-torture=N     force a full collection every Nth allocation in
+///                      every VM run (0 = off)
+///   --gc-minor-torture=N  force a minor (nursery) collection every Nth
+///                      allocation and every Nth cast application
+///   --gc-nursery=BYTES nursery size for every VM run (0 disables the
+///                      generational layer)
+///   --gc-differential  enroll a --gc-nursery=0 twin of every VM engine;
+///                      the generational and pre-generational collectors
+///                      must agree on every program in every cast mode
 ///
 /// Exit status: 0 when every check passed, 1 when any oracle failed,
 /// 2 on usage errors.
@@ -72,7 +81,9 @@ void printUsage() {
                "                 [--per-bin=N] [--coarse-max=N]\n"
                "                 [--shrink-attempts=N] [--no-shrink]\n"
                "                 [--artifact-dir=DIR] [--max-failures=N]\n"
-               "                 [--quiet]\n");
+               "                 [--quiet] [--gc-torture=N]\n"
+               "                 [--gc-minor-torture=N] [--gc-nursery=BYTES]\n"
+               "                 [--gc-differential]\n");
 }
 
 bool parseUnsigned(const std::string &Arg, const char *Prefix,
@@ -234,6 +245,14 @@ int main(int Argc, char **Argv) {
       Opts.Oracle.ShrinkAttempts = static_cast<unsigned>(Value);
     } else if (parseUnsigned(Arg, "--max-failures=", Value)) {
       Opts.MaxFailures = Value ? static_cast<unsigned>(Value) : 1;
+    } else if (parseUnsigned(Arg, "--gc-torture=", Value)) {
+      Opts.Oracle.GCTorturePeriod = Value;
+    } else if (parseUnsigned(Arg, "--gc-minor-torture=", Value)) {
+      Opts.Oracle.MinorGCTorturePeriod = Value;
+    } else if (parseUnsigned(Arg, "--gc-nursery=", Value)) {
+      Opts.Oracle.Limits.GCNurseryBytes = static_cast<size_t>(Value);
+    } else if (Arg == "--gc-differential") {
+      Opts.Oracle.GCDifferential = true;
     } else if (Arg == "--no-shrink") {
       Opts.Shrink = false;
     } else if (Arg == "--quiet") {
